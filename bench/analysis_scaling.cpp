@@ -1,0 +1,151 @@
+// Ablation: cost of the static analyses as the graph grows.
+//
+// The paper argues TPDF keeps CSDF-style decidability; this bench
+// quantifies the price: repetition vectors, liveness and buffer sizing on
+// synthetic chains/trees of 10..1000 actors, plus the real case-study
+// graphs.
+#include <benchmark/benchmark.h>
+
+#include "apps/edgegraph.hpp"
+#include "apps/fmradio.hpp"
+#include "apps/ofdm.hpp"
+#include "core/analysis.hpp"
+#include "csdf/buffer.hpp"
+#include "graph/builder.hpp"
+#include "support/prng.hpp"
+
+namespace {
+
+using namespace tpdf;
+using graph::Graph;
+using graph::GraphBuilder;
+
+/// Random consistent chain of `n` actors.  Edge rates are chosen so the
+/// repetition counts stay bounded (a multiplicative random walk over
+/// 1000 edges would overflow otherwise): the running repetition value is
+/// steered back into [1, 1024].
+Graph randomChain(int n, std::uint64_t seed) {
+  support::Prng rng(seed);
+  GraphBuilder b("chain" + std::to_string(n));
+  std::int64_t v = 1;  // repetition count of the actor being emitted
+  std::vector<std::pair<std::int64_t, std::int64_t>> edgeRates;
+  for (int i = 0; i + 1 < n; ++i) {
+    const std::int64_t k = rng.uniform(2, 4);
+    std::int64_t prod = 1;
+    std::int64_t cons = 1;
+    const bool canShrink = v % k == 0;
+    const bool canGrow = v * k <= 1024;
+    if (canGrow && (!canShrink || rng.chance(0.5))) {
+      prod = k;  // consumer fires k times more often
+      v *= k;
+    } else if (canShrink) {
+      cons = k;
+      v /= k;
+    }
+    edgeRates.emplace_back(prod, cons);
+  }
+  for (int i = 0; i < n; ++i) {
+    b.kernel("K" + std::to_string(i));
+    if (i > 0) {
+      b.in("i", "[" + std::to_string(edgeRates[static_cast<std::size_t>(
+                          i - 1)].second) + "]");
+    }
+    if (i + 1 < n) {
+      b.out("o", "[" + std::to_string(
+                           edgeRates[static_cast<std::size_t>(i)].first) +
+                     "]");
+    }
+  }
+  for (int i = 0; i + 1 < n; ++i) {
+    b.channel("e" + std::to_string(i), "K" + std::to_string(i) + ".o",
+              "K" + std::to_string(i + 1) + ".i");
+  }
+  return b.build();
+}
+
+/// Balanced binary out-tree of depth `d` (single-rate, so the repetition
+/// vector is trivial but the graph is wide).
+Graph tree(int depth) {
+  GraphBuilder b("tree" + std::to_string(depth));
+  const int nodes = (1 << (depth + 1)) - 1;
+  for (int i = 0; i < nodes; ++i) {
+    b.kernel("K" + std::to_string(i));
+    if (i > 0) b.in("i", "[1]");
+    if (2 * i + 2 < nodes) {
+      b.out("l", "[1]").out("r", "[1]");
+    }
+  }
+  for (int i = 0; 2 * i + 2 < nodes; ++i) {
+    b.channel("l" + std::to_string(i), "K" + std::to_string(i) + ".l",
+              "K" + std::to_string(2 * i + 1) + ".i");
+    b.channel("r" + std::to_string(i), "K" + std::to_string(i) + ".r",
+              "K" + std::to_string(2 * i + 2) + ".i");
+  }
+  return b.build();
+}
+
+void BM_RepetitionVectorOnChain(benchmark::State& state) {
+  const Graph g = randomChain(static_cast<int>(state.range(0)), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(csdf::computeRepetitionVector(g));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_RepetitionVectorOnChain)
+    ->Arg(10)->Arg(100)->Arg(1000)->Complexity();
+
+void BM_LivenessOnChain(benchmark::State& state) {
+  const Graph g = randomChain(static_cast<int>(state.range(0)), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(csdf::findSchedule(g));
+  }
+}
+BENCHMARK(BM_LivenessOnChain)->Arg(10)->Arg(100);
+
+void BM_RepetitionVectorOnTree(benchmark::State& state) {
+  const Graph g = tree(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(csdf::computeRepetitionVector(g));
+  }
+}
+BENCHMARK(BM_RepetitionVectorOnTree)->Arg(4)->Arg(8);
+
+void BM_FullAnalysisOfdm(benchmark::State& state) {
+  const core::TpdfGraph model = apps::ofdmTpdfGraph();
+  const symbolic::Environment env{
+      {"b", 10}, {"N", 512}, {"L", 1}, {"M", 4}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::analyze(model, env));
+  }
+}
+BENCHMARK(BM_FullAnalysisOfdm);
+
+void BM_FullAnalysisFmRadio(benchmark::State& state) {
+  const core::TpdfGraph model = apps::fmRadioTpdfGraph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::analyze(model));
+  }
+}
+BENCHMARK(BM_FullAnalysisFmRadio);
+
+void BM_FullAnalysisEdgeDetection(benchmark::State& state) {
+  const core::TpdfGraph model = apps::edgeDetectionGraph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::analyze(model));
+  }
+}
+BENCHMARK(BM_FullAnalysisEdgeDetection);
+
+void BM_BufferSizingOfdm(benchmark::State& state) {
+  const graph::Graph g = apps::ofdmTpdfEffective(apps::Constellation::Qam16);
+  const symbolic::Environment env{
+      {"b", state.range(0)}, {"N", 512}, {"L", 1}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(csdf::minimumBuffers(g, env));
+  }
+}
+BENCHMARK(BM_BufferSizingOfdm)->Arg(10)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

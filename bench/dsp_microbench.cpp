@@ -1,0 +1,84 @@
+// Microbenchmarks of the DSP and image substrates backing the case
+// studies: FFT sizes used by the OFDM demodulator (N = 512/1024), QAM
+// demapping throughput, the four edge detectors at several image sizes,
+// and the end-to-end OFDM signal chain.
+#include <benchmark/benchmark.h>
+
+#include "apps/edge.hpp"
+#include "apps/fft.hpp"
+#include "apps/image.hpp"
+#include "apps/ofdm.hpp"
+#include "apps/qam.hpp"
+#include "support/prng.hpp"
+
+namespace {
+
+using namespace tpdf;
+using apps::Cplx;
+
+void BM_Fft(benchmark::State& state) {
+  support::Prng rng(1);
+  std::vector<Cplx> data(static_cast<std::size_t>(state.range(0)));
+  for (Cplx& c : data) c = Cplx(rng.gaussian(), rng.gaussian());
+  for (auto _ : state) {
+    std::vector<Cplx> copy = data;
+    apps::fft(copy);
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Fft)->Arg(64)->Arg(512)->Arg(1024)->Arg(4096)->Complexity();
+
+void BM_QamDemodulate(benchmark::State& state) {
+  support::Prng rng(2);
+  std::vector<Cplx> symbols(4096);
+  for (Cplx& s : symbols) s = Cplx(rng.gaussian(), rng.gaussian());
+  const auto constellation = state.range(0) == 2
+                                 ? apps::Constellation::Qpsk
+                                 : apps::Constellation::Qam16;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(apps::qamDemodulate(symbols, constellation));
+  }
+}
+BENCHMARK(BM_QamDemodulate)->Arg(2)->Arg(4);
+
+void BM_OfdmRoundTrip(benchmark::State& state) {
+  apps::OfdmConfig config;
+  config.symbolLength = static_cast<int>(state.range(0));
+  config.cyclicPrefix = 16;
+  config.constellation = apps::Constellation::Qam16;
+  support::Prng rng(3);
+  std::vector<std::uint8_t> bits(
+      static_cast<std::size_t>(config.bitsPerOfdmSymbol()));
+  for (auto& b : bits) b = rng.chance(0.5) ? 1 : 0;
+  for (auto _ : state) {
+    const auto samples = apps::ofdmModulate(bits, config);
+    benchmark::DoNotOptimize(apps::ofdmDemodulate(samples, config));
+  }
+}
+BENCHMARK(BM_OfdmRoundTrip)->Arg(512)->Arg(1024);
+
+template <apps::Image (*Detector)(const apps::Image&)>
+void BM_Detector(benchmark::State& state) {
+  const apps::Image image = apps::syntheticScene(
+      static_cast<int>(state.range(0)), static_cast<int>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Detector(image));
+  }
+}
+BENCHMARK(BM_Detector<apps::quickMask>)->Arg(128)->Arg(256);
+BENCHMARK(BM_Detector<apps::sobel>)->Arg(128)->Arg(256);
+BENCHMARK(BM_Detector<apps::prewitt>)->Arg(128)->Arg(256);
+
+void BM_Canny(benchmark::State& state) {
+  const apps::Image image = apps::syntheticScene(
+      static_cast<int>(state.range(0)), static_cast<int>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(apps::canny(image));
+  }
+}
+BENCHMARK(BM_Canny)->Arg(128)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

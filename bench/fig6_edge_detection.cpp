@@ -1,0 +1,115 @@
+// Reproduces the Figure 6 case study.
+//
+// Part 1 — the execution-time table: all four detectors run for real on a
+// synthetic 1024x1024 image.  The paper's Intel Core i3 measured
+// 200 / 473 / 522 / 1040 ms; absolute numbers differ on other hosts, the
+// claim is the ordering QuickMask < Sobel < Prewitt < Canny.
+//
+// Part 2 — deadline-driven selection: the TPDF graph (clock control actor
+// + Transaction with priorities Canny > Prewitt > Sobel > QuickMask) is
+// simulated with the measured execution times.  A deadline placed like
+// the paper's 500 ms (between Sobel and Prewitt) must select Sobel; a
+// tight deadline selects QuickMask; a generous one selects Canny.
+#include <chrono>
+#include <cstdio>
+#include <functional>
+
+#include "apps/edge.hpp"
+#include "apps/edgegraph.hpp"
+#include "apps/image.hpp"
+#include "sim/simulator.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace tpdf;
+
+double timeMs(const std::function<void()>& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+struct Measured {
+  double quickMask = 0.0;
+  double sobel = 0.0;
+  double prewitt = 0.0;
+  double canny = 0.0;
+};
+
+Measured measureDetectors(const apps::Image& image) {
+  Measured m;
+  apps::Image out;
+  m.quickMask = timeMs([&] { out = apps::quickMask(image); });
+  m.sobel = timeMs([&] { out = apps::sobel(image); });
+  m.prewitt = timeMs([&] { out = apps::prewitt(image); });
+  m.canny = timeMs([&] { out = apps::canny(image); });
+  return m;
+}
+
+std::string runDeadlineScenario(const Measured& m, double deadline) {
+  apps::EdgeDetectionTimes times;
+  times.read = 0.0;
+  times.duplicate = 0.0;
+  times.quickMask = m.quickMask;
+  times.sobel = m.sobel;
+  times.prewitt = m.prewitt;
+  times.canny = m.canny;
+  core::TpdfGraph model = apps::edgeDetectionGraph(deadline, times);
+
+  sim::Simulator simulator(model, symbolic::Environment{});
+  std::string winner = "(none)";
+  simulator.setBehaviour("Trans", [&](sim::FiringContext& ctx) {
+    for (const std::string& name : apps::edgeDetectorNames()) {
+      if (!ctx.inputs("i" + name).empty()) winner = name;
+    }
+  });
+  sim::SimOptions options;
+  options.stopTime = m.canny + deadline + 10.0;
+  const sim::SimResult result = simulator.run(options);
+  if (!result.ok) return "simulation failed: " + result.diagnostic;
+  return winner;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 6: edge-detection execution times (1024x1024) ===\n");
+  const apps::Image image = apps::syntheticScene(1024, 1024, 1);
+  const Measured m = measureDetectors(image);
+
+  support::Table table({"detector", "paper (ms, Core i3)", "measured (ms)",
+                        "ordering ok"});
+  table.addRow({"Quick Mask", "200", support::formatDouble(m.quickMask, 4),
+                m.quickMask < m.sobel ? "yes" : "NO"});
+  table.addRow({"Sobel", "473", support::formatDouble(m.sobel, 4),
+                m.sobel < m.prewitt ? "yes" : "NO"});
+  table.addRow({"Prewitt", "522", support::formatDouble(m.prewitt, 4),
+                m.prewitt < m.canny ? "yes" : "NO"});
+  table.addRow({"Canny", "1040", support::formatDouble(m.canny, 4), "-"});
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf("=== Deadline-driven Transaction selection (TPDF clock) ===\n");
+  // The paper's 500 ms deadline falls between Sobel and Prewitt; place
+  // our deadlines at the same relative positions.
+  const double likePaper = (m.sobel + m.prewitt) / 2.0;
+  const double tight = (m.quickMask + m.sobel) / 2.0;
+  const double generous = m.canny * 1.2;
+
+  support::Table sel({"deadline (ms)", "position", "selected", "paper"});
+  sel.addRow({support::formatDouble(tight, 4), "QuickMask..Sobel",
+              runDeadlineScenario(m, tight), "Quick Mask"});
+  sel.addRow({support::formatDouble(likePaper, 4),
+              "Sobel..Prewitt (the paper's 500ms)",
+              runDeadlineScenario(m, likePaper), "Sobel"});
+  sel.addRow({support::formatDouble(generous, 4), "after Canny",
+              runDeadlineScenario(m, generous), "Canny"});
+  std::printf("%s\n", sel.render().c_str());
+
+  std::printf(
+      "At the deadline the best finished result is chosen, according to\n"
+      "the order Canny > Prewitt > Sobel > Quick Mask (Figure 6).\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Reproduces Figure 8: minimum buffer size of the OFDM demodulator as a
+// function of the vectorization degree beta, for N = 512 and N = 1024
+// (L = 1, M chosen by the control node), TPDF vs the CSDF baseline.
+//
+// Totals are obtained by per-channel max-occupancy measurement over a
+// minimum-buffer schedule of one iteration — not from the closed forms.
+// The paper's formulas Buff = 3 + beta(12N + L) (TPDF) and
+// Buff = beta(17N + L) (CSDF) are printed alongside as a cross-check,
+// as is the ~29% improvement the paper reports.
+#include <cstdio>
+
+#include "apps/ofdm.hpp"
+#include "csdf/buffer.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+using namespace tpdf;
+using symbolic::Environment;
+
+void sweep(std::int64_t N) {
+  const std::int64_t L = 1;
+  std::printf("--- N = %lld, L = %lld ---\n",
+              static_cast<long long>(N), static_cast<long long>(L));
+  support::Table table({"beta", "TPDF measured", "TPDF formula",
+                        "CSDF measured", "CSDF formula", "improvement"});
+
+  const graph::Graph tpdfGraph =
+      apps::ofdmTpdfEffective(apps::Constellation::Qam16);
+  const graph::Graph csdfGraph = apps::ofdmCsdfGraph();
+
+  for (std::int64_t beta = 10; beta <= 100; beta += 10) {
+    const Environment env{{"b", beta}, {"N", N}, {"L", L}};
+    const csdf::BufferReport tpdf = csdf::minimumBuffers(tpdfGraph, env);
+    const csdf::BufferReport csdf = csdf::minimumBuffers(csdfGraph, env);
+    if (!tpdf.ok || !csdf.ok) {
+      std::printf("buffer analysis failed: %s%s\n",
+                  tpdf.diagnostic.c_str(), csdf.diagnostic.c_str());
+      return;
+    }
+    const double improvement =
+        100.0 * (1.0 - static_cast<double>(tpdf.total()) /
+                           static_cast<double>(csdf.total()));
+    table.addRow(
+        {std::to_string(beta), std::to_string(tpdf.total()),
+         std::to_string(apps::paperTpdfBufferFormula(beta, N, L)),
+         std::to_string(csdf.total()),
+         std::to_string(apps::paperCsdfBufferFormula(beta, N, L)),
+         support::formatDouble(improvement, 3) + "%"});
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figure 8: OFDM minimum buffer size vs vectorization "
+              "degree ===\n");
+  std::printf("(paper: TPDF = 3 + beta(12N+L), CSDF = beta(17N+L), "
+              "~29%% improvement)\n\n");
+  sweep(512);
+  sweep(1024);
+  std::printf(
+      "Buffer size grows proportionally to beta; the dynamic topology of\n"
+      "TPDF removes the unselected demapper branch and sizes the sink\n"
+      "edge for the active mode only, giving the ~29%% saving the paper\n"
+      "reports over CSDF.\n");
+  return 0;
+}

@@ -1,0 +1,217 @@
+#include "apps/edge.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <deque>
+
+namespace tpdf::apps {
+
+namespace {
+
+using Mask3 = std::array<std::array<float, 3>, 3>;
+
+float apply3x3(const Image& img, int x, int y, const Mask3& mask) {
+  float sum = 0.0f;
+  for (int dy = -1; dy <= 1; ++dy) {
+    for (int dx = -1; dx <= 1; ++dx) {
+      sum += mask[static_cast<std::size_t>(dy + 1)]
+                 [static_cast<std::size_t>(dx + 1)] *
+             img.atClamped(x + dx, y + dy);
+    }
+  }
+  return sum;
+}
+
+}  // namespace
+
+Image quickMask(const Image& input) {
+  static constexpr Mask3 kMask{{{-1.0f, 0.0f, -1.0f},
+                                {0.0f, 4.0f, 0.0f},
+                                {-1.0f, 0.0f, -1.0f}}};
+  Image out(input.width(), input.height());
+  for (int y = 0; y < input.height(); ++y) {
+    for (int x = 0; x < input.width(); ++x) {
+      out.at(x, y) =
+          std::min(255.0f, std::abs(apply3x3(input, x, y, kMask)));
+    }
+  }
+  return out;
+}
+
+Image sobel(const Image& input) {
+  static constexpr Mask3 kGx{{{-1.0f, 0.0f, 1.0f},
+                              {-2.0f, 0.0f, 2.0f},
+                              {-1.0f, 0.0f, 1.0f}}};
+  static constexpr Mask3 kGy{{{-1.0f, -2.0f, -1.0f},
+                              {0.0f, 0.0f, 0.0f},
+                              {1.0f, 2.0f, 1.0f}}};
+  Image out(input.width(), input.height());
+  for (int y = 0; y < input.height(); ++y) {
+    for (int x = 0; x < input.width(); ++x) {
+      const float gx = apply3x3(input, x, y, kGx);
+      const float gy = apply3x3(input, x, y, kGy);
+      out.at(x, y) = std::min(255.0f, std::sqrt(gx * gx + gy * gy));
+    }
+  }
+  return out;
+}
+
+Image prewitt(const Image& input) {
+  static constexpr std::array<Mask3, 4> kCompass{{
+      {{{-1.0f, 0.0f, 1.0f}, {-1.0f, 0.0f, 1.0f}, {-1.0f, 0.0f, 1.0f}}},
+      {{{0.0f, 1.0f, 1.0f}, {-1.0f, 0.0f, 1.0f}, {-1.0f, -1.0f, 0.0f}}},
+      {{{1.0f, 1.0f, 1.0f}, {0.0f, 0.0f, 0.0f}, {-1.0f, -1.0f, -1.0f}}},
+      {{{1.0f, 1.0f, 0.0f}, {1.0f, 0.0f, -1.0f}, {0.0f, -1.0f, -1.0f}}},
+  }};
+  Image out(input.width(), input.height());
+  for (int y = 0; y < input.height(); ++y) {
+    for (int x = 0; x < input.width(); ++x) {
+      float best = 0.0f;
+      for (const Mask3& mask : kCompass) {
+        best = std::max(best, std::abs(apply3x3(input, x, y, mask)));
+      }
+      out.at(x, y) = std::min(255.0f, best);
+    }
+  }
+  return out;
+}
+
+namespace {
+
+Image gaussianBlur(const Image& input, float sigma) {
+  // Separable kernel with radius 2*sigma (covers > 95% of the mass).
+  const int radius = std::max(1, static_cast<int>(std::ceil(2.0f * sigma)));
+  std::vector<float> kernel(static_cast<std::size_t>(2 * radius + 1));
+  float sum = 0.0f;
+  for (int i = -radius; i <= radius; ++i) {
+    const float v =
+        std::exp(-static_cast<float>(i * i) / (2.0f * sigma * sigma));
+    kernel[static_cast<std::size_t>(i + radius)] = v;
+    sum += v;
+  }
+  for (float& v : kernel) v /= sum;
+
+  Image horizontal(input.width(), input.height());
+  for (int y = 0; y < input.height(); ++y) {
+    for (int x = 0; x < input.width(); ++x) {
+      float acc = 0.0f;
+      for (int i = -radius; i <= radius; ++i) {
+        acc += kernel[static_cast<std::size_t>(i + radius)] *
+               input.atClamped(x + i, y);
+      }
+      horizontal.at(x, y) = acc;
+    }
+  }
+  Image out(input.width(), input.height());
+  for (int y = 0; y < input.height(); ++y) {
+    for (int x = 0; x < input.width(); ++x) {
+      float acc = 0.0f;
+      for (int i = -radius; i <= radius; ++i) {
+        acc += kernel[static_cast<std::size_t>(i + radius)] *
+               horizontal.atClamped(x, y + i);
+      }
+      out.at(x, y) = acc;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Image canny(const Image& input, const CannyOptions& options) {
+  const Image smoothed = gaussianBlur(input, options.sigma);
+
+  // Gradients with direction quantized to 4 sectors.
+  static constexpr Mask3 kGx{{{-1.0f, 0.0f, 1.0f},
+                              {-2.0f, 0.0f, 2.0f},
+                              {-1.0f, 0.0f, 1.0f}}};
+  static constexpr Mask3 kGy{{{-1.0f, -2.0f, -1.0f},
+                              {0.0f, 0.0f, 0.0f},
+                              {1.0f, 2.0f, 1.0f}}};
+  const int w = input.width();
+  const int h = input.height();
+  Image magnitude(w, h);
+  std::vector<std::uint8_t> sector(static_cast<std::size_t>(w) *
+                                   static_cast<std::size_t>(h));
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const float gx = apply3x3(smoothed, x, y, kGx);
+      const float gy = apply3x3(smoothed, x, y, kGy);
+      magnitude.at(x, y) = std::sqrt(gx * gx + gy * gy);
+      const float angle = std::atan2(gy, gx);  // [-pi, pi]
+      // Quantize to 0:E-W, 1:NE-SW, 2:N-S, 3:NW-SE.
+      const float deg = angle * 180.0f / 3.14159265f;
+      const float a = deg < 0.0f ? deg + 180.0f : deg;
+      std::uint8_t s = 0;
+      if (a >= 22.5f && a < 67.5f) {
+        s = 1;
+      } else if (a >= 67.5f && a < 112.5f) {
+        s = 2;
+      } else if (a >= 112.5f && a < 157.5f) {
+        s = 3;
+      }
+      sector[static_cast<std::size_t>(y) * static_cast<std::size_t>(w) +
+             static_cast<std::size_t>(x)] = s;
+    }
+  }
+
+  // Non-maximum suppression along the gradient direction.
+  static constexpr int kOffsets[4][2] = {{1, 0}, {1, 1}, {0, 1}, {-1, 1}};
+  Image thinned(w, h);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const std::uint8_t s =
+          sector[static_cast<std::size_t>(y) * static_cast<std::size_t>(w) +
+                 static_cast<std::size_t>(x)];
+      const float m = magnitude.at(x, y);
+      const float a = magnitude.atClamped(x + kOffsets[s][0],
+                                          y + kOffsets[s][1]);
+      const float b = magnitude.atClamped(x - kOffsets[s][0],
+                                          y - kOffsets[s][1]);
+      thinned.at(x, y) = (m >= a && m >= b) ? m : 0.0f;
+    }
+  }
+
+  // Double-threshold hysteresis: strong pixels seed a flood fill that
+  // promotes connected weak pixels.
+  Image out(w, h, 0.0f);
+  std::deque<std::pair<int, int>> frontier;
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      if (thinned.at(x, y) >= options.highThreshold) {
+        out.at(x, y) = 255.0f;
+        frontier.emplace_back(x, y);
+      }
+    }
+  }
+  while (!frontier.empty()) {
+    const auto [x, y] = frontier.front();
+    frontier.pop_front();
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        const int nx = x + dx;
+        const int ny = y + dy;
+        if (nx < 0 || ny < 0 || nx >= w || ny >= h) continue;
+        if (out.at(nx, ny) != 0.0f) continue;
+        if (thinned.at(nx, ny) >= options.lowThreshold) {
+          out.at(nx, ny) = 255.0f;
+          frontier.emplace_back(nx, ny);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+double edgeDensity(const Image& edges, float threshold) {
+  if (edges.pixelCount() == 0) return 0.0;
+  std::size_t above = 0;
+  for (float v : edges.data()) {
+    if (v >= threshold) ++above;
+  }
+  return static_cast<double>(above) /
+         static_cast<double>(edges.pixelCount());
+}
+
+}  // namespace tpdf::apps

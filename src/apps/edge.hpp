@@ -1,0 +1,41 @@
+// The four edge detectors of the Figure 6 case study.
+//
+// Real implementations (not stand-ins), chosen so the paper's cost
+// ordering emerges from the arithmetic itself:
+//   Quick Mask — one 3x3 convolution (the cheapest; Phillips' "quick
+//                edge" mask);
+//   Sobel      — two 3x3 gradient convolutions + magnitude;
+//   Prewitt    — four compass masks (0/45/90/135 degrees) + maximum
+//                response, slightly costlier than Sobel;
+//   Canny      — Gaussian smoothing, Sobel gradients, non-maximum
+//                suppression and double-threshold hysteresis (the most
+//                expensive, and data-dependent through hysteresis).
+#pragma once
+
+#include "apps/image.hpp"
+
+namespace tpdf::apps {
+
+/// |response| of the 3x3 quick mask [[-1,0,-1],[0,4,0],[-1,0,-1]].
+Image quickMask(const Image& input);
+
+/// Sobel gradient magnitude sqrt(gx^2 + gy^2).
+Image sobel(const Image& input);
+
+/// Maximum response over four Prewitt compass masks.
+Image prewitt(const Image& input);
+
+struct CannyOptions {
+  float sigma = 1.4f;       // Gaussian smoothing
+  float lowThreshold = 20.0f;
+  float highThreshold = 60.0f;
+};
+
+/// Full Canny pipeline; output pixels are 0 or 255.
+Image canny(const Image& input, const CannyOptions& options = {});
+
+/// Fraction of pixels above `threshold` — a cheap "how much edge" metric
+/// used to compare detector outputs in tests and demos.
+double edgeDensity(const Image& edges, float threshold = 128.0f);
+
+}  // namespace tpdf::apps

@@ -1,0 +1,66 @@
+#include "apps/edgegraph.hpp"
+
+#include "graph/builder.hpp"
+
+namespace tpdf::apps {
+
+using graph::GraphBuilder;
+
+const std::vector<std::string>& edgeDetectorNames() {
+  static const std::vector<std::string> kNames{"QMask", "Sobel", "Prewitt",
+                                               "Canny"};
+  return kNames;
+}
+
+core::TpdfGraph edgeDetectionGraph(double deadlineMs,
+                                   const EdgeDetectionTimes& times) {
+  GraphBuilder b("edge_detection");
+  b.kernel("IRead").out("o", "[1]").execTime({times.read})
+      .kernel("IDup").in("i", "[1]")
+      .out("toQMask", "[1]").out("toSobel", "[1]")
+      .out("toPrewitt", "[1]").out("toCanny", "[1]")
+      .execTime({times.duplicate})
+      .kernel("QMask").in("i", "[1]").out("o", "[1]")
+      .execTime({times.quickMask})
+      .kernel("Sobel").in("i", "[1]").out("o", "[1]")
+      .execTime({times.sobel})
+      .kernel("Prewitt").in("i", "[1]").out("o", "[1]")
+      .execTime({times.prewitt})
+      .kernel("Canny").in("i", "[1]").out("o", "[1]")
+      .execTime({times.canny})
+      .control("Clock").ctlOut("o", "[1]")
+      // Priorities encode the paper's quality order:
+      // Canny > Prewitt > Sobel > QuickMask.
+      .kernel("Trans").in("iQMask", "[1]", 1).in("iSobel", "[1]", 2)
+      .in("iPrewitt", "[1]", 3).in("iCanny", "[1]", 4)
+      .ctlIn("c", "[1]").out("o", "[1]")
+      .kernel("IWrite").in("i", "[1]").execTime({times.write});
+
+  b.channel("src", "IRead.o", "IDup.i")
+      .channel("d1", "IDup.toQMask", "QMask.i")
+      .channel("d2", "IDup.toSobel", "Sobel.i")
+      .channel("d3", "IDup.toPrewitt", "Prewitt.i")
+      .channel("d4", "IDup.toCanny", "Canny.i")
+      .channel("r1", "QMask.o", "Trans.iQMask")
+      .channel("r2", "Sobel.o", "Trans.iSobel")
+      .channel("r3", "Prewitt.o", "Trans.iPrewitt")
+      .channel("r4", "Canny.o", "Trans.iCanny")
+      .channel("deadline", "Clock.o", "Trans.c")
+      .channel("out", "Trans.o", "IWrite.i");
+
+  core::TpdfGraph model(b.build());
+  const graph::Graph& g = model.graph();
+  const graph::ActorId trans = *g.findActor("Trans");
+  const graph::ActorId dup = *g.findActor("IDup");
+  model.setRole(trans, core::KernelRole::Transaction);
+  model.setRole(dup, core::KernelRole::SelectDuplicate);
+  // Single mode: highest-priority available input at the deadline.
+  model.setModes(trans, {core::ModeSpec{"best_at_deadline",
+                                        core::Mode::HighestPriority, {},
+                                        {}}});
+  model.setClock(*g.findActor("Clock"), deadlineMs);
+  model.validate();
+  return model;
+}
+
+}  // namespace tpdf::apps

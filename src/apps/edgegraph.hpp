@@ -1,0 +1,40 @@
+// The edge-detection TPDF application of Figure 6 (Section IV-A).
+//
+// IRead duplicates each input image to four detectors of increasing
+// quality and cost; a clock control actor fires every `deadline`
+// milliseconds and its watchdog token makes the Transaction kernel pick
+// the best result available at the deadline (priority order
+// Canny > Prewitt > Sobel > QuickMask), discarding the others.  This
+// time-triggered selection is exactly what plain CSDF cannot express.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+
+namespace tpdf::apps {
+
+struct EdgeDetectionTimes {
+  // The paper's measured times for a 1024x1024 image (ms, Figure 6).
+  double read = 1.0;
+  double duplicate = 1.0;
+  double quickMask = 200.0;
+  double sobel = 473.0;
+  double prewitt = 522.0;
+  double canny = 1040.0;
+  double write = 1.0;
+};
+
+/// Builds the Figure 6 TPDF graph.  `deadlineMs` is the clock period of
+/// the control actor (500 ms in the paper); `times` seeds the actors'
+/// static execution-time annotations (the simulator can override them
+/// per firing with measured values).
+core::TpdfGraph edgeDetectionGraph(double deadlineMs = 500.0,
+                                   const EdgeDetectionTimes& times = {});
+
+/// Detector names in increasing priority order, matching the graph's
+/// Transaction input ports.
+const std::vector<std::string>& edgeDetectorNames();
+
+}  // namespace tpdf::apps

@@ -1,0 +1,69 @@
+#include "apps/fft.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace tpdf::apps {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+bool isPowerOfTwo(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+void fft(std::vector<Cplx>& data) {
+  const std::size_t n = data.size();
+  if (!isPowerOfTwo(n)) {
+    throw support::Error("FFT length must be a power of two, got " +
+                         std::to_string(n));
+  }
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  // Butterfly stages.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = -2.0 * kPi / static_cast<double>(len);
+    const Cplx wBase(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Cplx w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Cplx u = data[i + k];
+        const Cplx v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wBase;
+      }
+    }
+  }
+}
+
+void ifft(std::vector<Cplx>& data) {
+  for (Cplx& c : data) c = std::conj(c);
+  fft(data);
+  const double scale = 1.0 / static_cast<double>(data.size());
+  for (Cplx& c : data) c = std::conj(c) * scale;
+}
+
+std::vector<Cplx> naiveDft(const std::vector<Cplx>& data) {
+  const std::size_t n = data.size();
+  std::vector<Cplx> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Cplx sum(0.0, 0.0);
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle = -2.0 * kPi * static_cast<double>(k) *
+                           static_cast<double>(t) / static_cast<double>(n);
+      sum += data[t] * Cplx(std::cos(angle), std::sin(angle));
+    }
+    out[k] = sum;
+  }
+  return out;
+}
+
+}  // namespace tpdf::apps

@@ -1,0 +1,26 @@
+// Radix-2 FFT for the OFDM demodulator case study (Section IV-B's FFT
+// actor).  Self-contained iterative implementation with a naive DFT kept
+// alongside as the test oracle.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace tpdf::apps {
+
+using Cplx = std::complex<double>;
+
+/// In-place iterative radix-2 decimation-in-time FFT.
+/// `data.size()` must be a power of two.
+void fft(std::vector<Cplx>& data);
+
+/// Inverse FFT (normalized by 1/N).
+void ifft(std::vector<Cplx>& data);
+
+/// O(N^2) reference DFT used as the correctness oracle in tests.
+std::vector<Cplx> naiveDft(const std::vector<Cplx>& data);
+
+/// True if n is a power of two (and nonzero).
+bool isPowerOfTwo(std::size_t n);
+
+}  // namespace tpdf::apps

@@ -1,0 +1,228 @@
+#include "apps/fmradio.hpp"
+
+#include <cmath>
+
+#include "graph/builder.hpp"
+#include "support/error.hpp"
+#include "support/prng.hpp"
+
+namespace tpdf::apps {
+
+using graph::Graph;
+using graph::GraphBuilder;
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+std::vector<double> lowPassTaps(int tapCount, double cutoff) {
+  if (tapCount <= 0 || cutoff <= 0.0 || cutoff >= 0.5) {
+    throw support::Error("invalid low-pass design parameters");
+  }
+  std::vector<double> taps(static_cast<std::size_t>(tapCount));
+  const double mid = (tapCount - 1) / 2.0;
+  double sum = 0.0;
+  for (int i = 0; i < tapCount; ++i) {
+    const double t = i - mid;
+    const double sinc =
+        t == 0.0 ? 2.0 * cutoff
+                 : std::sin(2.0 * kPi * cutoff * t) / (kPi * t);
+    const double window =
+        0.54 - 0.46 * std::cos(2.0 * kPi * i / (tapCount - 1));
+    taps[static_cast<std::size_t>(i)] = sinc * window;
+    sum += taps[static_cast<std::size_t>(i)];
+  }
+  for (double& t : taps) t /= sum;  // unity DC gain
+  return taps;
+}
+
+std::vector<double> bandPassTaps(int tapCount, double lowCutoff,
+                                 double highCutoff) {
+  if (lowCutoff >= highCutoff) {
+    throw support::Error("band-pass requires lowCutoff < highCutoff");
+  }
+  const std::vector<double> high = lowPassTaps(tapCount, highCutoff);
+  const std::vector<double> low = lowPassTaps(tapCount, lowCutoff);
+  std::vector<double> taps(high.size());
+  for (std::size_t i = 0; i < taps.size(); ++i) {
+    taps[i] = high[i] - low[i];
+  }
+  return taps;
+}
+
+std::vector<double> firFilter(const std::vector<double>& signal,
+                              const std::vector<double>& taps,
+                              int decimation) {
+  if (decimation < 1) {
+    throw support::Error("decimation must be >= 1");
+  }
+  std::vector<double> out;
+  out.reserve(signal.size() / static_cast<std::size_t>(decimation) + 1);
+  for (std::size_t i = 0; i < signal.size();
+       i += static_cast<std::size_t>(decimation)) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k < taps.size(); ++k) {
+      if (i >= k) acc += taps[k] * signal[i - k];
+    }
+    out.push_back(acc);
+  }
+  return out;
+}
+
+std::vector<double> fmDemodulate(const std::vector<double>& signal,
+                                 double fs, double maxDeviation) {
+  if (signal.size() < 3) return {};
+  // Quadrature discriminator via the analytic derivative approximation:
+  // d(phase)/dt ~ (x[n-1] * (x[n] - x[n-2])) on the Hilbert-like pair.
+  // We use the simple delay-line discriminator on I/Q obtained by mixing
+  // with a quarter-sample delay, adequate for the synthetic IF signal.
+  std::vector<double> out(signal.size() - 2);
+  const double gain = fs / (2.0 * kPi * maxDeviation);
+  for (std::size_t n = 1; n + 1 < signal.size(); ++n) {
+    const double derivative = (signal[n + 1] - signal[n - 1]) * 0.5;
+    // Normalize by the local envelope to approximate d(phase)/dt.
+    const double envelope =
+        std::max(1e-9, std::sqrt(signal[n] * signal[n] +
+                                 derivative * derivative));
+    out[n - 1] = gain * derivative / envelope;
+  }
+  return out;
+}
+
+std::vector<double> fmTestSignal(std::size_t sampleCount, double fs,
+                                 std::uint64_t seed) {
+  support::Prng rng(seed);
+  // Message: three audio tones with random phases.
+  const double tones[3] = {440.0, 1200.0, 2500.0};
+  double phases[3] = {rng.uniform01() * 2.0 * kPi,
+                      rng.uniform01() * 2.0 * kPi,
+                      rng.uniform01() * 2.0 * kPi};
+  const double carrier = fs / 8.0;
+  const double deviation = fs / 32.0;
+
+  std::vector<double> out(sampleCount);
+  double integral = 0.0;
+  for (std::size_t n = 0; n < sampleCount; ++n) {
+    const double t = static_cast<double>(n) / fs;
+    double message = 0.0;
+    for (int k = 0; k < 3; ++k) {
+      message += std::sin(2.0 * kPi * tones[k] * t + phases[k]) / 3.0;
+    }
+    integral += message / fs;
+    out[n] = std::cos(2.0 * kPi * carrier * t +
+                      2.0 * kPi * deviation * integral);
+  }
+  return out;
+}
+
+// ---- Dataflow models ------------------------------------------------------
+
+namespace {
+
+GraphBuilder& fmFrontEnd(GraphBuilder& b) {
+  b.kernel("SRC").out("o", "[64]")
+      .kernel("LPF").in("i", "[64]").out("o", "[16]")   // decimate by 4
+      .kernel("DEMOD").in("i", "[16]").out("o", "[16]");
+  return b;
+}
+
+void fmFrontEndChannels(GraphBuilder& b) {
+  b.channel("e1", "SRC.o", "LPF.i").channel("e2", "LPF.o", "DEMOD.i");
+}
+
+std::string bandName(int i) { return "Band" + std::to_string(i); }
+
+}  // namespace
+
+core::TpdfGraph fmRadioTpdfGraph() {
+  GraphBuilder b("fm_radio_tpdf");
+  fmFrontEnd(b)
+      .control("CON").in("i", "[16]").ctlOut("toDUP", "[1]")
+                     .ctlOut("toTRAN", "[1]");
+  b.kernel("DUP").in("i", "[16]").ctlIn("c", "[1]");
+  for (int i = 0; i < kFmBands; ++i) {
+    b.out("to" + bandName(i), "[16]");
+  }
+  for (int i = 0; i < kFmBands; ++i) {
+    b.kernel(bandName(i)).in("i", "[16]").out("o", "[16]");
+  }
+  b.kernel("TRAN");
+  for (int i = 0; i < kFmBands; ++i) {
+    b.in("i" + bandName(i), "[16]", /*priority=*/i);
+  }
+  b.ctlIn("c", "[1]").out("o", "[16]")
+      .kernel("SUM").in("i", "[16]").out("o", "[16]")
+      .kernel("SNK").in("i", "[16]");
+
+  fmFrontEndChannels(b);
+  // DEMOD feeds both DUP and (as activity measure) the control actor.
+  b.kernel("TAP").in("i", "[16]").out("o", "[16]").out("sig", "[16]");
+  b.channel("e3", "DEMOD.o", "TAP.i")
+      .channel("e4", "TAP.o", "DUP.i")
+      .channel("sig", "TAP.sig", "CON.i")
+      .channel("cDUP", "CON.toDUP", "DUP.c")
+      .channel("cTRAN", "CON.toTRAN", "TRAN.c");
+  for (int i = 0; i < kFmBands; ++i) {
+    b.channel("d" + std::to_string(i), "DUP.to" + bandName(i),
+              bandName(i) + ".i");
+    b.channel("r" + std::to_string(i), bandName(i) + ".o",
+              "TRAN.i" + bandName(i));
+  }
+  b.channel("e5", "TRAN.o", "SUM.i").channel("e6", "SUM.o", "SNK.i");
+
+  core::TpdfGraph model(b.build());
+  const Graph& g = model.graph();
+  const graph::ActorId dup = *g.findActor("DUP");
+  const graph::ActorId tran = *g.findActor("TRAN");
+  model.setRole(dup, core::KernelRole::SelectDuplicate);
+  model.setRole(tran, core::KernelRole::Transaction);
+
+  // Mode i enables bands 0..i on both the duplicator and the transaction.
+  std::vector<core::ModeSpec> dupModes;
+  std::vector<core::ModeSpec> tranModes;
+  for (int m = 0; m < kFmBands; ++m) {
+    core::ModeSpec dm{"bands0to" + std::to_string(m),
+                      core::Mode::SelectMany, {}, {}};
+    core::ModeSpec tm = dm;
+    for (int i = 0; i <= m; ++i) {
+      dm.activeOutputs.push_back(*g.findPort("DUP.to" + bandName(i)));
+      tm.activeInputs.push_back(*g.findPort("TRAN.i" + bandName(i)));
+    }
+    dupModes.push_back(std::move(dm));
+    tranModes.push_back(std::move(tm));
+  }
+  model.setModes(dup, std::move(dupModes));
+  model.setModes(tran, std::move(tranModes));
+  model.validate();
+  return model;
+}
+
+graph::Graph fmRadioCsdfGraph() {
+  GraphBuilder b("fm_radio_csdf");
+  fmFrontEnd(b);
+  b.kernel("DUP").in("i", "[16]");
+  for (int i = 0; i < kFmBands; ++i) {
+    b.out("to" + bandName(i), "[16]");
+  }
+  for (int i = 0; i < kFmBands; ++i) {
+    b.kernel(bandName(i)).in("i", "[16]").out("o", "[16]");
+  }
+  b.kernel("SUM");
+  for (int i = 0; i < kFmBands; ++i) {
+    b.in("i" + bandName(i), "[16]");
+  }
+  b.out("o", "[16]").kernel("SNK").in("i", "[16]");
+
+  fmFrontEndChannels(b);
+  b.channel("e3", "DEMOD.o", "DUP.i");
+  for (int i = 0; i < kFmBands; ++i) {
+    b.channel("d" + std::to_string(i), "DUP.to" + bandName(i),
+              bandName(i) + ".i");
+    b.channel("r" + std::to_string(i), bandName(i) + ".o",
+              "SUM.i" + bandName(i));
+  }
+  b.channel("e4", "SUM.o", "SNK.i");
+  return b.build();
+}
+
+}  // namespace tpdf::apps

@@ -1,0 +1,59 @@
+// FM-radio streaming chain (the StreamIt benchmark the related-work
+// section cites as profiting from dynamic topology changes).
+//
+// Real DSP blocks: FIR low-pass decimation, quadrature FM discriminator,
+// and a bank of band-pass equalizer sections.  The TPDF twist mirrors the
+// paper's argument: a control actor enables only the equalizer bands the
+// current audio profile needs, where CSDF must always compute all bands
+// ("several StreamIt benchmarks must perform redundant calculations that
+// are not needed with models allowing dynamic topology changes").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/model.hpp"
+#include "graph/graph.hpp"
+
+namespace tpdf::apps {
+
+// ---- DSP blocks ---------------------------------------------------------
+
+/// Windowed-sinc low-pass FIR taps (Hamming window), cutoff as a fraction
+/// of the sample rate in (0, 0.5).
+std::vector<double> lowPassTaps(int tapCount, double cutoff);
+
+/// Band-pass taps as a difference of two low-pass prototypes.
+std::vector<double> bandPassTaps(int tapCount, double lowCutoff,
+                                 double highCutoff);
+
+/// Convolves `signal` with `taps`, decimating by `decimation` (>= 1).
+std::vector<double> firFilter(const std::vector<double>& signal,
+                              const std::vector<double>& taps,
+                              int decimation = 1);
+
+/// Quadrature FM discriminator over a real IF signal sampled at `fs`:
+/// output is proportional to instantaneous frequency deviation.
+std::vector<double> fmDemodulate(const std::vector<double>& signal,
+                                 double fs, double maxDeviation);
+
+/// Synthesizes `sampleCount` samples of an FM-modulated multi-tone test
+/// signal at sample rate `fs` (used as the radio source workload).
+std::vector<double> fmTestSignal(std::size_t sampleCount, double fs,
+                                 std::uint64_t seed = 7);
+
+// ---- Dataflow models ------------------------------------------------------
+
+/// Number of equalizer bands in the models below.
+constexpr int kFmBands = 6;
+
+/// TPDF FM radio: SRC -> LPF -> DEMOD -> DUP(Select-duplicate) ->
+/// band_0..band_{n-1} -> TRAN(SelectMany) -> SUM -> SNK, with a control
+/// actor choosing the active subset of bands.  Mode i activates bands
+/// 0..i (i+1 bands); the paper's redundancy saving is the inactive rest.
+core::TpdfGraph fmRadioTpdfGraph();
+
+/// CSDF baseline: every band always computed and summed.
+graph::Graph fmRadioCsdfGraph();
+
+}  // namespace tpdf::apps

@@ -1,0 +1,151 @@
+#include "apps/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include "support/error.hpp"
+#include "support/prng.hpp"
+
+namespace tpdf::apps {
+
+namespace {
+
+std::size_t checkedPixelCount(int width, int height) {
+  if (width <= 0 || height <= 0) {
+    throw support::Error("image dimensions must be positive");
+  }
+  return static_cast<std::size_t>(width) * static_cast<std::size_t>(height);
+}
+
+}  // namespace
+
+Image::Image(int width, int height, float fill)
+    : width_(width),
+      height_(height),
+      data_(checkedPixelCount(width, height), fill) {}
+
+float Image::atClamped(int x, int y) const {
+  x = std::clamp(x, 0, width_ - 1);
+  y = std::clamp(y, 0, height_ - 1);
+  return data_[index(x, y)];
+}
+
+double Image::meanAbsDiff(const Image& other) const {
+  if (other.width_ != width_ || other.height_ != height_) {
+    throw support::Error("meanAbsDiff on differently sized images");
+  }
+  double sum = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    sum += std::abs(static_cast<double>(data_[i]) -
+                    static_cast<double>(other.data_[i]));
+  }
+  return data_.empty() ? 0.0 : sum / static_cast<double>(data_.size());
+}
+
+void Image::writePgm(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw support::Error("cannot open '" + path + "' for writing");
+  }
+  out << "P5\n" << width_ << " " << height_ << "\n255\n";
+  for (float v : data_) {
+    const int byte = std::clamp(static_cast<int>(std::lround(v)), 0, 255);
+    out.put(static_cast<char>(byte));
+  }
+}
+
+Image Image::readPgm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw support::Error("cannot open '" + path + "' for reading");
+  }
+  std::string magic;
+  in >> magic;
+  if (magic != "P5") {
+    throw support::Error("'" + path + "' is not a binary PGM (P5) file");
+  }
+  int width = 0;
+  int height = 0;
+  int maxValue = 0;
+  in >> width >> height >> maxValue;
+  in.get();  // single whitespace after the header
+  if (width <= 0 || height <= 0 || maxValue <= 0 || maxValue > 255) {
+    throw support::Error("malformed PGM header in '" + path + "'");
+  }
+  Image img(width, height);
+  for (float& v : img.data()) {
+    const int byte = in.get();
+    if (byte < 0) {
+      throw support::Error("truncated PGM data in '" + path + "'");
+    }
+    v = static_cast<float>(byte);
+  }
+  return img;
+}
+
+Image syntheticScene(int width, int height, std::uint64_t seed) {
+  Image img(width, height);
+  support::Prng rng(seed);
+
+  // Smooth diagonal gradient background.
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      img.at(x, y) = 40.0f + 60.0f * (static_cast<float>(x + y) /
+                                      static_cast<float>(width + height));
+    }
+  }
+
+  // Bright rectangles.
+  const int rects = 6;
+  for (int r = 0; r < rects; ++r) {
+    const int x0 = static_cast<int>(rng.uniform(0, width - width / 4));
+    const int y0 = static_cast<int>(rng.uniform(0, height - height / 4));
+    const int w = static_cast<int>(rng.uniform(width / 16, width / 4));
+    const int h = static_cast<int>(rng.uniform(height / 16, height / 4));
+    const float level = static_cast<float>(rng.uniform(120, 230));
+    for (int y = y0; y < std::min(height, y0 + h); ++y) {
+      for (int x = x0; x < std::min(width, x0 + w); ++x) {
+        img.at(x, y) = level;
+      }
+    }
+  }
+
+  // Dark circles.
+  const int circles = 4;
+  for (int c = 0; c < circles; ++c) {
+    const int cx = static_cast<int>(rng.uniform(0, width - 1));
+    const int cy = static_cast<int>(rng.uniform(0, height - 1));
+    const int radius =
+        static_cast<int>(rng.uniform(width / 20, width / 6));
+    const float level = static_cast<float>(rng.uniform(5, 60));
+    for (int y = std::max(0, cy - radius);
+         y < std::min(height, cy + radius); ++y) {
+      for (int x = std::max(0, cx - radius);
+           x < std::min(width, cx + radius); ++x) {
+        const int dx = x - cx;
+        const int dy = y - cy;
+        if (dx * dx + dy * dy <= radius * radius) img.at(x, y) = level;
+      }
+    }
+  }
+
+  // Mild sensor noise (keeps Canny's hysteresis honest).
+  for (float& v : img.data()) {
+    v = std::clamp(v + static_cast<float>(rng.gaussian()) * 2.5f, 0.0f,
+                   255.0f);
+  }
+  return img;
+}
+
+Image verticalStep(int width, int height, float low, float high) {
+  Image img(width, height);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      img.at(x, y) = x < width / 2 ? low : high;
+    }
+  }
+  return img;
+}
+
+}  // namespace tpdf::apps

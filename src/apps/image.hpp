@@ -1,0 +1,63 @@
+// Grayscale image container and synthetic workload generation for the
+// edge-detection case study (Section IV-A).
+//
+// The paper times four detectors on a 1024x1024 image; we generate a
+// deterministic synthetic scene (gradient background, geometric shapes,
+// optional noise) so the benchmark is self-contained and reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tpdf::apps {
+
+/// Row-major float grayscale image, values nominally in [0, 255].
+class Image {
+ public:
+  Image() = default;
+  Image(int width, int height, float fill = 0.0f);
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  std::size_t pixelCount() const { return data_.size(); }
+
+  float& at(int x, int y) { return data_[index(x, y)]; }
+  float at(int x, int y) const { return data_[index(x, y)]; }
+
+  /// Clamped access: coordinates outside the image read the nearest edge
+  /// pixel (the border policy used by all the detectors).
+  float atClamped(int x, int y) const;
+
+  const std::vector<float>& data() const { return data_; }
+  std::vector<float>& data() { return data_; }
+
+  /// Mean absolute difference against another image of the same size.
+  double meanAbsDiff(const Image& other) const;
+
+  /// Binary PGM (P5) serialization, clamping to [0, 255].
+  void writePgm(const std::string& path) const;
+  static Image readPgm(const std::string& path);
+
+ private:
+  std::size_t index(int x, int y) const {
+    return static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+           static_cast<std::size_t>(x);
+  }
+
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<float> data_;
+};
+
+/// Deterministic synthetic scene: smooth gradient, rectangles, circles
+/// and a pinch of noise — enough structure for every detector to find
+/// edges, with data-dependent work for Canny's hysteresis.
+Image syntheticScene(int width, int height, std::uint64_t seed = 1);
+
+/// A hard vertical step edge at x = width/2 (dark left, bright right);
+/// used by unit tests with an analytically known edge position.
+Image verticalStep(int width, int height, float low = 32.0f,
+                   float high = 224.0f);
+
+}  // namespace tpdf::apps

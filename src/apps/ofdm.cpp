@@ -1,0 +1,206 @@
+#include "apps/ofdm.hpp"
+
+#include "graph/builder.hpp"
+#include "support/error.hpp"
+#include "support/prng.hpp"
+
+namespace tpdf::apps {
+
+using graph::Graph;
+using graph::GraphBuilder;
+
+namespace {
+
+/// The shared demodulator front end: SRC -> RCP -> FFT.  The TPDF
+/// variants add a control-trigger output "sig" on SRC; the CSDF baseline
+/// has no control actor to feed.
+GraphBuilder& frontEnd(GraphBuilder& b, bool withControlTrigger) {
+  b.param("b").param("N").param("L").kernel("SRC").out("o", "[b(N+L)]");
+  if (withControlTrigger) b.out("sig", "[1]");
+  b.kernel("RCP").in("i", "[b(N+L)]").out("o", "[b*N]")
+      .kernel("FFT").in("i", "[b*N]").out("o", "[b*N]");
+  return b;
+}
+
+void frontEndChannels(GraphBuilder& b) {
+  b.channel("e1", "SRC.o", "RCP.i").channel("e2", "RCP.o", "FFT.i");
+}
+
+}  // namespace
+
+core::TpdfGraph ofdmTpdfGraph() {
+  GraphBuilder b("ofdm_tpdf");
+  frontEnd(b, true)
+      .param("M")
+      .control("CON").in("i", "[1]").ctlOut("toDUP", "[1]")
+                     .ctlOut("toTRAN", "[1]")
+      .kernel("DUP").in("i", "[b*N]").ctlIn("c", "[1]")
+                    .out("toQPSK", "[b*N]").out("toQAM", "[b*N]")
+      .kernel("QPSK").in("i", "[b*N]").out("o", "[2*b*N]")
+      .kernel("QAM").in("i", "[b*N]").out("o", "[4*b*N]")
+      .kernel("TRAN").in("iQPSK", "[2*b*N]", /*priority=*/1)
+                     .in("iQAM", "[4*b*N]", /*priority=*/2)
+                     .ctlIn("c", "[1]").out("o", "[b*M*N]")
+      .kernel("SNK").in("i", "[b*M*N]");
+  frontEndChannels(b);
+  b.channel("sig", "SRC.sig", "CON.i")
+      .channel("cDUP", "CON.toDUP", "DUP.c")
+      .channel("cTRAN", "CON.toTRAN", "TRAN.c")
+      .channel("e3", "FFT.o", "DUP.i")
+      .channel("e4", "DUP.toQPSK", "QPSK.i")
+      .channel("e5", "DUP.toQAM", "QAM.i")
+      .channel("e6", "QPSK.o", "TRAN.iQPSK")
+      .channel("e7", "QAM.o", "TRAN.iQAM")
+      .channel("e8", "TRAN.o", "SNK.i");
+
+  core::TpdfGraph model(b.build());
+  const Graph& g = model.graph();
+  const graph::ActorId dup = *g.findActor("DUP");
+  const graph::ActorId tran = *g.findActor("TRAN");
+  model.setRole(dup, core::KernelRole::SelectDuplicate);
+  model.setRole(tran, core::KernelRole::Transaction);
+  // Control token tag 0 selects QPSK, tag 1 selects QAM — consistently
+  // for the duplicator and the transaction.
+  model.setModes(dup,
+                 {core::ModeSpec{"to_qpsk", core::Mode::SelectOne, {},
+                                 {*g.findPort("DUP.toQPSK")}},
+                  core::ModeSpec{"to_qam", core::Mode::SelectOne, {},
+                                 {*g.findPort("DUP.toQAM")}}});
+  model.setModes(tran,
+                 {core::ModeSpec{"from_qpsk", core::Mode::SelectOne,
+                                 {*g.findPort("TRAN.iQPSK")}, {}},
+                  core::ModeSpec{"from_qam", core::Mode::SelectOne,
+                                 {*g.findPort("TRAN.iQAM")}, {}}});
+  model.validate();
+  return model;
+}
+
+graph::Graph ofdmTpdfEffective(Constellation mode) {
+  const bool qam = mode == Constellation::Qam16;
+  const std::string demapper = qam ? "QAM" : "QPSK";
+  const std::string outRate = qam ? "[4*b*N]" : "[2*b*N]";
+
+  GraphBuilder b(qam ? "ofdm_tpdf_qam" : "ofdm_tpdf_qpsk");
+  frontEnd(b, true)
+      .control("CON").in("i", "[1]").ctlOut("toDUP", "[1]")
+                     .ctlOut("toTRAN", "[1]")
+      .kernel("DUP").in("i", "[b*N]").ctlIn("c", "[1]")
+                    .out("sel", "[b*N]")
+      .kernel(demapper).in("i", "[b*N]").out("o", outRate)
+      .kernel("TRAN").in("isel", outRate).ctlIn("c", "[1]")
+                     .out("o", outRate)
+      .kernel("SNK").in("i", outRate);
+  frontEndChannels(b);
+  b.channel("sig", "SRC.sig", "CON.i")
+      .channel("cDUP", "CON.toDUP", "DUP.c")
+      .channel("cTRAN", "CON.toTRAN", "TRAN.c")
+      .channel("e3", "FFT.o", "DUP.i")
+      .channel("e4", "DUP.sel", demapper + ".i")
+      .channel("e5", demapper + ".o", "TRAN.isel")
+      .channel("e6", "TRAN.o", "SNK.i");
+  return b.build();
+}
+
+graph::Graph ofdmCsdfGraph() {
+  GraphBuilder b("ofdm_csdf");
+  frontEnd(b, false)
+      .kernel("DUP").in("i", "[b*N]")
+                    .out("toQPSK", "[b*N]").out("toQAM", "[b*N]")
+      .kernel("QPSK").in("i", "[b*N]").out("o", "[2*b*N]")
+      .kernel("QAM").in("i", "[b*N]").out("o", "[4*b*N]")
+      .kernel("JOIN").in("iQPSK", "[2*b*N]").in("iQAM", "[4*b*N]")
+                     .out("o", "[6*b*N]")
+      .kernel("SNK").in("i", "[6*b*N]");
+  frontEndChannels(b);
+  b.channel("e3", "FFT.o", "DUP.i")
+      .channel("e4", "DUP.toQPSK", "QPSK.i")
+      .channel("e5", "DUP.toQAM", "QAM.i")
+      .channel("e6", "QPSK.o", "JOIN.iQPSK")
+      .channel("e7", "QAM.o", "JOIN.iQAM")
+      .channel("e8", "JOIN.o", "SNK.i");
+  return b.build();
+}
+
+std::int64_t paperTpdfBufferFormula(std::int64_t beta, std::int64_t N,
+                                    std::int64_t L) {
+  return 3 + beta * (12 * N + L);
+}
+
+std::int64_t paperCsdfBufferFormula(std::int64_t beta, std::int64_t N,
+                                    std::int64_t L) {
+  return beta * (17 * N + L);
+}
+
+// ---- Signal chain -------------------------------------------------------
+
+std::vector<Cplx> ofdmModulate(const std::vector<std::uint8_t>& bits,
+                               const OfdmConfig& config) {
+  const int n = config.symbolLength;
+  const int l = config.cyclicPrefix;
+  if (!isPowerOfTwo(static_cast<std::size_t>(n))) {
+    throw support::Error("OFDM symbol length must be a power of two");
+  }
+  const std::size_t perSymbol =
+      static_cast<std::size_t>(config.bitsPerOfdmSymbol());
+  if (bits.size() != perSymbol *
+                         static_cast<std::size_t>(config.vectorization)) {
+    throw support::Error(
+        "bit count must be beta * N * bitsPerSymbol = " +
+        std::to_string(perSymbol *
+                       static_cast<std::size_t>(config.vectorization)));
+  }
+
+  std::vector<Cplx> out;
+  out.reserve(static_cast<std::size_t>(config.vectorization) *
+              static_cast<std::size_t>(n + l));
+  for (int s = 0; s < config.vectorization; ++s) {
+    const std::vector<std::uint8_t> slice(
+        bits.begin() + static_cast<std::ptrdiff_t>(perSymbol) * s,
+        bits.begin() + static_cast<std::ptrdiff_t>(perSymbol) * (s + 1));
+    std::vector<Cplx> carriers = qamModulate(slice, config.constellation);
+    ifft(carriers);
+    // Cyclic prefix: the last L samples prepended.
+    for (int i = n - l; i < n; ++i) {
+      out.push_back(carriers[static_cast<std::size_t>(i)]);
+    }
+    out.insert(out.end(), carriers.begin(), carriers.end());
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> ofdmDemodulate(const std::vector<Cplx>& samples,
+                                         const OfdmConfig& config) {
+  const int n = config.symbolLength;
+  const int l = config.cyclicPrefix;
+  const std::size_t blockLen = static_cast<std::size_t>(n + l);
+  if (samples.size() % blockLen != 0) {
+    throw support::Error("sample count is not a multiple of N + L");
+  }
+
+  std::vector<std::uint8_t> bits;
+  for (std::size_t off = 0; off < samples.size(); off += blockLen) {
+    std::vector<Cplx> symbol(
+        samples.begin() + static_cast<std::ptrdiff_t>(off + static_cast<std::size_t>(l)),
+        samples.begin() + static_cast<std::ptrdiff_t>(off + blockLen));
+    fft(symbol);
+    const std::vector<std::uint8_t> decoded =
+        qamDemodulate(symbol, config.constellation);
+    bits.insert(bits.end(), decoded.begin(), decoded.end());
+  }
+  return bits;
+}
+
+std::vector<Cplx> applyChannel(const std::vector<Cplx>& samples, Cplx gain,
+                               double noiseStdDev, std::uint64_t seed) {
+  support::Prng rng(seed);
+  std::vector<Cplx> out;
+  out.reserve(samples.size());
+  for (const Cplx& s : samples) {
+    const Cplx noise(rng.gaussian() * noiseStdDev,
+                     rng.gaussian() * noiseStdDev);
+    out.push_back(s * gain + noise);
+  }
+  return out;
+}
+
+}  // namespace tpdf::apps

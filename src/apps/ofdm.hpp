@@ -1,0 +1,90 @@
+// The cognitive-radio OFDM demodulator case study (Section IV-B,
+// Figures 7 and 8).
+//
+// Dataflow pipeline: SRC -> RCP (cyclic-prefix removal) -> FFT ->
+// DUP (Select-duplicate) -> {QPSK | QAM} demapper -> TRAN (Transaction)
+// -> SNK, steered by control actor CON which selects the demapping
+// scheme (M = 2 or M = 4).
+//
+// Parameters, as in the paper: N = OFDM symbol length (512 or 1024),
+// L = cyclic-prefix length, beta = vectorization degree (symbols per
+// actor activation, 1..100), M = bits per QAM symbol.
+//
+// Three graph variants:
+//   * ofdmTpdfGraph()        — the full TPDF model (both branches +
+//                              control actors), used by the analyses;
+//   * ofdmTpdfEffective(...) — the topology actually live in one mode
+//                              (the unselected branch removed), which is
+//                              what the dynamic topology buys: its buffer
+//                              total is 3 + beta(12N + L);
+//   * ofdmCsdfGraph()        — the CSDF baseline: no reconfiguration, so
+//                              both demappers always run and the sink
+//                              edge is provisioned for both outcomes,
+//                              totalling beta(17N + L).
+// Plus a real signal chain (modulator/demodulator over the DSP blocks)
+// used by the ofdm_demod example and the integration tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/qam.hpp"
+#include "core/model.hpp"
+#include "graph/graph.hpp"
+
+namespace tpdf::apps {
+
+// ---- Dataflow models ---------------------------------------------------
+
+/// Full TPDF model of Figure 7 with parameters beta, N, L, M declared
+/// symbolically.  DUP is a Select-duplicate (modes: to QPSK / to QAM);
+/// TRAN is a Transaction (modes: from QPSK / from QAM).
+core::TpdfGraph ofdmTpdfGraph();
+
+/// The effective (post-selection) topology in one mode; a plain graph
+/// suitable for buffer-size measurement.
+graph::Graph ofdmTpdfEffective(Constellation mode);
+
+/// CSDF baseline: both branches compute every iteration, a static JOIN
+/// forwards both results.
+graph::Graph ofdmCsdfGraph();
+
+/// Closed forms the paper prints under Figure 8 (cross-checks only; the
+/// bench derives its numbers from per-edge occupancy measurement).
+std::int64_t paperTpdfBufferFormula(std::int64_t beta, std::int64_t N,
+                                    std::int64_t L);
+std::int64_t paperCsdfBufferFormula(std::int64_t beta, std::int64_t N,
+                                    std::int64_t L);
+
+// ---- Signal chain -------------------------------------------------------
+
+struct OfdmConfig {
+  int symbolLength = 512;                        // N (power of two)
+  int cyclicPrefix = 16;                         // L
+  Constellation constellation = Constellation::Qpsk;  // M
+  int vectorization = 1;                         // beta: symbols per block
+
+  /// Payload bits carried by one OFDM symbol.
+  int bitsPerOfdmSymbol() const {
+    return symbolLength * bitsPerSymbol(constellation);
+  }
+};
+
+/// Transmitter: bits -> QAM symbols -> N-carrier IFFT -> cyclic prefix.
+/// `bits.size()` must equal beta * bitsPerOfdmSymbol().  Returns
+/// beta * (N + L) time-domain samples.
+std::vector<Cplx> ofdmModulate(const std::vector<std::uint8_t>& bits,
+                               const OfdmConfig& config);
+
+/// Receiver: remove CP -> FFT -> hard-decision demap.  The inverse of
+/// ofdmModulate over a perfect channel.
+std::vector<std::uint8_t> ofdmDemodulate(const std::vector<Cplx>& samples,
+                                         const OfdmConfig& config);
+
+/// Applies a flat complex channel gain plus AWGN of the given standard
+/// deviation (per real dimension); seed makes it reproducible.
+std::vector<Cplx> applyChannel(const std::vector<Cplx>& samples,
+                               Cplx gain, double noiseStdDev,
+                               std::uint64_t seed);
+
+}  // namespace tpdf::apps

@@ -1,0 +1,143 @@
+#include "apps/papergraphs.hpp"
+
+#include "graph/builder.hpp"
+
+namespace tpdf::apps {
+
+using graph::Graph;
+using graph::GraphBuilder;
+
+Graph fig1Csdf() {
+  // e1: a1 -[1,0,1]-> [1,1] a2
+  // e2: a2 -[0,2]->   [1,1] a3   (2 initial tokens)
+  // e3: a3 -[1,1]->   [2,0,0] a1
+  // q = [3,2,2]; only a3 can fire initially, and must fire twice before
+  // a1's first firing (which consumes 2 tokens from e3).
+  return GraphBuilder("fig1_csdf")
+      .kernel("a1").out("o", "[1,0,1]").in("i", "[2,0,0]")
+      .kernel("a2").in("i", "[1,1]").out("o", "[0,2]")
+      .kernel("a3").in("i", "[1,1]").out("o", "[1,1]")
+      .channel("e1", "a1.o", "a2.i")
+      .channel("e2", "a2.o", "a3.i", 2)
+      .channel("e3", "a3.o", "a1.i")
+      .build();
+}
+
+Graph fig2Tpdf() {
+  // Kernels A,B,D,E,F; control actor C; parameter p.
+  //   e1: A[p]  -> [1]B      e5: C[2] -> [1,1]F  (control channel)
+  //   e2: B[1]  -> [2]C      e6: D[2] -> [0,2]F
+  //   e3: B[1]  -> [2]D      e7: E[1] -> [1,1]F
+  //   e4: B[1]  -> [1]E
+  // r = [2,2p,p,p,2p,p], q = [2,2p,p,p,2p,2p] (tau_F = 2).
+  return GraphBuilder("fig2_tpdf")
+      .param("p")
+      .kernel("A").out("o", "[p]")
+      .kernel("B").in("i", "[1]").out("oC", "[1]").out("oD", "[1]")
+                  .out("oE", "[1]")
+      .control("C").in("i", "[2]").ctlOut("o", "[2]")
+      .kernel("D").in("i", "[2]").out("o", "[2]")
+      .kernel("E").in("i", "[1]").out("o", "[1]")
+      .kernel("F").in("iD", "[0,2]", /*priority=*/1)
+                  .in("iE", "[1,1]", /*priority=*/2)
+                  .ctlIn("c", "[1,1]")
+      .channel("e1", "A.o", "B.i")
+      .channel("e2", "B.oC", "C.i")
+      .channel("e3", "B.oD", "D.i")
+      .channel("e4", "B.oE", "E.i")
+      .channel("e5", "C.o", "F.c")
+      .channel("e6", "D.o", "F.iD")
+      .channel("e7", "E.o", "F.iE")
+      .build();
+}
+
+core::TpdfGraph fig2TpdfModel() {
+  core::TpdfGraph model(fig2Tpdf());
+  const graph::Graph& g = model.graph();
+  const graph::ActorId f = *g.findActor("F");
+  // F behaves like a Transaction (it atomically selects between its
+  // inputs) but has no data output in Figure 2, so its role stays Plain;
+  // the selection behaviour is fully captured by the mode table.
+  model.setModes(
+      f, {core::ModeSpec{"take_D", core::Mode::SelectOne,
+                         {*g.findPort("F.iD")}, {}},
+          core::ModeSpec{"take_E", core::Mode::SelectOne,
+                         {*g.findPort("F.iE")}, {}}});
+  model.validate();
+  return model;
+}
+
+Graph fig4aCycle() {
+  // A -[p,p]-> [1,1] B; cycle B -[0,2]-> [1] C -[1]-> [1,1] B with two
+  // initial tokens on the back edge.  Strictly clusterable: A^2 (B^2 C^2)^p.
+  return GraphBuilder("fig4a")
+      .param("p")
+      .kernel("A").out("o", "[p,p]")
+      .kernel("B").in("iA", "[1,1]").in("iC", "[1,1]").out("o", "[0,2]")
+      .kernel("C").in("i", "[1]").out("o", "[1]")
+      .channel("e1", "A.o", "B.iA")
+      .channel("e2", "B.o", "C.i")
+      .channel("e3", "C.o", "B.iC", 2)
+      .build();
+}
+
+Graph fig4bCycle() {
+  // Same cycle but production [2,0] and a single initial token: the
+  // single-appearance block schedule B^2 C^2 deadlocks; the interleaved
+  // late schedule (B C C B / B C B C) exists.
+  return GraphBuilder("fig4b")
+      .param("p")
+      .kernel("A").out("o", "[p,p]")
+      .kernel("B").in("iA", "[1,1]").in("iC", "[1,1]").out("o", "[2,0]")
+      .kernel("C").in("i", "[1]").out("o", "[1]")
+      .channel("e1", "A.o", "B.iA")
+      .channel("e2", "B.o", "C.i")
+      .channel("e3", "C.o", "B.iC", 1)
+      .build();
+}
+
+core::TpdfGraph fig3SelectDuplicate() {
+  // A feeds both the Select-duplicate B and the control actor CTL; CTL
+  // steers B's output selection and, symmetrically, the Transaction F's
+  // input selection (the "virtual actors" construction of Figure 3 that
+  // makes output selection bounded).
+  Graph g = GraphBuilder("fig3_selectdup")
+      .kernel("A").out("o", "[1]").out("sig", "[1]")
+      .control("CTL").in("i", "[1]").ctlOut("toB", "[1]").ctlOut("toF", "[1]")
+      .kernel("B").in("i", "[1]").ctlIn("c", "[1]").out("oD", "[1]")
+                  .out("oE", "[1]")
+      .kernel("D").in("i", "[1]").out("o", "[1]")
+      .kernel("E").in("i", "[1]").out("o", "[1]")
+      .kernel("F").in("iD", "[1]").in("iE", "[1]").ctlIn("c", "[1]")
+                  .out("o", "[1]")
+      .kernel("SNK").in("i", "[1]")
+      .channel("e1", "A.o", "B.i")
+      .channel("sig", "A.sig", "CTL.i")
+      .channel("cB", "CTL.toB", "B.c")
+      .channel("cF", "CTL.toF", "F.c")
+      .channel("e2", "B.oD", "D.i")
+      .channel("e3", "B.oE", "E.i")
+      .channel("e4", "D.o", "F.iD")
+      .channel("e5", "E.o", "F.iE")
+      .channel("e6", "F.o", "SNK.i")
+      .build();
+
+  core::TpdfGraph model(std::move(g));
+  const graph::Graph& gg = model.graph();
+  const graph::ActorId b = *gg.findActor("B");
+  const graph::ActorId f = *gg.findActor("F");
+  model.setRole(b, core::KernelRole::SelectDuplicate);
+  model.setRole(f, core::KernelRole::Transaction);
+  model.setModes(b, {core::ModeSpec{"to_D", core::Mode::SelectOne, {},
+                                    {*gg.findPort("B.oD")}},
+                     core::ModeSpec{"to_E", core::Mode::SelectOne, {},
+                                    {*gg.findPort("B.oE")}}});
+  model.setModes(f, {core::ModeSpec{"from_D", core::Mode::SelectOne,
+                                    {*gg.findPort("F.iD")}, {}},
+                     core::ModeSpec{"from_E", core::Mode::SelectOne,
+                                    {*gg.findPort("F.iE")}, {}}});
+  model.validate();
+  return model;
+}
+
+}  // namespace tpdf::apps

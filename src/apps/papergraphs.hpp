@@ -1,0 +1,39 @@
+// Constructors for every example graph printed in the paper.
+//
+// The OCR of Figures 1-4 mangles exact port-rate placement; these
+// reconstructions reproduce every number the text states (repetition
+// vectors, schedules, areas, local solutions) and are locked in by the
+// unit tests.  See DESIGN.md, "Figure 1 / Figure 2 reconstruction note".
+#pragma once
+
+#include "core/model.hpp"
+#include "graph/graph.hpp"
+
+namespace tpdf::apps {
+
+/// Figure 1: the CSDF example.  q = [3,2,2]; the eager schedule is
+/// a3^2 a1^3 a2^2; edge e2 carries two initial tokens.
+graph::Graph fig1Csdf();
+
+/// Figure 2: the simple TPDF graph with integer parameter p and control
+/// actor C.  r = [2,2p,p,p,2p,p], q = [2,2p,p,p,2p,2p];
+/// Area(C) = {B,D,E,F} with local schedule B^2 C D E^2 F^2.
+graph::Graph fig2Tpdf();
+
+/// Figure 2 wrapped in the TPDF metadata layer: C is a regular control
+/// actor, F is a Transaction kernel choosing two tokens from e6 (mode 0)
+/// or one token from e7 (mode 1).
+core::TpdfGraph fig2TpdfModel();
+
+/// Figure 4(a): live cyclic TPDF graph; strict clustering succeeds with
+/// the schedule A^2 (B^2 C^2)^p.
+graph::Graph fig4aCycle();
+
+/// Figure 4(b): the one-initial-token variant; strict clustering fails
+/// but a late (interleaved) local schedule exists.
+graph::Graph fig4bCycle();
+
+/// Figure 3 (left): B is a Select-duplicate choosing between D and E.
+core::TpdfGraph fig3SelectDuplicate();
+
+}  // namespace tpdf::apps

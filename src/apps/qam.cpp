@@ -1,0 +1,96 @@
+#include "apps/qam.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace tpdf::apps {
+
+int bitsPerSymbol(Constellation c) { return static_cast<int>(c); }
+
+namespace {
+
+// Gray-coded PAM level for 2 bits: 00->-3, 01->-1, 11->+1, 10->+3
+// (adjacent levels differ in one bit).
+double pam4Level(std::uint8_t b0, std::uint8_t b1) {
+  if (b0 == 0 && b1 == 0) return -3.0;
+  if (b0 == 0 && b1 == 1) return -1.0;
+  if (b0 == 1 && b1 == 1) return 1.0;
+  return 3.0;
+}
+
+void pam4Bits(double level, std::uint8_t& b0, std::uint8_t& b1) {
+  if (level < -2.0) {
+    b0 = 0;
+    b1 = 0;
+  } else if (level < 0.0) {
+    b0 = 0;
+    b1 = 1;
+  } else if (level < 2.0) {
+    b0 = 1;
+    b1 = 1;
+  } else {
+    b0 = 1;
+    b1 = 0;
+  }
+}
+
+const double kQpskScale = 1.0 / std::sqrt(2.0);
+const double kQam16Scale = 1.0 / std::sqrt(10.0);
+
+}  // namespace
+
+std::vector<Cplx> qamModulate(const std::vector<std::uint8_t>& bits,
+                              Constellation c) {
+  const int bps = bitsPerSymbol(c);
+  if (bits.size() % static_cast<std::size_t>(bps) != 0) {
+    throw support::Error("bit count " + std::to_string(bits.size()) +
+                         " is not a multiple of " + std::to_string(bps));
+  }
+  std::vector<Cplx> symbols;
+  symbols.reserve(bits.size() / static_cast<std::size_t>(bps));
+
+  if (c == Constellation::Qpsk) {
+    for (std::size_t i = 0; i < bits.size(); i += 2) {
+      // Gray QPSK: bit 0 selects I sign, bit 1 selects Q sign.
+      const double re = bits[i] == 0 ? -1.0 : 1.0;
+      const double im = bits[i + 1] == 0 ? -1.0 : 1.0;
+      symbols.emplace_back(re * kQpskScale, im * kQpskScale);
+    }
+  } else {
+    for (std::size_t i = 0; i < bits.size(); i += 4) {
+      const double re = pam4Level(bits[i], bits[i + 1]);
+      const double im = pam4Level(bits[i + 2], bits[i + 3]);
+      symbols.emplace_back(re * kQam16Scale, im * kQam16Scale);
+    }
+  }
+  return symbols;
+}
+
+std::vector<std::uint8_t> qamDemodulate(const std::vector<Cplx>& symbols,
+                                        Constellation c) {
+  std::vector<std::uint8_t> bits;
+  bits.reserve(symbols.size() *
+               static_cast<std::size_t>(bitsPerSymbol(c)));
+
+  if (c == Constellation::Qpsk) {
+    for (const Cplx& s : symbols) {
+      bits.push_back(s.real() < 0.0 ? 0 : 1);
+      bits.push_back(s.imag() < 0.0 ? 0 : 1);
+    }
+  } else {
+    for (const Cplx& s : symbols) {
+      std::uint8_t b0 = 0;
+      std::uint8_t b1 = 0;
+      pam4Bits(s.real() / kQam16Scale, b0, b1);
+      bits.push_back(b0);
+      bits.push_back(b1);
+      pam4Bits(s.imag() / kQam16Scale, b0, b1);
+      bits.push_back(b0);
+      bits.push_back(b1);
+    }
+  }
+  return bits;
+}
+
+}  // namespace tpdf::apps

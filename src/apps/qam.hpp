@@ -1,0 +1,29 @@
+// M-ary QAM mapping for the OFDM case study: QPSK (M = 2 bits/symbol)
+// and 16-QAM (M = 4 bits/symbol), Gray-coded, unit average energy.
+//
+// The paper's demodulator runs "M-ary QAM demodulation, with a
+// configurable QPSK configuration (M = 2 or M = 4)"; the control actor
+// picks which of the two demappers is active.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/fft.hpp"
+
+namespace tpdf::apps {
+
+/// Bits-per-symbol of the two supported constellations.
+enum class Constellation : int { Qpsk = 2, Qam16 = 4 };
+
+int bitsPerSymbol(Constellation c);
+
+/// Maps bits (0/1, size divisible by bitsPerSymbol) to complex symbols.
+std::vector<Cplx> qamModulate(const std::vector<std::uint8_t>& bits,
+                              Constellation c);
+
+/// Hard-decision demapping back to bits.
+std::vector<std::uint8_t> qamDemodulate(const std::vector<Cplx>& symbols,
+                                        Constellation c);
+
+}  // namespace tpdf::apps

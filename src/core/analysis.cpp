@@ -1,0 +1,70 @@
+#include "core/analysis.hpp"
+
+#include <sstream>
+
+namespace tpdf::core {
+
+AnalysisReport analyze(const graph::Graph& g,
+                       const symbolic::Environment& env) {
+  AnalysisReport report;
+  report.repetition = csdf::computeRepetitionVector(g);
+  report.safety = checkRateSafety(g, report.repetition);
+  report.liveness = checkLiveness(g, report.repetition, env);
+  return report;
+}
+
+AnalysisReport analyze(const TpdfGraph& g, const symbolic::Environment& env) {
+  g.validate();
+  return analyze(g.graph(), env);
+}
+
+std::string AnalysisReport::toString(const graph::Graph& g) const {
+  std::ostringstream os;
+  os << "graph '" << g.name() << "': " << g.actorCount() << " actors, "
+     << g.channelCount() << " channels\n";
+
+  os << "rate consistency: ";
+  if (repetition.consistent) {
+    os << "CONSISTENT, q = " << repetition.toString() << "\n";
+  } else {
+    os << "INCONSISTENT (" << repetition.diagnostic << ")\n";
+  }
+
+  os << "rate safety:      ";
+  if (safety.safe) {
+    os << "SAFE";
+    if (safety.perControl.empty()) {
+      os << " (no control actors)";
+    }
+    os << "\n";
+    for (const ControlSafety& cs : safety.perControl) {
+      os << "  Area(" << g.actor(cs.control).name
+         << ") = " << cs.area.toString(g) << ", q_G = "
+         << cs.local.qG.toString() << "\n";
+    }
+  } else {
+    os << "UNSAFE (" << safety.diagnostic << ")\n";
+  }
+
+  os << "liveness:         ";
+  if (liveness.live) {
+    os << "LIVE";
+    if (!liveness.parametricSchedule.empty()) {
+      os << ", schedule: " << liveness.parametricSchedule;
+    }
+    os << "\n";
+    for (const CycleReport& c : liveness.cycles) {
+      os << "  cycle (" << c.localSchedule.toString(g) << "): "
+         << (c.strictClusterable ? "clusterable" : "late schedule required")
+         << "\n";
+    }
+  } else {
+    os << "DEADLOCK (" << liveness.diagnostic << ")\n";
+  }
+
+  os << "boundedness:      "
+     << (bounded() ? "BOUNDED (Theorem 2)" : "NOT GUARANTEED") << "\n";
+  return os.str();
+}
+
+}  // namespace tpdf::core

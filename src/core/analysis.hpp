@@ -1,0 +1,42 @@
+// The complete TPDF static-analysis chain of Section III:
+// rate consistency -> rate safety -> liveness -> boundedness (Theorem 2).
+#pragma once
+
+#include <string>
+
+#include "core/liveness.hpp"
+#include "core/model.hpp"
+#include "core/safety.hpp"
+#include "csdf/repetition.hpp"
+#include "symbolic/env.hpp"
+
+namespace tpdf::core {
+
+struct AnalysisReport {
+  csdf::RepetitionVector repetition;
+  RateSafetyReport safety;
+  LivenessReport liveness;
+
+  bool consistent() const { return repetition.consistent; }
+  bool rateSafe() const { return safety.safe; }
+  bool live() const { return liveness.live; }
+
+  /// Theorem 2: a rate consistent, safe and live TPDF graph returns to
+  /// its initial state at the end of each iteration, hence executes in
+  /// bounded memory.
+  bool bounded() const { return consistent() && rateSafe() && live(); }
+
+  /// Multi-line human-readable summary.
+  std::string toString(const graph::Graph& g) const;
+};
+
+/// Runs the full analysis chain on a TPDF graph.  `env` may pre-bind some
+/// parameters; the rest are sampled for the concrete liveness checks.
+AnalysisReport analyze(const TpdfGraph& g,
+                       const symbolic::Environment& env = {});
+
+/// Same, for a bare dataflow graph (SDF/CSDF or TPDF without metadata).
+AnalysisReport analyze(const graph::Graph& g,
+                       const symbolic::Environment& env = {});
+
+}  // namespace tpdf::core

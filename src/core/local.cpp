@@ -1,0 +1,55 @@
+#include "core/local.hpp"
+
+namespace tpdf::core {
+
+using graph::ActorId;
+using graph::Graph;
+using symbolic::Expr;
+using symbolic::Monomial;
+
+LocalSolution localSolution(const Graph& g, const csdf::RepetitionVector& rv,
+                            const std::set<ActorId>& Z) {
+  LocalSolution out;
+  if (!rv.consistent) {
+    out.diagnostic = "no repetition vector: " + rv.diagnostic;
+    return out;
+  }
+  if (Z.empty()) {
+    out.diagnostic = "empty actor subset";
+    return out;
+  }
+
+  // q_G(Z) = gcd of r_ai = q_ai / tau_ai over Z.
+  Monomial gcd;  // zero monomial: gcd identity
+  for (ActorId a : Z) {
+    gcd = symbolic::exprGcd(Expr(gcd), rv.rOf(a));
+  }
+  out.qG = Expr(gcd);
+
+  for (ActorId a : Z) {
+    const Expr local = rv.qOf(a).dividedBy(gcd);
+    // A valid local repetition count has integer coefficients and no
+    // negative parameter exponents.
+    for (const Monomial& t : local.terms()) {
+      if (!t.coeff().isInteger()) {
+        out.diagnostic = "local solution of '" + g.actor(a).name +
+                         "' is fractional: " + local.toString();
+        return out;
+      }
+      for (const auto& [name, e] : t.exponents()) {
+        if (e < 0) {
+          out.diagnostic = "local solution of '" + g.actor(a).name +
+                           "' has negative power of parameter '" + name +
+                           "': " + local.toString();
+          return out;
+        }
+      }
+    }
+    out.qL.emplace(a, local);
+  }
+
+  out.ok = true;
+  return out;
+}
+
+}  // namespace tpdf::core

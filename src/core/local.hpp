@@ -1,0 +1,37 @@
+// Local solutions (Definition 4 of the paper).
+//
+// Given a subset Z of actors, q_G(Z) = gcd over Z of q_ai / tau_ai, and
+// the local solution of actor ai is q^L_ai = q_ai / q_G(Z): the number of
+// firings of ai in one *local* iteration of Z.  For the paper's Figure 2,
+// Z = Area(C) yields q_G = p and local solutions B:2 D:1 E:2 F:2.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "csdf/repetition.hpp"
+#include "graph/graph.hpp"
+#include "symbolic/expr.hpp"
+
+namespace tpdf::core {
+
+struct LocalSolution {
+  bool ok = false;
+  std::string diagnostic;
+  /// q_G(Z): the gcd of the r-values of Z.
+  symbolic::Expr qG;
+  /// q^L per actor of Z.
+  std::map<graph::ActorId, symbolic::Expr> qL;
+
+  const symbolic::Expr& of(graph::ActorId a) const { return qL.at(a); }
+};
+
+/// Computes the local solution of `Z` from the repetition vector `rv`.
+/// Fails when a quotient q_ai / q_G is not a polynomial with non-negative
+/// integer content (the local iteration would not be well defined).
+LocalSolution localSolution(const graph::Graph& g,
+                            const csdf::RepetitionVector& rv,
+                            const std::set<graph::ActorId>& Z);
+
+}  // namespace tpdf::core

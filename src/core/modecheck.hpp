@@ -1,0 +1,44 @@
+// Mode-restricted consistency diagnostics (Section III-A).
+//
+// The paper checks rate consistency once, with every channel present,
+// and argues that any mode-restricted topology (channels into rejected
+// ports removed) yields a *subset* of the balance equations and is
+// therefore consistent too.  This module makes that argument checkable:
+// it materializes the restricted topology of every (kernel, mode) pair
+// and re-runs the consistency analysis on it — a useful diagnostic when
+// designing mode tables, and the property test backing the paper's
+// remark.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+#include "csdf/repetition.hpp"
+
+namespace tpdf::core {
+
+struct ModeConsistency {
+  graph::ActorId kernel;
+  std::string mode;
+  bool consistent = false;
+  std::string diagnostic;
+  /// Repetition vector of the restricted topology.
+  csdf::RepetitionVector repetition;
+};
+
+/// Builds the topology live when `kernel` fires in `mode` for the whole
+/// iteration: channels attached to rejected data inputs/outputs of the
+/// kernel are removed (ports stay, unconnected).  Other actors keep all
+/// their channels.
+graph::Graph modeRestrictedTopology(const TpdfGraph& model,
+                                    graph::ActorId kernel,
+                                    const ModeSpec& mode);
+
+/// Runs the consistency analysis on every (controlled kernel, mode)
+/// restriction.  For a graph that passed the full check, every entry is
+/// expected consistent (the paper's subset argument).
+std::vector<ModeConsistency> checkModeRestrictedConsistency(
+    const TpdfGraph& model);
+
+}  // namespace tpdf::core

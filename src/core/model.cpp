@@ -1,0 +1,167 @@
+#include "core/model.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace tpdf::core {
+
+using graph::ActorId;
+using graph::ActorKind;
+using graph::PortId;
+using graph::PortKind;
+
+std::string toString(Mode m) {
+  switch (m) {
+    case Mode::SelectOne:
+      return "select_one";
+    case Mode::SelectMany:
+      return "select_many";
+    case Mode::HighestPriority:
+      return "highest_priority";
+    case Mode::WaitAll:
+      return "wait_all";
+  }
+  return "?";
+}
+
+std::string toString(KernelRole r) {
+  switch (r) {
+    case KernelRole::Plain:
+      return "plain";
+    case KernelRole::SelectDuplicate:
+      return "select_duplicate";
+    case KernelRole::Transaction:
+      return "transaction";
+  }
+  return "?";
+}
+
+TpdfGraph::TpdfGraph(graph::Graph g) : graph_(std::move(g)) {
+  defaultModes_.push_back(ModeSpec{"default", Mode::WaitAll, {}, {}});
+}
+
+void TpdfGraph::setRole(ActorId kernel, KernelRole role) {
+  if (graph_.actor(kernel).kind != ActorKind::Kernel) {
+    throw support::ModelError("setRole on control actor '" +
+                              graph_.actor(kernel).name + "'");
+  }
+  roles_[kernel] = role;
+}
+
+KernelRole TpdfGraph::role(ActorId kernel) const {
+  const auto it = roles_.find(kernel);
+  return it == roles_.end() ? KernelRole::Plain : it->second;
+}
+
+void TpdfGraph::setModes(ActorId kernel, std::vector<ModeSpec> modes) {
+  if (graph_.actor(kernel).kind != ActorKind::Kernel) {
+    throw support::ModelError("setModes on control actor '" +
+                              graph_.actor(kernel).name + "'");
+  }
+  if (modes.empty()) {
+    throw support::ModelError("mode table of '" + graph_.actor(kernel).name +
+                              "' must be non-empty");
+  }
+  modes_[kernel] = std::move(modes);
+}
+
+const std::vector<ModeSpec>& TpdfGraph::modes(ActorId kernel) const {
+  const auto it = modes_.find(kernel);
+  return it == modes_.end() ? defaultModes_ : it->second;
+}
+
+std::optional<PortId> TpdfGraph::controlPort(ActorId kernel) const {
+  for (PortId pid : graph_.actor(kernel).ports) {
+    if (graph_.port(pid).kind == PortKind::ControlIn) return pid;
+  }
+  return std::nullopt;
+}
+
+void TpdfGraph::setClock(ActorId ctl, double period) {
+  if (graph_.actor(ctl).kind != ActorKind::Control) {
+    throw support::ModelError("setClock on kernel '" +
+                              graph_.actor(ctl).name + "'");
+  }
+  if (period <= 0.0) {
+    throw support::ModelError("clock period of '" + graph_.actor(ctl).name +
+                              "' must be positive");
+  }
+  clockPeriods_[ctl] = period;
+}
+
+ControlKind TpdfGraph::controlKind(ActorId ctl) const {
+  return clockPeriods_.count(ctl) != 0 ? ControlKind::Clock
+                                       : ControlKind::Regular;
+}
+
+std::optional<double> TpdfGraph::clockPeriod(ActorId ctl) const {
+  const auto it = clockPeriods_.find(ctl);
+  if (it == clockPeriods_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<ActorId> TpdfGraph::controlActors() const {
+  std::vector<ActorId> out;
+  for (const graph::Actor& a : graph_.actors()) {
+    if (a.kind == ActorKind::Control) out.push_back(a.id);
+  }
+  return out;
+}
+
+std::vector<ActorId> TpdfGraph::kernels() const {
+  std::vector<ActorId> out;
+  for (const graph::Actor& a : graph_.actors()) {
+    if (a.kind == ActorKind::Kernel) out.push_back(a.id);
+  }
+  return out;
+}
+
+void TpdfGraph::validate() const {
+  graph_.validate();
+
+  for (const auto& [actor, modeList] : modes_) {
+    const graph::Actor& a = graph_.actor(actor);
+    for (const ModeSpec& spec : modeList) {
+      for (PortId pid : spec.activeInputs) {
+        const graph::Port& p = graph_.port(pid);
+        if (p.actor != actor || p.kind != PortKind::DataIn) {
+          throw support::ModelError(
+              "mode '" + spec.name + "' of '" + a.name +
+              "' selects a port that is not one of its data inputs");
+        }
+      }
+      for (PortId pid : spec.activeOutputs) {
+        const graph::Port& p = graph_.port(pid);
+        if (p.actor != actor || p.kind != PortKind::DataOut) {
+          throw support::ModelError(
+              "mode '" + spec.name + "' of '" + a.name +
+              "' selects a port that is not one of its data outputs");
+        }
+      }
+    }
+  }
+
+  for (const auto& [actor, role] : roles_) {
+    const graph::Actor& a = graph_.actor(actor);
+    int dataIn = 0;
+    int dataOut = 0;
+    for (PortId pid : a.ports) {
+      const PortKind k = graph_.port(pid).kind;
+      if (k == PortKind::DataIn) ++dataIn;
+      if (k == PortKind::DataOut) ++dataOut;
+    }
+    if (role == KernelRole::SelectDuplicate && dataIn != 1) {
+      throw support::ModelError("Select-duplicate kernel '" + a.name +
+                                "' must have exactly one data input, has " +
+                                std::to_string(dataIn));
+    }
+    if (role == KernelRole::Transaction && dataOut != 1) {
+      throw support::ModelError("Transaction kernel '" + a.name +
+                                "' must have exactly one data output, has " +
+                                std::to_string(dataOut));
+    }
+  }
+}
+
+}  // namespace tpdf::core

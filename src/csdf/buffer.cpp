@@ -1,0 +1,53 @@
+#include "csdf/buffer.hpp"
+
+namespace tpdf::csdf {
+
+std::int64_t BufferReport::total() const {
+  std::int64_t sum = 0;
+  for (std::int64_t v : perChannel) sum += v;
+  return sum;
+}
+
+std::int64_t BufferReport::dataTotal(const graph::Graph& g) const {
+  std::int64_t sum = 0;
+  for (const graph::Channel& c : g.channels()) {
+    if (!g.isControlChannel(c.id)) sum += perChannel[c.id.index()];
+  }
+  return sum;
+}
+
+std::int64_t BufferReport::controlTotal(const graph::Graph& g) const {
+  std::int64_t sum = 0;
+  for (const graph::Channel& c : g.channels()) {
+    if (g.isControlChannel(c.id)) sum += perChannel[c.id.index()];
+  }
+  return sum;
+}
+
+BufferReport minimumBuffers(const graph::Graph& g,
+                            const symbolic::Environment& env,
+                            SchedulePolicy policy) {
+  BufferReport report;
+  const LivenessResult live = findSchedule(g, env, policy);
+  if (!live.live) {
+    report.diagnostic = live.diagnostic;
+    return report;
+  }
+  return buffersForSchedule(g, live.schedule, env);
+}
+
+BufferReport buffersForSchedule(const graph::Graph& g, const Schedule& s,
+                                const symbolic::Environment& env) {
+  BufferReport report;
+  const ScheduleCheck check = validateSchedule(g, s, env);
+  if (!check.ok) {
+    report.diagnostic = check.diagnostic;
+    return report;
+  }
+  report.ok = true;
+  report.perChannel = check.maxOccupancy;
+  report.schedule = s;
+  return report;
+}
+
+}  // namespace tpdf::csdf

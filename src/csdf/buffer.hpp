@@ -1,0 +1,50 @@
+// Minimum buffer sizing (used for the Figure 8 reproduction).
+//
+// The minimum buffer capacity of a channel for a given sequential
+// schedule is the maximum occupancy the channel reaches while executing
+// it.  minimumBuffers() searches with the greedy min-occupancy policy,
+// which is exact for the chain-shaped graphs of the OFDM case study and a
+// sound upper bound in general.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "csdf/liveness.hpp"
+#include "graph/graph.hpp"
+#include "symbolic/env.hpp"
+
+namespace tpdf::csdf {
+
+struct BufferReport {
+  bool ok = false;
+  std::string diagnostic;
+  /// Max occupancy per channel (indexed by ChannelId).
+  std::vector<std::int64_t> perChannel;
+  /// The schedule whose execution produced these occupancies.
+  Schedule schedule;
+
+  /// Sum over all channels.
+  std::int64_t total() const;
+  /// Sum over data channels only.
+  std::int64_t dataTotal(const graph::Graph& g) const;
+  /// Sum over control channels only.
+  std::int64_t controlTotal(const graph::Graph& g) const;
+
+  std::int64_t of(graph::ChannelId c) const {
+    return perChannel.at(c.index());
+  }
+};
+
+/// Computes per-channel minimum buffer sizes for one iteration of `g`
+/// under `env`.
+BufferReport minimumBuffers(const graph::Graph& g,
+                            const symbolic::Environment& env = {},
+                            SchedulePolicy policy = SchedulePolicy::MinOccupancy);
+
+/// Buffer sizes for a caller-provided schedule.
+BufferReport buffersForSchedule(const graph::Graph& g, const Schedule& s,
+                                const symbolic::Environment& env = {});
+
+}  // namespace tpdf::csdf

@@ -1,0 +1,172 @@
+#include "csdf/liveness.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "support/error.hpp"
+
+namespace tpdf::csdf {
+
+using graph::ActorId;
+using graph::Graph;
+
+namespace {
+
+/// Per-port rates fully evaluated to integers for fast simulation.
+struct EvalPort {
+  std::size_t channel;
+  std::vector<std::int64_t> rates;  // length tau(actor)
+  bool input;
+};
+
+struct EvalActor {
+  std::vector<EvalPort> ports;
+};
+
+std::vector<EvalActor> evaluatePorts(const Graph& g,
+                                     const symbolic::Environment& env) {
+  std::vector<EvalActor> actors(g.actorCount());
+  for (const graph::Actor& a : g.actors()) {
+    const std::int64_t tau = g.phases(a.id);
+    for (graph::PortId pid : a.ports) {
+      const graph::Port& p = g.port(pid);
+      EvalPort ep;
+      ep.channel = p.channel.index();
+      ep.input = graph::isInput(p.kind);
+      const graph::RateSeq rates = g.effectiveRates(pid);
+      ep.rates.reserve(static_cast<std::size_t>(tau));
+      for (std::int64_t i = 0; i < tau; ++i) {
+        const std::int64_t v = rates.at(i).evaluateInt(env);
+        if (v < 0) {
+          throw support::Error("port '" + a.name + "." + p.name +
+                               "' has negative rate " + std::to_string(v) +
+                               " under the given environment");
+        }
+        ep.rates.push_back(v);
+      }
+      actors[a.id.index()].ports.push_back(std::move(ep));
+    }
+  }
+  return actors;
+}
+
+}  // namespace
+
+LivenessResult findSchedule(const Graph& g, const symbolic::Environment& env,
+                            SchedulePolicy policy) {
+  return findSchedule(g, computeRepetitionVector(g), env, policy);
+}
+
+LivenessResult findSchedule(const Graph& g, const RepetitionVector& rv,
+                            const symbolic::Environment& env,
+                            SchedulePolicy policy) {
+  LivenessResult out;
+  if (!rv.consistent) {
+    out.diagnostic = "graph is not rate consistent: " + rv.diagnostic;
+    return out;
+  }
+
+  out.q.reserve(g.actorCount());
+  std::int64_t totalFirings = 0;
+  for (const symbolic::Expr& e : rv.q) {
+    const std::int64_t qi = e.evaluateInt(env);
+    out.q.push_back(qi);
+    totalFirings += qi;
+  }
+
+  const std::vector<EvalActor> eval = evaluatePorts(g, env);
+  std::vector<std::int64_t> occupancy(g.channelCount());
+  for (const graph::Channel& c : g.channels()) {
+    occupancy[c.id.index()] = c.initialTokens;
+  }
+  std::vector<std::int64_t> fired(g.actorCount(), 0);
+  std::vector<std::int64_t> tau(g.actorCount());
+  for (std::size_t i = 0; i < g.actorCount(); ++i) {
+    tau[i] = g.phases(ActorId(static_cast<std::uint32_t>(i)));
+  }
+
+  auto enabled = [&](std::size_t ai) -> bool {
+    if (fired[ai] >= out.q[ai]) return false;
+    const std::size_t phase =
+        static_cast<std::size_t>(fired[ai] % tau[ai]);
+    for (const EvalPort& p : eval[ai].ports) {
+      if (p.input && occupancy[p.channel] < p.rates[phase]) return false;
+    }
+    return true;
+  };
+
+  auto fire = [&](std::size_t ai) {
+    const std::size_t phase =
+        static_cast<std::size_t>(fired[ai] % tau[ai]);
+    for (const EvalPort& p : eval[ai].ports) {
+      if (p.input) {
+        occupancy[p.channel] -= p.rates[phase];
+      } else {
+        occupancy[p.channel] += p.rates[phase];
+      }
+    }
+    out.schedule.order.push_back(
+        {ActorId(static_cast<std::uint32_t>(ai)), fired[ai]});
+    ++fired[ai];
+  };
+
+  // Net occupancy change of firing actor ai at its current phase, used by
+  // the MinOccupancy policy.
+  auto occupancyDelta = [&](std::size_t ai) -> std::int64_t {
+    const std::size_t phase =
+        static_cast<std::size_t>(fired[ai] % tau[ai]);
+    std::int64_t delta = 0;
+    for (const EvalPort& p : eval[ai].ports) {
+      delta += p.input ? -p.rates[phase] : p.rates[phase];
+    }
+    return delta;
+  };
+
+  out.schedule.order.reserve(static_cast<std::size_t>(totalFirings));
+  while (static_cast<std::int64_t>(out.schedule.order.size()) <
+         totalFirings) {
+    std::size_t chosen = g.actorCount();
+    if (policy == SchedulePolicy::Eager) {
+      for (std::size_t ai = 0; ai < g.actorCount(); ++ai) {
+        if (enabled(ai)) {
+          chosen = ai;
+          break;
+        }
+      }
+    } else {
+      std::int64_t best = 0;
+      for (std::size_t ai = 0; ai < g.actorCount(); ++ai) {
+        if (!enabled(ai)) continue;
+        const std::int64_t delta = occupancyDelta(ai);
+        if (chosen == g.actorCount() || delta < best) {
+          chosen = ai;
+          best = delta;
+        }
+      }
+    }
+
+    if (chosen == g.actorCount()) {
+      // Deadlock: report which actors are stuck and why.
+      std::string stuck;
+      for (std::size_t ai = 0; ai < g.actorCount(); ++ai) {
+        if (fired[ai] < out.q[ai]) {
+          if (!stuck.empty()) stuck += ", ";
+          stuck +=
+              g.actor(ActorId(static_cast<std::uint32_t>(ai))).name + " (" +
+              std::to_string(fired[ai]) + "/" + std::to_string(out.q[ai]) +
+              ")";
+        }
+      }
+      out.diagnostic = "deadlock after " +
+                       std::to_string(out.schedule.order.size()) +
+                       " firings; blocked actors: " + stuck;
+      return out;
+    }
+    fire(chosen);
+  }
+
+  out.live = true;
+  return out;
+}
+
+}  // namespace tpdf::csdf

@@ -1,0 +1,50 @@
+// Liveness: symbolic execution of one iteration (Sections II-A / III-C).
+//
+// A consistent graph is live iff one full iteration can be scheduled from
+// the initial token distribution.  findSchedule() performs token-accurate
+// simulation under a parameter environment and returns the schedule it
+// found (the CSDF PASS), or a deadlock diagnosis.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "csdf/repetition.hpp"
+#include "csdf/schedule.hpp"
+#include "graph/graph.hpp"
+#include "symbolic/env.hpp"
+
+namespace tpdf::csdf {
+
+enum class SchedulePolicy {
+  /// Scan actors in id order and fire the first enabled one.  For the
+  /// paper's Figure 1 this reproduces the schedule (a3)^2 (a1)^3 (a2)^2.
+  Eager,
+  /// Among enabled actors fire the one minimizing the resulting total
+  /// channel occupancy (greedy minimum-buffer heuristic).
+  MinOccupancy,
+};
+
+struct LivenessResult {
+  bool live = false;
+  std::string diagnostic;
+  Schedule schedule;
+  /// Concrete repetition vector under the environment used.
+  std::vector<std::int64_t> q;
+};
+
+/// Simulates one iteration of `g` with parameters bound by `env`.
+/// Control channels and ports participate like data (the conservative
+/// all-ports-required rule sound for deadlock detection: token selection
+/// by control actors removes no dependencies that could cure a deadlock).
+LivenessResult findSchedule(const graph::Graph& g,
+                            const symbolic::Environment& env = {},
+                            SchedulePolicy policy = SchedulePolicy::Eager);
+
+/// Variant reusing an already-computed repetition vector.
+LivenessResult findSchedule(const graph::Graph& g,
+                            const RepetitionVector& rv,
+                            const symbolic::Environment& env,
+                            SchedulePolicy policy);
+
+}  // namespace tpdf::csdf

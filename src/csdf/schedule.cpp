@@ -1,0 +1,92 @@
+#include "csdf/schedule.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace tpdf::csdf {
+
+using graph::ActorId;
+using graph::Graph;
+
+std::int64_t Schedule::countOf(ActorId a) const {
+  std::int64_t n = 0;
+  for (const FiringEvent& e : order) {
+    if (e.actor == a) ++n;
+  }
+  return n;
+}
+
+std::string Schedule::toString(const Graph& g) const {
+  std::string out;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j < order.size() && order[j].actor == order[i].actor) ++j;
+    if (!out.empty()) out += " ";
+    const std::string& name = g.actor(order[i].actor).name;
+    if (j - i == 1) {
+      out += name;
+    } else {
+      out += name + "^" + std::to_string(j - i);
+    }
+    i = j;
+  }
+  return out;
+}
+
+ScheduleCheck validateSchedule(const Graph& g, const Schedule& s,
+                               const symbolic::Environment& env) {
+  ScheduleCheck check;
+  check.finalOccupancy.resize(g.channelCount());
+  check.maxOccupancy.resize(g.channelCount());
+  for (const graph::Channel& c : g.channels()) {
+    check.finalOccupancy[c.id.index()] = c.initialTokens;
+    check.maxOccupancy[c.id.index()] = c.initialTokens;
+  }
+
+  std::vector<std::int64_t> fired(g.actorCount(), 0);
+
+  for (const FiringEvent& e : s.order) {
+    if (e.k != fired[e.actor.index()]) {
+      check.diagnostic = "firing of '" + g.actor(e.actor).name +
+                         "' out of order: expected k=" +
+                         std::to_string(fired[e.actor.index()]) + ", got k=" +
+                         std::to_string(e.k);
+      return check;
+    }
+    // Consume from every input channel.
+    for (graph::PortId pid : g.actor(e.actor).ports) {
+      const graph::Port& p = g.port(pid);
+      if (!graph::isInput(p.kind)) continue;
+      const std::int64_t need =
+          g.effectiveRates(pid).at(e.k).evaluateInt(env);
+      std::int64_t& occupancy = check.finalOccupancy[p.channel.index()];
+      if (occupancy < need) {
+        check.diagnostic =
+            "channel '" + g.channel(p.channel).name + "' underflows at " +
+            g.actor(e.actor).name + "#" + std::to_string(e.k) + ": needs " +
+            std::to_string(need) + ", has " + std::to_string(occupancy);
+        return check;
+      }
+      occupancy -= need;
+    }
+    // Produce on every output channel.
+    for (graph::PortId pid : g.actor(e.actor).ports) {
+      const graph::Port& p = g.port(pid);
+      if (graph::isInput(p.kind)) continue;
+      const std::int64_t made =
+          g.effectiveRates(pid).at(e.k).evaluateInt(env);
+      std::int64_t& occupancy = check.finalOccupancy[p.channel.index()];
+      occupancy += made;
+      check.maxOccupancy[p.channel.index()] =
+          std::max(check.maxOccupancy[p.channel.index()], occupancy);
+    }
+    ++fired[e.actor.index()];
+  }
+
+  check.ok = true;
+  return check;
+}
+
+}  // namespace tpdf::csdf

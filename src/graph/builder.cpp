@@ -1,0 +1,81 @@
+#include "graph/builder.hpp"
+
+#include "support/error.hpp"
+
+namespace tpdf::graph {
+
+GraphBuilder& GraphBuilder::param(const std::string& name) {
+  graph_.addParam(name);
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::kernel(const std::string& name) {
+  current_ = graph_.addActor(name, ActorKind::Kernel);
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::control(const std::string& name) {
+  current_ = graph_.addActor(name, ActorKind::Control);
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::addPort(const std::string& port, PortKind kind,
+                                    const std::string& rates, int priority) {
+  if (!current_.valid()) {
+    throw support::ModelError("port '" + port +
+                              "' declared before any actor");
+  }
+  graph_.addPort(current_, port, kind, RateSeq::parse(rates), priority);
+  return *this;
+}
+
+GraphBuilder& GraphBuilder::in(const std::string& port,
+                               const std::string& rates, int priority) {
+  return addPort(port, PortKind::DataIn, rates, priority);
+}
+
+GraphBuilder& GraphBuilder::out(const std::string& port,
+                                const std::string& rates, int priority) {
+  return addPort(port, PortKind::DataOut, rates, priority);
+}
+
+GraphBuilder& GraphBuilder::ctlIn(const std::string& port,
+                                  const std::string& rates) {
+  return addPort(port, PortKind::ControlIn, rates, 0);
+}
+
+GraphBuilder& GraphBuilder::ctlOut(const std::string& port,
+                                   const std::string& rates) {
+  return addPort(port, PortKind::ControlOut, rates, 0);
+}
+
+GraphBuilder& GraphBuilder::execTime(std::vector<double> perPhase) {
+  if (!current_.valid()) {
+    throw support::ModelError("execTime set before any actor");
+  }
+  graph_.setExecTime(current_, std::move(perPhase));
+  return *this;
+}
+
+PortId GraphBuilder::resolve(const std::string& qualifiedName) const {
+  const auto p = graph_.findPort(qualifiedName);
+  if (!p) {
+    throw support::ModelError("unknown port '" + qualifiedName + "'");
+  }
+  return *p;
+}
+
+GraphBuilder& GraphBuilder::channel(const std::string& name,
+                                    const std::string& from,
+                                    const std::string& to,
+                                    std::int64_t initialTokens) {
+  graph_.addChannel(name, resolve(from), resolve(to), initialTokens);
+  return *this;
+}
+
+Graph GraphBuilder::build() {
+  graph_.validate();
+  return std::move(graph_);
+}
+
+}  // namespace tpdf::graph

@@ -1,0 +1,67 @@
+// Fluent construction of graphs.
+//
+// Example (the paper's Figure 2):
+//
+//   Graph g = GraphBuilder("fig2")
+//       .param("p")
+//       .kernel("A").out("o", "[p]")
+//       .kernel("B").in("i", "[1]").out("oC", "[1]").out("oD", "[1]")
+//                   .out("oE", "[1]")
+//       .control("C").in("i", "[2]").ctlOut("o", "[2]")
+//       ...
+//       .channel("e1", "A.o", "B.i")
+//       .build();
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace tpdf::graph {
+
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(std::string name) : graph_(std::move(name)) {}
+
+  GraphBuilder& param(const std::string& name);
+
+  /// Starts a new kernel; subsequent port calls attach to it.
+  GraphBuilder& kernel(const std::string& name);
+  /// Starts a new control actor.
+  GraphBuilder& control(const std::string& name);
+
+  /// Adds a data input port to the current actor; `rates` uses the
+  /// RateSeq::parse syntax ("[1,0,1]", "p", "[2p]").
+  GraphBuilder& in(const std::string& port, const std::string& rates,
+                   int priority = 0);
+  GraphBuilder& out(const std::string& port, const std::string& rates,
+                    int priority = 0);
+  GraphBuilder& ctlIn(const std::string& port, const std::string& rates = "1");
+  GraphBuilder& ctlOut(const std::string& port,
+                       const std::string& rates = "1");
+
+  /// Sets the per-phase execution time of the current actor.
+  GraphBuilder& execTime(std::vector<double> perPhase);
+
+  /// Adds a channel between qualified ports "actor.port".
+  GraphBuilder& channel(const std::string& name, const std::string& from,
+                        const std::string& to, std::int64_t initialTokens = 0);
+
+  /// Validates and returns the graph.
+  Graph build();
+
+  /// Returns the graph without validating (for negative tests).
+  Graph buildUnchecked() { return std::move(graph_); }
+
+ private:
+  GraphBuilder& addPort(const std::string& port, PortKind kind,
+                        const std::string& rates, int priority);
+  PortId resolve(const std::string& qualifiedName) const;
+
+  Graph graph_;
+  ActorId current_;
+};
+
+}  // namespace tpdf::graph

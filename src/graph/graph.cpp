@@ -1,0 +1,166 @@
+#include "graph/graph.hpp"
+
+#include "support/checked.hpp"
+#include "support/error.hpp"
+
+namespace tpdf::graph {
+
+std::string toString(PortKind k) {
+  switch (k) {
+    case PortKind::DataIn:
+      return "in";
+    case PortKind::DataOut:
+      return "out";
+    case PortKind::ControlIn:
+      return "ctl_in";
+    case PortKind::ControlOut:
+      return "ctl_out";
+  }
+  return "?";
+}
+
+std::string toString(ActorKind k) {
+  return k == ActorKind::Kernel ? "kernel" : "control";
+}
+
+void Graph::addParam(const std::string& name) { params_.insert(name); }
+
+ActorId Graph::addActor(const std::string& name, ActorKind kind) {
+  if (actorByName_.count(name) != 0) {
+    throw support::ModelError("duplicate actor name '" + name + "'");
+  }
+  const ActorId id(static_cast<std::uint32_t>(actors_.size()));
+  Actor a;
+  a.id = id;
+  a.name = name;
+  a.kind = kind;
+  actors_.push_back(std::move(a));
+  actorByName_.emplace(name, id);
+  return id;
+}
+
+PortId Graph::addPort(ActorId actor, const std::string& name, PortKind kind,
+                      RateSeq rates, int priority) {
+  if (!actor.valid() || actor.index() >= actors_.size()) {
+    throw support::ModelError("addPort on unknown actor");
+  }
+  for (PortId p : actors_[actor.index()].ports) {
+    if (ports_[p.index()].name == name) {
+      throw support::ModelError("duplicate port name '" + name +
+                                "' on actor '" +
+                                actors_[actor.index()].name + "'");
+    }
+  }
+  const PortId id(static_cast<std::uint32_t>(ports_.size()));
+  Port p;
+  p.id = id;
+  p.actor = actor;
+  p.name = name;
+  p.kind = kind;
+  p.rates = std::move(rates);
+  p.priority = priority;
+  ports_.push_back(std::move(p));
+  actors_[actor.index()].ports.push_back(id);
+  return id;
+}
+
+ChannelId Graph::addChannel(const std::string& name, PortId src, PortId dst,
+                            std::int64_t initialTokens) {
+  if (channelByName_.count(name) != 0) {
+    throw support::ModelError("duplicate channel name '" + name + "'");
+  }
+  if (!src.valid() || src.index() >= ports_.size() || !dst.valid() ||
+      dst.index() >= ports_.size()) {
+    throw support::ModelError("channel '" + name + "' uses an unknown port");
+  }
+  if (initialTokens < 0) {
+    throw support::ModelError("channel '" + name +
+                              "' has negative initial tokens");
+  }
+  const ChannelId id(static_cast<std::uint32_t>(channels_.size()));
+  Channel c;
+  c.id = id;
+  c.name = name;
+  c.src = src;
+  c.dst = dst;
+  c.initialTokens = initialTokens;
+  channels_.push_back(std::move(c));
+  ports_[src.index()].channel = id;
+  ports_[dst.index()].channel = id;
+  channelByName_.emplace(name, id);
+  return id;
+}
+
+void Graph::setExecTime(ActorId actor, std::vector<double> perPhase) {
+  if (perPhase.empty()) {
+    throw support::ModelError("execution time vector must be non-empty");
+  }
+  actors_.at(actor.index()).execTime = std::move(perPhase);
+}
+
+std::optional<ActorId> Graph::findActor(const std::string& name) const {
+  const auto it = actorByName_.find(name);
+  if (it == actorByName_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<ChannelId> Graph::findChannel(const std::string& name) const {
+  const auto it = channelByName_.find(name);
+  if (it == channelByName_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<PortId> Graph::findPort(
+    const std::string& qualifiedName) const {
+  const auto dot = qualifiedName.find('.');
+  if (dot == std::string::npos) return std::nullopt;
+  const auto actor = findActor(qualifiedName.substr(0, dot));
+  if (!actor) return std::nullopt;
+  const std::string portName = qualifiedName.substr(dot + 1);
+  for (PortId p : actors_[actor->index()].ports) {
+    if (ports_[p.index()].name == portName) return p;
+  }
+  return std::nullopt;
+}
+
+std::vector<ChannelId> Graph::outChannels(ActorId a) const {
+  std::vector<ChannelId> out;
+  for (PortId p : actor(a).ports) {
+    const Port& pt = port(p);
+    if (!isInput(pt.kind) && pt.channel.valid()) out.push_back(pt.channel);
+  }
+  return out;
+}
+
+std::vector<ChannelId> Graph::inChannels(ActorId a) const {
+  std::vector<ChannelId> in;
+  for (PortId p : actor(a).ports) {
+    const Port& pt = port(p);
+    if (isInput(pt.kind) && pt.channel.valid()) in.push_back(pt.channel);
+  }
+  return in;
+}
+
+std::int64_t Graph::phases(ActorId a) const {
+  std::int64_t tau = 1;
+  for (PortId p : actor(a).ports) {
+    tau = support::lcm64(tau,
+                         static_cast<std::int64_t>(port(p).rates.length()));
+  }
+  return tau;
+}
+
+RateSeq Graph::effectiveRates(PortId p) const {
+  const Port& pt = port(p);
+  const std::int64_t tau = phases(pt.actor);
+  const std::size_t len = pt.rates.length();
+  if (static_cast<std::int64_t>(len) == tau) return pt.rates;
+  std::vector<symbolic::Expr> entries;
+  entries.reserve(static_cast<std::size_t>(tau));
+  for (std::int64_t i = 0; i < tau; ++i) {
+    entries.push_back(pt.rates.at(i));
+  }
+  return RateSeq(std::move(entries));
+}
+
+}  // namespace tpdf::graph

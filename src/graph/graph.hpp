@@ -1,0 +1,160 @@
+// The dataflow graph representation shared by the CSDF engine and the
+// TPDF core (Definition 2 of the paper).
+//
+// A Graph holds kernels and control actors, their data/control ports with
+// cyclo-static symbolic rate sequences and priorities, channels with
+// initial tokens, and the set of integer parameters.  Analyses never
+// mutate a Graph.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/ids.hpp"
+#include "graph/rates.hpp"
+
+namespace tpdf::graph {
+
+/// Kernels compute on data; control actors emit control tokens that select
+/// kernel modes (Definition 2: K and G with K disjoint from G).
+enum class ActorKind { Kernel, Control };
+
+enum class PortKind { DataIn, DataOut, ControlIn, ControlOut };
+
+inline bool isInput(PortKind k) {
+  return k == PortKind::DataIn || k == PortKind::ControlIn;
+}
+inline bool isControl(PortKind k) {
+  return k == PortKind::ControlIn || k == PortKind::ControlOut;
+}
+
+std::string toString(PortKind k);
+std::string toString(ActorKind k);
+
+struct Port {
+  PortId id;
+  ActorId actor;
+  std::string name;
+  PortKind kind = PortKind::DataIn;
+  RateSeq rates;
+  /// Port priority (the paper's alpha function); larger value wins.  Used
+  /// by the HighestPriority mode of Transaction kernels.
+  int priority = 0;
+  /// The channel attached to this port, if any.
+  ChannelId channel;
+};
+
+struct Actor {
+  ActorId id;
+  std::string name;
+  ActorKind kind = ActorKind::Kernel;
+  std::vector<PortId> ports;
+  /// Worst-case execution time per phase (defaults to a single 1.0);
+  /// consumed by the scheduler and the simulator.
+  std::vector<double> execTime{1.0};
+
+  double execTimeOfPhase(std::int64_t n) const {
+    return execTime[static_cast<std::size_t>(n) % execTime.size()];
+  }
+};
+
+struct Channel {
+  ChannelId id;
+  std::string name;
+  PortId src;
+  PortId dst;
+  std::int64_t initialTokens = 0;
+};
+
+/// A TPDF graph (also used for plain SDF/CSDF graphs, which simply have
+/// no control actors and constant rates).
+class Graph {
+ public:
+  explicit Graph(std::string name = "graph") : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  // ---- Construction ------------------------------------------------
+
+  /// Declares an integer parameter (element of the paper's set P).
+  void addParam(const std::string& name);
+
+  ActorId addActor(const std::string& name,
+                   ActorKind kind = ActorKind::Kernel);
+
+  PortId addPort(ActorId actor, const std::string& name, PortKind kind,
+                 RateSeq rates, int priority = 0);
+
+  ChannelId addChannel(const std::string& name, PortId src, PortId dst,
+                       std::int64_t initialTokens = 0);
+
+  void setExecTime(ActorId actor, std::vector<double> perPhase);
+
+  // ---- Access ------------------------------------------------------
+
+  std::size_t actorCount() const { return actors_.size(); }
+  std::size_t channelCount() const { return channels_.size(); }
+  std::size_t portCount() const { return ports_.size(); }
+
+  const Actor& actor(ActorId id) const { return actors_.at(id.index()); }
+  const Port& port(PortId id) const { return ports_.at(id.index()); }
+  const Channel& channel(ChannelId id) const {
+    return channels_.at(id.index());
+  }
+
+  const std::vector<Actor>& actors() const { return actors_; }
+  const std::vector<Port>& ports() const { return ports_; }
+  const std::vector<Channel>& channels() const { return channels_; }
+  const std::set<std::string>& params() const { return params_; }
+
+  std::optional<ActorId> findActor(const std::string& name) const;
+  std::optional<ChannelId> findChannel(const std::string& name) const;
+
+  /// Resolves "actor.port".
+  std::optional<PortId> findPort(const std::string& qualifiedName) const;
+
+  /// Channels whose source port belongs to `a`.
+  std::vector<ChannelId> outChannels(ActorId a) const;
+  /// Channels whose destination port belongs to `a`.
+  std::vector<ChannelId> inChannels(ActorId a) const;
+
+  ActorId sourceActor(ChannelId c) const {
+    return port(channel(c).src).actor;
+  }
+  ActorId destActor(ChannelId c) const { return port(channel(c).dst).actor; }
+
+  bool isControlChannel(ChannelId c) const {
+    return isControl(port(channel(c).src).kind) ||
+           isControl(port(channel(c).dst).kind);
+  }
+
+  /// Number of phases tau of the actor: the least common multiple of its
+  /// port sequence lengths (equals the common length for classic CSDF).
+  std::int64_t phases(ActorId a) const;
+
+  /// The rate sequence of `p`, cyclically extended to the actor's phase
+  /// count (identity when lengths already match).
+  RateSeq effectiveRates(PortId p) const;
+
+  /// Structural validation (Definition 2's well-formedness): throws
+  /// support::ModelError describing the first violation found.
+  void validate() const;
+
+  /// Graphviz dot rendering of the topology (control channels dashed).
+  std::string toDot() const;
+
+ private:
+  std::string name_;
+  std::vector<Actor> actors_;
+  std::vector<Port> ports_;
+  std::vector<Channel> channels_;
+  std::set<std::string> params_;
+  std::unordered_map<std::string, ActorId> actorByName_;
+  std::unordered_map<std::string, ChannelId> channelByName_;
+};
+
+}  // namespace tpdf::graph

@@ -1,0 +1,44 @@
+// Strong identifier types for actors, ports and channels.
+//
+// Indices into the Graph's internal tables, wrapped so that an ActorId
+// cannot be passed where a ChannelId is expected.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace tpdf::graph {
+
+template <class Tag>
+struct Id {
+  static constexpr std::uint32_t kInvalid =
+      std::numeric_limits<std::uint32_t>::max();
+
+  std::uint32_t value = kInvalid;
+
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint32_t v) : value(v) {}
+
+  constexpr bool valid() const { return value != kInvalid; }
+  constexpr std::size_t index() const { return value; }
+
+  friend constexpr bool operator==(Id a, Id b) { return a.value == b.value; }
+  friend constexpr bool operator!=(Id a, Id b) { return a.value != b.value; }
+  friend constexpr bool operator<(Id a, Id b) { return a.value < b.value; }
+};
+
+using ActorId = Id<struct ActorIdTag>;
+using PortId = Id<struct PortIdTag>;
+using ChannelId = Id<struct ChannelIdTag>;
+
+}  // namespace tpdf::graph
+
+namespace std {
+template <class Tag>
+struct hash<tpdf::graph::Id<Tag>> {
+  std::size_t operator()(tpdf::graph::Id<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};
+}  // namespace std

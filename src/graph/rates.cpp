@@ -1,0 +1,95 @@
+#include "graph/rates.hpp"
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace tpdf::graph {
+
+using symbolic::Expr;
+
+RateSeq::RateSeq(std::vector<Expr> entries) : entries_(std::move(entries)) {
+  if (entries_.empty()) {
+    throw support::ModelError("rate sequence must be non-empty");
+  }
+}
+
+Expr RateSeq::periodSum() const {
+  Expr sum;
+  for (const Expr& e : entries_) sum += e;
+  return sum;
+}
+
+Expr RateSeq::cumulative(std::int64_t n) const {
+  if (n < 0) {
+    throw support::Error("cumulative rate of negative firing count");
+  }
+  const std::int64_t len = static_cast<std::int64_t>(length());
+  const std::int64_t full = n / len;
+  Expr sum = periodSum() * Expr(full);
+  for (std::int64_t i = 0; i < n % len; ++i) sum += entries_[i];
+  return sum;
+}
+
+Expr RateSeq::cumulative(const Expr& n) const {
+  if (n.isConstant()) {
+    return cumulative(n.constant().toInteger());
+  }
+  if (isUniform()) {
+    return n * entries_[0];
+  }
+  const auto periods = n.divideExact(Expr(static_cast<std::int64_t>(length())));
+  if (periods) {
+    // Accept only genuine divisibility: every coefficient of the quotient
+    // must be an integer (n = tau * m), not a Laurent artefact like p/2.
+    bool integral = true;
+    for (const symbolic::Monomial& t : periods->terms()) {
+      if (!t.coeff().isInteger()) {
+        integral = false;
+        break;
+      }
+    }
+    if (integral) return *periods * periodSum();
+  }
+  throw support::Error("cannot evaluate cumulative rate of " + toString() +
+                       " for symbolic firing count " + n.toString());
+}
+
+bool RateSeq::isConstant() const {
+  for (const Expr& e : entries_) {
+    if (!e.isConstant()) return false;
+    if (e.constant().isNegative()) return false;
+  }
+  return true;
+}
+
+bool RateSeq::isUniform() const {
+  for (const Expr& e : entries_) {
+    if (e != entries_[0]) return false;
+  }
+  return true;
+}
+
+std::string RateSeq::toString() const {
+  std::vector<std::string> parts;
+  parts.reserve(entries_.size());
+  for (const Expr& e : entries_) parts.push_back(e.toString());
+  return "[" + support::join(parts, ",") + "]";
+}
+
+RateSeq RateSeq::parse(const std::string& text) {
+  std::string body = support::trim(text);
+  if (!body.empty() && body.front() == '[') {
+    if (body.back() != ']') {
+      throw support::ParseError("unterminated rate sequence '" + text + "'",
+                                1, 1);
+    }
+    body = body.substr(1, body.size() - 2);
+  }
+  std::vector<Expr> entries;
+  for (const std::string& field : support::split(body, ',')) {
+    entries.push_back(symbolic::parseExpr(field));
+  }
+  return RateSeq(std::move(entries));
+}
+
+}  // namespace tpdf::graph

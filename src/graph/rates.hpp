@@ -1,0 +1,69 @@
+// Cyclo-static rate sequences with symbolic entries.
+//
+// A port's rate sequence [x(0), ..., x(tau-1)] gives the number of tokens
+// produced/consumed by each firing phase (CSDF semantics, Section II-A);
+// entries are symbolic expressions so the same type serves SDF (length 1,
+// constant), CSDF (length tau, constant) and TPDF (parametric).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "symbolic/expr.hpp"
+
+namespace tpdf::graph {
+
+/// A non-empty cyclic sequence of token rates.
+class RateSeq {
+ public:
+  RateSeq() : entries_{symbolic::Expr(1)} {}
+  explicit RateSeq(std::vector<symbolic::Expr> entries);
+
+  /// Convenience: a length-1 sequence.
+  static RateSeq constant(std::int64_t v) {
+    return RateSeq({symbolic::Expr(v)});
+  }
+  static RateSeq of(const symbolic::Expr& e) { return RateSeq({e}); }
+
+  const std::vector<symbolic::Expr>& entries() const { return entries_; }
+  std::size_t length() const { return entries_.size(); }
+
+  /// Rate of the n-th firing (0-based), i.e. entries[n mod length].
+  const symbolic::Expr& at(std::int64_t n) const {
+    return entries_[static_cast<std::size_t>(n % length())];
+  }
+
+  /// Sum over one full period.
+  symbolic::Expr periodSum() const;
+
+  /// Cumulative rate X(n): tokens transferred by the first n firings
+  /// (Section II-A).  X(0) == 0.
+  symbolic::Expr cumulative(std::int64_t n) const;
+
+  /// Symbolic cumulative rate X(n) for a symbolic firing count.  Exact
+  /// when n is a concrete integer, when the sequence is uniform (all
+  /// entries equal), or when n is an exact multiple of the period.
+  /// Throws support::Error otherwise.
+  symbolic::Expr cumulative(const symbolic::Expr& n) const;
+
+  /// True when every entry is a non-negative constant.
+  bool isConstant() const;
+
+  /// True when all entries are equal.
+  bool isUniform() const;
+
+  bool operator==(const RateSeq& o) const { return entries_ == o.entries_; }
+  bool operator!=(const RateSeq& o) const { return !(*this == o); }
+
+  /// "[1,0,1]", "[p]", "[2p,0]".
+  std::string toString() const;
+
+  /// Parses "[1,0,1]", "p", "[2p, 0]" (brackets optional for length 1).
+  static RateSeq parse(const std::string& text);
+
+ private:
+  std::vector<symbolic::Expr> entries_;
+};
+
+}  // namespace tpdf::graph

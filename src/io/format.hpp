@@ -1,0 +1,47 @@
+// The .tpdf textual interchange format.
+//
+// A plain-text equivalent of SDF3's XML graph files, covering the full
+// structural model (parameters, kernels, control actors, ports with
+// cyclo-static symbolic rates and priorities, per-phase execution times,
+// channels with initial tokens).  Example:
+//
+//   graph fig2 {
+//     param p;
+//
+//     kernel A { out o rates [p]; }
+//     kernel B {
+//       in i rates [1];
+//       out oC rates [1];
+//       exec 1 2;
+//     }
+//     control C { in i rates [2]; ctl_out o rates [2]; }
+//     kernel F {
+//       in iD rates [0,2] priority 1;
+//       ctl_in c rates [1,1];
+//     }
+//
+//     channel e1 from A.o to B.i;
+//     channel e2 from B.oC to C.i init 2;
+//   }
+//
+// writeGraph() and readGraph() round-trip losslessly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace tpdf::io {
+
+/// Parses a .tpdf document.  Throws support::ParseError with line/column
+/// on syntax errors and support::ModelError when the parsed graph fails
+/// validation.
+graph::Graph readGraph(const std::string& text);
+graph::Graph readGraphFile(const std::string& path);
+
+/// Renders `g` in the .tpdf format.
+std::string writeGraph(const graph::Graph& g);
+void writeGraphFile(const graph::Graph& g, const std::string& path);
+
+}  // namespace tpdf::io

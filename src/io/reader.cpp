@@ -1,0 +1,279 @@
+// Recursive-descent reader for the .tpdf format (see format.hpp).
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "io/format.hpp"
+#include "support/error.hpp"
+
+namespace tpdf::io {
+
+using graph::Graph;
+using graph::PortKind;
+using graph::RateSeq;
+
+namespace {
+
+struct Lexer {
+  const std::string& text;
+  std::size_t pos = 0;
+  int line = 1;
+  int column = 1;
+
+  explicit Lexer(const std::string& t) : text(t) {}
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw support::ParseError(message, line, column);
+  }
+
+  void advance() {
+    if (text[pos] == '\n') {
+      ++line;
+      column = 1;
+    } else {
+      ++column;
+    }
+    ++pos;
+  }
+
+  void skipSpaceAndComments() {
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        advance();
+      } else if (c == '#') {
+        while (pos < text.size() && text[pos] != '\n') advance();
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool atEnd() {
+    skipSpaceAndComments();
+    return pos >= text.size();
+  }
+
+  char peek() {
+    skipSpaceAndComments();
+    return pos < text.size() ? text[pos] : '\0';
+  }
+
+  bool tryConsume(char c) {
+    if (peek() != c) return false;
+    advance();
+    return true;
+  }
+
+  void expect(char c) {
+    if (!tryConsume(c)) {
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  std::string identifier() {
+    skipSpaceAndComments();
+    if (pos >= text.size() ||
+        (!std::isalpha(static_cast<unsigned char>(text[pos])) &&
+         text[pos] != '_')) {
+      fail("expected identifier");
+    }
+    std::string out;
+    while (pos < text.size() &&
+           (std::isalnum(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '_')) {
+      out += text[pos];
+      advance();
+    }
+    return out;
+  }
+
+  bool tryKeyword(const std::string& kw) {
+    skipSpaceAndComments();
+    const std::size_t savedPos = pos;
+    const int savedLine = line;
+    const int savedColumn = column;
+    std::size_t i = 0;
+    while (i < kw.size() && pos < text.size() && text[pos] == kw[i]) {
+      advance();
+      ++i;
+    }
+    const bool boundary =
+        pos >= text.size() ||
+        (!std::isalnum(static_cast<unsigned char>(text[pos])) &&
+         text[pos] != '_');
+    if (i == kw.size() && boundary) return true;
+    pos = savedPos;
+    line = savedLine;
+    column = savedColumn;
+    return false;
+  }
+
+  void expectKeyword(const std::string& kw) {
+    if (!tryKeyword(kw)) fail("expected keyword '" + kw + "'");
+  }
+
+  std::int64_t integer() {
+    skipSpaceAndComments();
+    bool negative = false;
+    if (pos < text.size() && text[pos] == '-') {
+      negative = true;
+      advance();
+    }
+    if (pos >= text.size() ||
+        !std::isdigit(static_cast<unsigned char>(text[pos]))) {
+      fail("expected integer");
+    }
+    std::int64_t value = 0;
+    while (pos < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[pos]))) {
+      value = value * 10 + (text[pos] - '0');
+      advance();
+    }
+    return negative ? -value : value;
+  }
+
+  double real() {
+    skipSpaceAndComments();
+    std::string buf;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '.' || text[pos] == '-' || text[pos] == 'e' ||
+            text[pos] == 'E' || text[pos] == '+')) {
+      buf += text[pos];
+      advance();
+    }
+    if (buf.empty()) fail("expected number");
+    try {
+      return std::stod(buf);
+    } catch (const std::exception&) {
+      fail("malformed number '" + buf + "'");
+    }
+  }
+
+  /// Reads a rate specification: either a bracketed list "[...]" or a
+  /// bare expression up to the next ';' / keyword boundary.
+  std::string rateSpec() {
+    skipSpaceAndComments();
+    std::string out;
+    if (peek() == '[') {
+      int depth = 0;
+      do {
+        if (pos >= text.size()) fail("unterminated rate list");
+        const char c = text[pos];
+        if (c == '[') ++depth;
+        if (c == ']') --depth;
+        out += c;
+        advance();
+      } while (depth > 0);
+      return out;
+    }
+    while (pos < text.size() && text[pos] != ';' && text[pos] != '\n') {
+      // A bare expression ends where a trailing "priority" clause starts.
+      if (std::isspace(static_cast<unsigned char>(text[pos])) &&
+          text.compare(pos + 1, 8, "priority") == 0) {
+        break;
+      }
+      out += text[pos];
+      advance();
+    }
+    if (out.empty()) fail("expected rate specification");
+    return out;
+  }
+};
+
+void parsePortClause(Lexer& lex, Graph& g, graph::ActorId actor,
+                     PortKind kind) {
+  const std::string name = lex.identifier();
+  lex.expectKeyword("rates");
+  const std::string rates = lex.rateSpec();
+  int priority = 0;
+  if (lex.tryKeyword("priority")) {
+    priority = static_cast<int>(lex.integer());
+  }
+  lex.expect(';');
+  g.addPort(actor, name, kind, RateSeq::parse(rates), priority);
+}
+
+void parseActorBody(Lexer& lex, Graph& g, graph::ActorId actor) {
+  lex.expect('{');
+  while (!lex.tryConsume('}')) {
+    if (lex.tryKeyword("in")) {
+      parsePortClause(lex, g, actor, PortKind::DataIn);
+    } else if (lex.tryKeyword("out")) {
+      parsePortClause(lex, g, actor, PortKind::DataOut);
+    } else if (lex.tryKeyword("ctl_in")) {
+      parsePortClause(lex, g, actor, PortKind::ControlIn);
+    } else if (lex.tryKeyword("ctl_out")) {
+      parsePortClause(lex, g, actor, PortKind::ControlOut);
+    } else if (lex.tryKeyword("exec")) {
+      std::vector<double> times;
+      while (lex.peek() != ';') times.push_back(lex.real());
+      lex.expect(';');
+      g.setExecTime(actor, std::move(times));
+    } else {
+      lex.fail("expected port declaration, 'exec' or '}'");
+    }
+  }
+}
+
+}  // namespace
+
+Graph readGraph(const std::string& text) {
+  Lexer lex(text);
+  lex.expectKeyword("graph");
+  Graph g(lex.identifier());
+  lex.expect('{');
+
+  while (!lex.tryConsume('}')) {
+    if (lex.tryKeyword("param")) {
+      g.addParam(lex.identifier());
+      lex.expect(';');
+    } else if (lex.tryKeyword("kernel")) {
+      const graph::ActorId a =
+          g.addActor(lex.identifier(), graph::ActorKind::Kernel);
+      parseActorBody(lex, g, a);
+    } else if (lex.tryKeyword("control")) {
+      const graph::ActorId a =
+          g.addActor(lex.identifier(), graph::ActorKind::Control);
+      parseActorBody(lex, g, a);
+    } else if (lex.tryKeyword("channel")) {
+      const std::string name = lex.identifier();
+      lex.expectKeyword("from");
+      const std::string fromActor = lex.identifier();
+      lex.expect('.');
+      const std::string fromPort = lex.identifier();
+      lex.expectKeyword("to");
+      const std::string toActor = lex.identifier();
+      lex.expect('.');
+      const std::string toPort = lex.identifier();
+      std::int64_t initial = 0;
+      if (lex.tryKeyword("init")) initial = lex.integer();
+      lex.expect(';');
+
+      const auto src = g.findPort(fromActor + "." + fromPort);
+      const auto dst = g.findPort(toActor + "." + toPort);
+      if (!src) lex.fail("unknown port '" + fromActor + "." + fromPort + "'");
+      if (!dst) lex.fail("unknown port '" + toActor + "." + toPort + "'");
+      g.addChannel(name, *src, *dst, initial);
+    } else {
+      lex.fail("expected 'param', 'kernel', 'control', 'channel' or '}'");
+    }
+  }
+  if (!lex.atEnd()) lex.fail("unexpected trailing input");
+
+  g.validate();
+  return g;
+}
+
+Graph readGraphFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw support::Error("cannot open '" + path + "' for reading");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return readGraph(buffer.str());
+}
+
+}  // namespace tpdf::io

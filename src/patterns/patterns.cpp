@@ -1,0 +1,175 @@
+#include "patterns/patterns.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/error.hpp"
+
+namespace tpdf::patterns {
+
+using graph::GraphBuilder;
+
+StageNames stageNames(const std::string& stage, int workers) {
+  StageNames names;
+  names.dup = stage + "_dup";
+  names.tran = stage + "_tran";
+  names.control = stage + "_ctl";
+  for (int i = 0; i < workers; ++i) {
+    names.workers.push_back(stage + "_w" + std::to_string(i));
+  }
+  return names;
+}
+
+StageNames addStage(GraphBuilder& b, const std::string& stage,
+                    const std::string& from, const StageOptions& options) {
+  if (options.workers < 1) {
+    throw support::Error("stage '" + stage + "' needs at least one worker");
+  }
+  if (options.kind == StageKind::ActivePath && options.triggerFrom.empty()) {
+    throw support::Error("ActivePath stage '" + stage +
+                         "' needs a triggerFrom port");
+  }
+  const StageNames names = stageNames(stage, options.workers);
+  const bool dupControlled = options.kind == StageKind::ActivePath;
+  const bool tranControlled = options.kind == StageKind::ActivePath ||
+                              options.kind == StageKind::DeadlineBest;
+
+  // Select-duplicate fan-out.
+  b.kernel(names.dup).in("i", "[1]");
+  if (dupControlled) b.ctlIn("c", "[1]");
+  for (int i = 0; i < options.workers; ++i) {
+    b.out("to_w" + std::to_string(i), "[1]");
+  }
+
+  // Workers.
+  for (const std::string& worker : names.workers) {
+    b.kernel(worker).in("i", "[1]").out("o", "[1]");
+  }
+
+  // Transaction fan-in.  DeadlineBest uses explicit priorities; the other
+  // kinds give every worker the same priority level.
+  b.kernel(names.tran);
+  for (int i = 0; i < options.workers; ++i) {
+    int priority = 0;
+    if (options.kind == StageKind::DeadlineBest) {
+      priority = i < static_cast<int>(options.priorities.size())
+                     ? options.priorities[static_cast<std::size_t>(i)]
+                     : i;
+    }
+    b.in("i_w" + std::to_string(i), "[1]", priority);
+  }
+  if (tranControlled) b.ctlIn("c", "[1]");
+  b.out("o", "[1]");
+
+  // Steering control actor.
+  if (options.kind == StageKind::DeadlineBest) {
+    b.control(names.control).ctlOut("toTran", "[1]");
+  } else if (options.kind == StageKind::ActivePath) {
+    b.control(names.control).in("i", "[1]").ctlOut("toDup", "[1]")
+        .ctlOut("toTran", "[1]");
+  }
+
+  // Wiring.
+  b.channel(stage + "_in", from, names.dup + ".i");
+  for (int i = 0; i < options.workers; ++i) {
+    const std::string w = std::to_string(i);
+    b.channel(stage + "_d" + w, names.dup + ".to_w" + w,
+              names.workers[static_cast<std::size_t>(i)] + ".i");
+    b.channel(stage + "_r" + w,
+              names.workers[static_cast<std::size_t>(i)] + ".o",
+              names.tran + ".i_w" + w);
+  }
+  if (options.kind == StageKind::DeadlineBest) {
+    b.channel(stage + "_ct", names.control + ".toTran",
+              names.tran + ".c");
+  } else if (options.kind == StageKind::ActivePath) {
+    b.channel(stage + "_trig", options.triggerFrom, names.control + ".i");
+    b.channel(stage + "_cd", names.control + ".toDup", names.dup + ".c");
+    b.channel(stage + "_ct", names.control + ".toTran",
+              names.tran + ".c");
+  }
+  return names;
+}
+
+void applyStageMetadata(core::TpdfGraph& model, const StageNames& names,
+                        const StageOptions& options) {
+  const graph::Graph& g = model.graph();
+  const graph::ActorId dup = *g.findActor(names.dup);
+  const graph::ActorId tran = *g.findActor(names.tran);
+  model.setRole(dup, core::KernelRole::SelectDuplicate);
+  model.setRole(tran, core::KernelRole::Transaction);
+
+  auto tranInput = [&](int i) {
+    return *g.findPort(names.tran + ".i_w" + std::to_string(i));
+  };
+  auto dupOutput = [&](int i) {
+    return *g.findPort(names.dup + ".to_w" + std::to_string(i));
+  };
+
+  switch (options.kind) {
+    case StageKind::Speculation:
+    case StageKind::DeadlineBest:
+      model.setModes(tran, {core::ModeSpec{
+                               "first_or_best",
+                               core::Mode::HighestPriority, {}, {}}});
+      break;
+    case StageKind::RedundancyWithVote:
+      model.setModes(
+          tran, {core::ModeSpec{"vote", core::Mode::WaitAll, {}, {}}});
+      break;
+    case StageKind::ActivePath: {
+      std::vector<core::ModeSpec> dupModes;
+      std::vector<core::ModeSpec> tranModes;
+      for (int i = 0; i < options.workers; ++i) {
+        dupModes.push_back(core::ModeSpec{
+            "path" + std::to_string(i), core::Mode::SelectOne, {},
+            {dupOutput(i)}});
+        tranModes.push_back(core::ModeSpec{
+            "path" + std::to_string(i), core::Mode::SelectOne,
+            {tranInput(i)}, {}});
+      }
+      model.setModes(dup, std::move(dupModes));
+      model.setModes(tran, std::move(tranModes));
+      break;
+    }
+  }
+
+  if (options.kind == StageKind::DeadlineBest) {
+    model.setClock(*g.findActor(names.control), options.deadline);
+  }
+  model.validate();
+}
+
+sim::Behaviour majorityVoteBehaviour(const StageNames& names) {
+  return [names](sim::FiringContext& ctx) {
+    std::map<std::int64_t, int> counts;
+    sim::Token winner;
+    for (std::size_t i = 0; i < names.workers.size(); ++i) {
+      const auto& tokens = ctx.inputs("i_w" + std::to_string(i));
+      for (const sim::Token& t : tokens) ++counts[t.tag];
+    }
+    int best = -1;
+    for (const auto& [tag, count] : counts) {
+      if (count > best) {
+        best = count;
+        winner.tag = tag;
+      }
+    }
+    ctx.emit("o", winner);
+  };
+}
+
+sim::Behaviour forwardSelectedBehaviour(const StageNames& names) {
+  return [names](sim::FiringContext& ctx) {
+    for (std::size_t i = 0; i < names.workers.size(); ++i) {
+      const auto& tokens = ctx.inputs("i_w" + std::to_string(i));
+      if (!tokens.empty()) {
+        ctx.emit("o", tokens.front());
+        return;
+      }
+    }
+    ctx.emit("o", sim::Token{});
+  };
+}
+
+}  // namespace tpdf::patterns

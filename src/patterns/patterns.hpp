@@ -1,0 +1,88 @@
+// The Transaction design patterns of Section II-B.
+//
+// "By using special modes predefined by TPDF and combining with a control
+// actor, the Transaction process implements important actions not
+// available in usual dataflow MoC: Speculation, Redundancy with vote,
+// Highest priority at a given deadline, Selection of an active data-path
+// among several."
+//
+// Each helper wires a ready-made stage into a GraphBuilder — a set of
+// worker kernels between a Select-duplicate fan-out and a Transaction
+// fan-in, plus the steering control actor — and provides the matching
+// simulator behaviour for the Transaction kernel.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+#include "graph/builder.hpp"
+#include "sim/simulator.hpp"
+
+namespace tpdf::patterns {
+
+/// Names generated for a stage named `stage` with n workers:
+/// <stage>_dup, <stage>_w0 ... <stage>_w{n-1}, <stage>_tran, <stage>_ctl.
+struct StageNames {
+  std::string dup;
+  std::string tran;
+  std::string control;
+  std::vector<std::string> workers;
+};
+
+StageNames stageNames(const std::string& stage, int workers);
+
+/// Which Transaction idiom a stage implements.
+enum class StageKind {
+  /// All workers run on a copy of the input; the Transaction commits the
+  /// first result available (workers share one priority level).
+  Speculation,
+  /// All workers run; the Transaction waits for every result and the
+  /// application's behaviour votes (use majorityVoteBehaviour).
+  RedundancyWithVote,
+  /// All workers run; a clock fires at the deadline and the Transaction
+  /// commits the best (highest-priority) result finished by then.
+  DeadlineBest,
+  /// Exactly one worker runs, selected per iteration by the control
+  /// actor (the Select-duplicate end of the pattern).
+  ActivePath,
+};
+
+struct StageOptions {
+  StageKind kind = StageKind::Speculation;
+  int workers = 3;
+  /// Per-worker priority for DeadlineBest (defaults to worker index).
+  std::vector<int> priorities;
+  /// Clock period for DeadlineBest.
+  double deadline = 1.0;
+  /// ActivePath only: qualified upstream output port ("SRC.sig") that
+  /// triggers the steering control actor once per iteration.
+  std::string triggerFrom;
+};
+
+/// Adds a <dup> -> workers -> <tran> stage to `b`.  The caller connects
+/// `from` (an existing output port, rate [1]) into the stage and the
+/// stage's output <stage>_tran.o (rate [1]) onward.  Returns the names of
+/// the created actors.  After build(), call applyStageMetadata() on the
+/// TpdfGraph to install roles, modes and the clock.
+StageNames addStage(graph::GraphBuilder& b, const std::string& stage,
+                    const std::string& from, const StageOptions& options);
+
+/// Installs roles / mode tables / clock metadata for a stage previously
+/// created with addStage on the built graph.
+void applyStageMetadata(core::TpdfGraph& model, const StageNames& names,
+                        const StageOptions& options);
+
+// ---- Simulator behaviours ------------------------------------------------
+
+/// Transaction behaviour for RedundancyWithVote: consumes one token per
+/// worker input and emits the majority tag (ties: smallest tag).  Exposed
+/// so applications can reuse it for triple-modular-redundancy stages.
+sim::Behaviour majorityVoteBehaviour(const StageNames& names);
+
+/// Transaction behaviour forwarding whichever single input arrived
+/// (Speculation / DeadlineBest / ActivePath).
+sim::Behaviour forwardSelectedBehaviour(const StageNames& names);
+
+}  // namespace tpdf::patterns

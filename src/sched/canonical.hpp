@@ -1,0 +1,82 @@
+// Canonical period construction (Section III-D, Figure 5).
+//
+// The canonical period is the partial order of one iteration: a DAG whose
+// vertices are, for each actor a, the q_a occurrences of a, and whose
+// edges are (i) the sequential order between successive occurrences of
+// one actor and (ii) token dependencies: occurrence n of a consumer
+// depends on the earliest producer occurrence m whose cumulative
+// production (plus initial tokens) covers the consumer's cumulative
+// demand.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "csdf/repetition.hpp"
+#include "graph/graph.hpp"
+#include "symbolic/env.hpp"
+
+namespace tpdf::sched {
+
+/// One vertex of the canonical period: the k-th occurrence of an actor
+/// (k is 0-based internally; Figure 5's "A1" is occurrence k=0).
+struct Occurrence {
+  graph::ActorId actor;
+  std::int64_t k = 0;
+
+  bool operator==(const Occurrence& o) const {
+    return actor == o.actor && k == o.k;
+  }
+};
+
+class CanonicalPeriod {
+ public:
+  /// Builds the canonical period of one iteration of `g` under `env`.
+  /// Throws support::Error when the graph is not consistent.
+  CanonicalPeriod(const graph::Graph& g, const symbolic::Environment& env);
+
+  const graph::Graph& graph() const { return *graph_; }
+  std::size_t size() const { return nodes_.size(); }
+  const std::vector<Occurrence>& nodes() const { return nodes_; }
+
+  /// Index of occurrence (actor, k).
+  std::size_t indexOf(graph::ActorId a, std::int64_t k) const;
+  const Occurrence& node(std::size_t i) const { return nodes_[i]; }
+
+  const std::vector<std::size_t>& successors(std::size_t i) const {
+    return succ_[i];
+  }
+  const std::vector<std::size_t>& predecessors(std::size_t i) const {
+    return pred_[i];
+  }
+
+  /// True if node `to` directly depends on node `from`.
+  bool dependsOn(std::size_t to, std::size_t from) const;
+
+  /// Concrete repetition count of actor `a` under the build environment.
+  std::int64_t repetitions(graph::ActorId a) const {
+    return q_[a.index()];
+  }
+
+  /// "A1", "F2": the Figure 5 naming (1-based occurrence).
+  std::string nodeName(std::size_t i) const;
+
+  /// Execution time of occurrence i (from the actor's per-phase table).
+  double execTime(std::size_t i) const;
+
+  /// Nodes in a valid topological order (dependencies first).
+  std::vector<std::size_t> topologicalOrder() const;
+
+ private:
+  void addEdge(std::size_t from, std::size_t to);
+
+  const graph::Graph* graph_;
+  std::vector<std::int64_t> q_;
+  std::vector<Occurrence> nodes_;
+  std::vector<std::size_t> firstIndex_;  // per actor
+  std::vector<std::vector<std::size_t>> succ_;
+  std::vector<std::vector<std::size_t>> pred_;
+};
+
+}  // namespace tpdf::sched

@@ -1,0 +1,164 @@
+#include "sched/list.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace tpdf::sched {
+
+using graph::ActorKind;
+
+const ScheduledOccurrence& ListSchedule::of(std::size_t node) const {
+  for (const ScheduledOccurrence& e : entries) {
+    if (e.node == node) return e;
+  }
+  throw support::Error("node " + std::to_string(node) +
+                       " is not part of the schedule");
+}
+
+std::string ListSchedule::toString(const CanonicalPeriod& cp) const {
+  std::size_t peMax = 0;
+  for (const ScheduledOccurrence& e : entries) peMax = std::max(peMax, e.pe);
+
+  std::ostringstream os;
+  for (std::size_t pe = 0; pe <= peMax; ++pe) {
+    os << "PE" << pe << ":";
+    for (const ScheduledOccurrence& e : entries) {
+      if (e.pe != pe) continue;
+      os << " [" << support::formatDouble(e.start) << "-"
+         << support::formatDouble(e.finish) << "] " << cp.nodeName(e.node);
+    }
+    os << "\n";
+  }
+  os << "makespan: " << support::formatDouble(makespan) << "\n";
+  return os.str();
+}
+
+ListSchedule listSchedule(const CanonicalPeriod& cp, const Platform& platform,
+                          const ListSchedulerOptions& options) {
+  if (platform.peCount == 0) {
+    throw support::Error("platform must have at least one PE");
+  }
+  const graph::Graph& g = cp.graph();
+  const std::size_t n = cp.size();
+
+  // Critical-path ranks over the reverse topological order.
+  std::vector<double> rank(n, 0.0);
+  const std::vector<std::size_t> topo = cp.topologicalOrder();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const std::size_t i = *it;
+    double best = 0.0;
+    for (std::size_t s : cp.successors(i)) best = std::max(best, rank[s]);
+    rank[i] = cp.execTime(i) + best;
+  }
+
+  auto isControlNode = [&](std::size_t i) {
+    return g.actor(cp.node(i).actor).kind == ActorKind::Control;
+  };
+  // An edge from a control actor carries a control token: latency-free
+  // (rule 2: the receiver fires immediately on token arrival).
+  auto isControlEdge = [&](std::size_t from) { return isControlNode(from); };
+
+  const std::size_t workerCount = platform.peCount;
+  const std::size_t totalPes =
+      workerCount + (platform.dedicatedControlPe ? 1 : 0);
+  const std::size_t controlPe = workerCount;  // last PE when dedicated
+
+  std::vector<double> peAvailable(totalPes, 0.0);
+  std::vector<ScheduledOccurrence> placed(n);
+  std::vector<bool> scheduled(n, false);
+  std::vector<std::size_t> unscheduledPreds(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    unscheduledPreds[i] = cp.predecessors(i).size();
+  }
+
+  ListSchedule out;
+  out.entries.reserve(n);
+
+  std::vector<std::size_t> ready;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (unscheduledPreds[i] == 0) ready.push_back(i);
+  }
+
+  // Earliest start of node i on PE pe given the already-placed preds.
+  auto earliestStartOn = [&](std::size_t i, std::size_t pe) {
+    double t = peAvailable[pe];
+    for (std::size_t p : cp.predecessors(i)) {
+      double arrival = placed[p].finish;
+      if (placed[p].pe != pe && !isControlEdge(p)) {
+        arrival += platform.linkLatency;
+      }
+      t = std::max(t, arrival);
+    }
+    return t;
+  };
+
+  while (!ready.empty()) {
+    // Pick the highest-priority ready node: control actors first (rule 1),
+    // then by descending rank, then by node index for determinism.
+    std::size_t bestIdx = 0;
+    for (std::size_t r = 1; r < ready.size(); ++r) {
+      const std::size_t a = ready[r];
+      const std::size_t b = ready[bestIdx];
+      const bool aCtl = options.controlPriority && isControlNode(a);
+      const bool bCtl = options.controlPriority && isControlNode(b);
+      if (aCtl != bCtl) {
+        if (aCtl) bestIdx = r;
+        continue;
+      }
+      if (rank[a] != rank[b]) {
+        if (rank[a] > rank[b]) bestIdx = r;
+        continue;
+      }
+      if (a < b) bestIdx = r;
+    }
+    const std::size_t node = ready[bestIdx];
+    ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(bestIdx));
+
+    // Choose the PE minimizing start time.
+    std::size_t chosenPe = 0;
+    double chosenStart = std::numeric_limits<double>::infinity();
+    if (platform.dedicatedControlPe && isControlNode(node)) {
+      chosenPe = controlPe;
+      chosenStart = earliestStartOn(node, controlPe);
+    } else {
+      for (std::size_t pe = 0; pe < workerCount; ++pe) {
+        const double start = earliestStartOn(node, pe);
+        if (start < chosenStart) {
+          chosenStart = start;
+          chosenPe = pe;
+        }
+      }
+    }
+
+    ScheduledOccurrence so;
+    so.node = node;
+    so.pe = chosenPe;
+    so.start = chosenStart;
+    so.finish = chosenStart + cp.execTime(node);
+    placed[node] = so;
+    scheduled[node] = true;
+    peAvailable[chosenPe] = so.finish;
+    out.entries.push_back(so);
+    out.makespan = std::max(out.makespan, so.finish);
+
+    for (std::size_t s : cp.successors(node)) {
+      if (--unscheduledPreds[s] == 0) ready.push_back(s);
+    }
+  }
+
+  if (out.entries.size() != n) {
+    throw support::Error("list scheduler failed to place every occurrence");
+  }
+  std::sort(out.entries.begin(), out.entries.end(),
+            [](const ScheduledOccurrence& a, const ScheduledOccurrence& b) {
+              if (a.start != b.start) return a.start < b.start;
+              return a.node < b.node;
+            });
+  return out;
+}
+
+}  // namespace tpdf::sched

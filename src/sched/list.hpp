@@ -1,0 +1,53 @@
+// Static list scheduling of a canonical period onto a Platform
+// (Section III-D).
+//
+// The two TPDF-specific rules are implemented exactly as stated:
+//   1. control actors have the highest scheduling priority (a ready
+//      control occurrence is placed before any ready kernel occurrence,
+//      optionally on a dedicated PE);
+//   2. a kernel that receives a control token is released by the arrival
+//      of that token: its control dependencies carry no link latency
+//      ("the system acts as if it was instantaneous") and control-token
+//      receivers are preferred among kernels of equal rank.
+// Ties are broken by critical-path rank (longest path to a sink).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sched/canonical.hpp"
+#include "sched/platform.hpp"
+
+namespace tpdf::sched {
+
+struct ScheduledOccurrence {
+  std::size_t node = 0;   // index into CanonicalPeriod::nodes()
+  std::size_t pe = 0;
+  double start = 0.0;
+  double finish = 0.0;
+};
+
+struct ListSchedule {
+  std::vector<ScheduledOccurrence> entries;  // in start order
+  double makespan = 0.0;
+
+  /// Entry of a given canonical-period node.
+  const ScheduledOccurrence& of(std::size_t node) const;
+
+  /// Gantt-style rendering, one line per PE.
+  std::string toString(const CanonicalPeriod& cp) const;
+};
+
+struct ListSchedulerOptions {
+  /// Disable rule 1 (used by the scheduling ablation bench).
+  bool controlPriority = true;
+};
+
+/// Schedules `cp` on `platform`.  Every dependency is honoured; a node
+/// starts at max(PE available, preds finish + link latency if mapped on a
+/// different PE; control-token edges are latency-free).
+ListSchedule listSchedule(const CanonicalPeriod& cp, const Platform& platform,
+                          const ListSchedulerOptions& options = {});
+
+}  // namespace tpdf::sched

@@ -1,0 +1,26 @@
+// Platform model for the many-core scheduling heuristic.
+//
+// Stands in for the Kalray MPPA-256 clustered architecture the paper
+// targets: a number of identical processing elements with a uniform
+// message latency between distinct PEs (intra-PE communication is free).
+// The dedicated control PE mirrors Figure 5, where C1 is "mapped onto a
+// separate processing element".
+#pragma once
+
+#include <cstddef>
+
+namespace tpdf::sched {
+
+struct Platform {
+  /// Worker processing elements available to kernels.
+  std::size_t peCount = 4;
+  /// Added to a dependency's ready time when producer and consumer are
+  /// mapped on different PEs.
+  double linkLatency = 0.0;
+  /// Reserve one extra PE exclusively for control actors (the paper
+  /// schedules control actors so that "the system acts as if [control
+  /// token passing] was instantaneous").
+  bool dedicatedControlPe = true;
+};
+
+}  // namespace tpdf::sched

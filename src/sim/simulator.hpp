@@ -1,0 +1,156 @@
+// Discrete-event execution of TPDF graphs.
+//
+// Self-timed semantics: every actor is a sequential process (at most one
+// firing in flight); a firing consumes its input tokens at start time and
+// delivers its outputs at finish time.  TPDF specifics implemented here:
+//   * kernels with a control port first read one control token whose tag
+//     selects the mode they fire in;
+//   * in a selecting mode the kernel waits only for its *active* inputs
+//     (the defining TPDF relaxation); tokens arriving on rejected ports
+//     are discarded ("removed") so the iteration state stays bounded;
+//   * HighestPriority picks the satisfied input port with the largest
+//     priority at firing time (the Transaction-at-deadline behaviour);
+//   * clock control actors fire on every multiple of their period and
+//     emit watchdog control tokens (Section II-B's "Clock").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/model.hpp"
+#include "sim/token.hpp"
+#include "symbolic/env.hpp"
+
+namespace tpdf::sim {
+
+/// Passed to an actor behaviour when a firing starts.
+class FiringContext {
+ public:
+  FiringContext(const graph::Graph& g, graph::ActorId actor,
+                std::int64_t firingIndex, int modeIndex, double now,
+                double duration);
+
+  graph::ActorId actor() const { return actor_; }
+  /// 0-based firing count of this actor.
+  std::int64_t firingIndex() const { return firingIndex_; }
+  /// Index into the kernel's mode table (0 when the kernel has none).
+  int modeIndex() const { return modeIndex_; }
+  double now() const { return now_; }
+
+  /// Tokens consumed from an input port this firing (empty for rejected
+  /// ports and for ports with phase rate 0).
+  const std::vector<Token>& inputs(const std::string& port) const;
+
+  /// Queues one token for an output port; delivered at firing completion.
+  /// Tokens beyond the port's phase rate are rejected with an error; if
+  /// fewer are emitted, default tokens pad the difference.
+  void emit(const std::string& port, Token token);
+
+  /// Overrides the firing's execution time (defaults to the actor's
+  /// per-phase execTime).
+  void setDuration(double duration);
+  double duration() const { return duration_; }
+
+ private:
+  friend class Simulator;
+
+  const graph::Graph* graph_;
+  graph::ActorId actor_;
+  std::int64_t firingIndex_;
+  int modeIndex_;
+  double now_;
+  double duration_;
+  std::map<std::string, std::vector<Token>> inputs_;
+  std::map<std::string, std::vector<Token>> outputs_;
+};
+
+/// Behaviour hook: invoked at firing start, after inputs were consumed.
+using Behaviour = std::function<void(FiringContext&)>;
+
+struct SimOptions {
+  /// Wall-clock limit of simulated time; required finite when the model
+  /// contains clock actors.
+  double stopTime = std::numeric_limits<double>::infinity();
+  /// Dataflow actors stop after completing this many graph iterations.
+  std::int64_t iterations = 1;
+  /// Hard safety cap on total firings.
+  std::int64_t maxFirings = 1'000'000;
+  /// Record one TraceEvent per firing in SimResult::trace.
+  bool recordTrace = false;
+};
+
+/// One firing in the recorded execution trace.
+struct TraceEvent {
+  graph::ActorId actor;
+  std::int64_t k = 0;    // firing index
+  int mode = 0;          // selected mode
+  double start = 0.0;
+  double finish = 0.0;
+};
+
+struct ChannelStats {
+  std::int64_t maxOccupancy = 0;
+  std::int64_t produced = 0;
+  std::int64_t consumed = 0;
+  std::int64_t discarded = 0;
+};
+
+struct SimResult {
+  bool ok = false;
+  std::string diagnostic;
+  double endTime = 0.0;
+  std::int64_t totalFirings = 0;
+  std::vector<std::int64_t> firings;     // per actor
+  std::vector<ChannelStats> channels;    // per channel
+  /// True when, after the requested iterations, every channel holds
+  /// exactly its initial tokens again (the dynamic Theorem 2 check).
+  bool returnedToInitialState = false;
+  /// Populated when SimOptions::recordTrace is set; ordered by start.
+  std::vector<TraceEvent> trace;
+
+  const ChannelStats& channel(graph::ChannelId c) const {
+    return channels.at(c.index());
+  }
+
+  /// Text timeline of the recorded trace, one line per firing:
+  /// "[12.0-14.5] Sobel#0 (mode 0)".
+  std::string renderTrace(const graph::Graph& g) const;
+};
+
+class Simulator {
+ public:
+  Simulator(const core::TpdfGraph& model, symbolic::Environment env);
+
+  /// Installs a behaviour for an actor (payload computation, dynamic
+  /// durations, control-token tags).  Without one, firings consume and
+  /// produce default tokens.
+  void setBehaviour(graph::ActorId actor, Behaviour behaviour);
+  void setBehaviour(const std::string& actorName, Behaviour behaviour);
+
+  SimResult run(const SimOptions& options = {});
+
+ private:
+  struct PendingFiring {
+    double finish = 0.0;
+    std::map<std::string, std::vector<Token>> outputs;
+    bool active = false;
+  };
+
+  struct ActorState {
+    std::int64_t fired = 0;
+    std::int64_t limit = 0;          // q * iterations (clocks: unbounded)
+    PendingFiring pending;
+    int currentMode = 0;
+    double nextClockTick = 0.0;      // clocks only
+  };
+
+  const core::TpdfGraph* model_;
+  symbolic::Environment env_;
+  std::map<std::uint32_t, Behaviour> behaviours_;
+};
+
+}  // namespace tpdf::sim

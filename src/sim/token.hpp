@@ -1,0 +1,22 @@
+// Tokens carried by simulated channels.
+//
+// The analyses only count tokens; the simulator also moves them, so that
+// the case studies can push real data (image buffers, OFDM symbols)
+// through a TPDF graph.  A token has an integer tag (on control channels
+// the tag selects the receiver's mode) and an optional opaque payload.
+#pragma once
+
+#include <any>
+#include <cstdint>
+
+namespace tpdf::sim {
+
+struct Token {
+  /// On control channels: index into the receiving kernel's mode table.
+  /// On data channels: application-defined.
+  std::int64_t tag = 0;
+  /// Optional data payload (e.g. a std::shared_ptr to an image).
+  std::any payload;
+};
+
+}  // namespace tpdf::sim

@@ -1,0 +1,72 @@
+// Overflow-checked 64-bit integer arithmetic.
+//
+// Balance equations multiply rates by repetition counts; with parametric
+// rates instantiated at large values (beta = 100, N = 1024) intermediate
+// products reach ~1e8 and a buggy caller could push them past 2^63.  All
+// exact arithmetic in the analyses goes through these helpers so that an
+// overflow raises OverflowError instead of silently wrapping.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/error.hpp"
+
+namespace tpdf::support {
+
+inline std::int64_t checkedAdd(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  if (__builtin_add_overflow(a, b, &out)) {
+    throw OverflowError("integer overflow in " + std::to_string(a) + " + " +
+                        std::to_string(b));
+  }
+  return out;
+}
+
+inline std::int64_t checkedSub(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  if (__builtin_sub_overflow(a, b, &out)) {
+    throw OverflowError("integer overflow in " + std::to_string(a) + " - " +
+                        std::to_string(b));
+  }
+  return out;
+}
+
+inline std::int64_t checkedMul(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  if (__builtin_mul_overflow(a, b, &out)) {
+    throw OverflowError("integer overflow in " + std::to_string(a) + " * " +
+                        std::to_string(b));
+  }
+  return out;
+}
+
+inline std::int64_t checkedNeg(std::int64_t a) { return checkedSub(0, a); }
+
+/// Greatest common divisor of |a| and |b|; gcd(0, 0) == 0.
+std::int64_t gcd64(std::int64_t a, std::int64_t b);
+
+/// Least common multiple of |a| and |b|; throws OverflowError if it does
+/// not fit in 64 bits.  lcm(0, x) == 0.
+std::int64_t lcm64(std::int64_t a, std::int64_t b);
+
+inline std::int64_t gcd64(std::int64_t a, std::int64_t b) {
+  if (a < 0) a = checkedNeg(a);
+  if (b < 0) b = checkedNeg(b);
+  while (b != 0) {
+    const std::int64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+inline std::int64_t lcm64(std::int64_t a, std::int64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a < 0) a = checkedNeg(a);
+  if (b < 0) b = checkedNeg(b);
+  const std::int64_t g = gcd64(a, b);
+  return checkedMul(a / g, b);
+}
+
+}  // namespace tpdf::support

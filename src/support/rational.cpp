@@ -1,0 +1,103 @@
+#include "support/rational.hpp"
+
+#include <ostream>
+
+#include "support/checked.hpp"
+#include "support/error.hpp"
+
+namespace tpdf::support {
+
+Rational::Rational(std::int64_t num) : num_(num), den_(1) {}
+
+Rational::Rational(std::int64_t num, std::int64_t den) : num_(num), den_(den) {
+  normalize();
+}
+
+void Rational::normalize() {
+  if (den_ == 0) {
+    throw DivisionByZeroError("rational with zero denominator");
+  }
+  if (den_ < 0) {
+    num_ = checkedNeg(num_);
+    den_ = checkedNeg(den_);
+  }
+  if (num_ == 0) {
+    den_ = 1;
+    return;
+  }
+  const std::int64_t g = gcd64(num_, den_);
+  num_ /= g;
+  den_ /= g;
+}
+
+std::int64_t Rational::toInteger() const {
+  if (!isInteger()) {
+    throw Error("rational " + toString() + " is not an integer");
+  }
+  return num_;
+}
+
+Rational Rational::operator-() const {
+  Rational r;
+  r.num_ = checkedNeg(num_);
+  r.den_ = den_;
+  return r;
+}
+
+Rational Rational::operator+(const Rational& o) const {
+  // Use the lcm of the denominators to keep intermediates small.
+  const std::int64_t g = gcd64(den_, o.den_);
+  const std::int64_t lhs = checkedMul(num_, o.den_ / g);
+  const std::int64_t rhs = checkedMul(o.num_, den_ / g);
+  return Rational(checkedAdd(lhs, rhs), checkedMul(den_ / g, o.den_));
+}
+
+Rational Rational::operator-(const Rational& o) const { return *this + (-o); }
+
+Rational Rational::operator*(const Rational& o) const {
+  // Cross-cancel before multiplying to avoid spurious overflow.
+  const std::int64_t g1 = gcd64(num_, o.den_);
+  const std::int64_t g2 = gcd64(o.num_, den_);
+  return Rational(checkedMul(num_ / g1, o.num_ / g2),
+                  checkedMul(den_ / g2, o.den_ / g1));
+}
+
+Rational Rational::operator/(const Rational& o) const {
+  return *this * o.inverse();
+}
+
+Rational Rational::inverse() const {
+  if (num_ == 0) {
+    throw DivisionByZeroError("inverse of zero rational");
+  }
+  return Rational(den_, num_);
+}
+
+Rational Rational::abs() const { return num_ < 0 ? -*this : *this; }
+
+bool Rational::operator<(const Rational& o) const {
+  // num_/den_ < o.num_/o.den_  <=>  num_*o.den_ < o.num_*den_ (dens > 0).
+  return checkedMul(num_, o.den_) < checkedMul(o.num_, den_);
+}
+
+std::string Rational::toString() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+Rational rationalGcd(const Rational& a, const Rational& b) {
+  if (a.isZero()) return b.abs();
+  if (b.isZero()) return a.abs();
+  return Rational(gcd64(a.num(), b.num()), lcm64(a.den(), b.den()));
+}
+
+Rational rationalLcm(const Rational& a, const Rational& b) {
+  if (a.isZero() || b.isZero()) return Rational(0);
+  return Rational(lcm64(a.num(), b.num()), gcd64(a.den(), b.den()));
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  return os << r.toString();
+}
+
+}  // namespace tpdf::support

@@ -1,0 +1,82 @@
+// Exact rational arithmetic over checked 64-bit integers.
+//
+// Repetition vectors are computed over the rationals (Theorem 1 of the
+// paper solves Gamma * r = 0, then normalizes the solution to the smallest
+// integer vector), so an exact, always-normalized rational type is the
+// bedrock of every analysis in this project.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace tpdf::support {
+
+/// An exact rational number num/den with den > 0 and gcd(num, den) == 1.
+/// All operations are overflow-checked and keep the value normalized.
+class Rational {
+ public:
+  constexpr Rational() = default;
+  Rational(std::int64_t num);  // NOLINT(google-explicit-constructor)
+  Rational(std::int64_t num, std::int64_t den);
+
+  std::int64_t num() const { return num_; }
+  std::int64_t den() const { return den_; }
+
+  bool isZero() const { return num_ == 0; }
+  bool isOne() const { return num_ == 1 && den_ == 1; }
+  bool isInteger() const { return den_ == 1; }
+  bool isPositive() const { return num_ > 0; }
+  bool isNegative() const { return num_ < 0; }
+
+  /// The integer value; throws Error unless isInteger().
+  std::int64_t toInteger() const;
+
+  double toDouble() const {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+
+  Rational operator-() const;
+  Rational operator+(const Rational& o) const;
+  Rational operator-(const Rational& o) const;
+  Rational operator*(const Rational& o) const;
+  Rational operator/(const Rational& o) const;
+
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  Rational inverse() const;
+  Rational abs() const;
+
+  bool operator==(const Rational& o) const {
+    return num_ == o.num_ && den_ == o.den_;
+  }
+  bool operator!=(const Rational& o) const { return !(*this == o); }
+  bool operator<(const Rational& o) const;
+  bool operator<=(const Rational& o) const { return !(o < *this); }
+  bool operator>(const Rational& o) const { return o < *this; }
+  bool operator>=(const Rational& o) const { return !(*this < o); }
+
+  /// "3", "-5/2".
+  std::string toString() const;
+
+ private:
+  void normalize();
+
+  std::int64_t num_ = 0;
+  std::int64_t den_ = 1;
+};
+
+/// gcd of two non-negative rationals: gcd(a/b, c/d) = gcd(a*d, c*b)/(b*d)
+/// normalized.  This is the natural extension used to reduce a rational
+/// solution vector to the minimal integer vector.  gcd(0, x) == x.
+Rational rationalGcd(const Rational& a, const Rational& b);
+
+/// lcm counterpart of rationalGcd; lcm(0, x) == 0.
+Rational rationalLcm(const Rational& a, const Rational& b);
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+}  // namespace tpdf::support

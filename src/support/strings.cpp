@@ -1,0 +1,57 @@
+#include "support/strings.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace tpdf::support {
+
+std::string join(const std::vector<std::string>& parts,
+                 const std::string& sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool startsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t begin = 0;
+  std::size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::string field;
+  for (char c : s) {
+    if (c == sep) {
+      out.push_back(field);
+      field.clear();
+    } else {
+      field += c;
+    }
+  }
+  out.push_back(field);
+  return out;
+}
+
+std::string formatDouble(double v, int digits) {
+  std::ostringstream os;
+  os.precision(digits);
+  os << v;
+  return os.str();
+}
+
+}  // namespace tpdf::support

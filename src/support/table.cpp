@@ -1,0 +1,50 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace tpdf::support {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::addRow(std::vector<std::string> row) {
+  if (row.size() > header_.size()) {
+    throw Error("table row has more cells than the header");
+  }
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto renderRow = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) line += " | ";
+      line += row[c];
+      line += std::string(widths[c] - row[c].size(), ' ');
+    }
+    // Trim right-padding of the last column.
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+
+  std::string out = renderRow(header_);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (c != 0) out += "-+-";
+    out += std::string(widths[c], '-');
+  }
+  out += "\n";
+  for (const auto& row : rows_) out += renderRow(row);
+  return out;
+}
+
+}  // namespace tpdf::support

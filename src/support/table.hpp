@@ -1,0 +1,34 @@
+// Plain-text table rendering for the benchmark harnesses.
+//
+// Every figure/table reproduction prints its rows through this class so
+// the bench output is uniform and directly comparable with the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tpdf::support {
+
+/// Accumulates rows of strings and renders them as an aligned ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; it may have fewer cells than the header (the rest are
+  /// rendered empty) but not more.
+  void addRow(std::vector<std::string> row);
+
+  std::size_t rowCount() const { return rows_.size(); }
+
+  /// Renders with a header rule, e.g.
+  ///   beta | TPDF | CSDF | improvement
+  ///   -----+------+------+------------
+  ///   10   | ...  | ...  | ...
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tpdf::support

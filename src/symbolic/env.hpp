@@ -1,0 +1,60 @@
+// Parameter environments: bindings of integer parameters to values.
+//
+// TPDF parameters (Definition 2's set P) are symbolic integers assumed
+// strictly positive, exactly like SPDF/BPDF.  An Environment instantiates
+// them, e.g. {p = 4} or {beta = 10, N = 512, L = 1}, which is what the
+// scheduler and the simulator need to run a concrete iteration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "support/error.hpp"
+
+namespace tpdf::symbolic {
+
+/// Maps parameter names to concrete positive integer values.
+class Environment {
+ public:
+  Environment() = default;
+  Environment(std::initializer_list<std::pair<const std::string, std::int64_t>>
+                  bindings)
+      : values_(bindings) {
+    for (const auto& [name, value] : values_) {
+      checkPositive(name, value);
+    }
+  }
+
+  void bind(const std::string& name, std::int64_t value) {
+    checkPositive(name, value);
+    values_[name] = value;
+  }
+
+  bool has(const std::string& name) const { return values_.count(name) != 0; }
+
+  std::int64_t lookup(const std::string& name) const {
+    const auto it = values_.find(name);
+    if (it == values_.end()) {
+      throw support::Error("unbound parameter '" + name + "'");
+    }
+    return it->second;
+  }
+
+  const std::map<std::string, std::int64_t>& bindings() const {
+    return values_;
+  }
+
+ private:
+  static void checkPositive(const std::string& name, std::int64_t value) {
+    if (value <= 0) {
+      throw support::Error("parameter '" + name +
+                           "' must be a positive integer, got " +
+                           std::to_string(value));
+    }
+  }
+
+  std::map<std::string, std::int64_t> values_;
+};
+
+}  // namespace tpdf::symbolic

@@ -1,0 +1,187 @@
+#include "symbolic/expr.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "support/checked.hpp"
+#include "support/error.hpp"
+
+namespace tpdf::symbolic {
+
+using support::Rational;
+
+Expr::Expr(std::int64_t value) : Expr(Monomial(Rational(value))) {}
+
+Expr::Expr(Rational value) : Expr(Monomial(value)) {}
+
+Expr::Expr(Monomial m) {
+  if (!m.isZero()) terms_.push_back(std::move(m));
+}
+
+void Expr::canonicalize() {
+  std::sort(terms_.begin(), terms_.end(), Monomial::powerProductLess);
+  std::vector<Monomial> merged;
+  for (const Monomial& t : terms_) {
+    if (t.isZero()) continue;
+    if (!merged.empty() && merged.back().samePowerProduct(t)) {
+      const Rational sum = merged.back().coeff() + t.coeff();
+      Monomial m(sum, t.exponents());
+      merged.pop_back();
+      if (!m.isZero()) merged.push_back(std::move(m));
+    } else {
+      merged.push_back(t);
+    }
+  }
+  terms_ = std::move(merged);
+}
+
+Rational Expr::constant() const {
+  if (terms_.empty()) return Rational(0);
+  if (terms_.size() == 1 && terms_[0].isConstant()) {
+    return terms_[0].coeff();
+  }
+  throw support::Error("expression '" + toString() + "' is not constant");
+}
+
+Monomial Expr::asMonomial() const {
+  if (terms_.empty()) return Monomial();
+  if (terms_.size() == 1) return terms_[0];
+  throw support::Error("expression '" + toString() + "' is not a monomial");
+}
+
+Expr Expr::operator-() const {
+  Expr out;
+  out.terms_.reserve(terms_.size());
+  for (const Monomial& t : terms_) out.terms_.push_back(-t);
+  return out;
+}
+
+Expr Expr::operator+(const Expr& o) const {
+  Expr out;
+  out.terms_ = terms_;
+  out.terms_.insert(out.terms_.end(), o.terms_.begin(), o.terms_.end());
+  out.canonicalize();
+  return out;
+}
+
+Expr Expr::operator-(const Expr& o) const { return *this + (-o); }
+
+Expr Expr::operator*(const Expr& o) const {
+  Expr out;
+  out.terms_.reserve(terms_.size() * o.terms_.size());
+  for (const Monomial& a : terms_) {
+    for (const Monomial& b : o.terms_) {
+      out.terms_.push_back(a * b);
+    }
+  }
+  out.canonicalize();
+  return out;
+}
+
+Expr Expr::dividedBy(const Monomial& m) const {
+  Expr out;
+  out.terms_.reserve(terms_.size());
+  for (const Monomial& t : terms_) out.terms_.push_back(t / m);
+  out.canonicalize();
+  return out;
+}
+
+std::optional<Expr> Expr::divideExact(const Expr& o) const {
+  if (o.isZero()) {
+    throw support::DivisionByZeroError("division by the zero expression");
+  }
+  if (isZero()) return Expr();
+  if (o.isMonomial()) return dividedBy(o.asMonomial());
+
+  // Multivariate long division where the quotient may be a Laurent
+  // polynomial.  Divide the leading term of the remainder by the leading
+  // term of the divisor; succeed only on zero remainder.  The iteration
+  // guard catches non-terminating Laurent cases.
+  const Monomial lead = o.terms().back();
+  Expr remainder = *this;
+  Expr quotient;
+  for (int guard = 0; guard < 256 && !remainder.isZero(); ++guard) {
+    const Monomial t = remainder.terms().back() / lead;
+    quotient += Expr(t);
+    remainder -= Expr(t) * o;
+  }
+  if (!remainder.isZero()) return std::nullopt;
+  return quotient;
+}
+
+Rational Expr::evaluate(const Environment& env) const {
+  Rational sum(0);
+  for (const Monomial& t : terms_) sum += t.evaluate(env);
+  return sum;
+}
+
+std::int64_t Expr::evaluateInt(const Environment& env) const {
+  const Rational v = evaluate(env);
+  if (!v.isInteger()) {
+    throw support::Error("expression '" + toString() +
+                         "' does not evaluate to an integer (" +
+                         v.toString() + ")");
+  }
+  return v.toInteger();
+}
+
+Monomial Expr::content() const {
+  Monomial g;
+  for (const Monomial& t : terms_) g = monomialGcd(g, t);
+  return g;
+}
+
+void Expr::collectParams(std::set<std::string>& out) const {
+  for (const Monomial& t : terms_) {
+    for (const auto& [name, e] : t.exponents()) {
+      (void)e;
+      out.insert(name);
+    }
+  }
+}
+
+std::string Expr::toString() const {
+  if (terms_.empty()) return "0";
+  std::string out;
+  for (std::size_t i = 0; i < terms_.size(); ++i) {
+    const std::string s = terms_[i].toString();
+    if (i == 0) {
+      out += s;
+    } else if (!s.empty() && s[0] == '-') {
+      out += s;
+    } else {
+      out += "+" + s;
+    }
+  }
+  return out;
+}
+
+Monomial exprGcd(const Expr& a, const Expr& b) {
+  return monomialGcd(a.content(), b.content());
+}
+
+std::vector<Expr> normalizeSolutionVector(const std::vector<Expr>& v) {
+  std::int64_t denLcm = 1;
+  std::int64_t numGcd = 0;
+  for (const Expr& e : v) {
+    for (const Monomial& t : e.terms()) {
+      denLcm = support::lcm64(denLcm, t.coeff().den());
+      numGcd = support::gcd64(numGcd, t.coeff().num());
+    }
+  }
+  if (numGcd == 0) numGcd = 1;  // all-zero vector
+
+  const Rational scale(denLcm, numGcd);
+  std::vector<Expr> out;
+  out.reserve(v.size());
+  for (const Expr& e : v) {
+    out.push_back(e * Expr(scale));
+  }
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Expr& e) {
+  return os << e.toString();
+}
+
+}  // namespace tpdf::symbolic

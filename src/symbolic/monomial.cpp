@@ -1,0 +1,136 @@
+#include "symbolic/monomial.hpp"
+
+#include <algorithm>
+
+#include "support/checked.hpp"
+#include "support/error.hpp"
+
+namespace tpdf::symbolic {
+
+using support::Rational;
+
+Monomial::Monomial(Rational coeff) : coeff_(coeff) {}
+
+Monomial::Monomial(Rational coeff, const std::string& name) : coeff_(coeff) {
+  if (!coeff_.isZero()) exponents_[name] = 1;
+}
+
+Monomial::Monomial(Rational coeff, std::map<std::string, int> exponents)
+    : coeff_(coeff), exponents_(std::move(exponents)) {
+  if (coeff_.isZero()) exponents_.clear();
+  dropZeroExponents();
+}
+
+void Monomial::dropZeroExponents() {
+  for (auto it = exponents_.begin(); it != exponents_.end();) {
+    if (it->second == 0) {
+      it = exponents_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+int Monomial::exponentOf(const std::string& name) const {
+  const auto it = exponents_.find(name);
+  return it == exponents_.end() ? 0 : it->second;
+}
+
+Monomial Monomial::operator-() const {
+  Monomial m = *this;
+  m.coeff_ = -m.coeff_;
+  return m;
+}
+
+Monomial Monomial::operator*(const Monomial& o) const {
+  if (isZero() || o.isZero()) return Monomial();
+  std::map<std::string, int> exps = exponents_;
+  for (const auto& [name, e] : o.exponents_) {
+    exps[name] += e;
+  }
+  return Monomial(coeff_ * o.coeff_, std::move(exps));
+}
+
+Monomial Monomial::operator/(const Monomial& o) const {
+  if (o.isZero()) {
+    throw support::DivisionByZeroError("division by the zero monomial");
+  }
+  if (isZero()) return Monomial();
+  std::map<std::string, int> exps = exponents_;
+  for (const auto& [name, e] : o.exponents_) {
+    exps[name] -= e;
+  }
+  return Monomial(coeff_ / o.coeff_, std::move(exps));
+}
+
+Monomial Monomial::pow(int e) const {
+  if (e == 0) return Monomial::one();
+  if (isZero()) {
+    if (e < 0) {
+      throw support::DivisionByZeroError("negative power of zero monomial");
+    }
+    return Monomial();
+  }
+  Monomial out = Monomial::one();
+  Monomial base = e < 0 ? Monomial::one() / *this : *this;
+  int n = e < 0 ? -e : e;
+  for (int i = 0; i < n; ++i) out = out * base;
+  return out;
+}
+
+Monomial Monomial::scaled(const Rational& c) const {
+  if (c.isZero()) return Monomial();
+  Monomial m = *this;
+  m.coeff_ = m.coeff_ * c;
+  return m;
+}
+
+Rational Monomial::evaluate(const Environment& env) const {
+  Rational value = coeff_;
+  for (const auto& [name, e] : exponents_) {
+    const std::int64_t v = env.lookup(name);
+    Rational power(1);
+    for (int i = 0; i < (e < 0 ? -e : e); ++i) {
+      power = power * Rational(v);
+    }
+    value = e < 0 ? value / power : value * power;
+  }
+  return value;
+}
+
+std::string Monomial::toString() const {
+  if (isZero()) return "0";
+  if (exponents_.empty()) return coeff_.toString();
+
+  // Distinct parameters are separated by '*' so the rendering re-parses
+  // unambiguously ("b*L", not "bL" which would read as one identifier).
+  std::string vars;
+  for (const auto& [name, e] : exponents_) {
+    if (!vars.empty()) vars += "*";
+    vars += name;
+    if (e != 1) vars += "^" + std::to_string(e);
+  }
+  if (coeff_.isOne()) return vars;
+  if (coeff_ == Rational(-1)) return "-" + vars;
+  if (coeff_.isInteger()) return coeff_.toString() + vars;
+  return "(" + coeff_.toString() + ")" + vars;
+}
+
+Monomial monomialGcd(const Monomial& a, const Monomial& b) {
+  if (a.isZero()) return b.coeff().isNegative() ? -b : b;
+  if (b.isZero()) return a.coeff().isNegative() ? -a : a;
+  std::map<std::string, int> exps;
+  for (const auto& [name, e] : a.exponents()) {
+    const int f = b.exponentOf(name);
+    const int m = std::min(e, f);
+    if (m != 0) exps[name] = m;
+  }
+  // Parameters present only in b with a negative exponent also contribute
+  // (min(0, f) = f < 0); positive-only-in-b parameters contribute 0.
+  for (const auto& [name, f] : b.exponents()) {
+    if (a.exponentOf(name) == 0 && f < 0) exps[name] = f;
+  }
+  return Monomial(support::rationalGcd(a.coeff(), b.coeff()), std::move(exps));
+}
+
+}  // namespace tpdf::symbolic

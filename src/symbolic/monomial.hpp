@@ -1,0 +1,91 @@
+// Monomials: rational coefficient times a product of parameter powers.
+//
+// Every individual rate in the paper (p, 2p, beta*N, ...) is a monomial;
+// sums of monomials (beta*(N+L)) live one layer up in Expr.  Monomials are
+// closed under multiplication and exact division (exponents may go
+// negative transiently while solving balance equations, e.g. r_C = p/2
+// before normalization).
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "support/rational.hpp"
+#include "symbolic/env.hpp"
+
+namespace tpdf::symbolic {
+
+/// coeff * prod(param_i ^ exp_i) with nonzero exponents only and, for the
+/// zero monomial, an empty exponent map.
+class Monomial {
+ public:
+  /// The zero monomial.
+  Monomial() = default;
+
+  /// A constant monomial.
+  explicit Monomial(support::Rational coeff);
+
+  /// coeff * name^1.
+  Monomial(support::Rational coeff, const std::string& name);
+
+  Monomial(support::Rational coeff, std::map<std::string, int> exponents);
+
+  static Monomial one() { return Monomial(support::Rational(1)); }
+  static Monomial param(const std::string& name) {
+    return Monomial(support::Rational(1), name);
+  }
+
+  const support::Rational& coeff() const { return coeff_; }
+  const std::map<std::string, int>& exponents() const { return exponents_; }
+
+  bool isZero() const { return coeff_.isZero(); }
+  bool isConstant() const { return exponents_.empty(); }
+  bool isOne() const { return coeff_.isOne() && exponents_.empty(); }
+
+  /// Exponent of `name` (0 if absent).
+  int exponentOf(const std::string& name) const;
+
+  Monomial operator-() const;
+  Monomial operator*(const Monomial& o) const;
+  /// Exact division; always defined for nonzero divisor because negative
+  /// exponents are representable.
+  Monomial operator/(const Monomial& o) const;
+  Monomial pow(int e) const;
+
+  /// Multiplies only the coefficient.
+  Monomial scaled(const support::Rational& c) const;
+
+  bool operator==(const Monomial& o) const {
+    return coeff_ == o.coeff_ && exponents_ == o.exponents_;
+  }
+  bool operator!=(const Monomial& o) const { return !(*this == o); }
+
+  /// True when the exponent maps are equal (the terms can be summed).
+  bool samePowerProduct(const Monomial& o) const {
+    return exponents_ == o.exponents_;
+  }
+
+  /// Deterministic order on power products (lexicographic on the exponent
+  /// map), used to canonicalize Expr term lists.
+  static bool powerProductLess(const Monomial& a, const Monomial& b) {
+    return a.exponents_ < b.exponents_;
+  }
+
+  support::Rational evaluate(const Environment& env) const;
+
+  /// "0", "3/2", "p", "2p", "p^2q", "(1/2)p".
+  std::string toString() const;
+
+ private:
+  void dropZeroExponents();
+
+  support::Rational coeff_ = support::Rational(0);
+  std::map<std::string, int> exponents_;
+};
+
+/// gcd of two monomials: rationalGcd of the coefficients and, per
+/// parameter, the minimum exponent occurring in *both* maps (a parameter
+/// absent from one side contributes exponent 0).  gcd(0, m) == |m|.
+Monomial monomialGcd(const Monomial& a, const Monomial& b);
+
+}  // namespace tpdf::symbolic

@@ -1,0 +1,144 @@
+// Recursive-descent parser for rate expressions.
+//
+// Grammar (standard precedence, implicit multiplication by juxtaposition):
+//   expr   := term (('+' | '-') term)*
+//   term   := unary (('*' | '/')? unary)*      -- absent operator means '*'
+//   unary  := '-' unary | primary
+//   primary:= INTEGER | IDENT | '(' expr ')'
+// Division must be exact in the Laurent-polynomial sense.
+#include <cctype>
+#include <cstdint>
+
+#include "support/checked.hpp"
+#include "support/error.hpp"
+#include "symbolic/expr.hpp"
+
+namespace tpdf::symbolic {
+namespace {
+
+class ExprParser {
+ public:
+  explicit ExprParser(const std::string& text) : text_(text) {}
+
+  Expr parse() {
+    const Expr e = parseExprRule();
+    skipSpace();
+    if (pos_ != text_.size()) {
+      fail("unexpected trailing input '" + text_.substr(pos_) + "'");
+    }
+    return e;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw support::ParseError("expression error: " + message, 1,
+                              static_cast<int>(pos_) + 1);
+  }
+
+  void skipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skipSpace();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  bool startsPrimary() {
+    const char c = peek();
+    return c == '(' || std::isdigit(static_cast<unsigned char>(c)) ||
+           std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+  }
+
+  Expr parseExprRule() {
+    Expr value = parseTerm();
+    while (true) {
+      const char c = peek();
+      if (c == '+') {
+        ++pos_;
+        value += parseTerm();
+      } else if (c == '-') {
+        ++pos_;
+        value -= parseTerm();
+      } else {
+        return value;
+      }
+    }
+  }
+
+  Expr parseTerm() {
+    Expr value = parseUnary();
+    while (true) {
+      const char c = peek();
+      if (c == '*') {
+        ++pos_;
+        value *= parseUnary();
+      } else if (c == '/') {
+        ++pos_;
+        const Expr divisor = parseUnary();
+        const auto q = value.divideExact(divisor);
+        if (!q) {
+          fail("inexact division of '" + value.toString() + "' by '" +
+               divisor.toString() + "'");
+        }
+        value = *q;
+      } else if (startsPrimary()) {
+        value *= parseUnary();  // juxtaposition: "2p", "beta(N+L)"
+      } else {
+        return value;
+      }
+    }
+  }
+
+  Expr parseUnary() {
+    if (peek() == '-') {
+      ++pos_;
+      return -parseUnary();
+    }
+    return parsePrimary();
+  }
+
+  Expr parsePrimary() {
+    const char c = peek();
+    if (c == '(') {
+      ++pos_;
+      const Expr inner = parseExprRule();
+      if (peek() != ')') fail("expected ')'");
+      ++pos_;
+      return inner;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::int64_t value = 0;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        value = support::checkedAdd(support::checkedMul(value, 10),
+                                    text_[pos_] - '0');
+        ++pos_;
+      }
+      return Expr(value);
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string name;
+      while (pos_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+              text_[pos_] == '_')) {
+        name += text_[pos_];
+        ++pos_;
+      }
+      return Expr::param(name);
+    }
+    fail(std::string("unexpected character '") + c + "'");
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Expr parseExpr(const std::string& text) { return ExprParser(text).parse(); }
+
+}  // namespace tpdf::symbolic

@@ -1,0 +1,272 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/fft.hpp"
+#include "apps/fmradio.hpp"
+#include "apps/ofdm.hpp"
+#include "apps/qam.hpp"
+#include "support/error.hpp"
+#include "support/prng.hpp"
+
+namespace tpdf::apps {
+namespace {
+
+std::vector<std::uint8_t> randomBits(std::size_t n, std::uint64_t seed) {
+  support::Prng rng(seed);
+  std::vector<std::uint8_t> bits(n);
+  for (auto& b : bits) b = rng.chance(0.5) ? 1 : 0;
+  return bits;
+}
+
+// ---- FFT ---------------------------------------------------------------
+
+TEST(Fft, MatchesNaiveDftOnRandomInput) {
+  support::Prng rng(11);
+  for (std::size_t n : {2u, 8u, 64u}) {
+    std::vector<Cplx> data(n);
+    for (Cplx& c : data) c = Cplx(rng.gaussian(), rng.gaussian());
+    std::vector<Cplx> viaFft = data;
+    fft(viaFft);
+    const std::vector<Cplx> viaDft = naiveDft(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(viaFft[i].real(), viaDft[i].real(), 1e-9) << n << ":" << i;
+      EXPECT_NEAR(viaFft[i].imag(), viaDft[i].imag(), 1e-9);
+    }
+  }
+}
+
+TEST(Fft, DeltaTransformsToConstant) {
+  std::vector<Cplx> data(16, Cplx(0.0, 0.0));
+  data[0] = Cplx(1.0, 0.0);
+  fft(data);
+  for (const Cplx& c : data) {
+    EXPECT_NEAR(c.real(), 1.0, 1e-12);
+    EXPECT_NEAR(c.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, InverseRecoversSignal) {
+  support::Prng rng(13);
+  std::vector<Cplx> data(128);
+  for (Cplx& c : data) c = Cplx(rng.gaussian(), rng.gaussian());
+  std::vector<Cplx> copy = data;
+  fft(copy);
+  ifft(copy);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(copy[i].real(), data[i].real(), 1e-9);
+    EXPECT_NEAR(copy[i].imag(), data[i].imag(), 1e-9);
+  }
+}
+
+TEST(Fft, ParsevalEnergyConservation) {
+  support::Prng rng(17);
+  std::vector<Cplx> data(256);
+  double timeEnergy = 0.0;
+  for (Cplx& c : data) {
+    c = Cplx(rng.gaussian(), rng.gaussian());
+    timeEnergy += std::norm(c);
+  }
+  fft(data);
+  double freqEnergy = 0.0;
+  for (const Cplx& c : data) freqEnergy += std::norm(c);
+  EXPECT_NEAR(freqEnergy, timeEnergy * 256.0, timeEnergy * 1e-9);
+}
+
+TEST(Fft, NonPowerOfTwoRejected) {
+  std::vector<Cplx> data(12);
+  EXPECT_THROW(fft(data), support::Error);
+  EXPECT_FALSE(isPowerOfTwo(12));
+  EXPECT_TRUE(isPowerOfTwo(512));
+}
+
+// ---- QAM ----------------------------------------------------------------
+
+class QamRoundTrip : public ::testing::TestWithParam<Constellation> {};
+
+TEST_P(QamRoundTrip, LosslessOverPerfectChannel) {
+  const Constellation c = GetParam();
+  const auto bits =
+      randomBits(static_cast<std::size_t>(bitsPerSymbol(c)) * 100, 23);
+  EXPECT_EQ(qamDemodulate(qamModulate(bits, c), c), bits);
+}
+
+TEST_P(QamRoundTrip, UnitAveragePower) {
+  const Constellation c = GetParam();
+  const auto bits =
+      randomBits(static_cast<std::size_t>(bitsPerSymbol(c)) * 4096, 29);
+  const auto symbols = qamModulate(bits, c);
+  double power = 0.0;
+  for (const Cplx& s : symbols) power += std::norm(s);
+  power /= static_cast<double>(symbols.size());
+  EXPECT_NEAR(power, 1.0, 0.05);
+}
+
+TEST_P(QamRoundTrip, SurvivesModerateNoise) {
+  const Constellation c = GetParam();
+  const auto bits =
+      randomBits(static_cast<std::size_t>(bitsPerSymbol(c)) * 256, 31);
+  auto symbols = qamModulate(bits, c);
+  support::Prng rng(37);
+  // Noise well below half the minimum constellation distance.
+  const double sigma = c == Constellation::Qpsk ? 0.2 : 0.05;
+  for (Cplx& s : symbols) {
+    s += Cplx(rng.gaussian() * sigma, rng.gaussian() * sigma);
+  }
+  const auto decoded = qamDemodulate(symbols, c);
+  std::size_t errors = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i] != decoded[i]) ++errors;
+  }
+  EXPECT_LT(static_cast<double>(errors) / static_cast<double>(bits.size()),
+            0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothConstellations, QamRoundTrip,
+                         ::testing::Values(Constellation::Qpsk,
+                                           Constellation::Qam16));
+
+TEST(Qam, MisalignedBitCountRejected) {
+  EXPECT_THROW(qamModulate({1, 0, 1}, Constellation::Qpsk),
+               support::Error);
+  EXPECT_THROW(qamModulate({1, 0, 1}, Constellation::Qam16),
+               support::Error);
+}
+
+TEST(Qam, GrayMappingAdjacentLevelsDifferInOneBit) {
+  // 16-QAM: symbols at adjacent I levels decode to bit strings with
+  // Hamming distance 1 on the I bits.
+  const double levels[4] = {-3.0, -1.0, 1.0, 3.0};
+  const double scale = 1.0 / std::sqrt(10.0);
+  for (int i = 0; i + 1 < 4; ++i) {
+    const auto a = qamDemodulate({Cplx(levels[i] * scale, -3.0 * scale)},
+                                 Constellation::Qam16);
+    const auto b = qamDemodulate({Cplx(levels[i + 1] * scale, -3.0 * scale)},
+                                 Constellation::Qam16);
+    int distance = 0;
+    for (std::size_t k = 0; k < 2; ++k) {
+      if (a[k] != b[k]) ++distance;
+    }
+    EXPECT_EQ(distance, 1) << "levels " << i << "," << i + 1;
+  }
+}
+
+// ---- OFDM signal chain ----------------------------------------------------
+
+class OfdmChain : public ::testing::TestWithParam<
+                      std::tuple<int, Constellation, int>> {};
+
+TEST_P(OfdmChain, PerfectChannelRoundTrip) {
+  OfdmConfig config;
+  config.symbolLength = std::get<0>(GetParam());
+  config.constellation = std::get<1>(GetParam());
+  config.vectorization = std::get<2>(GetParam());
+  config.cyclicPrefix = 8;
+
+  const auto bits = randomBits(
+      static_cast<std::size_t>(config.bitsPerOfdmSymbol()) *
+          static_cast<std::size_t>(config.vectorization),
+      41);
+  const auto samples = ofdmModulate(bits, config);
+  EXPECT_EQ(samples.size(),
+            static_cast<std::size_t>(config.vectorization) *
+                static_cast<std::size_t>(config.symbolLength +
+                                         config.cyclicPrefix));
+  EXPECT_EQ(ofdmDemodulate(samples, config), bits);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, OfdmChain,
+    ::testing::Combine(::testing::Values(64, 512),
+                       ::testing::Values(Constellation::Qpsk,
+                                         Constellation::Qam16),
+                       ::testing::Values(1, 4)));
+
+TEST(Ofdm, CyclicPrefixAbsorbsChannelGainAndNoise) {
+  OfdmConfig config;
+  config.symbolLength = 256;
+  config.cyclicPrefix = 16;
+  config.constellation = Constellation::Qpsk;
+  const auto bits = randomBits(
+      static_cast<std::size_t>(config.bitsPerOfdmSymbol()), 47);
+  auto samples = ofdmModulate(bits, config);
+  // Unit-magnitude channel gain rotates every carrier identically;
+  // QPSK at this SNR still decodes after derotation by the known gain.
+  const Cplx gain(0.8, 0.6);  // |gain| = 1
+  samples = applyChannel(samples, gain, 0.002, 53);
+  for (Cplx& s : samples) s /= gain;  // one-tap equalizer
+  EXPECT_EQ(ofdmDemodulate(samples, config), bits);
+}
+
+TEST(Ofdm, WrongBitCountRejected) {
+  OfdmConfig config;
+  EXPECT_THROW(ofdmModulate(randomBits(10, 1), config), support::Error);
+}
+
+TEST(Ofdm, NonPowerOfTwoSymbolLengthRejected) {
+  OfdmConfig config;
+  config.symbolLength = 500;
+  EXPECT_THROW(
+      ofdmModulate(randomBits(static_cast<std::size_t>(
+                                  config.bitsPerOfdmSymbol()),
+                              1),
+                   config),
+      support::Error);
+}
+
+// ---- FM radio DSP ---------------------------------------------------------
+
+TEST(Fir, LowPassPassesDcBlocksNyquist) {
+  const auto taps = lowPassTaps(63, 0.1);
+  // DC gain 1 (normalized).
+  double dc = 0.0;
+  for (double t : taps) dc += t;
+  EXPECT_NEAR(dc, 1.0, 1e-9);
+  // Nyquist-rate alternating signal is strongly attenuated.
+  std::vector<double> nyquist(512);
+  for (std::size_t i = 0; i < nyquist.size(); ++i) {
+    nyquist[i] = (i % 2 == 0) ? 1.0 : -1.0;
+  }
+  const auto filtered = firFilter(nyquist, taps);
+  double peak = 0.0;
+  for (std::size_t i = taps.size(); i < filtered.size(); ++i) {
+    peak = std::max(peak, std::abs(filtered[i]));
+  }
+  EXPECT_LT(peak, 0.01);
+}
+
+TEST(Fir, DecimationShrinksOutput) {
+  const auto taps = lowPassTaps(31, 0.2);
+  const std::vector<double> signal(100, 1.0);
+  EXPECT_EQ(firFilter(signal, taps, 4).size(), 25u);
+  EXPECT_THROW(firFilter(signal, taps, 0), support::Error);
+}
+
+TEST(Fir, BandPassRejectsDc) {
+  const auto taps = bandPassTaps(63, 0.05, 0.15);
+  double dc = 0.0;
+  for (double t : taps) dc += t;
+  EXPECT_NEAR(dc, 0.0, 1e-9);
+  EXPECT_THROW(bandPassTaps(63, 0.2, 0.1), support::Error);
+}
+
+TEST(FmRadio, TestSignalIsBoundedAndDeterministic) {
+  const auto a = fmTestSignal(1000, 48000.0, 5);
+  const auto b = fmTestSignal(1000, 48000.0, 5);
+  EXPECT_EQ(a, b);
+  for (double v : a) {
+    EXPECT_LE(std::abs(v), 1.0 + 1e-9);
+  }
+}
+
+TEST(FmRadio, DemodulatorProducesFiniteAudio) {
+  const auto rf = fmTestSignal(4096, 48000.0, 7);
+  const auto audio = fmDemodulate(rf, 48000.0, 1500.0);
+  ASSERT_EQ(audio.size(), rf.size() - 2);
+  for (double v : audio) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+}  // namespace
+}  // namespace tpdf::apps

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "apps/edge.hpp"
+#include "apps/image.hpp"
+#include "support/error.hpp"
+
+namespace tpdf::apps {
+namespace {
+
+TEST(Image, ConstructionAndAccess) {
+  Image img(4, 3, 7.0f);
+  EXPECT_EQ(img.width(), 4);
+  EXPECT_EQ(img.height(), 3);
+  EXPECT_EQ(img.pixelCount(), 12u);
+  EXPECT_EQ(img.at(2, 1), 7.0f);
+  img.at(2, 1) = 99.0f;
+  EXPECT_EQ(img.at(2, 1), 99.0f);
+}
+
+TEST(Image, InvalidDimensionsRejected) {
+  EXPECT_THROW(Image(0, 5), support::Error);
+  EXPECT_THROW(Image(5, -1), support::Error);
+}
+
+TEST(Image, ClampedAccessAtBorders) {
+  Image img(2, 2);
+  img.at(0, 0) = 1.0f;
+  img.at(1, 1) = 4.0f;
+  EXPECT_EQ(img.atClamped(-5, -5), 1.0f);
+  EXPECT_EQ(img.atClamped(10, 10), 4.0f);
+}
+
+TEST(Image, MeanAbsDiff) {
+  Image a(2, 2, 10.0f);
+  Image b(2, 2, 13.0f);
+  EXPECT_DOUBLE_EQ(a.meanAbsDiff(b), 3.0);
+  EXPECT_THROW(a.meanAbsDiff(Image(3, 3)), support::Error);
+}
+
+TEST(Image, PgmRoundTrip) {
+  Image img = syntheticScene(32, 24, 5);
+  const std::string path = ::testing::TempDir() + "/scene.pgm";
+  img.writePgm(path);
+  const Image back = Image::readPgm(path);
+  ASSERT_EQ(back.width(), 32);
+  ASSERT_EQ(back.height(), 24);
+  // Quantization to bytes loses at most 0.5 per pixel.
+  EXPECT_LE(img.meanAbsDiff(back), 0.5 + 1e-6);
+}
+
+TEST(Image, SyntheticSceneIsDeterministic) {
+  const Image a = syntheticScene(64, 64, 42);
+  const Image b = syntheticScene(64, 64, 42);
+  EXPECT_DOUBLE_EQ(a.meanAbsDiff(b), 0.0);
+  const Image c = syntheticScene(64, 64, 43);
+  EXPECT_GT(a.meanAbsDiff(c), 0.0);
+}
+
+// ---- Detector correctness on a known edge ------------------------------
+
+class DetectorOnStep : public ::testing::TestWithParam<int> {
+ protected:
+  // Detector index: 0 QuickMask, 1 Sobel, 2 Prewitt, 3 Canny.
+  Image detect(const Image& input) const {
+    switch (GetParam()) {
+      case 0:
+        return quickMask(input);
+      case 1:
+        return sobel(input);
+      case 2:
+        return prewitt(input);
+      default:
+        return canny(input);
+    }
+  }
+};
+
+TEST_P(DetectorOnStep, RespondsAtTheStepAndNowhereElse) {
+  const Image input = verticalStep(64, 32);
+  const Image edges = detect(input);
+  const int mid = input.width() / 2;
+
+  // Strong response in the two columns adjacent to the step.
+  double nearStep = 0.0;
+  for (int y = 4; y < input.height() - 4; ++y) {
+    nearStep = std::max<double>(
+        nearStep, std::max(edges.at(mid - 1, y), edges.at(mid, y)));
+  }
+  EXPECT_GT(nearStep, 100.0);
+
+  // Silence far from the step.
+  for (int y = 4; y < input.height() - 4; ++y) {
+    EXPECT_LT(edges.at(8, y), 1.0) << "y=" << y;
+    EXPECT_LT(edges.at(input.width() - 8, y), 1.0) << "y=" << y;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDetectors, DetectorOnStep,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(Detectors, FlatImageProducesNoEdges) {
+  const Image flat(32, 32, 128.0f);
+  EXPECT_DOUBLE_EQ(edgeDensity(quickMask(flat), 1.0f), 0.0);
+  EXPECT_DOUBLE_EQ(edgeDensity(sobel(flat), 1.0f), 0.0);
+  EXPECT_DOUBLE_EQ(edgeDensity(prewitt(flat), 1.0f), 0.0);
+  EXPECT_DOUBLE_EQ(edgeDensity(canny(flat), 1.0f), 0.0);
+}
+
+TEST(Detectors, CannyOutputIsBinary) {
+  const Image edges = canny(syntheticScene(96, 96, 3));
+  for (float v : edges.data()) {
+    EXPECT_TRUE(v == 0.0f || v == 255.0f);
+  }
+}
+
+TEST(Detectors, CannyThinsEdgesComparedToSobel) {
+  // Non-maximum suppression: Canny marks far fewer pixels than the raw
+  // Sobel magnitude exceeds the low threshold.
+  const Image scene = syntheticScene(128, 128, 9);
+  const double sobelDensity = edgeDensity(sobel(scene), 60.0f);
+  const double cannyDensity = edgeDensity(canny(scene), 128.0f);
+  EXPECT_GT(sobelDensity, 0.0);
+  EXPECT_GT(cannyDensity, 0.0);
+  EXPECT_LT(cannyDensity, sobelDensity);
+}
+
+TEST(Detectors, HysteresisConnectsWeakEdges) {
+  // A step with moderate contrast: pure high-thresholding misses parts
+  // that hysteresis recovers through connectivity.
+  const Image input = verticalStep(64, 64, 100.0f, 150.0f);
+  CannyOptions strict;
+  strict.lowThreshold = 200.0f;   // nothing survives
+  strict.highThreshold = 250.0f;
+  const Image none = canny(input, strict);
+  EXPECT_DOUBLE_EQ(edgeDensity(none), 0.0);
+
+  CannyOptions lenient;
+  lenient.lowThreshold = 10.0f;
+  lenient.highThreshold = 30.0f;
+  const Image found = canny(input, lenient);
+  EXPECT_GT(edgeDensity(found), 0.0);
+}
+
+TEST(Detectors, EdgeDensityThresholdBehaviour) {
+  Image img(10, 1, 0.0f);
+  for (int x = 0; x < 5; ++x) img.at(x, 0) = 200.0f;
+  EXPECT_DOUBLE_EQ(edgeDensity(img, 128.0f), 0.5);
+  EXPECT_DOUBLE_EQ(edgeDensity(img, 250.0f), 0.0);
+}
+
+}  // namespace
+}  // namespace tpdf::apps

@@ -1,0 +1,160 @@
+#include "core/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/papergraphs.hpp"
+#include "core/model.hpp"
+#include "graph/builder.hpp"
+
+namespace tpdf::core {
+namespace {
+
+using graph::Graph;
+using graph::GraphBuilder;
+
+TEST(Analysis, Figure2FullChainIsBounded) {
+  const AnalysisReport report = analyze(apps::fig2TpdfModel());
+  EXPECT_TRUE(report.consistent());
+  EXPECT_TRUE(report.rateSafe());
+  EXPECT_TRUE(report.live());
+  EXPECT_TRUE(report.bounded());
+}
+
+TEST(Analysis, Figure1CsdfIsBounded) {
+  const AnalysisReport report = analyze(apps::fig1Csdf());
+  EXPECT_TRUE(report.bounded());
+  EXPECT_EQ(report.repetition.toString(), "[3, 2, 2]");
+}
+
+TEST(Analysis, Figure4VariantsAreBounded) {
+  EXPECT_TRUE(analyze(apps::fig4aCycle()).bounded());
+  EXPECT_TRUE(analyze(apps::fig4bCycle()).bounded());
+}
+
+TEST(Analysis, Figure3SelectDuplicateIsBounded) {
+  EXPECT_TRUE(analyze(apps::fig3SelectDuplicate()).bounded());
+}
+
+TEST(Analysis, InconsistentGraphIsNotBounded) {
+  const Graph g = GraphBuilder("bad")
+      .kernel("A").out("o", "[2]").in("i", "[1]")
+      .kernel("B").in("i", "[1]").out("o", "[1]")
+      .channel("e1", "A.o", "B.i")
+      .channel("e2", "B.o", "A.i", 1)
+      .build();
+  const AnalysisReport report = analyze(g);
+  EXPECT_FALSE(report.consistent());
+  EXPECT_FALSE(report.bounded());
+}
+
+TEST(Analysis, DeadlockedGraphIsNotBounded) {
+  const Graph g = GraphBuilder("dead")
+      .kernel("A").in("i", "[1]").out("o", "[1]")
+      .kernel("B").in("i", "[1]").out("o", "[1]")
+      .channel("e1", "A.o", "B.i")
+      .channel("e2", "B.o", "A.i")
+      .build();
+  const AnalysisReport report = analyze(g);
+  EXPECT_TRUE(report.consistent());
+  EXPECT_FALSE(report.live());
+  EXPECT_FALSE(report.bounded());
+}
+
+TEST(Analysis, ReportRendersAllSections) {
+  const Graph g = apps::fig2Tpdf();
+  const AnalysisReport report = analyze(g);
+  const std::string text = report.toString(g);
+  EXPECT_NE(text.find("rate consistency: CONSISTENT"), std::string::npos);
+  EXPECT_NE(text.find("q = [2, 2p, p, p, 2p, 2p]"), std::string::npos);
+  EXPECT_NE(text.find("rate safety:      SAFE"), std::string::npos);
+  EXPECT_NE(text.find("Area(C) = {B, D, E, F}"), std::string::npos);
+  EXPECT_NE(text.find("liveness:         LIVE"), std::string::npos);
+  EXPECT_NE(text.find("boundedness:      BOUNDED"), std::string::npos);
+}
+
+TEST(Analysis, ReportExplainsFailures) {
+  const Graph g = GraphBuilder("dead")
+      .kernel("A").in("i", "[1]").out("o", "[1]")
+      .kernel("B").in("i", "[1]").out("o", "[1]")
+      .channel("e1", "A.o", "B.i")
+      .channel("e2", "B.o", "A.i")
+      .build();
+  const std::string text = analyze(g).toString(g);
+  EXPECT_NE(text.find("DEADLOCK"), std::string::npos);
+  EXPECT_NE(text.find("NOT GUARANTEED"), std::string::npos);
+}
+
+// ---- TPDF metadata layer ----------------------------------------------
+
+TEST(TpdfModel, RolesAndModesRoundTrip) {
+  const TpdfGraph model = apps::fig2TpdfModel();
+  const graph::ActorId f = *model.graph().findActor("F");
+  ASSERT_EQ(model.modes(f).size(), 2u);
+  EXPECT_EQ(model.modes(f)[0].name, "take_D");
+  EXPECT_EQ(model.modes(f)[1].mode, Mode::SelectOne);
+  ASSERT_TRUE(model.controlPort(f).has_value());
+}
+
+TEST(TpdfModel, DefaultModeIsWaitAll) {
+  const TpdfGraph model = apps::fig2TpdfModel();
+  const graph::ActorId a = *model.graph().findActor("A");
+  ASSERT_EQ(model.modes(a).size(), 1u);
+  EXPECT_EQ(model.modes(a)[0].mode, Mode::WaitAll);
+  EXPECT_EQ(model.role(a), KernelRole::Plain);
+}
+
+TEST(TpdfModel, ControlActorsEnumerated) {
+  const TpdfGraph model = apps::fig2TpdfModel();
+  const auto controls = model.controlActors();
+  ASSERT_EQ(controls.size(), 1u);
+  EXPECT_EQ(model.graph().actor(controls[0]).name, "C");
+  EXPECT_EQ(model.kernels().size(), 5u);
+}
+
+TEST(TpdfModel, ClockMetadata) {
+  Graph g = GraphBuilder("clocked")
+      .control("CLK").ctlOut("o", "[1]")
+      .kernel("K").ctlIn("c", "[1]").in("i", "[1]")
+      .kernel("SRC").out("o", "[1]")
+      .channel("ctl", "CLK.o", "K.c")
+      .channel("data", "SRC.o", "K.i")
+      .build();
+  TpdfGraph model(std::move(g));
+  const graph::ActorId clk = *model.graph().findActor("CLK");
+  EXPECT_EQ(model.controlKind(clk), ControlKind::Regular);
+  model.setClock(clk, 500.0);
+  EXPECT_EQ(model.controlKind(clk), ControlKind::Clock);
+  EXPECT_EQ(model.clockPeriod(clk), 500.0);
+}
+
+TEST(TpdfModel, ClockOnKernelRejected) {
+  TpdfGraph model(apps::fig2Tpdf());
+  EXPECT_THROW(model.setClock(*model.graph().findActor("A"), 500.0),
+               support::ModelError);
+}
+
+TEST(TpdfModel, NonPositiveClockPeriodRejected) {
+  TpdfGraph model(apps::fig2Tpdf());
+  EXPECT_THROW(model.setClock(*model.graph().findActor("C"), 0.0),
+               support::ModelError);
+}
+
+TEST(TpdfModel, ModeSelectingForeignPortRejected) {
+  TpdfGraph model(apps::fig2Tpdf());
+  const graph::ActorId f = *model.graph().findActor("F");
+  // Selecting B's port from F's mode table is rejected by validate().
+  model.setModes(f, {ModeSpec{"bogus", Mode::SelectOne,
+                              {*model.graph().findPort("B.i")}, {}}});
+  EXPECT_THROW(model.validate(), support::ModelError);
+}
+
+TEST(TpdfModel, TransactionNeedsSingleOutput) {
+  // F in Figure 2 has no data output; marking it Transaction is invalid.
+  TpdfGraph model(apps::fig2Tpdf());
+  const graph::ActorId f = *model.graph().findActor("F");
+  model.setRole(f, KernelRole::Transaction);
+  EXPECT_THROW(model.validate(), support::ModelError);
+}
+
+}  // namespace
+}  // namespace tpdf::core

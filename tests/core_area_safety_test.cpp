@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "apps/papergraphs.hpp"
+#include "core/area.hpp"
+#include "core/local.hpp"
+#include "core/safety.hpp"
+#include "graph/builder.hpp"
+
+namespace tpdf::core {
+namespace {
+
+using graph::Graph;
+using graph::GraphBuilder;
+using symbolic::Expr;
+
+// ---- Definition 3: control areas (Example 3) --------------------------
+
+TEST(ControlArea, Figure2AreaOfCMatchesPaper) {
+  const Graph g = apps::fig2Tpdf();
+  const ControlArea area = controlArea(g, *g.findActor("C"));
+
+  EXPECT_EQ(area.prec, (std::set<graph::ActorId>{*g.findActor("B")}));
+  EXPECT_EQ(area.succ, (std::set<graph::ActorId>{*g.findActor("F")}));
+  EXPECT_EQ(area.infl, (std::set<graph::ActorId>{*g.findActor("D"),
+                                                 *g.findActor("E")}));
+  // Area(C) = {B, D, E, F} (Example 3).
+  EXPECT_EQ(area.all,
+            (std::set<graph::ActorId>{*g.findActor("B"), *g.findActor("D"),
+                                      *g.findActor("E"), *g.findActor("F")}));
+  EXPECT_EQ(area.toString(g), "{B, D, E, F}");
+}
+
+TEST(ControlArea, ExcludesTheControlActorItself) {
+  const Graph g = apps::fig2Tpdf();
+  const ControlArea area = controlArea(g, *g.findActor("C"));
+  EXPECT_EQ(area.all.count(*g.findActor("C")), 0u);
+}
+
+// ---- Definition 4: local solutions ------------------------------------
+
+TEST(LocalSolution, Figure2LocalIterationMatchesPaper) {
+  const Graph g = apps::fig2Tpdf();
+  const csdf::RepetitionVector rv = csdf::computeRepetitionVector(g);
+  ASSERT_TRUE(rv.consistent);
+  const ControlArea area = controlArea(g, *g.findActor("C"));
+  const LocalSolution local = localSolution(g, rv, area.all);
+  ASSERT_TRUE(local.ok) << local.diagnostic;
+
+  // q_G = p; local schedule B^2 C D E^2 F^2 (Example 3).
+  EXPECT_EQ(local.qG, Expr::param("p"));
+  EXPECT_EQ(local.of(*g.findActor("B")), Expr(2));
+  EXPECT_EQ(local.of(*g.findActor("D")), Expr(1));
+  EXPECT_EQ(local.of(*g.findActor("E")), Expr(2));
+  EXPECT_EQ(local.of(*g.findActor("F")), Expr(2));
+}
+
+TEST(LocalSolution, WholeGraphHasGcdTwo) {
+  // Over all of Figure 2's actors the r-values are [2,2p,p,p,2p,p];
+  // gcd = 1 (constant 2 and parametric p share no common factor > 1).
+  const Graph g = apps::fig2Tpdf();
+  const csdf::RepetitionVector rv = csdf::computeRepetitionVector(g);
+  std::set<graph::ActorId> all;
+  for (const graph::Actor& a : g.actors()) all.insert(a.id);
+  const LocalSolution local = localSolution(g, rv, all);
+  ASSERT_TRUE(local.ok) << local.diagnostic;
+  EXPECT_EQ(local.qG, Expr(1));
+}
+
+TEST(LocalSolution, EmptySubsetRejected) {
+  const Graph g = apps::fig2Tpdf();
+  const csdf::RepetitionVector rv = csdf::computeRepetitionVector(g);
+  const LocalSolution local = localSolution(g, rv, {});
+  EXPECT_FALSE(local.ok);
+}
+
+TEST(LocalSolution, InconsistentGraphRejected) {
+  const Graph g = apps::fig2Tpdf();
+  csdf::RepetitionVector broken;
+  broken.consistent = false;
+  broken.diagnostic = "synthetic";
+  const LocalSolution local =
+      localSolution(g, broken, {*g.findActor("B")});
+  EXPECT_FALSE(local.ok);
+}
+
+// ---- Definition 5: rate safety ----------------------------------------
+
+TEST(RateSafety, Figure2IsSafe) {
+  const Graph g = apps::fig2Tpdf();
+  const csdf::RepetitionVector rv = csdf::computeRepetitionVector(g);
+  const RateSafetyReport report = checkRateSafety(g, rv);
+  ASSERT_TRUE(report.safe) << report.diagnostic;
+  ASSERT_EQ(report.perControl.size(), 1u);
+  const ControlSafety& cs = report.perControl[0];
+  EXPECT_EQ(cs.firingsPerLocalIteration, Expr(1));
+  EXPECT_TRUE(cs.safe);
+}
+
+TEST(RateSafety, GraphWithoutControlActorsIsTriviallySafe) {
+  const Graph g = apps::fig1Csdf();
+  const csdf::RepetitionVector rv = csdf::computeRepetitionVector(g);
+  const RateSafetyReport report = checkRateSafety(g, rv);
+  EXPECT_TRUE(report.safe);
+  EXPECT_TRUE(report.perControl.empty());
+}
+
+TEST(RateSafety, ViolationDetectedWhenControlFiresTwicePerLocalIteration) {
+  // A feeds C two trigger tokens per firing, so C fires twice per local
+  // iteration of its area {A, B} (q = [1, 2, 2], q_G = 1): consistent,
+  // but violates Definition 5 (X_A(q^L_A) = 2 != Y_C(1) = 1).
+  const Graph g = GraphBuilder("unsafe")
+      .kernel("A").out("d", "[2]").out("s", "[2]")
+      .kernel("B").in("i", "[1]").ctlIn("c", "[1]")
+      .control("C").in("i", "[1]").ctlOut("o", "[1]")
+      .channel("data", "A.d", "B.i")
+      .channel("trig", "A.s", "C.i")
+      .channel("ctl", "C.o", "B.c")
+      .build();
+  const csdf::RepetitionVector rv = csdf::computeRepetitionVector(g);
+  ASSERT_TRUE(rv.consistent) << rv.diagnostic;
+  const RateSafetyReport report = checkRateSafety(g, rv);
+  EXPECT_FALSE(report.safe);
+  EXPECT_FALSE(report.diagnostic.empty());
+}
+
+TEST(RateSafety, InconsistentGraphReportsUpstreamFailure) {
+  const Graph g = GraphBuilder("inconsistent")
+      .kernel("A").out("o", "[2]").in("i", "[1]")
+      .kernel("B").in("i", "[1]").out("o", "[1]")
+      .channel("e1", "A.o", "B.i")
+      .channel("e2", "B.o", "A.i", 1)
+      .build();
+  const csdf::RepetitionVector rv = csdf::computeRepetitionVector(g);
+  const RateSafetyReport report = checkRateSafety(g, rv);
+  EXPECT_FALSE(report.safe);
+  EXPECT_NE(report.diagnostic.find("not rate consistent"),
+            std::string::npos);
+}
+
+TEST(RateSafety, Figure3SelectDuplicateModelIsSafe) {
+  const TpdfGraph model = apps::fig3SelectDuplicate();
+  const csdf::RepetitionVector rv =
+      csdf::computeRepetitionVector(model.graph());
+  ASSERT_TRUE(rv.consistent) << rv.diagnostic;
+  const RateSafetyReport report = checkRateSafety(model.graph(), rv);
+  EXPECT_TRUE(report.safe) << report.diagnostic;
+}
+
+}  // namespace
+}  // namespace tpdf::core

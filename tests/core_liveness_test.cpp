@@ -1,0 +1,177 @@
+#include "core/liveness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/papergraphs.hpp"
+#include "core/scc.hpp"
+#include "graph/builder.hpp"
+
+namespace tpdf::core {
+namespace {
+
+using graph::Graph;
+using graph::GraphBuilder;
+using symbolic::Environment;
+
+// ---- SCC detection -----------------------------------------------------
+
+TEST(Scc, AcyclicGraphHasOnlyTrivialComponents) {
+  const Graph g = apps::fig2Tpdf();
+  const SccResult scc = stronglyConnectedComponents(g);
+  EXPECT_EQ(scc.members.size(), g.actorCount());
+  EXPECT_TRUE(scc.nonTrivial.empty());
+}
+
+TEST(Scc, CycleDetectedInFigure4) {
+  const Graph g = apps::fig4aCycle();
+  const SccResult scc = stronglyConnectedComponents(g);
+  ASSERT_EQ(scc.nonTrivial.size(), 1u);
+  const auto& cycle = scc.members[scc.nonTrivial[0]];
+  ASSERT_EQ(cycle.size(), 2u);
+  EXPECT_EQ(g.actor(cycle[0]).name, "B");
+  EXPECT_EQ(g.actor(cycle[1]).name, "C");
+}
+
+TEST(Scc, ComponentsEmittedInTopologicalOrder) {
+  const Graph g = apps::fig4aCycle();
+  const SccResult scc = stronglyConnectedComponents(g);
+  // A's singleton component must precede the {B, C} cycle.
+  ASSERT_EQ(scc.members.size(), 2u);
+  EXPECT_EQ(g.actor(scc.members[0][0]).name, "A");
+}
+
+TEST(Scc, SelfLoopIsNonTrivial) {
+  const Graph g = GraphBuilder("selfloop")
+      .kernel("A").in("i", "[1]").out("o", "[1]").out("x", "[1]")
+      .kernel("B").in("i", "[1]")
+      .channel("self", "A.o", "A.i", 1)
+      .channel("e", "A.x", "B.i")
+      .build();
+  const SccResult scc = stronglyConnectedComponents(g);
+  ASSERT_EQ(scc.nonTrivial.size(), 1u);
+  EXPECT_EQ(scc.members[scc.nonTrivial[0]].size(), 1u);
+}
+
+// ---- Figure 4(a): strict clustering succeeds ---------------------------
+
+TEST(Liveness, Figure4aStrictlyClusterable) {
+  const Graph g = apps::fig4aCycle();
+  const csdf::RepetitionVector rv = csdf::computeRepetitionVector(g);
+  ASSERT_TRUE(rv.consistent) << rv.diagnostic;
+
+  const LivenessReport report = checkLiveness(g, rv);
+  ASSERT_TRUE(report.live) << report.diagnostic;
+  ASSERT_EQ(report.cycles.size(), 1u);
+  EXPECT_TRUE(report.cycles[0].strictClusterable);
+  EXPECT_TRUE(report.cycles[0].lateSchedulable);
+  // Local solution q^L_B = q^L_C = 2 with q_G = p (Section III-C).
+  EXPECT_EQ(report.cycles[0].local.qG, symbolic::Expr::param("p"));
+  EXPECT_EQ(report.cycles[0].local.of(*g.findActor("B")),
+            symbolic::Expr(2));
+  EXPECT_EQ(report.cycles[0].local.of(*g.findActor("C")),
+            symbolic::Expr(2));
+  // Schedule A^2 (B^2 C^2)^p as in the paper.
+  EXPECT_EQ(report.parametricSchedule, "A^2 (B^2 C^2)^{p}");
+}
+
+// ---- Figure 4(b): late schedule required -------------------------------
+
+TEST(Liveness, Figure4bNeedsLateSchedule) {
+  const Graph g = apps::fig4bCycle();
+  const csdf::RepetitionVector rv = csdf::computeRepetitionVector(g);
+  ASSERT_TRUE(rv.consistent) << rv.diagnostic;
+
+  const LivenessReport report = checkLiveness(g, rv);
+  ASSERT_TRUE(report.live) << report.diagnostic;
+  ASSERT_EQ(report.cycles.size(), 1u);
+  EXPECT_FALSE(report.cycles[0].strictClusterable);
+  EXPECT_TRUE(report.cycles[0].lateSchedulable);
+  // The interleaved local schedule starts B C ... (no B^2 block fits).
+  const std::string local = report.cycles[0].localSchedule.toString(g);
+  EXPECT_EQ(local.substr(0, 3), "B C");
+}
+
+TEST(Liveness, Figure4bWithoutTokensDeadlocks) {
+  // Removing the initial token kills the cycle entirely.
+  const Graph g = GraphBuilder("fig4b_dead")
+      .param("p")
+      .kernel("A").out("o", "[p,p]")
+      .kernel("B").in("iA", "[1,1]").in("iC", "[1,1]").out("o", "[2,0]")
+      .kernel("C").in("i", "[1]").out("o", "[1]")
+      .channel("e1", "A.o", "B.iA")
+      .channel("e2", "B.o", "C.i")
+      .channel("e3", "C.o", "B.iC", 0)
+      .build();
+  const csdf::RepetitionVector rv = csdf::computeRepetitionVector(g);
+  ASSERT_TRUE(rv.consistent);
+  const LivenessReport report = checkLiveness(g, rv);
+  EXPECT_FALSE(report.live);
+  ASSERT_EQ(report.cycles.size(), 1u);
+  EXPECT_FALSE(report.cycles[0].lateSchedulable);
+  EXPECT_NE(report.diagnostic.find("deadlock"), std::string::npos);
+}
+
+TEST(Liveness, Figure2AcyclicGraphIsLive) {
+  const Graph g = apps::fig2Tpdf();
+  const csdf::RepetitionVector rv = csdf::computeRepetitionVector(g);
+  const LivenessReport report = checkLiveness(g, rv);
+  ASSERT_TRUE(report.live) << report.diagnostic;
+  EXPECT_TRUE(report.cycles.empty());
+  // Parametric schedule renders every actor with its symbolic count.
+  EXPECT_NE(report.parametricSchedule.find("A^2"), std::string::npos);
+  EXPECT_NE(report.parametricSchedule.find("B^{2p}"), std::string::npos);
+}
+
+TEST(Liveness, SampleEnvironmentRespectsCallerBindings) {
+  const Graph g = apps::fig2Tpdf();
+  const csdf::RepetitionVector rv = csdf::computeRepetitionVector(g);
+  const LivenessReport report =
+      checkLiveness(g, rv, Environment{{"p", 7}});
+  ASSERT_TRUE(report.live);
+  EXPECT_EQ(report.sampleEnv.lookup("p"), 7);
+  // One iteration at p = 7: 2 + 14 + 7 + 7 + 14 + 14 firings.
+  EXPECT_EQ(report.sampleSchedule.size(), 58u);
+}
+
+TEST(Liveness, InconsistentGraphShortCircuits) {
+  const Graph g = GraphBuilder("bad")
+      .kernel("A").out("o", "[2]").in("i", "[1]")
+      .kernel("B").in("i", "[1]").out("o", "[1]")
+      .channel("e1", "A.o", "B.i")
+      .channel("e2", "B.o", "A.i", 1)
+      .build();
+  const csdf::RepetitionVector rv = csdf::computeRepetitionVector(g);
+  const LivenessReport report = checkLiveness(g, rv);
+  EXPECT_FALSE(report.live);
+  EXPECT_NE(report.diagnostic.find("not rate consistent"),
+            std::string::npos);
+}
+
+// ---- Parameter sweep: cluster analysis is stable across p --------------
+
+class LivenessSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(LivenessSweep, Figure4aLiveForAllP) {
+  const Graph g = apps::fig4aCycle();
+  const csdf::RepetitionVector rv = csdf::computeRepetitionVector(g);
+  const LivenessReport report =
+      checkLiveness(g, rv, Environment{{"p", GetParam()}});
+  EXPECT_TRUE(report.live) << report.diagnostic;
+  EXPECT_TRUE(report.cycles[0].strictClusterable);
+}
+
+TEST_P(LivenessSweep, Figure4bLiveForAllP) {
+  const Graph g = apps::fig4bCycle();
+  const csdf::RepetitionVector rv = csdf::computeRepetitionVector(g);
+  const LivenessReport report =
+      checkLiveness(g, rv, Environment{{"p", GetParam()}});
+  EXPECT_TRUE(report.live) << report.diagnostic;
+  EXPECT_FALSE(report.cycles[0].strictClusterable);
+  EXPECT_TRUE(report.cycles[0].lateSchedulable);
+}
+
+INSTANTIATE_TEST_SUITE_P(ParameterSweep, LivenessSweep,
+                         ::testing::Values(1, 2, 3, 4, 10, 25));
+
+}  // namespace
+}  // namespace tpdf::core

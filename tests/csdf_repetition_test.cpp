@@ -1,0 +1,203 @@
+#include "csdf/repetition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/papergraphs.hpp"
+#include "graph/builder.hpp"
+#include "support/prng.hpp"
+
+namespace tpdf::csdf {
+namespace {
+
+using graph::Graph;
+using graph::GraphBuilder;
+using symbolic::Environment;
+using symbolic::Expr;
+
+// ---- The paper's Figure 1 -------------------------------------------
+
+TEST(RepetitionVector, Figure1CsdfIsConsistent) {
+  const Graph g = apps::fig1Csdf();
+  const RepetitionVector rv = computeRepetitionVector(g);
+  ASSERT_TRUE(rv.consistent) << rv.diagnostic;
+  EXPECT_EQ(rv.qOf(*g.findActor("a1")), Expr(3));
+  EXPECT_EQ(rv.qOf(*g.findActor("a2")), Expr(2));
+  EXPECT_EQ(rv.qOf(*g.findActor("a3")), Expr(2));
+  EXPECT_EQ(rv.toString(), "[3, 2, 2]");
+}
+
+TEST(RepetitionVector, Figure1TopologyMatrixBalances) {
+  const Graph g = apps::fig1Csdf();
+  const auto gamma = topologyMatrix(g);
+  const RepetitionVector rv = computeRepetitionVector(g);
+  ASSERT_TRUE(rv.consistent);
+  // Gamma * r = 0 (Equation 2).
+  for (std::size_t row = 0; row < gamma.size(); ++row) {
+    Expr sum;
+    for (std::size_t col = 0; col < gamma[row].size(); ++col) {
+      sum += gamma[row][col] * rv.r[col];
+    }
+    EXPECT_TRUE(sum.isZero()) << "row " << row << ": " << sum.toString();
+  }
+}
+
+// ---- The paper's Figure 2 (Example 2) --------------------------------
+
+TEST(RepetitionVector, Figure2TpdfSolution) {
+  const Graph g = apps::fig2Tpdf();
+  const RepetitionVector rv = computeRepetitionVector(g);
+  ASSERT_TRUE(rv.consistent) << rv.diagnostic;
+
+  const Expr p = Expr::param("p");
+  // r = [2, 2p, p, p, 2p, p] (Equation 5, after normalization by 2).
+  EXPECT_EQ(rv.rOf(*g.findActor("A")), Expr(2));
+  EXPECT_EQ(rv.rOf(*g.findActor("B")), Expr(2) * p);
+  EXPECT_EQ(rv.rOf(*g.findActor("C")), p);
+  EXPECT_EQ(rv.rOf(*g.findActor("D")), p);
+  EXPECT_EQ(rv.rOf(*g.findActor("E")), Expr(2) * p);
+  EXPECT_EQ(rv.rOf(*g.findActor("F")), p);
+
+  // q = [2, 2p, p, p, 2p, 2p]: F has tau = 2.
+  EXPECT_EQ(rv.qOf(*g.findActor("F")), Expr(2) * p);
+  EXPECT_EQ(rv.toString(), "[2, 2p, p, p, 2p, 2p]");
+}
+
+TEST(RepetitionVector, Figure2InstantiatesForConcreteP) {
+  const Graph g = apps::fig2Tpdf();
+  const RepetitionVector rv = computeRepetitionVector(g);
+  ASSERT_TRUE(rv.consistent);
+  const Environment env{{"p", 5}};
+  EXPECT_EQ(rv.qOf(*g.findActor("B")).evaluateInt(env), 10);
+  EXPECT_EQ(rv.qOf(*g.findActor("F")).evaluateInt(env), 10);
+  EXPECT_EQ(rv.qOf(*g.findActor("A")).evaluateInt(env), 2);
+}
+
+// ---- Classic SDF cases ------------------------------------------------
+
+TEST(RepetitionVector, SdfChain) {
+  const Graph g = GraphBuilder("chain")
+      .kernel("A").out("o", "[2]")
+      .kernel("B").in("i", "[3]").out("o", "[1]")
+      .kernel("C").in("i", "[2]")
+      .channel("e1", "A.o", "B.i")
+      .channel("e2", "B.o", "C.i")
+      .build();
+  const RepetitionVector rv = computeRepetitionVector(g);
+  ASSERT_TRUE(rv.consistent);
+  EXPECT_EQ(rv.toString(), "[3, 2, 1]");
+}
+
+TEST(RepetitionVector, InconsistentSdfDetected) {
+  // A produces 2 per firing into a cycle that returns only 1.
+  const Graph g = GraphBuilder("inconsistent")
+      .kernel("A").out("o", "[2]").in("i", "[1]")
+      .kernel("B").in("i", "[1]").out("o", "[1]")
+      .channel("e1", "A.o", "B.i")
+      .channel("e2", "B.o", "A.i", 1)
+      .build();
+  const RepetitionVector rv = computeRepetitionVector(g);
+  EXPECT_FALSE(rv.consistent);
+  EXPECT_NE(rv.diagnostic.find("balance violated"), std::string::npos);
+}
+
+TEST(RepetitionVector, ParametricInconsistencyDetected) {
+  // Rates p vs p+1 admit no polynomial ratio.
+  const Graph g = GraphBuilder("param_inconsistent")
+      .param("p")
+      .kernel("A").out("o", "[p]").in("i", "[p]")
+      .kernel("B").in("i", "[p+1]").out("o", "[p]")
+      .channel("e1", "A.o", "B.i")
+      .channel("e2", "B.o", "A.i")
+      .build();
+  const RepetitionVector rv = computeRepetitionVector(g);
+  EXPECT_FALSE(rv.consistent);
+}
+
+TEST(RepetitionVector, ZeroRateEdgeWithNonzeroPeerInconsistent) {
+  const Graph g = GraphBuilder("zero_edge")
+      .kernel("A").out("o", "[0]").in("i", "[1]")
+      .kernel("B").in("i", "[1]").out("o", "[1]")
+      .channel("e1", "A.o", "B.i")
+      .channel("e2", "B.o", "A.i")
+      .build();
+  const RepetitionVector rv = computeRepetitionVector(g);
+  EXPECT_FALSE(rv.consistent);
+}
+
+TEST(RepetitionVector, DisconnectedComponentsSolvedIndependently) {
+  const Graph g = GraphBuilder("two_islands")
+      .kernel("A").out("o", "[1]")
+      .kernel("B").in("i", "[2]")
+      .kernel("X").out("o", "[3]")
+      .kernel("Y").in("i", "[1]")
+      .channel("e1", "A.o", "B.i")
+      .channel("e2", "X.o", "Y.i")
+      .build();
+  const RepetitionVector rv = computeRepetitionVector(g);
+  ASSERT_TRUE(rv.consistent);
+  EXPECT_EQ(rv.toString(), "[2, 1, 1, 3]");
+}
+
+TEST(RepetitionVector, MultiParameterGraph) {
+  const Graph g = GraphBuilder("two_params")
+      .param("p").param("q")
+      .kernel("A").out("o", "[p]")
+      .kernel("B").in("i", "[1]").out("o", "[q]")
+      .kernel("C").in("i", "[1]")
+      .channel("e1", "A.o", "B.i")
+      .channel("e2", "B.o", "C.i")
+      .build();
+  const RepetitionVector rv = computeRepetitionVector(g);
+  ASSERT_TRUE(rv.consistent);
+  EXPECT_EQ(rv.qOf(*g.findActor("A")), Expr(1));
+  EXPECT_EQ(rv.qOf(*g.findActor("B")), Expr::param("p"));
+  EXPECT_EQ(rv.qOf(*g.findActor("C")),
+            Expr::param("p") * Expr::param("q"));
+}
+
+// ---- Property sweep: random consistent chains ------------------------
+
+class RandomChainProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomChainProperty, BalanceHoldsOnRandomChains) {
+  support::Prng rng(GetParam());
+  const int n = static_cast<int>(rng.uniform(2, 8));
+  GraphBuilder b("random_chain");
+  for (int i = 0; i < n; ++i) {
+    const std::string name = "K" + std::to_string(i);
+    b.kernel(name);
+    if (i > 0) {
+      b.in("i", "[" + std::to_string(rng.uniform(1, 6)) + "]");
+    }
+    if (i + 1 < n) {
+      b.out("o", "[" + std::to_string(rng.uniform(1, 6)) + "]");
+    }
+  }
+  for (int i = 0; i + 1 < n; ++i) {
+    b.channel("e" + std::to_string(i), "K" + std::to_string(i) + ".o",
+              "K" + std::to_string(i + 1) + ".i");
+  }
+  const Graph g = b.build();
+  const RepetitionVector rv = computeRepetitionVector(g);
+  ASSERT_TRUE(rv.consistent) << rv.diagnostic;
+
+  // Every channel is balanced and every repetition count is a positive
+  // integer.
+  for (const graph::Channel& c : g.channels()) {
+    const Expr produced = rv.rOf(g.sourceActor(c.id)) *
+                          g.effectiveRates(c.src).periodSum();
+    const Expr consumed = rv.rOf(g.destActor(c.id)) *
+                          g.effectiveRates(c.dst).periodSum();
+    EXPECT_EQ(produced, consumed);
+  }
+  for (const Expr& q : rv.q) {
+    EXPECT_TRUE(q.constant().isInteger());
+    EXPECT_GT(q.constant().toInteger(), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomChainProperty,
+                         ::testing::Range<std::uint64_t>(1, 25));
+
+}  // namespace
+}  // namespace tpdf::csdf

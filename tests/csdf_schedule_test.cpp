@@ -1,0 +1,229 @@
+#include "csdf/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/papergraphs.hpp"
+#include "csdf/buffer.hpp"
+#include "csdf/liveness.hpp"
+#include "graph/builder.hpp"
+
+namespace tpdf::csdf {
+namespace {
+
+using graph::Graph;
+using graph::GraphBuilder;
+using symbolic::Environment;
+
+// ---- Figure 1: schedule (a3)^2 (a1)^3 (a2)^2 -------------------------
+
+TEST(Liveness, Figure1EagerScheduleMatchesPaper) {
+  const Graph g = apps::fig1Csdf();
+  const LivenessResult live = findSchedule(g);
+  ASSERT_TRUE(live.live) << live.diagnostic;
+  EXPECT_EQ(live.schedule.toString(g), "a3^2 a1^3 a2^2");
+  EXPECT_EQ(live.q, (std::vector<std::int64_t>{3, 2, 2}));
+}
+
+TEST(Liveness, Figure1IterationReturnsToInitialState) {
+  const Graph g = apps::fig1Csdf();
+  const LivenessResult live = findSchedule(g);
+  ASSERT_TRUE(live.live);
+  const ScheduleCheck check = validateSchedule(g, live.schedule);
+  ASSERT_TRUE(check.ok) << check.diagnostic;
+  for (const graph::Channel& c : g.channels()) {
+    EXPECT_EQ(check.finalOccupancy[c.id.index()], c.initialTokens)
+        << "channel " << c.name;
+  }
+}
+
+TEST(Liveness, Figure2LiveForSampleParameters) {
+  const Graph g = apps::fig2Tpdf();
+  for (std::int64_t p : {1, 2, 3, 10}) {
+    const LivenessResult live = findSchedule(g, Environment{{"p", p}});
+    EXPECT_TRUE(live.live) << "p=" << p << ": " << live.diagnostic;
+    EXPECT_EQ(static_cast<std::int64_t>(live.schedule.size()),
+              2 + 2 * p + p + p + 2 * p + 2 * p);
+  }
+}
+
+TEST(Liveness, Figure2PaperScheduleIsAdmissible) {
+  // The paper's flat schedule A^2 B^{2p} C^p D^p E^{2p} F^{2p} at p=2.
+  const Graph g = apps::fig2Tpdf();
+  Schedule s;
+  auto push = [&](const std::string& name, std::int64_t count) {
+    for (std::int64_t k = 0; k < count; ++k) {
+      s.order.push_back({*g.findActor(name), k});
+    }
+  };
+  const std::int64_t p = 2;
+  push("A", 2);
+  push("B", 2 * p);
+  push("C", p);
+  push("D", p);
+  push("E", 2 * p);
+  push("F", 2 * p);
+  const ScheduleCheck check = validateSchedule(g, s, Environment{{"p", p}});
+  EXPECT_TRUE(check.ok) << check.diagnostic;
+}
+
+TEST(Liveness, DeadlockedCycleDiagnosed) {
+  // Two-actor cycle with no initial tokens: classic deadlock.
+  const Graph g = GraphBuilder("deadlock")
+      .kernel("A").in("i", "[1]").out("o", "[1]")
+      .kernel("B").in("i", "[1]").out("o", "[1]")
+      .channel("e1", "A.o", "B.i")
+      .channel("e2", "B.o", "A.i")
+      .build();
+  const LivenessResult live = findSchedule(g);
+  EXPECT_FALSE(live.live);
+  EXPECT_NE(live.diagnostic.find("deadlock"), std::string::npos);
+  EXPECT_NE(live.diagnostic.find("A (0/1)"), std::string::npos);
+}
+
+TEST(Liveness, InsufficientInitialTokensDeadlock) {
+  // Same cycle, one initial token but both ends need two.
+  const Graph g = GraphBuilder("starved")
+      .kernel("A").in("i", "[2]").out("o", "[1]")
+      .kernel("B").in("i", "[1]").out("o", "[1]")
+      .channel("e1", "A.o", "B.i")
+      .channel("e2", "B.o", "A.i", 1)
+      .build();
+  const LivenessResult live = findSchedule(g);
+  EXPECT_FALSE(live.live);
+}
+
+TEST(Liveness, SelfLoopWithTokensIsLive) {
+  const Graph g = GraphBuilder("selfloop")
+      .kernel("A").in("i", "[1]").out("o", "[1]").out("x", "[1]")
+      .kernel("B").in("i", "[1]")
+      .channel("self", "A.o", "A.i", 1)
+      .channel("e", "A.x", "B.i")
+      .build();
+  const LivenessResult live = findSchedule(g);
+  EXPECT_TRUE(live.live) << live.diagnostic;
+}
+
+TEST(Schedule, ToStringGroupsRuns) {
+  const Graph g = apps::fig1Csdf();
+  Schedule s;
+  s.order = {{*g.findActor("a3"), 0}, {*g.findActor("a1"), 0},
+             {*g.findActor("a3"), 1}};
+  EXPECT_EQ(s.toString(g), "a3 a1 a3");
+}
+
+TEST(Schedule, CountOf) {
+  const Graph g = apps::fig1Csdf();
+  const LivenessResult live = findSchedule(g);
+  EXPECT_EQ(live.schedule.countOf(*g.findActor("a1")), 3);
+  EXPECT_EQ(live.schedule.countOf(*g.findActor("a2")), 2);
+}
+
+TEST(ValidateSchedule, RejectsUnderflow) {
+  const Graph g = apps::fig1Csdf();
+  Schedule s;
+  s.order = {{*g.findActor("a1"), 0}};  // a1 needs 2 tokens on e3, has 0
+  const ScheduleCheck check = validateSchedule(g, s);
+  EXPECT_FALSE(check.ok);
+  EXPECT_NE(check.diagnostic.find("underflow"), std::string::npos);
+}
+
+TEST(ValidateSchedule, RejectsOutOfOrderFirings) {
+  const Graph g = apps::fig1Csdf();
+  Schedule s;
+  s.order = {{*g.findActor("a3"), 1}};  // skips firing 0
+  const ScheduleCheck check = validateSchedule(g, s);
+  EXPECT_FALSE(check.ok);
+  EXPECT_NE(check.diagnostic.find("out of order"), std::string::npos);
+}
+
+// ---- Buffer analysis --------------------------------------------------
+
+TEST(Buffers, SimpleChainOccupancy) {
+  // A produces 4, B consumes 1 four times: the channel needs 4 slots.
+  const Graph g = GraphBuilder("burst")
+      .kernel("A").out("o", "[4]")
+      .kernel("B").in("i", "[1]")
+      .channel("e", "A.o", "B.i")
+      .build();
+  const BufferReport report = minimumBuffers(g);
+  ASSERT_TRUE(report.ok) << report.diagnostic;
+  EXPECT_EQ(report.of(*g.findChannel("e")), 4);
+  EXPECT_EQ(report.total(), 4);
+}
+
+TEST(Buffers, MinOccupancyBeatsEagerOnDiamond) {
+  // Eager fires the producer repeatedly before draining; the greedy
+  // min-occupancy policy interleaves and needs fewer slots.
+  const Graph g = GraphBuilder("interleave")
+      .kernel("A").out("o", "[1]")
+      .kernel("B").in("i", "[1]").out("o", "[1]")
+      .kernel("C").in("i", "[4]")
+      .channel("e1", "A.o", "B.i")
+      .channel("e2", "B.o", "C.i")
+      .build();
+  const BufferReport lazy =
+      minimumBuffers(g, Environment{}, SchedulePolicy::MinOccupancy);
+  ASSERT_TRUE(lazy.ok);
+  // e2 must accumulate 4 regardless; e1 can stay at 1 when interleaved.
+  EXPECT_EQ(lazy.of(*g.findChannel("e1")), 1);
+  EXPECT_EQ(lazy.of(*g.findChannel("e2")), 4);
+}
+
+TEST(Buffers, InitialTokensCountTowardsOccupancy) {
+  const Graph g = GraphBuilder("initial")
+      .kernel("A").in("i", "[1]").out("o", "[1]")
+      .kernel("B").in("i", "[1]").out("o", "[1]")
+      .channel("fwd", "A.o", "B.i")
+      .channel("bwd", "B.o", "A.i", 3)
+      .build();
+  const BufferReport report = minimumBuffers(g);
+  ASSERT_TRUE(report.ok) << report.diagnostic;
+  EXPECT_GE(report.of(*g.findChannel("bwd")), 3);
+}
+
+TEST(Buffers, ControlAndDataTotalsSeparated) {
+  const Graph g = apps::fig2Tpdf();
+  const BufferReport report = minimumBuffers(g, Environment{{"p", 2}});
+  ASSERT_TRUE(report.ok) << report.diagnostic;
+  EXPECT_GT(report.controlTotal(g), 0);
+  EXPECT_GT(report.dataTotal(g), 0);
+  EXPECT_EQ(report.controlTotal(g) + report.dataTotal(g), report.total());
+}
+
+TEST(Buffers, FailurePropagatesDiagnostic) {
+  const Graph g = GraphBuilder("dead")
+      .kernel("A").in("i", "[1]").out("o", "[1]")
+      .kernel("B").in("i", "[1]").out("o", "[1]")
+      .channel("e1", "A.o", "B.i")
+      .channel("e2", "B.o", "A.i")
+      .build();
+  const BufferReport report = minimumBuffers(g);
+  EXPECT_FALSE(report.ok);
+  EXPECT_FALSE(report.diagnostic.empty());
+}
+
+// ---- Property sweep: occupancies are schedule invariants --------------
+
+class BufferProperty : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(BufferProperty, IterationReturnsToInitialStateOnFig2) {
+  const std::int64_t p = GetParam();
+  const Graph g = apps::fig2Tpdf();
+  const Environment env{{"p", p}};
+  for (const SchedulePolicy policy :
+       {SchedulePolicy::Eager, SchedulePolicy::MinOccupancy}) {
+    const LivenessResult live = findSchedule(g, env, policy);
+    ASSERT_TRUE(live.live) << live.diagnostic;
+    const ScheduleCheck check = validateSchedule(g, live.schedule, env);
+    ASSERT_TRUE(check.ok);
+    for (const graph::Channel& c : g.channels()) {
+      EXPECT_EQ(check.finalOccupancy[c.id.index()], c.initialTokens);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ParameterSweep, BufferProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 16));
+
+}  // namespace
+}  // namespace tpdf::csdf

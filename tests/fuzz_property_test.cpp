@@ -1,0 +1,221 @@
+// Randomized property sweeps across the whole stack: generated graphs
+// must satisfy the invariants the analyses promise, and every module
+// must agree with the others on them.
+#include <gtest/gtest.h>
+
+#include "core/analysis.hpp"
+#include "csdf/buffer.hpp"
+#include "graph/builder.hpp"
+#include "io/format.hpp"
+#include "sched/canonical.hpp"
+#include "sched/list.hpp"
+#include "sim/simulator.hpp"
+#include "support/prng.hpp"
+
+namespace tpdf {
+namespace {
+
+using graph::Graph;
+using graph::GraphBuilder;
+using symbolic::Environment;
+
+/// Generates a random consistent, live, layered DAG: `layers` layers of
+/// 1..3 kernels; every kernel of layer k feeds one kernel of layer k+1;
+/// rates are chosen to keep repetition counts bounded; some actors get
+/// cyclo-static (multi-phase) sequences.
+Graph randomLayeredDag(std::uint64_t seed) {
+  support::Prng rng(seed);
+  const int layers = static_cast<int>(rng.uniform(2, 5));
+  std::vector<std::vector<std::string>> names(
+      static_cast<std::size_t>(layers));
+  for (int l = 0; l < layers; ++l) {
+    const int width = static_cast<int>(rng.uniform(1, 3));
+    for (int i = 0; i < width; ++i) {
+      names[static_cast<std::size_t>(l)].push_back(
+          "L" + std::to_string(l) + "A" + std::to_string(i));
+    }
+  }
+
+  // Edges: every producer in layer l feeds one random consumer in l+1.
+  // Ports are declared lazily through a second pass, so collect first.
+  struct Edge {
+    std::string from;
+    std::string to;
+    std::int64_t prod;
+    std::int64_t cons;
+    bool phased;
+  };
+  std::vector<Edge> edges;
+  for (int l = 0; l + 1 < layers; ++l) {
+    for (const std::string& producer : names[static_cast<std::size_t>(l)]) {
+      const auto& nextLayer = names[static_cast<std::size_t>(l + 1)];
+      const std::string consumer = nextLayer[static_cast<std::size_t>(
+          rng.uniform(0, static_cast<std::int64_t>(nextLayer.size()) - 1))];
+      const std::int64_t k = rng.uniform(1, 3);
+      edges.push_back({producer, consumer, k, k, rng.chance(0.3)});
+    }
+  }
+  // Make sure every layer>0 actor has at least one input (unfed actors
+  // are sources, which is fine; unfed is only a problem for validation
+  // if the actor has no ports at all — give those a self-documenting
+  // source role by feeding them from layer 0).
+  for (int l = 1; l < layers; ++l) {
+    for (const std::string& consumer : names[static_cast<std::size_t>(l)]) {
+      bool fed = false;
+      for (const Edge& e : edges) {
+        if (e.to == consumer) fed = true;
+      }
+      if (!fed) {
+        edges.push_back({names[0][0], consumer, 1, 1, false});
+      }
+    }
+  }
+  // Actors in layer 0 with no outgoing edge would be portless; feed the
+  // last layer from them.
+  for (const std::string& producer : names[0]) {
+    bool used = false;
+    for (const Edge& e : edges) {
+      if (e.from == producer) used = true;
+    }
+    if (!used) {
+      edges.push_back(
+          {producer, names[static_cast<std::size_t>(layers - 1)][0], 1, 1,
+           false});
+    }
+  }
+
+  // Declare ports: builder needs per-actor port declarations in actor
+  // order; rebuild with ports.
+  GraphBuilder b2("dag" + std::to_string(seed));
+  for (int l = 0; l < layers; ++l) {
+    for (const std::string& actor : names[static_cast<std::size_t>(l)]) {
+      b2.kernel(actor);
+      int portIdx = 0;
+      for (const Edge& e : edges) {
+        if (e.from == actor) {
+          if (e.phased) {
+            // Split the rate over two phases with the same period sum.
+            b2.out("o" + std::to_string(portIdx),
+                   "[" + std::to_string(e.prod) + "," +
+                       std::to_string(e.prod) + "]");
+          } else {
+            b2.out("o" + std::to_string(portIdx),
+                   "[" + std::to_string(e.prod) + "]");
+          }
+          ++portIdx;
+        }
+        if (e.to == actor) {
+          b2.in("i" + std::to_string(portIdx),
+                "[" + std::to_string(e.cons) + "]");
+          ++portIdx;
+        }
+      }
+    }
+  }
+  int channelIdx = 0;
+  // Re-derive port names deterministically by walking edges again.
+  std::map<std::string, int> outIdx;
+  std::map<std::string, int> inIdx;
+  for (int l = 0; l < layers; ++l) {
+    for (const std::string& actor : names[static_cast<std::size_t>(l)]) {
+      int portIdx = 0;
+      for (std::size_t e = 0; e < edges.size(); ++e) {
+        if (edges[e].from == actor) {
+          outIdx[actor + "#" + std::to_string(e)] = portIdx++;
+        }
+        if (edges[e].to == actor) {
+          inIdx[actor + "#" + std::to_string(e)] = portIdx++;
+        }
+      }
+    }
+  }
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    const Edge& edge = edges[e];
+    b2.channel("c" + std::to_string(channelIdx++),
+               edge.from + ".o" +
+                   std::to_string(outIdx[edge.from + "#" +
+                                         std::to_string(e)]),
+               edge.to + ".i" +
+                   std::to_string(inIdx[edge.to + "#" +
+                                        std::to_string(e)]));
+  }
+  return b2.build();
+}
+
+class FuzzSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSweep, GeneratedDagsAreConsistentAndLive) {
+  const Graph g = randomLayeredDag(GetParam());
+  const core::AnalysisReport report = core::analyze(g);
+  EXPECT_TRUE(report.consistent()) << report.repetition.diagnostic;
+  EXPECT_TRUE(report.live()) << report.liveness.diagnostic;
+  EXPECT_TRUE(report.bounded());
+}
+
+TEST_P(FuzzSweep, IoRoundTripPreservesAnalyses) {
+  const Graph g = randomLayeredDag(GetParam());
+  const Graph back = io::readGraph(io::writeGraph(g));
+  EXPECT_EQ(csdf::computeRepetitionVector(g).toString(),
+            csdf::computeRepetitionVector(back).toString());
+}
+
+TEST_P(FuzzSweep, ScheduleExecutionReturnsToInitialState) {
+  const Graph g = randomLayeredDag(GetParam());
+  for (const csdf::SchedulePolicy policy :
+       {csdf::SchedulePolicy::Eager, csdf::SchedulePolicy::MinOccupancy}) {
+    const csdf::LivenessResult live = csdf::findSchedule(g, {}, policy);
+    ASSERT_TRUE(live.live) << live.diagnostic;
+    const csdf::ScheduleCheck check = validateSchedule(g, live.schedule);
+    ASSERT_TRUE(check.ok) << check.diagnostic;
+    for (const graph::Channel& c : g.channels()) {
+      EXPECT_EQ(check.finalOccupancy[c.id.index()], c.initialTokens);
+    }
+  }
+}
+
+TEST_P(FuzzSweep, MinOccupancyNeverBeatenByEager) {
+  const Graph g = randomLayeredDag(GetParam());
+  const csdf::BufferReport lazy =
+      csdf::minimumBuffers(g, {}, csdf::SchedulePolicy::MinOccupancy);
+  const csdf::BufferReport eager =
+      csdf::minimumBuffers(g, {}, csdf::SchedulePolicy::Eager);
+  ASSERT_TRUE(lazy.ok);
+  ASSERT_TRUE(eager.ok);
+  EXPECT_LE(lazy.total(), eager.total());
+}
+
+TEST_P(FuzzSweep, SimulatorAgreesWithStaticIterationCounts) {
+  const Graph g = randomLayeredDag(GetParam());
+  const csdf::RepetitionVector rv = csdf::computeRepetitionVector(g);
+  ASSERT_TRUE(rv.consistent);
+
+  core::TpdfGraph model(randomLayeredDag(GetParam()));
+  sim::Simulator simulator(model, Environment{});
+  const sim::SimResult result = simulator.run();
+  ASSERT_TRUE(result.ok) << result.diagnostic;
+  EXPECT_TRUE(result.returnedToInitialState);
+  for (const graph::Actor& a : g.actors()) {
+    EXPECT_EQ(result.firings[a.id.index()],
+              rv.qOf(a.id).constant().toInteger())
+        << a.name;
+  }
+}
+
+TEST_P(FuzzSweep, ListScheduleRespectsDependenciesOnRandomDags) {
+  const Graph g = randomLayeredDag(GetParam());
+  const sched::CanonicalPeriod cp(g, Environment{});
+  const sched::ListSchedule ls =
+      sched::listSchedule(cp, sched::Platform{.peCount = 2});
+  ASSERT_EQ(ls.entries.size(), cp.size());
+  for (std::size_t v = 0; v < cp.size(); ++v) {
+    for (std::size_t s : cp.successors(v)) {
+      EXPECT_GE(ls.of(s).start, ls.of(v).finish - 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace tpdf

@@ -1,0 +1,226 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "support/error.hpp"
+
+namespace tpdf::graph {
+namespace {
+
+using support::ModelError;
+
+Graph simpleChain() {
+  return GraphBuilder("chain")
+      .kernel("A").out("o", "[2]")
+      .kernel("B").in("i", "[1]").out("o", "[1]")
+      .kernel("C").in("i", "[2]")
+      .channel("e1", "A.o", "B.i")
+      .channel("e2", "B.o", "C.i", 1)
+      .build();
+}
+
+TEST(RateSeq, ParseBracketedList) {
+  const RateSeq r = RateSeq::parse("[1,0,1]");
+  EXPECT_EQ(r.length(), 3u);
+  EXPECT_EQ(r.toString(), "[1,0,1]");
+}
+
+TEST(RateSeq, ParseBareExpression) {
+  const RateSeq r = RateSeq::parse("2p");
+  EXPECT_EQ(r.length(), 1u);
+  EXPECT_EQ(r.toString(), "[2p]");
+}
+
+TEST(RateSeq, CumulativeWrapsCyclically) {
+  const RateSeq r = RateSeq::parse("[1,0,2]");
+  EXPECT_EQ(r.cumulative(std::int64_t{0}).constant().toInteger(), 0);
+  EXPECT_EQ(r.cumulative(std::int64_t{2}).constant().toInteger(), 1);
+  EXPECT_EQ(r.cumulative(std::int64_t{3}).constant().toInteger(), 3);
+  EXPECT_EQ(r.cumulative(std::int64_t{7}).constant().toInteger(), 7);  // 2 periods + 1
+}
+
+TEST(RateSeq, SymbolicCumulativeUniform) {
+  const RateSeq r = RateSeq::parse("[p]");
+  const symbolic::Expr n = symbolic::parseExpr("2q");
+  EXPECT_EQ(r.cumulative(n).toString(), "2p*q");
+}
+
+TEST(RateSeq, SymbolicCumulativeWholePeriods) {
+  const RateSeq r = RateSeq::parse("[1,3]");
+  const symbolic::Expr n = symbolic::parseExpr("2p");
+  EXPECT_EQ(r.cumulative(n).toString(), "4p");
+}
+
+TEST(RateSeq, SymbolicCumulativeUnresolvableThrows) {
+  const RateSeq r = RateSeq::parse("[1,3]");
+  EXPECT_THROW(r.cumulative(symbolic::parseExpr("p")), support::Error);
+}
+
+TEST(RateSeq, EmptySequenceRejected) {
+  EXPECT_THROW(RateSeq(std::vector<symbolic::Expr>{}), ModelError);
+}
+
+TEST(Graph, BuilderProducesNavigableGraph) {
+  const Graph g = simpleChain();
+  EXPECT_EQ(g.actorCount(), 3u);
+  EXPECT_EQ(g.channelCount(), 2u);
+
+  const ActorId b = *g.findActor("B");
+  EXPECT_EQ(g.actor(b).name, "B");
+  EXPECT_EQ(g.inChannels(b).size(), 1u);
+  EXPECT_EQ(g.outChannels(b).size(), 1u);
+
+  const ChannelId e2 = *g.findChannel("e2");
+  EXPECT_EQ(g.channel(e2).initialTokens, 1);
+  EXPECT_EQ(g.actor(g.sourceActor(e2)).name, "B");
+  EXPECT_EQ(g.actor(g.destActor(e2)).name, "C");
+}
+
+TEST(Graph, FindPortResolvesQualifiedNames) {
+  const Graph g = simpleChain();
+  ASSERT_TRUE(g.findPort("A.o").has_value());
+  EXPECT_FALSE(g.findPort("A.missing").has_value());
+  EXPECT_FALSE(g.findPort("Z.o").has_value());
+  EXPECT_FALSE(g.findPort("no_dot").has_value());
+}
+
+TEST(Graph, PhasesIsLcmOfPortLengths) {
+  Graph g("phases");
+  const ActorId a = g.addActor("A");
+  g.addPort(a, "p2", PortKind::DataOut, RateSeq::parse("[1,2]"));
+  g.addPort(a, "p3", PortKind::DataIn, RateSeq::parse("[1,2,3]"));
+  EXPECT_EQ(g.phases(a), 6);
+}
+
+TEST(Graph, EffectiveRatesExtendsCyclically) {
+  Graph g("eff");
+  const ActorId a = g.addActor("A");
+  g.addPort(a, "short", PortKind::DataOut, RateSeq::parse("[1,2]"));
+  const PortId longPort =
+      g.addPort(a, "long", PortKind::DataIn, RateSeq::parse("[1,2,3,4]"));
+  EXPECT_EQ(g.effectiveRates(PortId(0)).toString(), "[1,2,1,2]");
+  EXPECT_EQ(g.effectiveRates(longPort).toString(), "[1,2,3,4]");
+}
+
+TEST(Graph, DuplicateActorNameRejected) {
+  Graph g("dup");
+  g.addActor("A");
+  EXPECT_THROW(g.addActor("A"), ModelError);
+}
+
+TEST(Graph, DuplicatePortNameRejected) {
+  Graph g("dup");
+  const ActorId a = g.addActor("A");
+  g.addPort(a, "o", PortKind::DataOut, RateSeq::constant(1));
+  EXPECT_THROW(g.addPort(a, "o", PortKind::DataIn, RateSeq::constant(1)),
+               ModelError);
+}
+
+TEST(Graph, NegativeInitialTokensRejected) {
+  Graph g("neg");
+  const ActorId a = g.addActor("A");
+  const PortId o = g.addPort(a, "o", PortKind::DataOut, RateSeq::constant(1));
+  const ActorId b = g.addActor("B");
+  const PortId i = g.addPort(b, "i", PortKind::DataIn, RateSeq::constant(1));
+  EXPECT_THROW(g.addChannel("e", o, i, -1), ModelError);
+}
+
+TEST(Validate, UndeclaredParameterRejected) {
+  GraphBuilder b("undeclared");
+  b.kernel("A").out("o", "[p]").kernel("B").in("i", "[1]")
+      .channel("e", "A.o", "B.i");
+  EXPECT_THROW(b.build(), ModelError);
+}
+
+TEST(Validate, ChannelFromInputPortRejected) {
+  Graph g("bad");
+  const ActorId a = g.addActor("A");
+  const PortId i1 = g.addPort(a, "i", PortKind::DataIn, RateSeq::constant(1));
+  const ActorId b = g.addActor("B");
+  const PortId i2 = g.addPort(b, "i", PortKind::DataIn, RateSeq::constant(1));
+  g.addChannel("e", i1, i2);
+  EXPECT_THROW(g.validate(), ModelError);
+}
+
+TEST(Validate, MixedControlDataChannelRejected) {
+  Graph g("mixed");
+  const ActorId c = g.addActor("C", ActorKind::Control);
+  const PortId o = g.addPort(c, "o", PortKind::ControlOut,
+                             RateSeq::constant(1));
+  const ActorId b = g.addActor("B");
+  const PortId i = g.addPort(b, "i", PortKind::DataIn, RateSeq::constant(1));
+  g.addChannel("e", o, i);
+  EXPECT_THROW(g.validate(), ModelError);
+}
+
+TEST(Validate, ControlOutputOnKernelRejected) {
+  Graph g("kctl");
+  const ActorId a = g.addActor("A");  // kernel
+  const PortId o =
+      g.addPort(a, "o", PortKind::ControlOut, RateSeq::constant(1));
+  const ActorId b = g.addActor("B");
+  const PortId i =
+      g.addPort(b, "c", PortKind::ControlIn, RateSeq::constant(1));
+  g.addChannel("e", o, i);
+  EXPECT_THROW(g.validate(), ModelError);
+}
+
+TEST(Validate, TwoControlPortsOnKernelRejected) {
+  Graph g("twoctl");
+  const ActorId c = g.addActor("C", ActorKind::Control);
+  const PortId o1 =
+      g.addPort(c, "o1", PortKind::ControlOut, RateSeq::constant(1));
+  const PortId o2 =
+      g.addPort(c, "o2", PortKind::ControlOut, RateSeq::constant(1));
+  const ActorId b = g.addActor("B");
+  const PortId c1 =
+      g.addPort(b, "c1", PortKind::ControlIn, RateSeq::constant(1));
+  const PortId c2 =
+      g.addPort(b, "c2", PortKind::ControlIn, RateSeq::constant(1));
+  g.addChannel("e1", o1, c1);
+  g.addChannel("e2", o2, c2);
+  EXPECT_THROW(g.validate(), ModelError);
+}
+
+TEST(Validate, ControlRateAboveOneRejected) {
+  Graph g("ctlrate");
+  const ActorId c = g.addActor("C", ActorKind::Control);
+  const PortId o =
+      g.addPort(c, "o", PortKind::ControlOut, RateSeq::constant(2));
+  const ActorId b = g.addActor("B");
+  const PortId ci =
+      g.addPort(b, "c", PortKind::ControlIn, RateSeq::constant(2));
+  g.addChannel("e", o, ci);
+  EXPECT_THROW(g.validate(), ModelError);
+}
+
+TEST(Validate, DanglingPortRejected) {
+  Graph g("dangling");
+  const ActorId a = g.addActor("A");
+  g.addPort(a, "o", PortKind::DataOut, RateSeq::constant(1));
+  EXPECT_THROW(g.validate(), ModelError);
+}
+
+TEST(Validate, PortReuseAcrossChannelsRejected) {
+  Graph g("reuse");
+  const ActorId a = g.addActor("A");
+  const PortId o = g.addPort(a, "o", PortKind::DataOut, RateSeq::constant(1));
+  const ActorId b = g.addActor("B");
+  const PortId i1 = g.addPort(b, "i1", PortKind::DataIn, RateSeq::constant(1));
+  const PortId i2 = g.addPort(b, "i2", PortKind::DataIn, RateSeq::constant(1));
+  g.addChannel("e1", o, i1);
+  g.addChannel("e2", o, i2);
+  EXPECT_THROW(g.validate(), ModelError);
+}
+
+TEST(Dot, RendersActorsAndChannels) {
+  const std::string dot = simpleChain().toDot();
+  EXPECT_NE(dot.find("digraph \"chain\""), std::string::npos);
+  EXPECT_NE(dot.find("\"A\" -> \"B\""), std::string::npos);
+  EXPECT_NE(dot.find("[2]->[1]"), std::string::npos);
+  EXPECT_NE(dot.find("(1)"), std::string::npos);  // initial tokens on e2
+}
+
+}  // namespace
+}  // namespace tpdf::graph

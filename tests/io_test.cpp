@@ -1,0 +1,185 @@
+#include "io/format.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/ofdm.hpp"
+#include "apps/papergraphs.hpp"
+#include "csdf/repetition.hpp"
+#include "support/error.hpp"
+
+namespace tpdf::io {
+namespace {
+
+using graph::Graph;
+using support::ParseError;
+
+void expectGraphsEquivalent(const Graph& a, const Graph& b) {
+  ASSERT_EQ(a.actorCount(), b.actorCount());
+  ASSERT_EQ(a.channelCount(), b.channelCount());
+  ASSERT_EQ(a.params(), b.params());
+  for (std::size_t i = 0; i < a.actorCount(); ++i) {
+    const graph::ActorId id(static_cast<std::uint32_t>(i));
+    EXPECT_EQ(a.actor(id).name, b.actor(id).name);
+    EXPECT_EQ(a.actor(id).kind, b.actor(id).kind);
+    EXPECT_EQ(a.actor(id).execTime, b.actor(id).execTime);
+    ASSERT_EQ(a.actor(id).ports.size(), b.actor(id).ports.size());
+    for (std::size_t k = 0; k < a.actor(id).ports.size(); ++k) {
+      const graph::Port& pa = a.port(a.actor(id).ports[k]);
+      const graph::Port& pb = b.port(b.actor(id).ports[k]);
+      EXPECT_EQ(pa.name, pb.name);
+      EXPECT_EQ(pa.kind, pb.kind);
+      EXPECT_EQ(pa.rates, pb.rates);
+      EXPECT_EQ(pa.priority, pb.priority);
+    }
+  }
+  for (std::size_t i = 0; i < a.channelCount(); ++i) {
+    const graph::ChannelId id(static_cast<std::uint32_t>(i));
+    EXPECT_EQ(a.channel(id).name, b.channel(id).name);
+    EXPECT_EQ(a.channel(id).initialTokens, b.channel(id).initialTokens);
+  }
+}
+
+TEST(IoRoundTrip, Figure1) {
+  const Graph g = apps::fig1Csdf();
+  const Graph parsed = readGraph(writeGraph(g));
+  expectGraphsEquivalent(g, parsed);
+}
+
+TEST(IoRoundTrip, Figure2WithParameters) {
+  const Graph g = apps::fig2Tpdf();
+  const Graph parsed = readGraph(writeGraph(g));
+  expectGraphsEquivalent(g, parsed);
+  // Analyses agree on the round-tripped graph.
+  EXPECT_EQ(csdf::computeRepetitionVector(parsed).toString(),
+            "[2, 2p, p, p, 2p, 2p]");
+}
+
+TEST(IoRoundTrip, OfdmGraphs) {
+  for (const Graph& g :
+       {apps::ofdmCsdfGraph(), apps::ofdmTpdfGraph().graph(),
+        apps::ofdmTpdfEffective(apps::Constellation::Qam16)}) {
+    expectGraphsEquivalent(g, readGraph(writeGraph(g)));
+  }
+}
+
+TEST(IoRead, MinimalDocument) {
+  const Graph g = readGraph(R"(
+    graph mini {
+      kernel A { out o rates [2]; }
+      kernel B { in i rates [1]; }
+      channel e from A.o to B.i init 3;
+    }
+  )");
+  EXPECT_EQ(g.name(), "mini");
+  EXPECT_EQ(g.actorCount(), 2u);
+  EXPECT_EQ(g.channel(*g.findChannel("e")).initialTokens, 3);
+}
+
+TEST(IoRead, CommentsAndWhitespace) {
+  const Graph g = readGraph(
+      "graph c { # a comment\n"
+      "  kernel A { out o rates [1]; } # trailing\n"
+      "  kernel B { in i rates [1]; }\n"
+      "# full-line comment\n"
+      "  channel e from A.o to B.i;\n"
+      "}\n");
+  EXPECT_EQ(g.actorCount(), 2u);
+}
+
+TEST(IoRead, BareRateExpressionWithPriority) {
+  const Graph g = readGraph(R"(
+    graph bare {
+      param p;
+      kernel A { out o rates 2p priority 3; }
+      kernel B { in i rates [2p]; }
+      channel e from A.o to B.i;
+    }
+  )");
+  const graph::Port& port = g.port(*g.findPort("A.o"));
+  EXPECT_EQ(port.priority, 3);
+  EXPECT_EQ(port.rates.toString(), "[2p]");
+}
+
+TEST(IoRead, ExecTimes) {
+  const Graph g = readGraph(R"(
+    graph t {
+      kernel A { out o rates [1,1]; exec 2.5 4; }
+      kernel B { in i rates [1]; }
+      channel e from A.o to B.i;
+    }
+  )");
+  EXPECT_EQ(g.actor(*g.findActor("A")).execTime,
+            (std::vector<double>{2.5, 4.0}));
+}
+
+TEST(IoRead, ControlActorsAndPorts) {
+  const Graph g = readGraph(R"(
+    graph ctl {
+      control C { in i rates [1]; ctl_out o rates [1]; }
+      kernel S { out d rates [1]; out t rates [1]; }
+      kernel K { in i rates [1]; ctl_in c rates [1]; }
+      channel data from S.d to K.i;
+      channel trig from S.t to C.i;
+      channel cc from C.o to K.c;
+    }
+  )");
+  EXPECT_EQ(g.actor(*g.findActor("C")).kind, graph::ActorKind::Control);
+  EXPECT_TRUE(g.isControlChannel(*g.findChannel("cc")));
+}
+
+TEST(IoRead, SyntaxErrorsCarryPosition) {
+  try {
+    readGraph("graph x {\n  kernel A missing_brace\n}");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+  }
+}
+
+TEST(IoRead, UnknownPortInChannelRejected) {
+  EXPECT_THROW(readGraph(R"(
+    graph bad {
+      kernel A { out o rates [1]; }
+      kernel B { in i rates [1]; }
+      channel e from A.nope to B.i;
+    }
+  )"),
+               ParseError);
+}
+
+TEST(IoRead, MalformedGraphFailsValidation) {
+  // Dangling port: parses fine, fails validate().
+  EXPECT_THROW(readGraph(R"(
+    graph dangling {
+      kernel A { out o rates [1]; }
+    }
+  )"),
+               support::ModelError);
+}
+
+TEST(IoRead, TrailingGarbageRejected) {
+  EXPECT_THROW(readGraph(R"(
+    graph g {
+      kernel A { out o rates [1]; }
+      kernel B { in i rates [1]; }
+      channel e from A.o to B.i;
+    }
+    leftover
+  )"),
+               ParseError);
+}
+
+TEST(IoFiles, WriteAndReadBack) {
+  const Graph g = apps::fig2Tpdf();
+  const std::string path = ::testing::TempDir() + "/fig2.tpdf";
+  writeGraphFile(g, path);
+  const Graph parsed = readGraphFile(path);
+  expectGraphsEquivalent(g, parsed);
+}
+
+TEST(IoFiles, MissingFileThrows) {
+  EXPECT_THROW(readGraphFile("/nonexistent/path.tpdf"), support::Error);
+}
+
+}  // namespace
+}  // namespace tpdf::io

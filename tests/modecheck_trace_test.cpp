@@ -1,0 +1,117 @@
+// Mode-restricted consistency (the Section III-A subset argument) and
+// simulator trace recording.
+#include <gtest/gtest.h>
+
+#include "apps/edgegraph.hpp"
+#include "apps/ofdm.hpp"
+#include "apps/papergraphs.hpp"
+#include "core/modecheck.hpp"
+#include "sim/simulator.hpp"
+
+namespace tpdf {
+namespace {
+
+using symbolic::Environment;
+
+TEST(ModeCheck, OfdmModesAreAllConsistent) {
+  const core::TpdfGraph model = apps::ofdmTpdfGraph();
+  const auto reports = core::checkModeRestrictedConsistency(model);
+  // DUP has 2 modes, TRAN has 2 modes.
+  ASSERT_EQ(reports.size(), 4u);
+  for (const core::ModeConsistency& mc : reports) {
+    EXPECT_TRUE(mc.consistent)
+        << model.graph().actor(mc.kernel).name << "/" << mc.mode << ": "
+        << mc.diagnostic;
+  }
+}
+
+TEST(ModeCheck, Figure2ModesAreConsistent) {
+  const core::TpdfGraph model = apps::fig2TpdfModel();
+  for (const core::ModeConsistency& mc :
+       core::checkModeRestrictedConsistency(model)) {
+    EXPECT_TRUE(mc.consistent) << mc.mode << ": " << mc.diagnostic;
+  }
+}
+
+TEST(ModeCheck, RestrictedTopologyDropsRejectedChannels) {
+  const core::TpdfGraph model = apps::ofdmTpdfGraph();
+  const graph::Graph& g = model.graph();
+  const graph::ActorId dup = *g.findActor("DUP");
+  const core::ModeSpec& toQpsk = model.modes(dup)[0];
+
+  const graph::Graph restricted =
+      core::modeRestrictedTopology(model, dup, toQpsk);
+  // The QAM-side channel out of DUP is gone; everything else stays.
+  EXPECT_EQ(restricted.channelCount(), g.channelCount() - 1);
+  EXPECT_FALSE(restricted.findChannel("e5").has_value());  // DUP -> QAM
+  EXPECT_TRUE(restricted.findChannel("e4").has_value());   // DUP -> QPSK
+}
+
+TEST(ModeCheck, WaitAllKernelsAreSkipped) {
+  const core::TpdfGraph model(apps::fig1Csdf());
+  EXPECT_TRUE(core::checkModeRestrictedConsistency(model).empty());
+}
+
+// ---- Trace recording ------------------------------------------------------
+
+TEST(Trace, RecordsEveryFiringInStartOrder) {
+  core::TpdfGraph model(apps::fig1Csdf());
+  sim::Simulator simulator(model, Environment{});
+  sim::SimOptions options;
+  options.recordTrace = true;
+  const sim::SimResult result = simulator.run(options);
+  ASSERT_TRUE(result.ok);
+  ASSERT_EQ(result.trace.size(), 7u);  // 3 + 2 + 2 firings
+  for (std::size_t i = 1; i < result.trace.size(); ++i) {
+    EXPECT_LE(result.trace[i - 1].start, result.trace[i].start);
+  }
+  // The eager schedule a3^2 a1^3 a2^2 shows up in the trace: the first
+  // two firings are a3's.
+  const graph::ActorId a3 = *model.graph().findActor("a3");
+  EXPECT_EQ(result.trace[0].actor, a3);
+  EXPECT_EQ(result.trace[1].actor, a3);
+  EXPECT_EQ(result.trace[1].k, 1);
+}
+
+TEST(Trace, DisabledByDefault) {
+  core::TpdfGraph model(apps::fig1Csdf());
+  sim::Simulator simulator(model, Environment{});
+  const sim::SimResult result = simulator.run();
+  EXPECT_TRUE(result.trace.empty());
+}
+
+TEST(Trace, RenderMentionsActorsAndModes) {
+  core::TpdfGraph model = apps::edgeDetectionGraph(500.0);
+  sim::Simulator simulator(model, Environment{});
+  sim::SimOptions options;
+  options.recordTrace = true;
+  options.stopTime = 1100.0;
+  const sim::SimResult result = simulator.run(options);
+  ASSERT_TRUE(result.ok);
+  const std::string text = result.renderTrace(model.graph());
+  EXPECT_NE(text.find("Sobel#0"), std::string::npos);
+  EXPECT_NE(text.find("Clock#0"), std::string::npos);
+  EXPECT_NE(text.find("Trans#0"), std::string::npos);
+}
+
+TEST(Trace, ClockTicksAppearAtPeriodMultiples) {
+  core::TpdfGraph model = apps::edgeDetectionGraph(250.0);
+  sim::Simulator simulator(model, Environment{});
+  sim::SimOptions options;
+  options.recordTrace = true;
+  options.stopTime = 800.0;
+  const sim::SimResult result = simulator.run(options);
+  ASSERT_TRUE(result.ok);
+  const graph::ActorId clock = *model.graph().findActor("Clock");
+  std::vector<double> ticks;
+  for (const sim::TraceEvent& e : result.trace) {
+    if (e.actor == clock) ticks.push_back(e.start);
+  }
+  ASSERT_GE(ticks.size(), 3u);
+  EXPECT_DOUBLE_EQ(ticks[0], 250.0);
+  EXPECT_DOUBLE_EQ(ticks[1], 500.0);
+  EXPECT_DOUBLE_EQ(ticks[2], 750.0);
+}
+
+}  // namespace
+}  // namespace tpdf

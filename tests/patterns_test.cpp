@@ -1,0 +1,212 @@
+// The four Transaction idioms of Section II-B, built with the patterns
+// helpers and validated both statically (bounded by Theorem 2) and
+// dynamically (the idiom's behavioural contract holds in the simulator).
+#include "patterns/patterns.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/analysis.hpp"
+#include "graph/builder.hpp"
+#include "sim/simulator.hpp"
+
+namespace tpdf::patterns {
+namespace {
+
+using graph::GraphBuilder;
+using symbolic::Environment;
+
+/// SRC -> [stage] -> SNK harness around one stage.
+struct Harness {
+  core::TpdfGraph model;
+  StageNames names;
+
+  static Harness make(const StageOptions& options,
+                      bool sourceTrigger = false) {
+    GraphBuilder b("stage_harness");
+    b.kernel("SRC").out("o", "[1]");
+    if (sourceTrigger) b.out("sig", "[1]");
+    StageOptions opts = options;
+    if (sourceTrigger) opts.triggerFrom = "SRC.sig";
+    const StageNames names = addStage(b, "st", "SRC.o", opts);
+    b.kernel("SNK").in("i", "[1]");
+    b.channel("out", names.tran + ".o", "SNK.i");
+    core::TpdfGraph model(b.build());
+    applyStageMetadata(model, names, opts);
+    return Harness{std::move(model), names};
+  }
+};
+
+TEST(Patterns, StageNamesAreDeterministic) {
+  const StageNames names = stageNames("dec", 2);
+  EXPECT_EQ(names.dup, "dec_dup");
+  EXPECT_EQ(names.tran, "dec_tran");
+  EXPECT_EQ(names.control, "dec_ctl");
+  EXPECT_EQ(names.workers,
+            (std::vector<std::string>{"dec_w0", "dec_w1"}));
+}
+
+TEST(Patterns, ZeroWorkersRejected) {
+  GraphBuilder b("bad");
+  b.kernel("SRC").out("o", "[1]");
+  StageOptions options;
+  options.workers = 0;
+  EXPECT_THROW(addStage(b, "st", "SRC.o", options), support::Error);
+}
+
+TEST(Patterns, ActivePathNeedsTrigger) {
+  GraphBuilder b("bad");
+  b.kernel("SRC").out("o", "[1]");
+  StageOptions options;
+  options.kind = StageKind::ActivePath;
+  EXPECT_THROW(addStage(b, "st", "SRC.o", options), support::Error);
+}
+
+// ---- All four idioms are statically bounded -----------------------------
+
+TEST(Patterns, AllStageKindsAreBounded) {
+  for (const StageKind kind :
+       {StageKind::Speculation, StageKind::RedundancyWithVote,
+        StageKind::DeadlineBest, StageKind::ActivePath}) {
+    StageOptions options;
+    options.kind = kind;
+    options.workers = 3;
+    options.deadline = 5.0;
+    Harness h = Harness::make(options, kind == StageKind::ActivePath);
+    const core::AnalysisReport report = core::analyze(h.model);
+    EXPECT_TRUE(report.bounded())
+        << "kind " << static_cast<int>(kind) << ": "
+        << report.repetition.diagnostic << report.safety.diagnostic
+        << report.liveness.diagnostic;
+  }
+}
+
+// ---- Speculation: the fastest worker's result is committed --------------
+
+TEST(Patterns, SpeculationCommitsFirstFinisher) {
+  StageOptions options;
+  options.kind = StageKind::Speculation;
+  options.workers = 3;
+  Harness h = Harness::make(options);
+
+  sim::Simulator simulator(h.model, Environment{});
+  // Worker 1 is the fastest.
+  const double durations[3] = {9.0, 2.0, 5.0};
+  for (int i = 0; i < 3; ++i) {
+    simulator.setBehaviour(h.names.workers[static_cast<std::size_t>(i)],
+                           [i, &durations](sim::FiringContext& ctx) {
+                             ctx.setDuration(durations[i]);
+                             ctx.emit("o", sim::Token{100 + i, {}});
+                           });
+  }
+  simulator.setBehaviour(h.names.tran,
+                         forwardSelectedBehaviour(h.names));
+  std::int64_t committed = -1;
+  simulator.setBehaviour("SNK", [&](sim::FiringContext& ctx) {
+    committed = ctx.inputs("i").at(0).tag;
+  });
+
+  sim::SimOptions opts;
+  opts.stopTime = 100.0;
+  const sim::SimResult result = simulator.run(opts);
+  ASSERT_TRUE(result.ok) << result.diagnostic;
+  EXPECT_EQ(committed, 101);  // worker 1 finished first
+
+  // The losers' tokens were discarded, keeping the state clean.
+  EXPECT_TRUE(result.returnedToInitialState);
+}
+
+// ---- Redundancy with vote ------------------------------------------------
+
+TEST(Patterns, MajorityVoteMasksSingleFault) {
+  StageOptions options;
+  options.kind = StageKind::RedundancyWithVote;
+  options.workers = 3;
+  Harness h = Harness::make(options);
+
+  sim::Simulator simulator(h.model, Environment{});
+  // Two workers agree on 7; one is faulty and answers 9.
+  const std::int64_t answers[3] = {7, 9, 7};
+  for (int i = 0; i < 3; ++i) {
+    simulator.setBehaviour(h.names.workers[static_cast<std::size_t>(i)],
+                           [i, &answers](sim::FiringContext& ctx) {
+                             ctx.emit("o", sim::Token{answers[i], {}});
+                           });
+  }
+  simulator.setBehaviour(h.names.tran, majorityVoteBehaviour(h.names));
+  std::int64_t voted = -1;
+  simulator.setBehaviour("SNK", [&](sim::FiringContext& ctx) {
+    voted = ctx.inputs("i").at(0).tag;
+  });
+
+  const sim::SimResult result = simulator.run();
+  ASSERT_TRUE(result.ok) << result.diagnostic;
+  EXPECT_EQ(voted, 7);
+  EXPECT_TRUE(result.returnedToInitialState);
+}
+
+// ---- Highest priority at a given deadline --------------------------------
+
+TEST(Patterns, DeadlineCommitsBestFinishedResult) {
+  StageOptions options;
+  options.kind = StageKind::DeadlineBest;
+  options.workers = 3;
+  options.priorities = {1, 2, 3};  // worker 2 is best quality
+  options.deadline = 6.0;
+  Harness h = Harness::make(options);
+
+  sim::Simulator simulator(h.model, Environment{});
+  // Best-quality worker 2 misses the deadline (duration 10 > 6);
+  // worker 1 (quality 2) makes it.
+  const double durations[3] = {1.0, 4.0, 10.0};
+  for (int i = 0; i < 3; ++i) {
+    simulator.setBehaviour(h.names.workers[static_cast<std::size_t>(i)],
+                           [i, &durations](sim::FiringContext& ctx) {
+                             ctx.setDuration(durations[i]);
+                             ctx.emit("o", sim::Token{100 + i, {}});
+                           });
+  }
+  simulator.setBehaviour(h.names.tran,
+                         forwardSelectedBehaviour(h.names));
+  std::int64_t committed = -1;
+  simulator.setBehaviour("SNK", [&](sim::FiringContext& ctx) {
+    committed = ctx.inputs("i").at(0).tag;
+  });
+
+  sim::SimOptions opts;
+  opts.stopTime = 20.0;
+  const sim::SimResult result = simulator.run(opts);
+  ASSERT_TRUE(result.ok) << result.diagnostic;
+  EXPECT_EQ(committed, 101);
+  EXPECT_TRUE(result.returnedToInitialState);
+}
+
+// ---- Active data-path selection -------------------------------------------
+
+TEST(Patterns, ActivePathRunsExactlyOneWorker) {
+  StageOptions options;
+  options.kind = StageKind::ActivePath;
+  options.workers = 3;
+  Harness h = Harness::make(options, /*sourceTrigger=*/true);
+
+  for (std::int64_t path = 0; path < 3; ++path) {
+    sim::Simulator simulator(h.model, Environment{});
+    simulator.setBehaviour(h.names.control,
+                           [path](sim::FiringContext& ctx) {
+                             ctx.emit("toDup", sim::Token{path, {}});
+                             ctx.emit("toTran", sim::Token{path, {}});
+                           });
+    const sim::SimResult result = simulator.run();
+    ASSERT_TRUE(result.ok) << result.diagnostic;
+
+    const graph::Graph& g = h.model.graph();
+    for (std::int64_t i = 0; i < 3; ++i) {
+      const auto id = *g.findActor(h.names.workers[
+          static_cast<std::size_t>(i)]);
+      EXPECT_EQ(result.firings[id.index()], i == path ? 1 : 0)
+          << "path " << path << " worker " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tpdf::patterns

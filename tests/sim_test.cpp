@@ -1,0 +1,277 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "apps/edgegraph.hpp"
+#include "apps/papergraphs.hpp"
+#include "graph/builder.hpp"
+
+namespace tpdf::sim {
+namespace {
+
+using graph::Graph;
+using graph::GraphBuilder;
+using symbolic::Environment;
+
+TEST(Simulator, Figure1OneIterationReturnsToInitialState) {
+  core::TpdfGraph model(apps::fig1Csdf());
+  Simulator sim(model, Environment{});
+  const SimResult result = sim.run();
+  ASSERT_TRUE(result.ok) << result.diagnostic;
+  EXPECT_EQ(result.firings, (std::vector<std::int64_t>{3, 2, 2}));
+  EXPECT_TRUE(result.returnedToInitialState);
+}
+
+TEST(Simulator, MultipleIterations) {
+  core::TpdfGraph model(apps::fig1Csdf());
+  Simulator sim(model, Environment{});
+  SimOptions options;
+  options.iterations = 5;
+  const SimResult result = sim.run(options);
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.firings, (std::vector<std::int64_t>{15, 10, 10}));
+  EXPECT_TRUE(result.returnedToInitialState);
+}
+
+TEST(Simulator, Figure2ParametricExecution) {
+  core::TpdfGraph model = apps::fig2TpdfModel();
+  Simulator sim(model, Environment{{"p", 3}});
+  const SimResult result = sim.run();
+  ASSERT_TRUE(result.ok) << result.diagnostic;
+  const Graph& g = model.graph();
+  EXPECT_EQ(result.firings[g.findActor("B")->index()], 6);
+  EXPECT_EQ(result.firings[g.findActor("F")->index()], 6);
+  EXPECT_TRUE(result.returnedToInitialState);
+}
+
+TEST(Simulator, SelfTimedParallelismBeatsSequentialTime) {
+  // Two independent unit-time actors connected to a sink fire in
+  // parallel: end time is below the firing count.
+  const Graph g = GraphBuilder("par")
+      .kernel("A").out("o", "[1]")
+      .kernel("B").out("o", "[1]")
+      .kernel("S").in("a", "[1]").in("b", "[1]")
+      .channel("ea", "A.o", "S.a")
+      .channel("eb", "B.o", "S.b")
+      .build();
+  core::TpdfGraph model(g);
+  Simulator sim(model, Environment{});
+  const SimResult result = sim.run();
+  ASSERT_TRUE(result.ok);
+  EXPECT_DOUBLE_EQ(result.endTime, 2.0);  // A||B then S
+}
+
+TEST(Simulator, BehavioursCarryPayloads) {
+  const Graph g = GraphBuilder("payload")
+      .kernel("SRC").out("o", "[1]")
+      .kernel("DBL").in("i", "[1]").out("o", "[1]")
+      .kernel("SNK").in("i", "[1]")
+      .channel("e1", "SRC.o", "DBL.i")
+      .channel("e2", "DBL.o", "SNK.i")
+      .build();
+  core::TpdfGraph model(g);
+  Simulator sim(model, Environment{});
+
+  std::int64_t observed = -1;
+  sim.setBehaviour("SRC", [](FiringContext& ctx) {
+    ctx.emit("o", Token{21, {}});
+  });
+  sim.setBehaviour("DBL", [](FiringContext& ctx) {
+    const Token& in = ctx.inputs("i").at(0);
+    ctx.emit("o", Token{in.tag * 2, {}});
+  });
+  sim.setBehaviour("SNK", [&](FiringContext& ctx) {
+    observed = ctx.inputs("i").at(0).tag;
+  });
+
+  const SimResult result = sim.run();
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(observed, 42);
+}
+
+TEST(Simulator, BehaviourOverridesDuration) {
+  const Graph g = GraphBuilder("slow")
+      .kernel("A").out("o", "[1]")
+      .kernel("B").in("i", "[1]")
+      .channel("e", "A.o", "B.i")
+      .build();
+  core::TpdfGraph model(g);
+  Simulator sim(model, Environment{});
+  sim.setBehaviour("A", [](FiringContext& ctx) { ctx.setDuration(7.5); });
+  const SimResult result = sim.run();
+  ASSERT_TRUE(result.ok);
+  EXPECT_DOUBLE_EQ(result.endTime, 8.5);  // 7.5 + B's default 1.0
+}
+
+TEST(Simulator, OveremittingBehaviourRejected) {
+  const Graph g = GraphBuilder("over")
+      .kernel("A").out("o", "[1]")
+      .kernel("B").in("i", "[1]")
+      .channel("e", "A.o", "B.i")
+      .build();
+  core::TpdfGraph model(g);
+  Simulator sim(model, Environment{});
+  sim.setBehaviour("A", [](FiringContext& ctx) {
+    ctx.emit("o", Token{});
+    ctx.emit("o", Token{});
+  });
+  EXPECT_THROW(sim.run(), support::Error);
+}
+
+TEST(Simulator, MaxOccupancyTracked) {
+  const Graph g = GraphBuilder("burst")
+      .kernel("A").out("o", "[4]")
+      .kernel("B").in("i", "[1]")
+      .channel("e", "A.o", "B.i")
+      .build();
+  core::TpdfGraph model(g);
+  Simulator sim(model, Environment{});
+  const SimResult result = sim.run();
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.channel(*g.findChannel("e")).maxOccupancy, 4);
+  EXPECT_EQ(result.channel(*g.findChannel("e")).produced, 4);
+  EXPECT_EQ(result.channel(*g.findChannel("e")).consumed, 4);
+}
+
+// ---- Mode selection -----------------------------------------------------
+
+TEST(Simulator, ControlTokenSelectsMode) {
+  // CTL steers the Select-duplicate B: tag 0 -> D, tag 1 -> E.
+  core::TpdfGraph model = apps::fig3SelectDuplicate();
+  const Graph& g = model.graph();
+
+  for (std::int64_t chosen : {0, 1}) {
+    Simulator sim(model, Environment{});
+    sim.setBehaviour("CTL", [chosen](FiringContext& ctx) {
+      ctx.emit("toB", Token{chosen, {}});
+      ctx.emit("toF", Token{chosen, {}});
+    });
+    const SimResult result = sim.run();
+    ASSERT_TRUE(result.ok) << result.diagnostic;
+
+    // The selected branch carried a token; the other was starved or its
+    // output discarded.  In either mode both D and E fire at most q
+    // times, but only the selected branch's tokens reach F.
+    const auto& e2 = result.channel(*g.findChannel("e2"));  // B -> D
+    const auto& e3 = result.channel(*g.findChannel("e3"));  // B -> E
+    if (chosen == 0) {
+      EXPECT_EQ(e2.produced, 1);
+      EXPECT_EQ(e3.produced, 0);
+    } else {
+      EXPECT_EQ(e2.produced, 0);
+      EXPECT_EQ(e3.produced, 1);
+    }
+  }
+}
+
+TEST(Simulator, RejectedInputTokensAreDiscarded) {
+  // F receives on both inputs but its mode selects only one; the other
+  // side's token must be discarded so the state stays clean.
+  const Graph g = GraphBuilder("discard")
+      .kernel("P1").out("o", "[1]")
+      .kernel("P2").out("o", "[1]")
+      .kernel("S").out("sig", "[1]")
+      .control("CTL").in("i", "[1]").ctlOut("o", "[1]")
+      .kernel("F").in("a", "[1]", 1).in("b", "[1]", 2).ctlIn("c", "[1]")
+      .channel("ea", "P1.o", "F.a")
+      .channel("eb", "P2.o", "F.b")
+      .channel("sig", "S.sig", "CTL.i")
+      .channel("ctl", "CTL.o", "F.c")
+      .build();
+  core::TpdfGraph model(g);
+  model.setModes(*g.findActor("F"),
+                 {core::ModeSpec{"take_a", core::Mode::SelectOne,
+                                 {*g.findPort("F.a")}, {}}});
+  Simulator sim(model, Environment{});
+  const SimResult result = sim.run();
+  ASSERT_TRUE(result.ok) << result.diagnostic;
+  EXPECT_EQ(result.channel(*g.findChannel("ea")).consumed, 1);
+  EXPECT_EQ(result.channel(*g.findChannel("eb")).discarded, 1);
+  EXPECT_TRUE(result.returnedToInitialState);
+}
+
+// ---- Clock actors and deadline-driven Transaction ------------------------
+
+TEST(Simulator, ClockRequiresFiniteStopTime) {
+  core::TpdfGraph model = apps::edgeDetectionGraph();
+  Simulator sim(model, Environment{});
+  const SimResult result = sim.run(SimOptions{});  // infinite stopTime
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.diagnostic.find("stopTime"), std::string::npos);
+}
+
+TEST(Simulator, DeadlinePicksBestAvailableDetector) {
+  // Paper timings: at the 500 ms deadline QuickMask (200) and Sobel (473)
+  // are done; Sobel has the higher priority of the two -> selected.
+  core::TpdfGraph model = apps::edgeDetectionGraph(500.0);
+  const Graph& g = model.graph();
+  Simulator sim(model, Environment{});
+
+  std::string winner;
+  sim.setBehaviour("QMask", [](FiringContext& ctx) {
+    ctx.emit("o", Token{1, {}});
+  });
+  sim.setBehaviour("Sobel", [](FiringContext& ctx) {
+    ctx.emit("o", Token{2, {}});
+  });
+  sim.setBehaviour("Prewitt", [](FiringContext& ctx) {
+    ctx.emit("o", Token{3, {}});
+  });
+  sim.setBehaviour("Canny", [](FiringContext& ctx) {
+    ctx.emit("o", Token{4, {}});
+  });
+  sim.setBehaviour("Trans", [&](FiringContext& ctx) {
+    for (const std::string& name : apps::edgeDetectorNames()) {
+      const auto& tokens = ctx.inputs("i" + name);
+      if (!tokens.empty()) winner = name;
+    }
+  });
+
+  SimOptions options;
+  options.stopTime = 1100.0;  // let Canny finish so its token is discarded
+  const SimResult result = sim.run(options);
+  ASSERT_TRUE(result.ok) << result.diagnostic;
+  EXPECT_EQ(winner, "Sobel");
+
+  // The three losers' results are discarded (two of them after arrival).
+  EXPECT_EQ(result.channel(*g.findChannel("r1")).discarded, 1);  // QMask
+  EXPECT_EQ(result.channel(*g.findChannel("r2")).consumed, 1);   // Sobel
+  EXPECT_EQ(result.channel(*g.findChannel("r3")).discarded, 1);  // Prewitt
+  EXPECT_EQ(result.channel(*g.findChannel("r4")).discarded, 1);  // Canny
+  EXPECT_TRUE(result.returnedToInitialState);
+}
+
+TEST(Simulator, LongerDeadlineSelectsCanny) {
+  core::TpdfGraph model = apps::edgeDetectionGraph(1100.0);
+  Simulator sim(model, Environment{});
+  std::string winner;
+  sim.setBehaviour("Trans", [&](FiringContext& ctx) {
+    for (const std::string& name : apps::edgeDetectorNames()) {
+      if (!ctx.inputs("i" + name).empty()) winner = name;
+    }
+  });
+  SimOptions options;
+  options.stopTime = 1200.0;
+  const SimResult result = sim.run(options);
+  ASSERT_TRUE(result.ok) << result.diagnostic;
+  EXPECT_EQ(winner, "Canny");
+}
+
+TEST(Simulator, TightDeadlineSelectsQuickMask) {
+  core::TpdfGraph model = apps::edgeDetectionGraph(250.0);
+  Simulator sim(model, Environment{});
+  std::string winner;
+  sim.setBehaviour("Trans", [&](FiringContext& ctx) {
+    for (const std::string& name : apps::edgeDetectorNames()) {
+      if (!ctx.inputs("i" + name).empty()) winner = name;
+    }
+  });
+  SimOptions options;
+  options.stopTime = 1100.0;
+  const SimResult result = sim.run(options);
+  ASSERT_TRUE(result.ok) << result.diagnostic;
+  EXPECT_EQ(winner, "QMask");
+}
+
+}  // namespace
+}  // namespace tpdf::sim

@@ -1,0 +1,144 @@
+#include "support/rational.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace tpdf::support {
+namespace {
+
+TEST(Rational, DefaultIsZero) {
+  const Rational r;
+  EXPECT_TRUE(r.isZero());
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r.den(), 1);
+}
+
+TEST(Rational, NormalizesOnConstruction) {
+  const Rational r(6, 4);
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 2);
+}
+
+TEST(Rational, NormalizesNegativeDenominator) {
+  const Rational r(3, -6);
+  EXPECT_EQ(r.num(), -1);
+  EXPECT_EQ(r.den(), 2);
+}
+
+TEST(Rational, ZeroNumeratorNormalizesDenominator) {
+  const Rational r(0, 17);
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r.den(), 1);
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+  EXPECT_THROW(Rational(1, 0), DivisionByZeroError);
+}
+
+TEST(Rational, Addition) {
+  EXPECT_EQ(Rational(1, 2) + Rational(1, 3), Rational(5, 6));
+  EXPECT_EQ(Rational(1, 2) + Rational(-1, 2), Rational(0));
+}
+
+TEST(Rational, Subtraction) {
+  EXPECT_EQ(Rational(3, 4) - Rational(1, 4), Rational(1, 2));
+}
+
+TEST(Rational, MultiplicationCrossCancels) {
+  // Large factors that would overflow without cross-cancellation.
+  const Rational a(1LL << 40, 3);
+  const Rational b(3, 1LL << 40);
+  EXPECT_EQ(a * b, Rational(1));
+}
+
+TEST(Rational, Division) {
+  EXPECT_EQ(Rational(1, 2) / Rational(1, 4), Rational(2));
+}
+
+TEST(Rational, DivisionByZeroThrows) {
+  EXPECT_THROW(Rational(1) / Rational(0), DivisionByZeroError);
+}
+
+TEST(Rational, InverseOfZeroThrows) {
+  EXPECT_THROW(Rational(0).inverse(), DivisionByZeroError);
+}
+
+TEST(Rational, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LE(Rational(1, 2), Rational(1, 2));
+  EXPECT_GT(Rational(2, 3), Rational(1, 2));
+  EXPECT_GE(Rational(-1), Rational(-3, 2));
+}
+
+TEST(Rational, ToIntegerRoundTrip) {
+  EXPECT_EQ(Rational(42).toInteger(), 42);
+  EXPECT_EQ(Rational(-8, 2).toInteger(), -4);
+}
+
+TEST(Rational, ToIntegerThrowsOnFraction) {
+  EXPECT_THROW(Rational(1, 2).toInteger(), Error);
+}
+
+TEST(Rational, ToString) {
+  EXPECT_EQ(Rational(3).toString(), "3");
+  EXPECT_EQ(Rational(-5, 2).toString(), "-5/2");
+  EXPECT_EQ(Rational(0).toString(), "0");
+}
+
+TEST(Rational, AbsAndNegate) {
+  EXPECT_EQ(Rational(-3, 2).abs(), Rational(3, 2));
+  EXPECT_EQ(-Rational(3, 2), Rational(-3, 2));
+}
+
+TEST(Rational, GcdOfRationals) {
+  // gcd(1/2, 1/3) = 1/6: the largest rational dividing both to integers.
+  EXPECT_EQ(rationalGcd(Rational(1, 2), Rational(1, 3)), Rational(1, 6));
+  EXPECT_EQ(rationalGcd(Rational(4), Rational(6)), Rational(2));
+  EXPECT_EQ(rationalGcd(Rational(0), Rational(5)), Rational(5));
+}
+
+TEST(Rational, LcmOfRationals) {
+  EXPECT_EQ(rationalLcm(Rational(1, 2), Rational(1, 3)), Rational(1));
+  EXPECT_EQ(rationalLcm(Rational(4), Rational(6)), Rational(12));
+  EXPECT_EQ(rationalLcm(Rational(0), Rational(5)), Rational(0));
+}
+
+TEST(Rational, OverflowDetected) {
+  const Rational big(std::int64_t{1} << 62);
+  EXPECT_THROW(big * big, OverflowError);
+  EXPECT_THROW(big + big + big, OverflowError);
+}
+
+// Property sweep: field axioms on a grid of small rationals.
+class RationalAxioms : public ::testing::TestWithParam<int> {};
+
+TEST_P(RationalAxioms, AdditionCommutesAndAssociates) {
+  const int n = GetParam();
+  const Rational a(n, 7);
+  const Rational b(n + 3, 5);
+  const Rational c(2 * n - 1, 3);
+  EXPECT_EQ(a + b, b + a);
+  EXPECT_EQ((a + b) + c, a + (b + c));
+}
+
+TEST_P(RationalAxioms, DistributesOverAddition) {
+  const int n = GetParam();
+  const Rational a(n, 4);
+  const Rational b(3 - n, 9);
+  const Rational c(n + 5, 2);
+  EXPECT_EQ(a * (b + c), a * b + a * c);
+}
+
+TEST_P(RationalAxioms, DivisionInvertsMultiplication) {
+  const int n = GetParam();
+  const Rational a(n, 3);
+  const Rational b(7, n);
+  EXPECT_EQ(a * b / b, a);
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallValues, RationalAxioms,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, -4, -9));
+
+}  // namespace
+}  // namespace tpdf::support

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "support/checked.hpp"
+#include "support/error.hpp"
+#include "support/prng.hpp"
+#include "support/strings.hpp"
+#include "support/table.hpp"
+
+namespace tpdf::support {
+namespace {
+
+TEST(Checked, AddDetectsOverflow) {
+  const std::int64_t max = std::numeric_limits<std::int64_t>::max();
+  EXPECT_EQ(checkedAdd(2, 3), 5);
+  EXPECT_THROW(checkedAdd(max, 1), OverflowError);
+}
+
+TEST(Checked, SubDetectsOverflow) {
+  const std::int64_t min = std::numeric_limits<std::int64_t>::min();
+  EXPECT_EQ(checkedSub(2, 5), -3);
+  EXPECT_THROW(checkedSub(min, 1), OverflowError);
+}
+
+TEST(Checked, MulDetectsOverflow) {
+  EXPECT_EQ(checkedMul(-4, 5), -20);
+  EXPECT_THROW(checkedMul(std::int64_t{1} << 40, std::int64_t{1} << 40),
+               OverflowError);
+}
+
+TEST(Checked, Gcd) {
+  EXPECT_EQ(gcd64(12, 18), 6);
+  EXPECT_EQ(gcd64(-12, 18), 6);
+  EXPECT_EQ(gcd64(0, 7), 7);
+  EXPECT_EQ(gcd64(0, 0), 0);
+}
+
+TEST(Checked, Lcm) {
+  EXPECT_EQ(lcm64(4, 6), 12);
+  EXPECT_EQ(lcm64(0, 5), 0);
+  EXPECT_EQ(lcm64(-4, 6), 12);
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x y  "), "x y");
+  EXPECT_EQ(trim("\t\n"), "");
+  EXPECT_EQ(trim("plain"), "plain");
+}
+
+TEST(Strings, Split) {
+  EXPECT_EQ(split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(startsWith("channel", "chan"));
+  EXPECT_FALSE(startsWith("ch", "chan"));
+}
+
+TEST(Strings, FormatDouble) {
+  EXPECT_EQ(formatDouble(3.0), "3");
+  EXPECT_EQ(formatDouble(12.5), "12.5");
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"beta", "TPDF", "CSDF"});
+  t.addRow({"10", "61443", "87050"});
+  t.addRow({"100", "614403", "870500"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("beta | TPDF   | CSDF"), std::string::npos);
+  EXPECT_NE(out.find("-----+-"), std::string::npos);
+  EXPECT_NE(out.find("100  | 614403 | 870500"), std::string::npos);
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table t({"a", "b"});
+  t.addRow({"x"});
+  EXPECT_EQ(t.rowCount(), 1u);
+  EXPECT_NE(t.render().find("x"), std::string::npos);
+}
+
+TEST(Table, OverlongRowThrows) {
+  Table t({"a"});
+  EXPECT_THROW(t.addRow({"x", "y"}), Error);
+}
+
+TEST(Prng, DeterministicForSeed) {
+  Prng a(42);
+  Prng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Prng, UniformStaysInRange) {
+  Prng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Prng, Uniform01StaysInUnitInterval) {
+  Prng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Prng, GaussianHasReasonableMoments) {
+  Prng rng(1234);
+  double sum = 0.0;
+  double sumSq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.gaussian();
+    sum += v;
+    sumSq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sumSq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+}  // namespace
+}  // namespace tpdf::support

@@ -1,0 +1,204 @@
+#include "symbolic/expr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace tpdf::symbolic {
+namespace {
+
+using support::Rational;
+
+TEST(Expr, DefaultIsZero) {
+  const Expr e;
+  EXPECT_TRUE(e.isZero());
+  EXPECT_TRUE(e.isConstant());
+  EXPECT_EQ(e.toString(), "0");
+}
+
+TEST(Expr, AdditionMergesLikeTerms) {
+  const Expr e = Expr::param("p") + Expr::param("p");
+  EXPECT_EQ(e.toString(), "2p");
+  EXPECT_TRUE(e.isMonomial());
+}
+
+TEST(Expr, AdditionCancelsToZero) {
+  const Expr e = Expr::param("p") - Expr::param("p");
+  EXPECT_TRUE(e.isZero());
+}
+
+TEST(Expr, MixedTermsKeepCanonicalOrder) {
+  const Expr e = Expr::param("p") + Expr(1) + Expr::param("a");
+  EXPECT_EQ(e.toString(), "1+a+p");
+}
+
+TEST(Expr, MultiplicationDistributes) {
+  // (p + 1) * (p - 1) = p^2 - 1.
+  const Expr e = (Expr::param("p") + Expr(1)) * (Expr::param("p") - Expr(1));
+  EXPECT_EQ(e.toString(), "-1+p^2");
+}
+
+TEST(Expr, BetaTimesNPlusL) {
+  // The OFDM rate beta*(N+L).
+  const Expr e = Expr::param("beta") * (Expr::param("N") + Expr::param("L"));
+  EXPECT_EQ(e.terms().size(), 2u);
+  const Environment env{{"beta", 10}, {"N", 512}, {"L", 1}};
+  EXPECT_EQ(e.evaluateInt(env), 5130);
+}
+
+TEST(Expr, ConstantAccessors) {
+  EXPECT_EQ(Expr(7).constant(), Rational(7));
+  EXPECT_THROW(Expr::param("p").constant(), support::Error);
+  EXPECT_THROW((Expr::param("p") + Expr(1)).asMonomial(), support::Error);
+}
+
+TEST(Expr, DividedByMonomialIsTermwise) {
+  const Expr e = Expr::param("p") * Expr::param("p") + Expr(2) * Expr::param("p");
+  const Expr q = e.dividedBy(Monomial::param("p"));
+  EXPECT_EQ(q.toString(), "2+p");
+}
+
+TEST(Expr, DivideExactByMonomial) {
+  const Expr e = Expr(6) * Expr::param("p");
+  const auto q = e.divideExact(Expr(3));
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(q->toString(), "2p");
+}
+
+TEST(Expr, DivideExactPolynomialByPolynomial) {
+  // beta*(N+L) / (N+L) == beta.
+  const Expr nl = Expr::param("N") + Expr::param("L");
+  const Expr e = Expr::param("beta") * nl;
+  const auto q = e.divideExact(nl);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(*q, Expr::param("beta"));
+}
+
+TEST(Expr, DivideExactMultiTermQuotient) {
+  // (N^2 + N*L + N + L) / (N + L) == N + 1.
+  const Expr n = Expr::param("N");
+  const Expr l = Expr::param("L");
+  const Expr dividend = n * n + n * l + n + l;
+  const auto q = dividend.divideExact(n + l);
+  ASSERT_TRUE(q.has_value());
+  EXPECT_EQ(*q, n + Expr(1));
+}
+
+TEST(Expr, DivideExactFailsWhenInexact) {
+  const auto q = (Expr::param("p") + Expr(1)).divideExact(Expr::param("q"));
+  // p/q + 1/q is a valid Laurent quotient over q, so division by a
+  // monomial never fails; but dividing by a sum that does not divide does.
+  ASSERT_TRUE(q.has_value());  // monomial divisor: exact termwise
+  const auto q2 =
+      (Expr::param("p") * Expr::param("p") + Expr(1))
+          .divideExact(Expr::param("p") + Expr(1));
+  EXPECT_FALSE(q2.has_value());
+}
+
+TEST(Expr, DivideByZeroThrows) {
+  EXPECT_THROW(Expr(1).divideExact(Expr()), support::DivisionByZeroError);
+}
+
+TEST(Expr, EvaluateRequiresInteger) {
+  const Expr half = Expr(Rational(1, 2)) * Expr::param("p");
+  const Environment odd{{"p", 3}};
+  EXPECT_THROW(half.evaluateInt(odd), support::Error);
+  const Environment even{{"p", 4}};
+  EXPECT_EQ(half.evaluateInt(even), 2);
+}
+
+TEST(Expr, ContentOfSum) {
+  // content(4p^2 + 6p) = 2p.
+  const Expr e = Expr(4) * Expr::param("p") * Expr::param("p") +
+                 Expr(6) * Expr::param("p");
+  const Monomial c = e.content();
+  EXPECT_EQ(c.coeff(), Rational(2));
+  EXPECT_EQ(c.exponentOf("p"), 1);
+}
+
+TEST(Expr, ExprGcd) {
+  // gcd(2p, p) = p (Definition 4's q_G for Figure 2's area).
+  const Expr twoP = Expr(2) * Expr::param("p");
+  const Monomial g = exprGcd(twoP, Expr::param("p"));
+  EXPECT_EQ(g.coeff(), Rational(1));
+  EXPECT_EQ(g.exponentOf("p"), 1);
+}
+
+TEST(Expr, CollectParams) {
+  std::set<std::string> params;
+  (Expr::param("beta") * (Expr::param("N") + Expr(1))).collectParams(params);
+  EXPECT_EQ(params, (std::set<std::string>{"beta", "N"}));
+}
+
+TEST(Expr, NormalizeSolutionVectorFigure2) {
+  // [1, p, p/2, p/2, p, p/2] -> [2, 2p, p, p, 2p, p] (Example 2).
+  const Expr p = Expr::param("p");
+  const Expr half(Rational(1, 2));
+  const std::vector<Expr> raw{Expr(1), p, half * p, half * p, p, half * p};
+  const std::vector<Expr> norm = normalizeSolutionVector(raw);
+  EXPECT_EQ(norm[0].toString(), "2");
+  EXPECT_EQ(norm[1].toString(), "2p");
+  EXPECT_EQ(norm[2].toString(), "p");
+  EXPECT_EQ(norm[5].toString(), "p");
+}
+
+TEST(Expr, NormalizeSolutionVectorDividesCommonFactor) {
+  const std::vector<Expr> raw{Expr(4), Expr(6) * Expr::param("p")};
+  const std::vector<Expr> norm = normalizeSolutionVector(raw);
+  EXPECT_EQ(norm[0].toString(), "2");
+  EXPECT_EQ(norm[1].toString(), "3p");
+}
+
+// ---- Parser ----------------------------------------------------------
+
+TEST(ParseExpr, Integers) {
+  EXPECT_EQ(parseExpr("42"), Expr(42));
+  EXPECT_EQ(parseExpr(" 0 "), Expr());
+}
+
+TEST(ParseExpr, Identifiers) {
+  EXPECT_EQ(parseExpr("p"), Expr::param("p"));
+  EXPECT_EQ(parseExpr("beta_1"), Expr::param("beta_1"));
+}
+
+TEST(ParseExpr, ImplicitMultiplication) {
+  EXPECT_EQ(parseExpr("2p"), Expr(2) * Expr::param("p"));
+  EXPECT_EQ(parseExpr("beta(N+L)"),
+            Expr::param("beta") * (Expr::param("N") + Expr::param("L")));
+  EXPECT_EQ(parseExpr("2 p q"),
+            Expr(2) * Expr::param("p") * Expr::param("q"));
+}
+
+TEST(ParseExpr, Precedence) {
+  EXPECT_EQ(parseExpr("1+2*3"), Expr(7));
+  EXPECT_EQ(parseExpr("(1+2)*3"), Expr(9));
+  EXPECT_EQ(parseExpr("-p+p"), Expr());
+}
+
+TEST(ParseExpr, Division) {
+  EXPECT_EQ(parseExpr("4p/2"), Expr(2) * Expr::param("p"));
+  EXPECT_EQ(parseExpr("p/p"), Expr(1));
+}
+
+TEST(ParseExpr, Errors) {
+  EXPECT_THROW(parseExpr(""), support::ParseError);
+  EXPECT_THROW(parseExpr("1 +"), support::ParseError);
+  EXPECT_THROW(parseExpr("(1"), support::ParseError);
+  EXPECT_THROW(parseExpr("#"), support::ParseError);
+  EXPECT_THROW(parseExpr("1) "), support::ParseError);
+}
+
+TEST(ParseExpr, RoundTripThroughToString) {
+  for (const std::string text :
+       {"2p", "p*p", "1+a+p", "beta", "bL+bN", "3/1"}) {
+    const Expr e = parseExpr(text);
+    // toString uses ^ for powers, which parseExpr does not accept; skip
+    // those in the round trip.
+    if (e.toString().find('^') == std::string::npos) {
+      EXPECT_EQ(parseExpr(e.toString()), e) << text;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tpdf::symbolic

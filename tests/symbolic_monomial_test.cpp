@@ -1,0 +1,132 @@
+#include "symbolic/monomial.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace tpdf::symbolic {
+namespace {
+
+using support::Rational;
+
+TEST(Monomial, DefaultIsZero) {
+  const Monomial m;
+  EXPECT_TRUE(m.isZero());
+  EXPECT_TRUE(m.isConstant());
+  EXPECT_EQ(m.toString(), "0");
+}
+
+TEST(Monomial, ConstantConstruction) {
+  const Monomial m(Rational(3, 2));
+  EXPECT_TRUE(m.isConstant());
+  EXPECT_FALSE(m.isZero());
+  EXPECT_EQ(m.toString(), "3/2");
+}
+
+TEST(Monomial, ZeroCoefficientClearsExponents) {
+  const Monomial m(Rational(0), "p");
+  EXPECT_TRUE(m.isZero());
+  EXPECT_TRUE(m.exponents().empty());
+}
+
+TEST(Monomial, ParamConstruction) {
+  const Monomial p = Monomial::param("p");
+  EXPECT_FALSE(p.isConstant());
+  EXPECT_EQ(p.exponentOf("p"), 1);
+  EXPECT_EQ(p.exponentOf("q"), 0);
+  EXPECT_EQ(p.toString(), "p");
+}
+
+TEST(Monomial, Multiplication) {
+  const Monomial m = Monomial(Rational(2), "p") * Monomial(Rational(3), "p");
+  EXPECT_EQ(m.coeff(), Rational(6));
+  EXPECT_EQ(m.exponentOf("p"), 2);
+  EXPECT_EQ(m.toString(), "6p^2");
+}
+
+TEST(Monomial, MultiplicationMergesDistinctParams) {
+  const Monomial m = Monomial::param("p") * Monomial::param("q");
+  EXPECT_EQ(m.exponentOf("p"), 1);
+  EXPECT_EQ(m.exponentOf("q"), 1);
+  EXPECT_EQ(m.toString(), "p*q");
+}
+
+TEST(Monomial, DivisionCancelsExponents) {
+  const Monomial m =
+      (Monomial(Rational(4), "p") * Monomial::param("p")) /
+      Monomial(Rational(2), "p");
+  EXPECT_EQ(m.coeff(), Rational(2));
+  EXPECT_EQ(m.exponentOf("p"), 1);
+}
+
+TEST(Monomial, DivisionCanGoNegative) {
+  const Monomial m = Monomial::one() / Monomial::param("p");
+  EXPECT_EQ(m.exponentOf("p"), -1);
+  EXPECT_EQ(m.toString(), "p^-1");
+}
+
+TEST(Monomial, DivisionByZeroThrows) {
+  EXPECT_THROW(Monomial::one() / Monomial(), support::DivisionByZeroError);
+}
+
+TEST(Monomial, Pow) {
+  const Monomial m = Monomial(Rational(2), "p").pow(3);
+  EXPECT_EQ(m.coeff(), Rational(8));
+  EXPECT_EQ(m.exponentOf("p"), 3);
+  EXPECT_TRUE(Monomial::param("p").pow(0).isOne());
+  EXPECT_EQ(Monomial::param("p").pow(-2).exponentOf("p"), -2);
+}
+
+TEST(Monomial, Evaluate) {
+  const Environment env{{"p", 4}};
+  EXPECT_EQ(Monomial(Rational(3), "p").evaluate(env), Rational(12));
+  EXPECT_EQ(Monomial(Rational(1, 2), "p").evaluate(env), Rational(2));
+  const Monomial inv = Monomial::one() / Monomial::param("p");
+  EXPECT_EQ(inv.evaluate(env), Rational(1, 4));
+}
+
+TEST(Monomial, EvaluateUnboundThrows) {
+  EXPECT_THROW(Monomial::param("p").evaluate(Environment{}), support::Error);
+}
+
+TEST(Monomial, GcdOfConstants) {
+  EXPECT_EQ(monomialGcd(Monomial(Rational(4)), Monomial(Rational(6))),
+            Monomial(Rational(2)));
+}
+
+TEST(Monomial, GcdTakesMinimumExponents) {
+  const Monomial a = Monomial(Rational(2), "p") * Monomial::param("p");  // 2p^2
+  const Monomial b(Rational(4), "p");                                    // 4p
+  const Monomial g = monomialGcd(a, b);
+  EXPECT_EQ(g.coeff(), Rational(2));
+  EXPECT_EQ(g.exponentOf("p"), 1);
+}
+
+TEST(Monomial, GcdIgnoresOneSidedParams) {
+  // gcd(2p, 4q) = 2: q only on one side contributes exponent 0.
+  const Monomial g =
+      monomialGcd(Monomial(Rational(2), "p"), Monomial(Rational(4), "q"));
+  EXPECT_EQ(g, Monomial(Rational(2)));
+}
+
+TEST(Monomial, GcdWithZeroIsAbsoluteValue) {
+  EXPECT_EQ(monomialGcd(Monomial(), Monomial(Rational(-3), "p")),
+            Monomial(Rational(3), "p"));
+}
+
+TEST(Monomial, ToStringSpellings) {
+  EXPECT_EQ(Monomial(Rational(-1), "p").toString(), "-p");
+  EXPECT_EQ(Monomial(Rational(1, 2), "p").toString(), "(1/2)p");
+  EXPECT_EQ((Monomial::param("a") * Monomial::param("b")).toString(),
+            "a*b");
+}
+
+TEST(Monomial, SamePowerProduct) {
+  EXPECT_TRUE(Monomial(Rational(2), "p")
+                  .samePowerProduct(Monomial(Rational(5), "p")));
+  EXPECT_FALSE(Monomial(Rational(2), "p")
+                   .samePowerProduct(Monomial(Rational(2), "q")));
+}
+
+}  // namespace
+}  // namespace tpdf::symbolic

@@ -1,0 +1,139 @@
+// tpdfc — the TPDF analyzer command line.
+//
+// Reads a graph in the .tpdf text format and runs the paper's analysis
+// chain and tooling on it:
+//
+//   tpdfc analyze  graph.tpdf [p=4 ...]   consistency/safety/liveness/
+//                                         boundedness report
+//   tpdfc schedule graph.tpdf [p=4 ...]   one-iteration schedule + buffer
+//                                         sizing at a parameter valuation
+//   tpdfc map      graph.tpdf pes=4 [..]  canonical period + list schedule
+//                                         on an MPPA-like platform
+//   tpdfc dot      graph.tpdf             Graphviz rendering
+//   tpdfc echo     graph.tpdf             parse + pretty-print round trip
+//
+// Parameters are given as name=value pairs; unbound parameters default
+// to 2 for concrete steps.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/analysis.hpp"
+#include "csdf/buffer.hpp"
+#include "io/format.hpp"
+#include "sched/canonical.hpp"
+#include "sched/list.hpp"
+#include "support/error.hpp"
+
+using namespace tpdf;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: tpdfc <analyze|schedule|map|dot|echo> <file.tpdf> "
+               "[name=value ...] [pes=N]\n");
+  return 2;
+}
+
+struct Cli {
+  std::string command;
+  std::string file;
+  symbolic::Environment env;
+  std::size_t pes = 4;
+};
+
+bool parseArgs(int argc, char** argv, Cli& cli) {
+  if (argc < 3) return false;
+  cli.command = argv[1];
+  cli.file = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos) return false;
+    const std::string name = arg.substr(0, eq);
+    const std::int64_t value = std::atoll(arg.c_str() + eq + 1);
+    if (name == "pes") {
+      cli.pes = static_cast<std::size_t>(value);
+    } else {
+      cli.env.bind(name, value);
+    }
+  }
+  return true;
+}
+
+/// Binds every still-unbound parameter to 2 so concrete steps can run.
+symbolic::Environment concretize(const graph::Graph& g,
+                                 const symbolic::Environment& env) {
+  symbolic::Environment full = env;
+  for (const std::string& p : g.params()) {
+    if (!full.has(p)) {
+      std::fprintf(stderr, "note: parameter '%s' unbound, using 2\n",
+                   p.c_str());
+      full.bind(p, 2);
+    }
+  }
+  return full;
+}
+
+int runAnalyze(const graph::Graph& g, const Cli& cli) {
+  const core::AnalysisReport report = core::analyze(g, cli.env);
+  std::printf("%s", report.toString(g).c_str());
+  return report.bounded() ? 0 : 1;
+}
+
+int runSchedule(const graph::Graph& g, const Cli& cli) {
+  const symbolic::Environment env = concretize(g, cli.env);
+  const csdf::LivenessResult live = csdf::findSchedule(g, env);
+  if (!live.live) {
+    std::printf("no schedule: %s\n", live.diagnostic.c_str());
+    return 1;
+  }
+  std::printf("schedule: %s\n", live.schedule.toString(g).c_str());
+  const csdf::BufferReport buffers = csdf::minimumBuffers(g, env);
+  if (buffers.ok) {
+    std::printf("buffers:  %lld tokens total\n",
+                static_cast<long long>(buffers.total()));
+    for (const graph::Channel& c : g.channels()) {
+      std::printf("  %-12s %lld\n", c.name.c_str(),
+                  static_cast<long long>(buffers.of(c.id)));
+    }
+  }
+  return 0;
+}
+
+int runMap(const graph::Graph& g, const Cli& cli) {
+  const symbolic::Environment env = concretize(g, cli.env);
+  const sched::CanonicalPeriod cp(g, env);
+  std::printf("canonical period: %zu occurrences\n", cp.size());
+  const sched::ListSchedule ls =
+      sched::listSchedule(cp, sched::Platform{.peCount = cli.pes});
+  std::printf("%s", ls.toString(cp).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  if (!parseArgs(argc, argv, cli)) return usage();
+  try {
+    const graph::Graph g = io::readGraphFile(cli.file);
+    if (cli.command == "analyze") return runAnalyze(g, cli);
+    if (cli.command == "schedule") return runSchedule(g, cli);
+    if (cli.command == "map") return runMap(g, cli);
+    if (cli.command == "dot") {
+      std::printf("%s", g.toDot().c_str());
+      return 0;
+    }
+    if (cli.command == "echo") {
+      std::printf("%s", io::writeGraph(g).c_str());
+      return 0;
+    }
+    return usage();
+  } catch (const support::Error& e) {
+    std::fprintf(stderr, "tpdfc: %s\n", e.what());
+    return 1;
+  }
+}
