@@ -5,6 +5,9 @@
 // message latency between distinct PEs (intra-PE communication is free).
 // The dedicated control PE mirrors Figure 5, where C1 is "mapped onto a
 // separate processing element".
+//
+// Consumed by sched::listSchedule (list.hpp); `tpdfc map graph.tpdf
+// pes=N` builds one with N worker PEs and the defaults below.
 #pragma once
 
 #include <cstddef>

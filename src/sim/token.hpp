@@ -4,6 +4,9 @@
 // the case studies can push real data (image buffers, OFDM symbols)
 // through a TPDF graph.  A token has an integer tag (on control channels
 // the tag selects the receiver's mode) and an optional opaque payload.
+//
+// Tokens are moved by sim::Simulator (simulator.hpp); actor callbacks
+// receive and emit them per firing phase.
 #pragma once
 
 #include <any>

@@ -4,6 +4,8 @@
 // strictly positive, exactly like SPDF/BPDF.  An Environment instantiates
 // them, e.g. {p = 4} or {beta = 10, N = 512, L = 1}, which is what the
 // scheduler and the simulator need to run a concrete iteration.
+// Expr::evaluate()/evaluateInt() (expr.hpp) take one; `tpdfc` builds one
+// from its name=value command-line pairs.
 #pragma once
 
 #include <cstdint>

@@ -174,7 +174,9 @@ TEST(Integration, ParametricAnalysisAgreesWithInstantiation) {
     const std::int64_t factor =
         rv.q[0].evaluateInt(env) / rvConcrete.q[0].constant().toInteger();
     EXPECT_GE(factor, 1);
-    if (p % 2 == 1) EXPECT_EQ(factor, 1);
+    if (p % 2 == 1) {
+      EXPECT_EQ(factor, 1);
+    }
     for (std::size_t i = 0; i < rv.q.size(); ++i) {
       EXPECT_EQ(rv.q[i].evaluateInt(env),
                 factor * rvConcrete.q[i].constant().toInteger())

@@ -117,8 +117,9 @@ int runMap(const graph::Graph& g, const Cli& cli) {
 
 int main(int argc, char** argv) {
   Cli cli;
-  if (!parseArgs(argc, argv, cli)) return usage();
   try {
+    // Inside the try: binding a non-positive parameter value throws.
+    if (!parseArgs(argc, argv, cli)) return usage();
     const graph::Graph g = io::readGraphFile(cli.file);
     if (cli.command == "analyze") return runAnalyze(g, cli);
     if (cli.command == "schedule") return runSchedule(g, cli);
