@@ -11,6 +11,7 @@
 #include "apps/ofdm.hpp"
 #include "core/analysis.hpp"
 #include "csdf/buffer.hpp"
+#include "csdf/liveness.hpp"
 #include "graph/builder.hpp"
 #include "support/prng.hpp"
 
@@ -94,13 +95,69 @@ void BM_RepetitionVectorOnChain(benchmark::State& state) {
 BENCHMARK(BM_RepetitionVectorOnChain)
     ->Arg(10)->Arg(100)->Arg(1000)->Complexity();
 
+/// Chain whose edges alternate [p]->[1] and [1]->[p], so repetition
+/// counts hit the parameter value: q = [1, p, 1, p, ...].  Exercises the
+/// scheduler and the symbolic evaluator at large parameter valuations.
+Graph paramChain(int n) {
+  GraphBuilder b("pchain" + std::to_string(n));
+  b.param("p");
+  for (int i = 0; i < n; ++i) {
+    b.kernel("K" + std::to_string(i));
+    const bool expand = i % 2 == 0;  // K(2i) -[p,1]-> K(2i+1) -[1,p]->
+    if (i > 0) b.in("i", expand ? "[p]" : "[1]");
+    if (i + 1 < n) b.out("o", expand ? "[p]" : "[1]");
+  }
+  for (int i = 0; i + 1 < n; ++i) {
+    b.channel("e" + std::to_string(i), "K" + std::to_string(i) + ".o",
+              "K" + std::to_string(i + 1) + ".i");
+  }
+  return b.build();
+}
+
 void BM_LivenessOnChain(benchmark::State& state) {
   const Graph g = randomChain(static_cast<int>(state.range(0)), 42);
   for (auto _ : state) {
     benchmark::DoNotOptimize(csdf::findSchedule(g));
   }
+  state.SetComplexityN(state.range(0));
 }
-BENCHMARK(BM_LivenessOnChain)->Arg(10)->Arg(100);
+BENCHMARK(BM_LivenessOnChain)->Arg(10)->Arg(100)->Arg(1000)->Complexity();
+
+void BM_ScheduleMinOccupancyOnChain(benchmark::State& state) {
+  const Graph g = randomChain(static_cast<int>(state.range(0)), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        csdf::findSchedule(g, {}, csdf::SchedulePolicy::MinOccupancy));
+  }
+}
+BENCHMARK(BM_ScheduleMinOccupancyOnChain)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_LivenessOnTree(benchmark::State& state) {
+  const Graph g = tree(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(csdf::findSchedule(g));
+  }
+}
+BENCHMARK(BM_LivenessOnTree)->Arg(8);
+
+void BM_ScheduleParamChain(benchmark::State& state) {
+  const Graph g = paramChain(64);
+  const symbolic::Environment env{{"p", state.range(0)}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(csdf::findSchedule(g, env));
+  }
+}
+BENCHMARK(BM_ScheduleParamChain)->Arg(16)->Arg(256);
+
+void BM_ScheduleOfdmEffective(benchmark::State& state) {
+  const Graph g = apps::ofdmTpdfEffective(apps::Constellation::Qam16);
+  const symbolic::Environment env{
+      {"b", state.range(0)}, {"N", 512}, {"L", 1}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(csdf::findSchedule(g, env));
+  }
+}
+BENCHMARK(BM_ScheduleOfdmEffective)->Arg(10)->Arg(100);
 
 void BM_RepetitionVectorOnTree(benchmark::State& state) {
   const Graph g = tree(static_cast<int>(state.range(0)));

@@ -36,11 +36,13 @@ LocalSolution localSolution(const Graph& g, const csdf::RepetitionVector& rv,
                          "' is fractional: " + local.toString();
         return out;
       }
-      for (const auto& [name, e] : t.exponents()) {
-        if (e < 0) {
-          out.diagnostic = "local solution of '" + g.actor(a).name +
-                           "' has negative power of parameter '" + name +
-                           "': " + local.toString();
+      for (const symbolic::ParamExp& pe : t.exponents()) {
+        if (pe.exp < 0) {
+          out.diagnostic =
+              "local solution of '" + g.actor(a).name +
+              "' has negative power of parameter '" +
+              symbolic::ParamTable::instance().name(pe.id) +
+              "': " + local.toString();
           return out;
         }
       }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <set>
 
 #include "support/error.hpp"
 
@@ -13,14 +14,21 @@ using graph::Graph;
 namespace {
 
 /// Per-port rates fully evaluated to integers for fast simulation.
+/// Output ports carry the channel's consumer so the scheduler can wake
+/// exactly the actors a firing may have enabled.
 struct EvalPort {
   std::size_t channel;
   std::vector<std::int64_t> rates;  // length tau(actor)
-  bool input;
+  /// Consumer of `channel` (for an input port that is the owning actor).
+  std::size_t dstActor;
 };
 
 struct EvalActor {
-  std::vector<EvalPort> ports;
+  std::vector<EvalPort> inputs;
+  std::vector<EvalPort> outputs;
+  /// Net occupancy change per phase (outputs minus inputs), precomputed
+  /// for the MinOccupancy policy.
+  std::vector<std::int64_t> delta;
 };
 
 std::vector<EvalActor> evaluatePorts(const Graph& g,
@@ -28,12 +36,17 @@ std::vector<EvalActor> evaluatePorts(const Graph& g,
   std::vector<EvalActor> actors(g.actorCount());
   for (const graph::Actor& a : g.actors()) {
     const std::int64_t tau = g.phases(a.id);
+    EvalActor& ea = actors[a.id.index()];
+    ea.delta.assign(static_cast<std::size_t>(tau), 0);
     for (graph::PortId pid : a.ports) {
       const graph::Port& p = g.port(pid);
       EvalPort ep;
       ep.channel = p.channel.index();
-      ep.input = graph::isInput(p.kind);
-      const graph::RateSeq rates = g.effectiveRates(pid);
+      const bool input = graph::isInput(p.kind);
+      ep.dstActor = input ? a.id.index() : g.destActor(p.channel).index();
+      // p.rates.at(i) cyclically extends to the actor's tau phases, so
+      // the sequence is read in place — no effectiveRates() copy.
+      const graph::RateSeq& rates = p.rates;
       ep.rates.reserve(static_cast<std::size_t>(tau));
       for (std::int64_t i = 0; i < tau; ++i) {
         const std::int64_t v = rates.at(i).evaluateInt(env);
@@ -43,8 +56,9 @@ std::vector<EvalActor> evaluatePorts(const Graph& g,
                                " under the given environment");
         }
         ep.rates.push_back(v);
+        ea.delta[static_cast<std::size_t>(i)] += input ? -v : v;
       }
-      actors[a.id.index()].ports.push_back(std::move(ep));
+      (input ? ea.inputs : ea.outputs).push_back(std::move(ep));
     }
   }
   return actors;
@@ -66,7 +80,8 @@ LivenessResult findSchedule(const Graph& g, const RepetitionVector& rv,
     return out;
   }
 
-  out.q.reserve(g.actorCount());
+  const std::size_t n = g.actorCount();
+  out.q.reserve(n);
   std::int64_t totalFirings = 0;
   for (const symbolic::Expr& e : rv.q) {
     const std::int64_t qi = e.evaluateInt(env);
@@ -79,90 +94,128 @@ LivenessResult findSchedule(const Graph& g, const RepetitionVector& rv,
   for (const graph::Channel& c : g.channels()) {
     occupancy[c.id.index()] = c.initialTokens;
   }
-  std::vector<std::int64_t> fired(g.actorCount(), 0);
-  std::vector<std::int64_t> tau(g.actorCount());
-  for (std::size_t i = 0; i < g.actorCount(); ++i) {
-    tau[i] = g.phases(ActorId(static_cast<std::uint32_t>(i)));
+  std::vector<std::int64_t> fired(n, 0);
+  std::vector<std::size_t> tau(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    tau[i] = eval[i].delta.size();  // == phases(actor i), always >= 1
   }
 
   auto enabled = [&](std::size_t ai) -> bool {
     if (fired[ai] >= out.q[ai]) return false;
-    const std::size_t phase =
-        static_cast<std::size_t>(fired[ai] % tau[ai]);
-    for (const EvalPort& p : eval[ai].ports) {
-      if (p.input && occupancy[p.channel] < p.rates[phase]) return false;
+    const std::size_t phase = static_cast<std::size_t>(fired[ai]) % tau[ai];
+    for (const EvalPort& p : eval[ai].inputs) {
+      if (occupancy[p.channel] < p.rates[phase]) return false;
     }
     return true;
   };
 
   auto fire = [&](std::size_t ai) {
-    const std::size_t phase =
-        static_cast<std::size_t>(fired[ai] % tau[ai]);
-    for (const EvalPort& p : eval[ai].ports) {
-      if (p.input) {
-        occupancy[p.channel] -= p.rates[phase];
-      } else {
-        occupancy[p.channel] += p.rates[phase];
-      }
+    const std::size_t phase = static_cast<std::size_t>(fired[ai]) % tau[ai];
+    for (const EvalPort& p : eval[ai].inputs) {
+      occupancy[p.channel] -= p.rates[phase];
+    }
+    for (const EvalPort& p : eval[ai].outputs) {
+      occupancy[p.channel] += p.rates[phase];
     }
     out.schedule.order.push_back(
         {ActorId(static_cast<std::uint32_t>(ai)), fired[ai]});
     ++fired[ai];
   };
 
-  // Net occupancy change of firing actor ai at its current phase, used by
-  // the MinOccupancy policy.
-  auto occupancyDelta = [&](std::size_t ai) -> std::int64_t {
-    const std::size_t phase =
-        static_cast<std::size_t>(fired[ai] % tau[ai]);
-    std::int64_t delta = 0;
-    for (const EvalPort& p : eval[ai].ports) {
-      delta += p.input ? -p.rates[phase] : p.rates[phase];
+  // Ready set: exactly the enabled actors, in id order.  A firing of `ai`
+  // changes occupancy only on ai's own channels, so the only actors whose
+  // status can flip are ai itself and the consumers of channels ai just
+  // produced on; everything else in the set stays enabled.  That keeps
+  // the per-firing work proportional to the fired actor's degree instead
+  // of a full actor/port rescan.
+  std::set<std::size_t> ready;
+  std::vector<char> inReady(n, 0);
+  for (std::size_t ai = 0; ai < n; ++ai) {
+    if (enabled(ai)) {
+      ready.insert(ai);
+      inReady[ai] = 1;
     }
-    return delta;
+  }
+
+  // Re-derives membership of `ai` after its inputs may have gained
+  // tokens; returns true when ai newly entered the set.
+  auto wake = [&](std::size_t ai) -> bool {
+    if (inReady[ai] || !enabled(ai)) return false;
+    ready.insert(ai);
+    inReady[ai] = 1;
+    return true;
+  };
+
+  auto deadlock = [&]() {
+    // Report which actors are stuck and why.
+    std::string stuck;
+    stuck.reserve(32 * n);
+    for (std::size_t ai = 0; ai < n; ++ai) {
+      if (fired[ai] < out.q[ai]) {
+        if (!stuck.empty()) stuck += ", ";
+        stuck += g.actor(ActorId(static_cast<std::uint32_t>(ai))).name +
+                 " (" + std::to_string(fired[ai]) + "/" +
+                 std::to_string(out.q[ai]) + ")";
+      }
+    }
+    out.diagnostic = "deadlock after " +
+                     std::to_string(out.schedule.order.size()) +
+                     " firings; blocked actors: " + stuck;
   };
 
   out.schedule.order.reserve(static_cast<std::size_t>(totalFirings));
   while (static_cast<std::int64_t>(out.schedule.order.size()) <
          totalFirings) {
-    std::size_t chosen = g.actorCount();
+    if (ready.empty()) {
+      deadlock();
+      return out;
+    }
+
+    std::size_t chosen;
     if (policy == SchedulePolicy::Eager) {
-      for (std::size_t ai = 0; ai < g.actorCount(); ++ai) {
-        if (enabled(ai)) {
-          chosen = ai;
-          break;
-        }
-      }
+      // The eager choice is the lowest-id enabled actor.
+      chosen = *ready.begin();
     } else {
-      std::int64_t best = 0;
-      for (std::size_t ai = 0; ai < g.actorCount(); ++ai) {
-        if (!enabled(ai)) continue;
-        const std::int64_t delta = occupancyDelta(ai);
-        if (chosen == g.actorCount() || delta < best) {
+      // Lowest occupancy delta, ties to the lowest id (the set iterates
+      // in id order and the comparison is strict).
+      auto it = ready.begin();
+      chosen = *it;
+      std::int64_t best =
+          eval[chosen]
+              .delta[static_cast<std::size_t>(fired[chosen]) % tau[chosen]];
+      for (++it; it != ready.end(); ++it) {
+        const std::size_t ai = *it;
+        const std::int64_t delta =
+            eval[ai].delta[static_cast<std::size_t>(fired[ai]) % tau[ai]];
+        if (delta < best) {
           chosen = ai;
           best = delta;
         }
       }
     }
 
-    if (chosen == g.actorCount()) {
-      // Deadlock: report which actors are stuck and why.
-      std::string stuck;
-      for (std::size_t ai = 0; ai < g.actorCount(); ++ai) {
-        if (fired[ai] < out.q[ai]) {
-          if (!stuck.empty()) stuck += ", ";
-          stuck +=
-              g.actor(ActorId(static_cast<std::uint32_t>(ai))).name + " (" +
-              std::to_string(fired[ai]) + "/" + std::to_string(out.q[ai]) +
-              ")";
-        }
+    // Fire `chosen`; under Eager, keep firing it through consecutive
+    // phases while it stays both enabled and the lowest-id enabled actor
+    // (no consumer with a smaller id woke up), so long runs cost one
+    // ready-set update instead of one per firing.
+    bool lowerWoke = false;
+    do {
+      const std::size_t phase =
+          static_cast<std::size_t>(fired[chosen]) % tau[chosen];
+      fire(chosen);
+      for (const EvalPort& p : eval[chosen].outputs) {
+        if (p.rates[phase] == 0 || p.dstActor == chosen) continue;
+        if (wake(p.dstActor) && p.dstActor < chosen) lowerWoke = true;
       }
-      out.diagnostic = "deadlock after " +
-                       std::to_string(out.schedule.order.size()) +
-                       " firings; blocked actors: " + stuck;
-      return out;
+    } while (policy == SchedulePolicy::Eager && !lowerWoke &&
+             static_cast<std::int64_t>(out.schedule.order.size()) <
+                 totalFirings &&
+             enabled(chosen));
+
+    if (!enabled(chosen)) {
+      ready.erase(chosen);
+      inReady[chosen] = 0;
     }
-    fire(chosen);
   }
 
   out.live = true;

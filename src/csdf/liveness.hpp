@@ -4,6 +4,17 @@
 // the initial token distribution.  findSchedule() performs token-accurate
 // simulation under a parameter environment and returns the schedule it
 // found (the CSDF PASS), or a deadlock diagnosis.
+//
+// The simulation is incremental: all rates are pre-evaluated to integer
+// tables (one entry per phase), and an id-ordered ready set tracks the
+// enabled actors.  A firing only re-examines the fired actor and the
+// consumers of channels it produced on — every channel has exactly one
+// consumer port, so nothing else can change status — making the cost per
+// firing O(degree * log |ready|) instead of a full actor/port rescan.
+// Under the Eager policy an actor that stays the lowest-id enabled actor
+// is fired through consecutive phases in one batch.  Firing orders are
+// exactly those of the reference rescan loop (see the golden-schedule
+// tests).
 #pragma once
 
 #include <string>

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdio>
 #include <deque>
+#include <queue>
+#include <set>
 
 #include "csdf/repetition.hpp"
 #include "support/error.hpp"
@@ -167,9 +169,49 @@ SimResult Simulator::run(const SimOptions& options) {
   const std::vector<core::ModeSpec> defaultModes{
       core::ModeSpec{"default", core::Mode::WaitAll, {}, {}}};
 
+  // Every port's rate sequence, evaluated once to integers over the
+  // actor's tau phases; the per-firing lookup in the hot loop is then a
+  // plain array index instead of a RateSeq copy plus symbolic evaluation.
+  std::vector<std::vector<std::int64_t>> portRates(g.portCount());
+  for (const graph::Actor& a : g.actors()) {
+    const std::int64_t tau = g.phases(a.id);
+    for (PortId pid : a.ports) {
+      const graph::Port& p = g.port(pid);
+      std::vector<std::int64_t>& table = portRates[pid.index()];
+      table.reserve(static_cast<std::size_t>(tau));
+      for (std::int64_t i = 0; i < tau; ++i) {
+        table.push_back(p.rates.at(i).evaluateInt(env_));
+      }
+    }
+  }
   auto phaseRate = [&](PortId pid, std::int64_t firing) {
-    return g.effectiveRates(pid).at(firing).evaluateInt(env_);
+    const std::vector<std::int64_t>& table = portRates[pid.index()];
+    return table[static_cast<std::size_t>(firing) %
+                 table.size()];
   };
+
+  // Channel -> consuming actor, for the adjacency-driven wakeup: a token
+  // arrival can only change the startability of the channel's one
+  // consumer, so that is the only actor worth re-examining.
+  std::vector<std::size_t> consumerOf(g.channelCount());
+  for (const graph::Channel& c : g.channels()) {
+    consumerOf[c.id.index()] = g.destActor(c.id).index();
+  }
+
+  // Actors to (re-)try starting at the current instant, in id order.
+  std::set<std::size_t> wake;
+  for (std::size_t i = 0; i < g.actorCount(); ++i) wake.insert(i);
+
+  // Future events: firing completions and clock ticks, keyed by time.
+  using Event = std::pair<double, std::size_t>;  // (time, actor)
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+      events;
+  for (const graph::Actor& a : g.actors()) {
+    if (a.kind == ActorKind::Control &&
+        model_->controlKind(a.id) == core::ControlKind::Clock) {
+      events.push({actors[a.id.index()].nextClockTick, a.id.index()});
+    }
+  }
 
   auto modeSpecOf = [&](const graph::Actor& a,
                         int modeIndex) -> const core::ModeSpec& {
@@ -333,7 +375,9 @@ SimResult Simulator::run(const SimOptions& options) {
             "' whose phase rate is " + std::to_string(rate));
       }
       tokens.resize(static_cast<std::size_t>(rate));
-      pending.outputs.emplace(p.name, std::move(tokens));
+      if (!tokens.empty()) {
+        pending.outputs.emplace_back(p.channel.index(), std::move(tokens));
+      }
     }
 
     if (options.recordTrace) {
@@ -349,12 +393,12 @@ SimResult Simulator::run(const SimOptions& options) {
 
   auto deliver = [&](const graph::Actor& a) {
     ActorState& st = actors[a.id.index()];
-    for (auto& [portName, tokens] : st.pending.outputs) {
-      const PortId pid = *g.findPort(a.name + "." + portName);
-      const std::size_t c = g.port(pid).channel.index();
+    for (auto& [c, tokens] : st.pending.outputs) {
       for (Token& t : tokens) state.push(c, std::move(t));
+      wake.insert(consumerOf[c]);
     }
     st.pending = PendingFiring{};
+    wake.insert(a.id.index());  // the actor itself is free to start again
   };
 
   auto fireClock = [&](const graph::Actor& a) {
@@ -372,6 +416,7 @@ SimResult Simulator::run(const SimOptions& options) {
       tokens.resize(static_cast<std::size_t>(std::max<std::int64_t>(
           rate, static_cast<std::int64_t>(tokens.size()))));
       for (Token& t : tokens) state.push(p.channel.index(), std::move(t));
+      if (!tokens.empty()) wake.insert(consumerOf[p.channel.index()]);
     }
     if (options.recordTrace) {
       result.trace.push_back({a.id, st.fired, 0, now, now});
@@ -383,38 +428,47 @@ SimResult Simulator::run(const SimOptions& options) {
   };
 
   // ---- Main event loop. -------------------------------------------------
+  // Starts are driven by the wake set: a failed start attempt can only
+  // succeed later if tokens arrived on one of the actor's input channels
+  // or its own in-flight firing completed, and both paths re-insert the
+  // actor.  Starting an actor never enables another one at the same
+  // instant (consumption touches only the starter's own single-consumer
+  // channels; production happens at completion), so one id-ordered pass
+  // over the wake set reproduces the firing order of a full
+  // rescan-until-fixpoint sweep.
+  std::vector<std::size_t> due;
   while (result.totalFirings < options.maxFirings) {
     // Start everything that can start at the current time.
-    bool started = true;
-    while (started && result.totalFirings < options.maxFirings) {
-      started = false;
-      for (const graph::Actor& a : g.actors()) {
-        if (tryStart(a)) started = true;
-      }
+    while (!wake.empty()) {
+      const std::size_t ai = *wake.begin();
+      wake.erase(wake.begin());
+      const graph::Actor& a = g.actors()[ai];
+      if (tryStart(a)) events.push({actors[ai].pending.finish, ai});
     }
 
-    // Find the next event: earliest completion or clock tick.
-    double next = std::numeric_limits<double>::infinity();
-    for (const graph::Actor& a : g.actors()) {
-      const ActorState& st = actors[a.id.index()];
-      if (st.pending.active) next = std::min(next, st.pending.finish);
-      if (a.kind == ActorKind::Control &&
-          model_->controlKind(a.id) == core::ControlKind::Clock &&
-          st.nextClockTick <= options.stopTime) {
-        next = std::min(next, st.nextClockTick);
-      }
-    }
-    if (!std::isfinite(next)) break;  // quiescent
+    // Advance to the next event: earliest completion or clock tick.
+    if (events.empty()) break;  // quiescent
+    const double next = events.top().first;
     if (next > options.stopTime) break;
 
     now = next;
-    for (const graph::Actor& a : g.actors()) {
-      ActorState& st = actors[a.id.index()];
+    due.clear();
+    while (!events.empty() && events.top().first <= now) {
+      due.push_back(events.top().second);
+      events.pop();
+    }
+    std::sort(due.begin(), due.end());
+    for (const std::size_t ai : due) {
+      const graph::Actor& a = g.actors()[ai];
+      ActorState& st = actors[ai];
       if (st.pending.active && st.pending.finish <= now) deliver(a);
       if (a.kind == ActorKind::Control &&
           model_->controlKind(a.id) == core::ControlKind::Clock &&
           st.nextClockTick <= now) {
         fireClock(a);
+        if (st.nextClockTick <= options.stopTime) {
+          events.push({st.nextClockTick, ai});
+        }
       }
     }
   }

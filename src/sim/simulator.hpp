@@ -12,6 +12,12 @@
 //     priority at firing time (the Transaction-at-deadline behaviour);
 //   * clock control actors fire on every multiple of their period and
 //     emit watchdog control tokens (Section II-B's "Clock").
+//
+// The run loop is event-driven: port rates are pre-evaluated to integer
+// tables, completions and clock ticks live in a priority queue, and a
+// wake set re-examines only the actors adjacent to channels that just
+// received tokens (plus the actor whose firing completed) instead of
+// rescanning the whole graph until fixpoint at every instant.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +25,7 @@
 #include <limits>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/model.hpp"
@@ -136,7 +143,9 @@ class Simulator {
  private:
   struct PendingFiring {
     double finish = 0.0;
-    std::map<std::string, std::vector<Token>> outputs;
+    /// Output tokens resolved to their channel index at start time, so
+    /// delivery is a straight push with no name lookups.
+    std::vector<std::pair<std::size_t, std::vector<Token>>> outputs;
     bool active = false;
   };
 

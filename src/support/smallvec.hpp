@@ -1,0 +1,145 @@
+// A small-buffer vector for trivially copyable element types.
+//
+// The symbolic kernel stores monomial exponent lists and evaluation
+// caches in these: almost every monomial in a real TPDF graph mentions
+// at most two parameters, so the inline capacity removes the per-node
+// heap allocation that a std::map (or std::vector) representation pays
+// on every copy in the hot analysis loops.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <type_traits>
+
+namespace tpdf::support {
+
+/// Contiguous dynamic array with `N` elements of inline storage.
+/// Restricted to trivially copyable, trivially destructible types so
+/// that growth and moves are plain memcpy with no lifetime bookkeeping.
+template <typename T, std::size_t N>
+class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVec requires trivially copyable elements");
+  static_assert(N > 0, "inline capacity must be positive");
+
+ public:
+  // User-provided (not defaulted) so const-qualified default-initialized
+  // instances remain legal; the inline bytes need no initialization.
+  SmallVec() {}
+
+  SmallVec(const SmallVec& o) { assign(o.data_, o.size_); }
+
+  SmallVec(SmallVec&& o) noexcept {
+    if (o.onHeap()) {
+      data_ = o.data_;
+      cap_ = o.cap_;
+      size_ = o.size_;
+      o.data_ = o.inlineData();
+      o.cap_ = N;
+      o.size_ = 0;
+    } else {
+      assign(o.data_, o.size_);
+      o.size_ = 0;
+    }
+  }
+
+  SmallVec& operator=(const SmallVec& o) {
+    if (this != &o) assign(o.data_, o.size_);
+    return *this;
+  }
+
+  SmallVec& operator=(SmallVec&& o) noexcept {
+    if (this == &o) return *this;
+    if (o.onHeap()) {
+      if (onHeap()) std::free(data_);
+      data_ = o.data_;
+      cap_ = o.cap_;
+      size_ = o.size_;
+      o.data_ = o.inlineData();
+      o.cap_ = N;
+      o.size_ = 0;
+    } else {
+      assign(o.data_, o.size_);
+      o.size_ = 0;
+    }
+    return *this;
+  }
+
+  ~SmallVec() {
+    if (onHeap()) std::free(data_);
+  }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return cap_; }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  T& front() { return data_[0]; }
+  const T& front() const { return data_[0]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  void clear() { size_ = 0; }
+
+  void reserve(std::size_t n) {
+    if (n > cap_) grow(n);
+  }
+
+  // By value: `v` may alias an element of this vector, and growth frees
+  // the old buffer (the pattern std::vector supports; keep supporting it).
+  void push_back(T v) {
+    if (size_ == cap_) grow(cap_ * 2);
+    data_[size_++] = v;
+  }
+
+  void pop_back() { --size_; }
+
+  void resize(std::size_t n) {
+    reserve(n);
+    if (n > size_) std::memset(data_ + size_, 0, (n - size_) * sizeof(T));
+    size_ = n;
+  }
+
+  bool operator==(const SmallVec& o) const {
+    return size_ == o.size_ && std::equal(begin(), end(), o.begin());
+  }
+  bool operator!=(const SmallVec& o) const { return !(*this == o); }
+
+ private:
+  T* inlineData() { return reinterpret_cast<T*>(inline_); }
+  bool onHeap() const {
+    return data_ != reinterpret_cast<const T*>(inline_);
+  }
+
+  void assign(const T* src, std::size_t n) {
+    reserve(n);
+    if (n != 0) std::memcpy(data_, src, n * sizeof(T));
+    size_ = n;
+  }
+
+  void grow(std::size_t n) {
+    const std::size_t cap = std::max<std::size_t>(n, 2 * N);
+    T* p = static_cast<T*>(std::malloc(cap * sizeof(T)));
+    if (p == nullptr) throw std::bad_alloc();
+    if (size_ != 0) std::memcpy(p, data_, size_ * sizeof(T));
+    if (onHeap()) std::free(data_);
+    data_ = p;
+    cap_ = cap;
+  }
+
+  alignas(T) unsigned char inline_[N * sizeof(T)];
+  T* data_ = inlineData();
+  std::size_t size_ = 0;
+  std::size_t cap_ = N;
+};
+
+}  // namespace tpdf::support

@@ -6,13 +6,21 @@
 // scheduler and the simulator need to run a concrete iteration.
 // Expr::evaluate()/evaluateInt() (expr.hpp) take one; `tpdfc` builds one
 // from its name=value command-line pairs.
+//
+// Alongside the name-keyed map the environment keeps an interned
+// (ParamId, value) list so the evaluation hot path (Monomial::evaluate)
+// resolves parameters without touching strings; with the handful of
+// parameters a real graph has, the linear scan beats any map.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "support/error.hpp"
+#include "symbolic/param.hpp"
 
 namespace tpdf::symbolic {
 
@@ -25,12 +33,21 @@ class Environment {
       : values_(bindings) {
     for (const auto& [name, value] : values_) {
       checkPositive(name, value);
+      byId_.emplace_back(ParamTable::instance().intern(name), value);
     }
   }
 
   void bind(const std::string& name, std::int64_t value) {
     checkPositive(name, value);
     values_[name] = value;
+    const ParamId id = ParamTable::instance().intern(name);
+    for (auto& [boundId, boundValue] : byId_) {
+      if (boundId == id) {
+        boundValue = value;
+        return;
+      }
+    }
+    byId_.emplace_back(id, value);
   }
 
   bool has(const std::string& name) const { return values_.count(name) != 0; }
@@ -41,6 +58,15 @@ class Environment {
       throw support::Error("unbound parameter '" + name + "'");
     }
     return it->second;
+  }
+
+  /// Interned fast path used by Monomial::evaluate.
+  std::int64_t lookup(ParamId id) const {
+    for (const auto& [boundId, value] : byId_) {
+      if (boundId == id) return value;
+    }
+    throw support::Error("unbound parameter '" +
+                         ParamTable::instance().name(id) + "'");
   }
 
   const std::map<std::string, std::int64_t>& bindings() const {
@@ -57,6 +83,7 @@ class Environment {
   }
 
   std::map<std::string, std::int64_t> values_;
+  std::vector<std::pair<ParamId, std::int64_t>> byId_;
 };
 
 }  // namespace tpdf::symbolic

@@ -18,21 +18,48 @@ Expr::Expr(Monomial m) {
   if (!m.isZero()) terms_.push_back(std::move(m));
 }
 
-void Expr::canonicalize() {
-  std::sort(terms_.begin(), terms_.end(), Monomial::powerProductLess);
-  std::vector<Monomial> merged;
-  for (const Monomial& t : terms_) {
+void Expr::combineAdjacent() {
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < terms_.size(); ++r) {
+    Monomial& t = terms_[r];
     if (t.isZero()) continue;
-    if (!merged.empty() && merged.back().samePowerProduct(t)) {
-      const Rational sum = merged.back().coeff() + t.coeff();
-      Monomial m(sum, t.exponents());
-      merged.pop_back();
-      if (!m.isZero()) merged.push_back(std::move(m));
+    if (w > 0 && terms_[w - 1].samePowerProduct(t)) {
+      terms_[w - 1].coeff_ += t.coeff_;
+      if (terms_[w - 1].coeff_.isZero()) --w;
     } else {
-      merged.push_back(t);
+      if (w != r) terms_[w] = std::move(t);
+      ++w;
     }
   }
-  terms_ = std::move(merged);
+  terms_.resize(w);
+}
+
+void Expr::canonicalize() {
+  std::sort(terms_.begin(), terms_.end(), Monomial::powerProductLess);
+  combineAdjacent();
+}
+
+Expr& Expr::mergeAccumulate(const Expr& o, bool negate) {
+  if (o.terms_.empty()) return *this;
+  // Self-merge (e += e, e -= e) must not iterate o while growing terms_.
+  if (this == &o) {
+    if (negate) {
+      terms_.clear();
+    } else {
+      for (Monomial& t : terms_) t.coeff_ += t.coeff_;
+    }
+    return *this;
+  }
+  const std::size_t mid = terms_.size();
+  terms_.reserve(mid + o.terms_.size());
+  for (const Monomial& t : o.terms_) {
+    terms_.push_back(negate ? -t : t);
+  }
+  std::inplace_merge(terms_.begin(),
+                     terms_.begin() + static_cast<std::ptrdiff_t>(mid),
+                     terms_.end(), Monomial::powerProductLess);
+  combineAdjacent();
+  return *this;
 }
 
 Rational Expr::constant() const {
@@ -57,16 +84,29 @@ Expr Expr::operator-() const {
 }
 
 Expr Expr::operator+(const Expr& o) const {
-  Expr out;
-  out.terms_ = terms_;
-  out.terms_.insert(out.terms_.end(), o.terms_.begin(), o.terms_.end());
-  out.canonicalize();
+  Expr out = *this;
+  out.mergeAccumulate(o, false);
   return out;
 }
 
-Expr Expr::operator-(const Expr& o) const { return *this + (-o); }
+Expr Expr::operator-(const Expr& o) const {
+  Expr out = *this;
+  out.mergeAccumulate(o, true);
+  return out;
+}
 
 Expr Expr::operator*(const Expr& o) const {
+  if (terms_.empty() || o.terms_.empty()) return Expr();
+
+  // Scaling by a constant keeps both the power products and their order:
+  // no merge needed at all.
+  if (o.isConstant()) {
+    Expr out = *this;
+    for (Monomial& t : out.terms_) t.coeff_ *= o.terms_[0].coeff();
+    return out;
+  }
+  if (isConstant()) return o * *this;
+
   Expr out;
   out.terms_.reserve(terms_.size() * o.terms_.size());
   for (const Monomial& a : terms_) {
@@ -74,8 +114,31 @@ Expr Expr::operator*(const Expr& o) const {
       out.terms_.push_back(a * b);
     }
   }
+  // Cross products are not order-preserving in general (exponents can
+  // cancel), so this is the one operation that still re-sorts.
   out.canonicalize();
   return out;
+}
+
+Expr& Expr::operator*=(const Expr& o) {
+  if (terms_.empty()) return *this;
+  if (o.terms_.empty()) {
+    terms_.clear();
+    return *this;
+  }
+  if (o.isConstant()) {
+    const Rational c = o.terms_[0].coeff();
+    for (Monomial& t : terms_) t.coeff_ *= c;
+    return *this;
+  }
+  if (o.isMonomial() && this != &o) {
+    // Termwise product by one monomial, re-canonicalized in place.
+    const Monomial m = o.terms_[0];
+    for (Monomial& t : terms_) t = t * m;
+    canonicalize();
+    return *this;
+  }
+  return *this = *this * o;
 }
 
 Expr Expr::dividedBy(const Monomial& m) const {
@@ -110,8 +173,11 @@ std::optional<Expr> Expr::divideExact(const Expr& o) const {
 }
 
 Rational Expr::evaluate(const Environment& env) const {
+  // One power memo for the whole sum: terms of the same expression reuse
+  // each param^exp instead of recomputing it.
+  PowerCache cache;
   Rational sum(0);
-  for (const Monomial& t : terms_) sum += t.evaluate(env);
+  for (const Monomial& t : terms_) sum += t.evaluate(env, cache);
   return sum;
 }
 
@@ -132,10 +198,10 @@ Monomial Expr::content() const {
 }
 
 void Expr::collectParams(std::set<std::string>& out) const {
+  const ParamTable& table = ParamTable::instance();
   for (const Monomial& t : terms_) {
-    for (const auto& [name, e] : t.exponents()) {
-      (void)e;
-      out.insert(name);
+    for (const ParamExp& pe : t.exponents()) {
+      out.insert(table.name(pe.id));
     }
   }
 }
@@ -175,7 +241,9 @@ std::vector<Expr> normalizeSolutionVector(const std::vector<Expr>& v) {
   std::vector<Expr> out;
   out.reserve(v.size());
   for (const Expr& e : v) {
-    out.push_back(e * Expr(scale));
+    Expr scaled = e;
+    scaled *= Expr(scale);
+    out.push_back(std::move(scaled));
   }
   return out;
 }

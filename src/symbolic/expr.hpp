@@ -4,6 +4,11 @@
 // a repetition count appears.  It covers every expression in the paper:
 // constants, p, 2p, beta*N, beta*(N+L), and the rational intermediates
 // produced while solving balance equations (p/2, ...).
+//
+// The term list is kept sorted by power product at all times, so the
+// arithmetic operators are linear merges of already-sorted lists (no
+// re-sorting canonicalization pass); += / -= merge in place, and
+// evaluation shares one parameter-power memo across all terms.
 #pragma once
 
 #include <cstdint>
@@ -52,9 +57,10 @@ class Expr {
   Expr operator-(const Expr& o) const;
   Expr operator*(const Expr& o) const;
 
-  Expr& operator+=(const Expr& o) { return *this = *this + o; }
-  Expr& operator-=(const Expr& o) { return *this = *this - o; }
-  Expr& operator*=(const Expr& o) { return *this = *this * o; }
+  /// In-place merge of `o`'s (sorted) terms into this term list.
+  Expr& operator+=(const Expr& o) { return mergeAccumulate(o, false); }
+  Expr& operator-=(const Expr& o) { return mergeAccumulate(o, true); }
+  Expr& operator*=(const Expr& o);
 
   /// Termwise division by a monomial (always exact).
   Expr dividedBy(const Monomial& m) const;
@@ -82,7 +88,17 @@ class Expr {
   std::string toString() const;
 
  private:
+  /// Merges the sorted term list of `o` (negated when `negate`) into the
+  /// sorted term list of *this; the single non-trivial step of + and -.
+  Expr& mergeAccumulate(const Expr& o, bool negate);
+
+  /// Restores the invariant on an unsorted term list (used only after a
+  /// general product, whose cross terms are not order-preserving).
   void canonicalize();
+
+  /// Sums runs of equal power products and drops zero terms, in place;
+  /// requires terms_ sorted.
+  void combineAdjacent();
 
   std::vector<Monomial> terms_;
 };

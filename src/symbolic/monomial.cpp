@@ -9,31 +9,89 @@ namespace tpdf::symbolic {
 
 using support::Rational;
 
-Monomial::Monomial(Rational coeff) : coeff_(coeff) {}
+namespace {
 
-Monomial::Monomial(Rational coeff, const std::string& name) : coeff_(coeff) {
-  if (!coeff_.isZero()) exponents_[name] = 1;
-}
-
-Monomial::Monomial(Rational coeff, std::map<std::string, int> exponents)
-    : coeff_(coeff), exponents_(std::move(exponents)) {
-  if (coeff_.isZero()) exponents_.clear();
-  dropZeroExponents();
-}
-
-void Monomial::dropZeroExponents() {
-  for (auto it = exponents_.begin(); it != exponents_.end();) {
-    if (it->second == 0) {
-      it = exponents_.erase(it);
-    } else {
-      ++it;
-    }
+/// base^e for e > 0 by binary exponentiation (exact, overflow-checked
+/// through Rational's arithmetic).
+Rational ipow(Rational base, std::int32_t e) {
+  Rational out(1);
+  while (true) {
+    if (e & 1) out *= base;
+    e >>= 1;
+    if (e == 0) return out;
+    base *= base;
   }
 }
 
+/// Merges two name-sorted exponent lists.  `both(ea, eb)` combines the
+/// exponents of a parameter present on both sides; `oneA(e)` / `oneB(e)`
+/// map an exponent present on one side only.  A mapped exponent of 0 is
+/// dropped, preserving the no-zero-exponents invariant.
+template <typename Both, typename OneA, typename OneB>
+ExpVec mergeExponents(const ExpVec& a, const ExpVec& b, Both both,
+                      OneA oneA, OneB oneB) {
+  const ParamTable& table = ParamTable::instance();
+  ExpVec out;
+  out.reserve(a.size() + b.size());
+  const ParamExp* x = a.begin();
+  const ParamExp* y = b.begin();
+  auto emit = [&out](ParamId id, std::int32_t e) {
+    if (e != 0) out.push_back({id, e});
+  };
+  while (x != a.end() && y != b.end()) {
+    if (x->id == y->id) {
+      emit(x->id, both(x->exp, y->exp));
+      ++x;
+      ++y;
+    } else if (table.less(x->id, y->id)) {
+      emit(x->id, oneA(x->exp));
+      ++x;
+    } else {
+      emit(y->id, oneB(y->exp));
+      ++y;
+    }
+  }
+  for (; x != a.end(); ++x) emit(x->id, oneA(x->exp));
+  for (; y != b.end(); ++y) emit(y->id, oneB(y->exp));
+  return out;
+}
+
+}  // namespace
+
+const Rational& PowerCache::power(const Environment& env, ParamId id,
+                                  std::int32_t exp) {
+  const std::int32_t mag = exp < 0 ? -exp : exp;
+  for (const Entry& e : entries_) {
+    if (e.id == id && e.exp == mag) return e.value;
+  }
+  entries_.push_back({id, mag, ipow(Rational(env.lookup(id)), mag)});
+  return entries_.back().value;
+}
+
+Monomial::Monomial(Rational coeff) : coeff_(coeff) {}
+
+Monomial::Monomial(Rational coeff, const std::string& name) : coeff_(coeff) {
+  if (!coeff_.isZero()) {
+    exponents_.push_back({ParamTable::instance().intern(name), 1});
+  }
+}
+
+Monomial::Monomial(Rational coeff, ExpVec powers)
+    : coeff_(coeff), exponents_(std::move(powers)) {
+  if (coeff_.isZero()) exponents_.clear();
+}
+
 int Monomial::exponentOf(const std::string& name) const {
-  const auto it = exponents_.find(name);
-  return it == exponents_.end() ? 0 : it->second;
+  ParamId id;
+  if (!ParamTable::instance().find(name, id)) return 0;
+  return exponentOf(id);
+}
+
+int Monomial::exponentOf(ParamId id) const {
+  for (const ParamExp& pe : exponents_) {
+    if (pe.id == id) return pe.exp;
+  }
+  return 0;
 }
 
 Monomial Monomial::operator-() const {
@@ -44,11 +102,12 @@ Monomial Monomial::operator-() const {
 
 Monomial Monomial::operator*(const Monomial& o) const {
   if (isZero() || o.isZero()) return Monomial();
-  std::map<std::string, int> exps = exponents_;
-  for (const auto& [name, e] : o.exponents_) {
-    exps[name] += e;
-  }
-  return Monomial(coeff_ * o.coeff_, std::move(exps));
+  return Monomial(coeff_ * o.coeff_,
+                  mergeExponents(
+                      exponents_, o.exponents_,
+                      [](std::int32_t a, std::int32_t b) { return a + b; },
+                      [](std::int32_t a) { return a; },
+                      [](std::int32_t b) { return b; }));
 }
 
 Monomial Monomial::operator/(const Monomial& o) const {
@@ -56,11 +115,12 @@ Monomial Monomial::operator/(const Monomial& o) const {
     throw support::DivisionByZeroError("division by the zero monomial");
   }
   if (isZero()) return Monomial();
-  std::map<std::string, int> exps = exponents_;
-  for (const auto& [name, e] : o.exponents_) {
-    exps[name] -= e;
-  }
-  return Monomial(coeff_ / o.coeff_, std::move(exps));
+  return Monomial(coeff_ / o.coeff_,
+                  mergeExponents(
+                      exponents_, o.exponents_,
+                      [](std::int32_t a, std::int32_t b) { return a - b; },
+                      [](std::int32_t a) { return a; },
+                      [](std::int32_t b) { return -b; }));
 }
 
 Monomial Monomial::pow(int e) const {
@@ -85,15 +145,32 @@ Monomial Monomial::scaled(const Rational& c) const {
   return m;
 }
 
+bool Monomial::powerProductLess(const Monomial& a, const Monomial& b) {
+  const ParamTable& table = ParamTable::instance();
+  const ParamExp* x = a.exponents_.begin();
+  const ParamExp* const xEnd = a.exponents_.end();
+  const ParamExp* y = b.exponents_.begin();
+  const ParamExp* const yEnd = b.exponents_.end();
+  while (x != xEnd && y != yEnd) {
+    if (x->id != y->id) return table.less(x->id, y->id);
+    if (x->exp != y->exp) return x->exp < y->exp;
+    ++x;
+    ++y;
+  }
+  return x == xEnd && y != yEnd;
+}
+
 Rational Monomial::evaluate(const Environment& env) const {
+  PowerCache cache;
+  return evaluate(env, cache);
+}
+
+Rational Monomial::evaluate(const Environment& env,
+                            PowerCache& cache) const {
   Rational value = coeff_;
-  for (const auto& [name, e] : exponents_) {
-    const std::int64_t v = env.lookup(name);
-    Rational power(1);
-    for (int i = 0; i < (e < 0 ? -e : e); ++i) {
-      power = power * Rational(v);
-    }
-    value = e < 0 ? value / power : value * power;
+  for (const ParamExp& pe : exponents_) {
+    const Rational& power = cache.power(env, pe.id, pe.exp);
+    value = pe.exp < 0 ? value / power : value * power;
   }
   return value;
 }
@@ -104,11 +181,12 @@ std::string Monomial::toString() const {
 
   // Distinct parameters are separated by '*' so the rendering re-parses
   // unambiguously ("b*L", not "bL" which would read as one identifier).
+  const ParamTable& table = ParamTable::instance();
   std::string vars;
-  for (const auto& [name, e] : exponents_) {
+  for (const ParamExp& pe : exponents_) {
     if (!vars.empty()) vars += "*";
-    vars += name;
-    if (e != 1) vars += "^" + std::to_string(e);
+    vars += table.name(pe.id);
+    if (pe.exp != 1) vars += "^" + std::to_string(pe.exp);
   }
   if (coeff_.isOne()) return vars;
   if (coeff_ == Rational(-1)) return "-" + vars;
@@ -119,18 +197,19 @@ std::string Monomial::toString() const {
 Monomial monomialGcd(const Monomial& a, const Monomial& b) {
   if (a.isZero()) return b.coeff().isNegative() ? -b : b;
   if (b.isZero()) return a.coeff().isNegative() ? -a : a;
-  std::map<std::string, int> exps;
-  for (const auto& [name, e] : a.exponents()) {
-    const int f = b.exponentOf(name);
-    const int m = std::min(e, f);
-    if (m != 0) exps[name] = m;
-  }
-  // Parameters present only in b with a negative exponent also contribute
-  // (min(0, f) = f < 0); positive-only-in-b parameters contribute 0.
-  for (const auto& [name, f] : b.exponents()) {
-    if (a.exponentOf(name) == 0 && f < 0) exps[name] = f;
-  }
-  return Monomial(support::rationalGcd(a.coeff(), b.coeff()), std::move(exps));
+  // Per parameter the gcd exponent is min(e_a, e_b) with 0 for absence:
+  // a parameter on one side only contributes min(e, 0), i.e. only when
+  // its exponent is negative.
+  const auto minWithAbsent = [](std::int32_t e) {
+    return e < 0 ? e : 0;
+  };
+  return Monomial(
+      support::rationalGcd(a.coeff(), b.coeff()),
+      mergeExponents(a.exponents(), b.exponents(),
+                     [](std::int32_t x, std::int32_t y) {
+                       return std::min(x, y);
+                     },
+                     minWithAbsent, minWithAbsent));
 }
 
 }  // namespace tpdf::symbolic

@@ -5,18 +5,59 @@
 // closed under multiplication and exact division (exponents may go
 // negative transiently while solving balance equations, e.g. r_C = p/2
 // before normalization).
+//
+// Representation: parameter names are interned to ParamId (param.hpp) and
+// the exponent list is an inline small-vector of (ParamId, exponent)
+// pairs kept sorted in canonical *name* order — the same order a
+// std::map<std::string, int> would iterate in, so renderings and the
+// canonical Expr term order are unchanged, but multiplication, gcd and
+// comparisons are allocation-free linear merges.
 #pragma once
 
-#include <map>
 #include <string>
 
 #include "support/rational.hpp"
+#include "support/smallvec.hpp"
 #include "symbolic/env.hpp"
+#include "symbolic/param.hpp"
 
 namespace tpdf::symbolic {
 
+/// One parameter ^ exponent factor of a monomial.
+struct ParamExp {
+  ParamId id;
+  std::int32_t exp = 0;
+
+  bool operator==(const ParamExp& o) const {
+    return id == o.id && exp == o.exp;
+  }
+  bool operator!=(const ParamExp& o) const { return !(*this == o); }
+};
+
+/// Exponent list sorted by parameter name; inline up to four parameters
+/// (no real graph in the paper exceeds two).
+using ExpVec = support::SmallVec<ParamExp, 4>;
+
+/// Memo of parameter powers computed while evaluating one expression;
+/// avoids re-walking the environment and re-exponentiating when the same
+/// param^exp occurs in several terms.  See Expr::evaluate.
+class PowerCache {
+ public:
+  /// value^|exp| for `id` bound in `env`, computed once per (id, exp).
+  const support::Rational& power(const Environment& env, ParamId id,
+                                 std::int32_t exp);
+
+ private:
+  struct Entry {
+    ParamId id;
+    std::int32_t exp;
+    support::Rational value;
+  };
+  support::SmallVec<Entry, 8> entries_;
+};
+
 /// coeff * prod(param_i ^ exp_i) with nonzero exponents only and, for the
-/// zero monomial, an empty exponent map.
+/// zero monomial, an empty exponent list.
 class Monomial {
  public:
   /// The zero monomial.
@@ -28,7 +69,9 @@ class Monomial {
   /// coeff * name^1.
   Monomial(support::Rational coeff, const std::string& name);
 
-  Monomial(support::Rational coeff, std::map<std::string, int> exponents);
+  /// coeff * prod(powers); `powers` must be sorted in canonical name
+  /// order with nonzero exponents (the invariant every Monomial keeps).
+  Monomial(support::Rational coeff, ExpVec powers);
 
   static Monomial one() { return Monomial(support::Rational(1)); }
   static Monomial param(const std::string& name) {
@@ -36,7 +79,7 @@ class Monomial {
   }
 
   const support::Rational& coeff() const { return coeff_; }
-  const std::map<std::string, int>& exponents() const { return exponents_; }
+  const ExpVec& exponents() const { return exponents_; }
 
   bool isZero() const { return coeff_.isZero(); }
   bool isConstant() const { return exponents_.empty(); }
@@ -44,6 +87,8 @@ class Monomial {
 
   /// Exponent of `name` (0 if absent).
   int exponentOf(const std::string& name) const;
+  /// Exponent of `id` (0 if absent).
+  int exponentOf(ParamId id) const;
 
   Monomial operator-() const;
   Monomial operator*(const Monomial& o) const;
@@ -60,31 +105,34 @@ class Monomial {
   }
   bool operator!=(const Monomial& o) const { return !(*this == o); }
 
-  /// True when the exponent maps are equal (the terms can be summed).
+  /// True when the exponent lists are equal (the terms can be summed).
   bool samePowerProduct(const Monomial& o) const {
     return exponents_ == o.exponents_;
   }
 
-  /// Deterministic order on power products (lexicographic on the exponent
-  /// map), used to canonicalize Expr term lists.
-  static bool powerProductLess(const Monomial& a, const Monomial& b) {
-    return a.exponents_ < b.exponents_;
-  }
+  /// Deterministic order on power products (lexicographic on the
+  /// name-sorted exponent list, i.e. exactly the order the former
+  /// std::map representation compared in), used to canonicalize Expr
+  /// term lists.
+  static bool powerProductLess(const Monomial& a, const Monomial& b);
 
   support::Rational evaluate(const Environment& env) const;
+  /// Evaluation variant sharing a power memo across terms.
+  support::Rational evaluate(const Environment& env,
+                             PowerCache& cache) const;
 
   /// "0", "3/2", "p", "2p", "p^2q", "(1/2)p".
   std::string toString() const;
 
  private:
-  void dropZeroExponents();
+  friend class Expr;
 
   support::Rational coeff_ = support::Rational(0);
-  std::map<std::string, int> exponents_;
+  ExpVec exponents_;
 };
 
 /// gcd of two monomials: rationalGcd of the coefficients and, per
-/// parameter, the minimum exponent occurring in *both* maps (a parameter
+/// parameter, the minimum exponent occurring in *both* lists (a parameter
 /// absent from one side contributes exponent 0).  gcd(0, m) == |m|.
 Monomial monomialGcd(const Monomial& a, const Monomial& b);
 

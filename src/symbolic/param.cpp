@@ -1,0 +1,93 @@
+#include "symbolic/param.hpp"
+
+#include <array>
+#include <atomic>
+#include <mutex>
+#include <unordered_map>
+
+#include "support/error.hpp"
+
+namespace tpdf::symbolic {
+
+// Append-only chunked storage with atomic publication: interning takes
+// the mutex, constructs the string in a chunk that never moves, then
+// publishes the new count with release ordering.  Readers (name, less)
+// acquire the count and index the chunk array lock-free — any id they
+// were legitimately handed is below the published count, so the string
+// it denotes is fully constructed and immortal.
+struct ParamTable::Impl {
+  static constexpr std::uint32_t kChunkBits = 10;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkBits;   // 1024
+  static constexpr std::uint32_t kMaxChunks = 1u << 12;           // 4M ids
+
+  std::array<std::string*, kMaxChunks> chunks{};
+  std::atomic<std::uint32_t> count{0};
+  std::unordered_map<std::string_view, ParamId> byName;
+  std::mutex mutex;
+
+  const std::string& at(std::uint32_t index) const {
+    return chunks[index >> kChunkBits][index & (kChunkSize - 1)];
+  }
+
+  ~Impl() {
+    for (std::string*& chunk : chunks) delete[] chunk;
+  }
+};
+
+ParamTable::ParamTable() : impl_(new Impl) {}
+ParamTable::~ParamTable() { delete impl_; }
+
+ParamTable& ParamTable::instance() {
+  static ParamTable table;
+  return table;
+}
+
+ParamId ParamTable::intern(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const auto it = impl_->byName.find(name);
+  if (it != impl_->byName.end()) return it->second;
+
+  const std::uint32_t index = impl_->count.load(std::memory_order_relaxed);
+  const std::uint32_t chunk = index >> Impl::kChunkBits;
+  if (chunk >= Impl::kMaxChunks) {
+    throw support::Error("parameter table exhausted");
+  }
+  if (impl_->chunks[chunk] == nullptr) {
+    impl_->chunks[chunk] = new std::string[Impl::kChunkSize];
+  }
+  std::string& stored =
+      impl_->chunks[chunk][index & (Impl::kChunkSize - 1)];
+  stored.assign(name);
+  const ParamId id(index);
+  impl_->byName.emplace(stored, id);
+  impl_->count.store(index + 1, std::memory_order_release);
+  return id;
+}
+
+bool ParamTable::find(std::string_view name, ParamId& out) const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  const auto it = impl_->byName.find(name);
+  if (it == impl_->byName.end()) return false;
+  out = it->second;
+  return true;
+}
+
+const std::string& ParamTable::name(ParamId id) const {
+  if (id.value() >= impl_->count.load(std::memory_order_acquire)) {
+    throw support::Error("invalid parameter id " +
+                         std::to_string(id.value()));
+  }
+  return impl_->at(id.value());
+}
+
+bool ParamTable::less(ParamId a, ParamId b) const {
+  if (a == b) return false;
+  const std::uint32_t published =
+      impl_->count.load(std::memory_order_acquire);
+  if (a.value() >= published || b.value() >= published) {
+    throw support::Error("invalid parameter id in comparison");
+  }
+  return impl_->at(a.value()) < impl_->at(b.value());
+}
+
+}  // namespace tpdf::symbolic

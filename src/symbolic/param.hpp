@@ -1,0 +1,70 @@
+// Interned parameter identifiers.
+//
+// Parameter names appear in every monomial of every rate expression; the
+// analysis hot paths (canonicalization, gcd, evaluation) compare and hash
+// them constantly.  Instead of carrying std::string keys through those
+// loops, each distinct name is interned once into a process-wide
+// ParamTable and represented everywhere else by a 32-bit ParamId.  The
+// table round-trips ids back to strings for parsing and printing.
+//
+// The canonical ordering of monomials predates interning and is defined
+// by *name* (lexicographic), not by intern order, so renderings and
+// golden outputs are independent of the order in which expressions were
+// built.  ParamTable::less() implements that name order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace tpdf::symbolic {
+
+/// Opaque handle to an interned parameter name.
+class ParamId {
+ public:
+  constexpr ParamId() = default;
+  constexpr explicit ParamId(std::uint32_t value) : value_(value) {}
+
+  constexpr std::uint32_t value() const { return value_; }
+
+  constexpr bool operator==(ParamId o) const { return value_ == o.value_; }
+  constexpr bool operator!=(ParamId o) const { return value_ != o.value_; }
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// Process-wide parameter interner.  Interning is append-only: ids are
+/// dense indices and a name, once interned, keeps its id for the process
+/// lifetime.  Interning (and find()) are mutex-guarded; name() and
+/// less() are lock-free — names live in chunked storage that never
+/// moves, and the interned count is published with release/acquire
+/// ordering, so any id obtained from intern() safely resolves.
+/// References returned by name() stay valid for the process lifetime.
+class ParamTable {
+ public:
+  static ParamTable& instance();
+
+  /// Returns the id of `name`, interning it on first sight.
+  ParamId intern(std::string_view name);
+
+  /// The id of `name` if it was interned before; false otherwise (the
+  /// table is left unchanged).
+  bool find(std::string_view name, ParamId& out) const;
+
+  /// The interned spelling of `id`.  The reference is stable for the
+  /// process lifetime.
+  const std::string& name(ParamId id) const;
+
+  /// Name-lexicographic order on ids (the canonical monomial order).
+  bool less(ParamId a, ParamId b) const;
+
+ private:
+  ParamTable();
+  ~ParamTable();
+
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace tpdf::symbolic

@@ -3,6 +3,7 @@
 #include "support/checked.hpp"
 #include "support/error.hpp"
 #include "support/prng.hpp"
+#include "support/smallvec.hpp"
 #include "support/strings.hpp"
 #include "support/table.hpp"
 
@@ -130,6 +131,84 @@ TEST(Prng, GaussianHasReasonableMoments) {
   const double var = sumSq / n - mean * mean;
   EXPECT_NEAR(mean, 0.0, 0.05);
   EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+using IntVec = SmallVec<int, 4>;
+
+IntVec iota(int n) {
+  IntVec v;
+  for (int i = 0; i < n; ++i) v.push_back(i);
+  return v;
+}
+
+TEST(SmallVec, GrowsPastInlineCapacity) {
+  IntVec v;
+  for (int i = 0; i < 100; ++i) {
+    v.push_back(i);
+    ASSERT_EQ(v.size(), static_cast<std::size_t>(i + 1));
+    ASSERT_EQ(v.back(), i);
+  }
+  EXPECT_GE(v.capacity(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(v[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallVec, PushBackOfOwnElementSurvivesGrowth) {
+  IntVec v;
+  for (int i = 0; i < 64; ++i) {
+    // Intentionally alias the front while growth reallocates.
+    v.push_back(v.empty() ? 7 : v.front());
+  }
+  for (const int x : v) EXPECT_EQ(x, 7);
+}
+
+TEST(SmallVec, CopyBetweenInlineAndHeapStates) {
+  const IntVec small = iota(3);
+  const IntVec big = iota(20);
+
+  IntVec copy = small;  // inline -> inline
+  EXPECT_EQ(copy, small);
+  copy = big;  // grows to heap
+  EXPECT_EQ(copy, big);
+  copy = small;  // heap storage reused for a small payload
+  EXPECT_EQ(copy, small);
+
+  IntVec fromBig = big;  // fresh heap copy
+  EXPECT_EQ(fromBig, big);
+  IntVec& self = fromBig;  // launder: -Wself-assign-overloaded under Clang
+  fromBig = self;
+  EXPECT_EQ(fromBig, big);
+}
+
+TEST(SmallVec, MoveBetweenInlineAndHeapStates) {
+  IntVec big = iota(20);
+  IntVec stolen = std::move(big);  // heap move: pointer steal
+  EXPECT_EQ(stolen, iota(20));
+  EXPECT_TRUE(big.empty());  // NOLINT(bugprone-use-after-move)
+
+  IntVec small = iota(2);
+  IntVec movedSmall = std::move(small);  // inline move: element copy
+  EXPECT_EQ(movedSmall, iota(2));
+
+  movedSmall = std::move(stolen);  // move-assign heap over inline
+  EXPECT_EQ(movedSmall, iota(20));
+  stolen = iota(1);  // moved-from object is reusable
+  EXPECT_EQ(stolen, iota(1));
+}
+
+TEST(SmallVec, ReserveResizeClear) {
+  IntVec v = iota(6);
+  v.reserve(50);
+  EXPECT_GE(v.capacity(), 50u);
+  EXPECT_EQ(v, iota(6));
+
+  v.resize(10);  // zero-fills the new tail
+  EXPECT_EQ(v.size(), 10u);
+  for (std::size_t i = 6; i < 10; ++i) EXPECT_EQ(v[i], 0);
+
+  v.resize(4);
+  EXPECT_EQ(v, iota(4));
+  v.clear();
+  EXPECT_TRUE(v.empty());
 }
 
 }  // namespace

@@ -32,6 +32,38 @@ TEST(Expr, MixedTermsKeepCanonicalOrder) {
   EXPECT_EQ(e.toString(), "1+a+p");
 }
 
+TEST(Expr, CompoundOpsMatchBinaryOps) {
+  Expr e = Expr::param("p") + Expr(2);
+  e += Expr::param("q");
+  EXPECT_EQ(e, Expr::param("p") + Expr(2) + Expr::param("q"));
+  e -= Expr(2);
+  EXPECT_EQ(e, Expr::param("p") + Expr::param("q"));
+  e *= Expr(3);
+  EXPECT_EQ(e.toString(), "3p+3q");
+  e *= Expr::param("p");
+  // Canonical order compares (name, exponent) pairs: (p,1) < (p,2).
+  EXPECT_EQ(e.toString(), "3p*q+3p^2");
+  e *= Expr();
+  EXPECT_TRUE(e.isZero());
+}
+
+TEST(Expr, CompoundOpsHandleAliasing) {
+  Expr e = Expr::param("p") + Expr(1);
+  e += e;
+  EXPECT_EQ(e.toString(), "2+2p");
+  e *= e;
+  EXPECT_EQ(e.toString(), "4+8p+4p^2");
+  e -= e;
+  EXPECT_TRUE(e.isZero());
+}
+
+TEST(Expr, CompoundAddCancelsInPlace) {
+  Expr e = Expr::param("p") * Expr::param("p") + Expr::param("q");
+  e -= Expr::param("q");
+  e += Expr(5) - (Expr::param("p") * Expr::param("p"));
+  EXPECT_EQ(e.toString(), "5");
+}
+
 TEST(Expr, MultiplicationDistributes) {
   // (p + 1) * (p - 1) = p^2 - 1.
   const Expr e = (Expr::param("p") + Expr(1)) * (Expr::param("p") - Expr(1));

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Merge Google Benchmark --benchmark_out JSON files into one document.
+
+Usage: merge_bench_json.py OUTPUT INPUT.json [INPUT.json ...]
+
+The output keeps the context block of the first input (host, CPU, build
+type) and concatenates every input's "benchmarks" array; each entry gains
+a "source" field naming the benchmark binary it came from, so one file
+(BENCH_analysis.json) carries the whole perf trajectory point.
+Only the Python standard library is used.
+"""
+
+import json
+import os
+import sys
+
+
+def main(argv):
+    if len(argv) < 3:
+        sys.stderr.write(__doc__)
+        return 2
+    out_path, inputs = argv[1], argv[2:]
+
+    merged = {"context": None, "benchmarks": []}
+    for path in inputs:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+        context = doc.get("context", {})
+        if merged["context"] is None:
+            merged["context"] = context
+        source = os.path.basename(context.get("executable", path))
+        source = os.path.splitext(source)[0]
+        for bench in doc.get("benchmarks", []):
+            entry = dict(bench)
+            entry["source"] = source
+            merged["benchmarks"].append(entry)
+
+    with open(out_path, "w", encoding="utf-8") as f:
+        json.dump(merged, f, indent=2)
+        f.write("\n")
+    sys.stderr.write(
+        "merged %d benchmarks from %d files into %s\n"
+        % (len(merged["benchmarks"]), len(inputs), out_path)
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
