@@ -9,7 +9,10 @@
 #include "apps/edgegraph.hpp"
 #include "apps/fmradio.hpp"
 #include "apps/ofdm.hpp"
+#include "apps/randomgraphs.hpp"
 #include "core/analysis.hpp"
+#include "core/batch.hpp"
+#include "core/context.hpp"
 #include "csdf/buffer.hpp"
 #include "csdf/liveness.hpp"
 #include "graph/builder.hpp"
@@ -21,47 +24,10 @@ using namespace tpdf;
 using graph::Graph;
 using graph::GraphBuilder;
 
-/// Random consistent chain of `n` actors.  Edge rates are chosen so the
-/// repetition counts stay bounded (a multiplicative random walk over
-/// 1000 edges would overflow otherwise): the running repetition value is
-/// steered back into [1, 1024].
+/// Random consistent chain of `n` actors (shared generator, so the
+/// bench corpus matches the golden/property test corpora exactly).
 Graph randomChain(int n, std::uint64_t seed) {
-  support::Prng rng(seed);
-  GraphBuilder b("chain" + std::to_string(n));
-  std::int64_t v = 1;  // repetition count of the actor being emitted
-  std::vector<std::pair<std::int64_t, std::int64_t>> edgeRates;
-  for (int i = 0; i + 1 < n; ++i) {
-    const std::int64_t k = rng.uniform(2, 4);
-    std::int64_t prod = 1;
-    std::int64_t cons = 1;
-    const bool canShrink = v % k == 0;
-    const bool canGrow = v * k <= 1024;
-    if (canGrow && (!canShrink || rng.chance(0.5))) {
-      prod = k;  // consumer fires k times more often
-      v *= k;
-    } else if (canShrink) {
-      cons = k;
-      v /= k;
-    }
-    edgeRates.emplace_back(prod, cons);
-  }
-  for (int i = 0; i < n; ++i) {
-    b.kernel("K" + std::to_string(i));
-    if (i > 0) {
-      b.in("i", "[" + std::to_string(edgeRates[static_cast<std::size_t>(
-                          i - 1)].second) + "]");
-    }
-    if (i + 1 < n) {
-      b.out("o", "[" + std::to_string(
-                           edgeRates[static_cast<std::size_t>(i)].first) +
-                     "]");
-    }
-  }
-  for (int i = 0; i + 1 < n; ++i) {
-    b.channel("e" + std::to_string(i), "K" + std::to_string(i) + ".o",
-              "K" + std::to_string(i + 1) + ".i");
-  }
-  return b.build();
+  return apps::randomConsistentChain(n, seed);
 }
 
 /// Balanced binary out-tree of depth `d` (single-rate, so the repetition
@@ -192,6 +158,75 @@ void BM_FullAnalysisEdgeDetection(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullAnalysisEdgeDetection);
+
+// ---- Shared-context fixtures: the repeated-analysis service shape. ----
+// A long-lived service analyzes the same graph (or the same graph at a
+// new valuation) many times; the AnalysisContext memoizes the view, the
+// repetition vector and the per-valuation integer rate tables across
+// calls.  Fresh vs Shared quantifies what the memoization buys.
+
+void BM_RepeatedFullAnalysisOfdmFresh(benchmark::State& state) {
+  const graph::Graph g = apps::ofdmTpdfEffective(apps::Constellation::Qam16);
+  const symbolic::Environment env{{"b", 10}, {"N", 512}, {"L", 1}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::analyze(g, env));
+  }
+}
+BENCHMARK(BM_RepeatedFullAnalysisOfdmFresh);
+
+void BM_RepeatedFullAnalysisOfdmShared(benchmark::State& state) {
+  const graph::Graph g = apps::ofdmTpdfEffective(apps::Constellation::Qam16);
+  const symbolic::Environment env{{"b", 10}, {"N", 512}, {"L", 1}};
+  const core::AnalysisContext ctx(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::analyze(ctx, env));
+  }
+}
+BENCHMARK(BM_RepeatedFullAnalysisOfdmShared);
+
+void BM_RepeatedFullAnalysisChainFresh(benchmark::State& state) {
+  const Graph g = randomChain(static_cast<int>(state.range(0)), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::analyze(g));
+  }
+}
+BENCHMARK(BM_RepeatedFullAnalysisChainFresh)->Arg(100)->Arg(1000);
+
+void BM_RepeatedFullAnalysisChainShared(benchmark::State& state) {
+  const Graph g = randomChain(static_cast<int>(state.range(0)), 42);
+  const core::AnalysisContext ctx(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::analyze(ctx));
+  }
+}
+BENCHMARK(BM_RepeatedFullAnalysisChainShared)->Arg(100)->Arg(1000);
+
+// ---- Batch-driver fixture: N graphs through the thread pool. ---------
+// Arg is the job count; the corpus is fixed (200 random chains), so the
+// jobs=1 row is the serial baseline and the higher rows show scaling on
+// multi-core hosts (flat on a single-core container).
+
+void BM_AnalyzeBatchChains(benchmark::State& state) {
+  std::vector<Graph> graphs;
+  graphs.reserve(200);
+  support::Prng seeds(0xBA7C4);
+  for (int i = 0; i < 200; ++i) {
+    // Two statements: argument evaluation order is unspecified, and the
+    // corpus must be identical across compilers.
+    const int n = static_cast<int>(seeds.uniform(5, 40));
+    graphs.push_back(randomChain(n, seeds.next()));
+  }
+  core::BatchOptions options;
+  options.jobs = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const core::BatchResult result = core::analyzeBatch(graphs, options);
+    benchmark::DoNotOptimize(result.entries.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(graphs.size()));
+}
+BENCHMARK(BM_AnalyzeBatchChains)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_BufferSizingOfdm(benchmark::State& state) {
   const graph::Graph g = apps::ofdmTpdfEffective(apps::Constellation::Qam16);

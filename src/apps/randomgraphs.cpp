@@ -1,0 +1,51 @@
+#include "apps/randomgraphs.hpp"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "support/prng.hpp"
+
+namespace tpdf::apps {
+
+graph::Graph randomConsistentChain(int n, std::uint64_t seed) {
+  support::Prng rng(seed);
+  graph::GraphBuilder b("chain" + std::to_string(n));
+  std::int64_t v = 1;  // repetition count of the actor being emitted
+  std::vector<std::pair<std::int64_t, std::int64_t>> edgeRates;
+  for (int i = 0; i + 1 < n; ++i) {
+    const std::int64_t k = rng.uniform(2, 4);
+    std::int64_t prod = 1;
+    std::int64_t cons = 1;
+    const bool canShrink = v % k == 0;
+    const bool canGrow = v * k <= 1024;
+    if (canGrow && (!canShrink || rng.chance(0.5))) {
+      prod = k;  // consumer fires k times more often
+      v *= k;
+    } else if (canShrink) {
+      cons = k;
+      v /= k;
+    }
+    edgeRates.emplace_back(prod, cons);
+  }
+  for (int i = 0; i < n; ++i) {
+    b.kernel("K" + std::to_string(i));
+    if (i > 0) {
+      b.in("i", "[" + std::to_string(edgeRates[static_cast<std::size_t>(
+                          i - 1)].second) + "]");
+    }
+    if (i + 1 < n) {
+      b.out("o", "[" + std::to_string(
+                           edgeRates[static_cast<std::size_t>(i)].first) +
+                     "]");
+    }
+  }
+  for (int i = 0; i + 1 < n; ++i) {
+    b.channel("e" + std::to_string(i), "K" + std::to_string(i) + ".o",
+              "K" + std::to_string(i + 1) + ".i");
+  }
+  return b.build();
+}
+
+}  // namespace tpdf::apps

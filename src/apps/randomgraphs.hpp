@@ -1,0 +1,18 @@
+// Synthetic random-graph generators shared by the benches and the
+// property/golden test suites (one definition, so the bench corpus and
+// the test corpora cannot silently diverge).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+
+namespace tpdf::apps {
+
+/// Random consistent chain of `n` kernels.  Edge rates are chosen so
+/// the repetition counts stay bounded (a multiplicative random walk
+/// over 1000 edges would overflow otherwise): the running repetition
+/// value is steered back into [1, 1024].  Deterministic in (n, seed).
+graph::Graph randomConsistentChain(int n, std::uint64_t seed);
+
+}  // namespace tpdf::apps

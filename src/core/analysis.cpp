@@ -6,10 +6,15 @@ namespace tpdf::core {
 
 AnalysisReport analyze(const graph::Graph& g,
                        const symbolic::Environment& env) {
+  return analyze(AnalysisContext(g), env);
+}
+
+AnalysisReport analyze(const AnalysisContext& ctx,
+                       const symbolic::Environment& env) {
   AnalysisReport report;
-  report.repetition = csdf::computeRepetitionVector(g);
-  report.safety = checkRateSafety(g, report.repetition);
-  report.liveness = checkLiveness(g, report.repetition, env);
+  report.repetition = ctx.repetition();
+  report.safety = checkRateSafety(ctx);
+  report.liveness = checkLiveness(ctx, env);
   return report;
 }
 

@@ -4,6 +4,7 @@
 
 #include <string>
 
+#include "core/context.hpp"
 #include "core/liveness.hpp"
 #include "core/model.hpp"
 #include "core/safety.hpp"
@@ -37,6 +38,14 @@ AnalysisReport analyze(const TpdfGraph& g,
 
 /// Same, for a bare dataflow graph (SDF/CSDF or TPDF without metadata).
 AnalysisReport analyze(const graph::Graph& g,
+                       const symbolic::Environment& env = {});
+
+/// Staged-pass variant: consistency, safety and liveness all consume the
+/// context's shared intermediates (view, memoized repetition vector,
+/// per-valuation rate tables).  Re-analyzing through the same context
+/// re-derives nothing structural; reports are identical to the Graph
+/// overloads.
+AnalysisReport analyze(const AnalysisContext& ctx,
                        const symbolic::Environment& env = {});
 
 }  // namespace tpdf::core

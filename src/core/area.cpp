@@ -9,7 +9,10 @@ using graph::Graph;
 
 namespace {
 
-std::set<ActorId> successorsOf(const Graph& g, const std::set<ActorId>& from) {
+// Shared over Graph and GraphView: both expose outChannels/inChannels
+// (vector vs span) and the channel->actor maps under the same names.
+template <class G>
+std::set<ActorId> successorsOf(const G& g, const std::set<ActorId>& from) {
   std::set<ActorId> out;
   for (ActorId a : from) {
     for (graph::ChannelId c : g.outChannels(a)) {
@@ -19,8 +22,8 @@ std::set<ActorId> successorsOf(const Graph& g, const std::set<ActorId>& from) {
   return out;
 }
 
-std::set<ActorId> predecessorsOf(const Graph& g,
-                                 const std::set<ActorId>& from) {
+template <class G>
+std::set<ActorId> predecessorsOf(const G& g, const std::set<ActorId>& from) {
   std::set<ActorId> out;
   for (ActorId a : from) {
     for (graph::ChannelId c : g.inChannels(a)) {
@@ -30,9 +33,8 @@ std::set<ActorId> predecessorsOf(const Graph& g,
   return out;
 }
 
-}  // namespace
-
-ControlArea controlArea(const Graph& g, ActorId ctl) {
+template <class G>
+ControlArea controlAreaImpl(const G& g, ActorId ctl) {
   ControlArea area;
   area.control = ctl;
   area.prec = predecessorsOf(g, {ctl});
@@ -51,6 +53,16 @@ ControlArea controlArea(const Graph& g, ActorId ctl) {
   area.all.insert(area.infl.begin(), area.infl.end());
   area.all.erase(ctl);
   return area;
+}
+
+}  // namespace
+
+ControlArea controlArea(const Graph& g, ActorId ctl) {
+  return controlAreaImpl(g, ctl);
+}
+
+ControlArea controlArea(const graph::GraphView& view, ActorId ctl) {
+  return controlAreaImpl(view, ctl);
 }
 
 std::string ControlArea::toString(const Graph& g) const {

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "graph/graph.hpp"
+#include "graph/view.hpp"
 
 namespace tpdf::core {
 
@@ -27,5 +28,8 @@ struct ControlArea {
 
 /// Computes Area(ctl) per Definition 3.
 ControlArea controlArea(const graph::Graph& g, graph::ActorId ctl);
+
+/// Same over a precomputed view (CSR adjacency, no per-call vectors).
+ControlArea controlArea(const graph::GraphView& view, graph::ActorId ctl);
 
 }  // namespace tpdf::core

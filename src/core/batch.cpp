@@ -1,0 +1,89 @@
+#include "core/batch.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+#include "core/context.hpp"
+#include "support/threadpool.hpp"
+
+namespace tpdf::core {
+
+std::size_t BatchResult::analyzed() const {
+  std::size_t n = 0;
+  for (const BatchEntry& e : entries) n += e.ok ? 1 : 0;
+  return n;
+}
+
+std::size_t BatchResult::bounded() const {
+  std::size_t n = 0;
+  for (const BatchEntry& e : entries) n += e.bounded() ? 1 : 0;
+  return n;
+}
+
+std::size_t BatchResult::failed() const {
+  return entries.size() - analyzed();
+}
+
+namespace {
+
+std::size_t resolveJobs(std::size_t requested) {
+  if (requested != 0) return requested;
+  const std::size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+/// One task per graph; entries are pre-sized so each worker writes only
+/// its own slot and no post-hoc reordering is needed.  `analyzeOne` must
+/// fill entry.name and entry.report (it runs on a worker thread).
+BatchResult runBatch(
+    std::size_t count, std::size_t jobs,
+    const std::function<void(std::size_t, BatchEntry&)>& analyzeOne) {
+  BatchResult result;
+  result.entries.resize(count);
+  // No point spawning more workers than there are graphs.
+  support::ThreadPool pool(std::min(resolveJobs(jobs), std::max<std::size_t>(count, 1)));
+  for (std::size_t i = 0; i < count; ++i) {
+    pool.submit([&, i] {
+      BatchEntry& entry = result.entries[i];
+      try {
+        analyzeOne(i, entry);
+        entry.ok = true;
+      } catch (const std::exception& e) {
+        entry.error = e.what();
+      } catch (...) {
+        // A non-std exception from a loader callback would otherwise be
+        // swallowed by the pool's last-resort handler with no trace.
+        entry.error = "unknown error (non-standard exception)";
+      }
+    });
+  }
+  pool.wait();
+  return result;
+}
+
+}  // namespace
+
+BatchResult analyzeBatch(const std::vector<BatchSource>& sources,
+                         const BatchOptions& options) {
+  return runBatch(sources.size(), options.jobs,
+                  [&](std::size_t i, BatchEntry& entry) {
+                    entry.name = sources[i].name;
+                    const graph::Graph g = sources[i].load();
+                    if (entry.name.empty()) entry.name = g.name();
+                    const AnalysisContext ctx(g);
+                    entry.report = analyze(ctx, options.env);
+                  });
+}
+
+BatchResult analyzeBatch(const std::vector<graph::Graph>& graphs,
+                         const BatchOptions& options) {
+  return runBatch(graphs.size(), options.jobs,
+                  [&](std::size_t i, BatchEntry& entry) {
+                    entry.name = graphs[i].name();
+                    const AnalysisContext ctx(graphs[i]);
+                    entry.report = analyze(ctx, options.env);
+                  });
+}
+
+}  // namespace tpdf::core

@@ -1,0 +1,71 @@
+// Concurrent batch analysis: many graphs, one process.
+//
+// The ROADMAP north star is a service analyzing graph workloads under
+// heavy traffic; analyzeBatch() is the in-process driver for that shape
+// of load.  Each graph gets its own AnalysisContext (contexts are not
+// shared across threads) and runs the full Section III chain on a
+// fixed-size thread pool (support/threadpool.hpp).  Results come back in
+// input order regardless of completion order, and a failure (parse
+// error, overflow, negative rate) is captured per entry instead of
+// aborting the batch.
+//
+// Graphs can be supplied directly or through loader callbacks; loaders
+// run on the worker threads, so file parsing parallelizes along with
+// the analysis (what `tpdfc --batch` relies on).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/analysis.hpp"
+#include "graph/graph.hpp"
+#include "symbolic/env.hpp"
+
+namespace tpdf::core {
+
+struct BatchOptions {
+  /// Worker threads; 0 means std::thread::hardware_concurrency().
+  std::size_t jobs = 0;
+  /// Pre-bound parameters, shared by every analysis.
+  symbolic::Environment env;
+};
+
+/// Outcome for one input graph.
+struct BatchEntry {
+  /// Graph name (or the label the loader variant was given).
+  std::string name;
+  /// False when loading or analysis threw; `error` holds the reason.
+  bool ok = false;
+  std::string error;
+  AnalysisReport report;
+
+  bool bounded() const { return ok && report.bounded(); }
+};
+
+struct BatchResult {
+  /// One entry per input, in input order.
+  std::vector<BatchEntry> entries;
+
+  std::size_t analyzed() const;  // entries with ok
+  std::size_t bounded() const;   // entries with ok && report.bounded()
+  std::size_t failed() const;    // entries with !ok
+};
+
+/// A labelled graph producer; invoked on a worker thread.
+struct BatchSource {
+  std::string name;
+  std::function<graph::Graph()> load;
+};
+
+/// Analyzes every source concurrently on a fixed pool.
+BatchResult analyzeBatch(const std::vector<BatchSource>& sources,
+                         const BatchOptions& options = {});
+
+/// Convenience overload for already-built graphs (not copied; the
+/// caller keeps ownership and must keep them alive until return).
+BatchResult analyzeBatch(const std::vector<graph::Graph>& graphs,
+                         const BatchOptions& options = {});
+
+}  // namespace tpdf::core

@@ -1,0 +1,31 @@
+#include "core/context.hpp"
+
+namespace tpdf::core {
+
+AnalysisContext::AnalysisContext(const graph::Graph& g)
+    : g_(&g), view_(g) {}
+
+const csdf::RepetitionVector& AnalysisContext::repetition() const {
+  if (!repetitionComputed_) {
+    repetition_ = csdf::computeRepetitionVector(view_);
+    repetitionComputed_ = true;
+  }
+  return repetition_;
+}
+
+const graph::EvaluatedRates& AnalysisContext::rates(
+    const symbolic::Environment& env) const {
+  std::string key;
+  for (const auto& [name, value] : env.bindings()) {
+    key += name;
+    key += '=';
+    key += std::to_string(value);
+    key += ';';
+  }
+  const auto it = rateCache_.find(key);
+  if (it != rateCache_.end()) return it->second;
+  return rateCache_.emplace(std::move(key), graph::EvaluatedRates(view_, env))
+      .first->second;
+}
+
+}  // namespace tpdf::core

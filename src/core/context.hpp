@@ -1,0 +1,65 @@
+// Shared intermediates of the Section III analysis chain.
+//
+// The chain (consistency -> safety -> liveness -> boundedness), the
+// canonical/ADF/list schedulers and the simulator all need the same
+// derived facts about one graph: the structural GraphView, the symbolic
+// repetition vector, and the integer rate tables of each parameter
+// valuation they run under.  An AnalysisContext computes each of those
+// once and hands out references, so staged passes consume one set of
+// intermediates instead of re-traversing the Graph per pass.
+//
+// Memoization contract:
+//   * view() is built eagerly at construction (every consumer needs it);
+//   * repetition() is computed on first use and cached for the lifetime
+//     of the context;
+//   * rates(env) is cached per distinct binding set (keyed by the sorted
+//     name=value list), so analyze + schedule + simulate at one valuation
+//     evaluate every rate expression exactly once.
+//
+// A context is tied to one Graph revision: it must not outlive its Graph
+// and the Graph must not be mutated while the context exists.  Contexts
+// are NOT internally synchronized — share one context within a single
+// thread (or guard it externally); the batch driver (core/batch.hpp)
+// gives each graph its own context, one per worker at a time.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "csdf/repetition.hpp"
+#include "graph/graph.hpp"
+#include "graph/view.hpp"
+#include "symbolic/env.hpp"
+
+namespace tpdf::core {
+
+class AnalysisContext {
+ public:
+  explicit AnalysisContext(const graph::Graph& g);
+
+  const graph::Graph& graph() const { return *g_; }
+  const graph::GraphView& view() const { return view_; }
+
+  /// The symbolic repetition vector (Theorem 1), computed on first use.
+  const csdf::RepetitionVector& repetition() const;
+
+  /// Integer rate tables under `env`, computed once per distinct binding
+  /// set.  Throws support::Error when a rate evaluates negative or a
+  /// parameter is unbound (never cached in that case).
+  ///
+  /// Returned references stay valid for the context's lifetime, which is
+  /// why entries are never evicted: the cache grows by one table per
+  /// distinct valuation.  For an unbounded parameter sweep over one
+  /// graph, use a fresh context per batch of valuations (or per
+  /// valuation) instead of one context forever.
+  const graph::EvaluatedRates& rates(const symbolic::Environment& env) const;
+
+ private:
+  const graph::Graph* g_;
+  graph::GraphView view_;
+  mutable bool repetitionComputed_ = false;
+  mutable csdf::RepetitionVector repetition_;
+  mutable std::map<std::string, graph::EvaluatedRates> rateCache_;
+};
+
+}  // namespace tpdf::core

@@ -19,24 +19,25 @@ namespace {
 /// Token-accurate state of one cycle's internal channels.  Channels
 /// crossing the cycle boundary are ignored: external producers are
 /// assumed live, which is the clustering abstraction of Section III-C.
+/// Rates come pre-evaluated from the shared context tables.
 struct CycleSim {
-  const Graph& g;
-  const Environment& env;
+  const graph::GraphView& view;
+  const graph::EvaluatedRates& rates;
   std::vector<ActorId> actors;                   // cycle members
   std::vector<std::int64_t> target;              // qL per member
   std::vector<std::int64_t> fired;               // firings so far
   std::vector<ChannelId> internalChannels;
   std::vector<std::int64_t> occupancy;           // per internal channel
 
-  CycleSim(const Graph& graph, const Environment& environment,
+  CycleSim(const graph::GraphView& v, const graph::EvaluatedRates& er,
            const std::vector<ActorId>& members,
            const std::vector<std::int64_t>& localCounts)
-      : g(graph), env(environment), actors(members), target(localCounts),
+      : view(v), rates(er), actors(members), target(localCounts),
         fired(members.size(), 0) {
     std::set<ActorId> memberSet(members.begin(), members.end());
-    for (const graph::Channel& c : g.channels()) {
-      if (memberSet.count(g.sourceActor(c.id)) != 0 &&
-          memberSet.count(g.destActor(c.id)) != 0) {
+    for (const graph::Channel& c : view.graph().channels()) {
+      if (memberSet.count(view.sourceActor(c.id)) != 0 &&
+          memberSet.count(view.destActor(c.id)) != 0) {
         internalChannels.push_back(c.id);
         occupancy.push_back(c.initialTokens);
       }
@@ -57,13 +58,13 @@ struct CycleSim {
   bool enabled(std::size_t mi) const {
     if (fired[mi] >= target[mi]) return false;
     const ActorId a = actors[mi];
+    const Graph& g = view.graph();
     for (graph::PortId pid : g.actor(a).ports) {
       const graph::Port& p = g.port(pid);
       if (!graph::isInput(p.kind)) continue;
       const std::size_t ci = internalIndex(p.channel);
       if (ci == internalChannels.size()) continue;  // external input
-      const std::int64_t need =
-          g.effectiveRates(pid).at(fired[mi]).evaluateInt(env);
+      const std::int64_t need = rates.at(pid, fired[mi]);
       if (occupancy[ci] < need) return false;
     }
     return true;
@@ -71,12 +72,12 @@ struct CycleSim {
 
   void fire(std::size_t mi, csdf::Schedule* schedule) {
     const ActorId a = actors[mi];
+    const Graph& g = view.graph();
     for (graph::PortId pid : g.actor(a).ports) {
       const graph::Port& p = g.port(pid);
       const std::size_t ci = internalIndex(p.channel);
       if (ci == internalChannels.size()) continue;
-      const std::int64_t amount =
-          g.effectiveRates(pid).at(fired[mi]).evaluateInt(env);
+      const std::int64_t amount = rates.at(pid, fired[mi]);
       if (graph::isInput(p.kind)) {
         occupancy[ci] -= amount;
       } else {
@@ -98,10 +99,11 @@ struct CycleSim {
 /// Strict clustering: does some single-appearance order of whole blocks
 /// a^{qL_a} execute?  Greedy: commit any actor whose entire remaining
 /// block can fire in one run.
-bool strictBlockSchedule(const Graph& g, const Environment& env,
+bool strictBlockSchedule(const graph::GraphView& view,
+                         const graph::EvaluatedRates& rates,
                          const std::vector<ActorId>& members,
                          const std::vector<std::int64_t>& counts) {
-  CycleSim sim(g, env, members, counts);
+  CycleSim sim(view, rates, members, counts);
   while (!sim.done()) {
     bool progressed = false;
     for (std::size_t mi = 0; mi < sim.actors.size() && !progressed; ++mi) {
@@ -130,11 +132,12 @@ bool strictBlockSchedule(const Graph& g, const Environment& env,
 }
 
 /// Late schedule: greedy per-firing interleaving (subsumes ref. [8]).
-bool lateSchedule(const Graph& g, const Environment& env,
+bool lateSchedule(const graph::GraphView& view,
+                  const graph::EvaluatedRates& rates,
                   const std::vector<ActorId>& members,
                   const std::vector<std::int64_t>& counts,
                   csdf::Schedule* out) {
-  CycleSim sim(g, env, members, counts);
+  CycleSim sim(view, rates, members, counts);
   while (!sim.done()) {
     bool progressed = false;
     for (std::size_t mi = 0; mi < sim.actors.size(); ++mi) {
@@ -157,10 +160,14 @@ std::string exponentString(const Expr& e) {
 
 }  // namespace
 
-LivenessReport checkLiveness(const Graph& g,
-                             const csdf::RepetitionVector& rv,
-                             const Environment& env,
-                             std::int64_t sampleValue) {
+namespace {
+
+LivenessReport checkLivenessOver(const AnalysisContext& ctx,
+                                 const csdf::RepetitionVector& rv,
+                                 const Environment& env,
+                                 std::int64_t sampleValue) {
+  const Graph& g = ctx.graph();
+  const graph::GraphView& view = ctx.view();
   LivenessReport report;
   if (!rv.consistent) {
     report.diagnostic = "graph is not rate consistent: " + rv.diagnostic;
@@ -173,8 +180,9 @@ LivenessReport checkLiveness(const Graph& g,
       report.sampleEnv.bind(param, sampleValue);
     }
   }
+  const graph::EvaluatedRates& sampleRates = ctx.rates(report.sampleEnv);
 
-  const SccResult scc = stronglyConnectedComponents(g);
+  const SccResult scc = stronglyConnectedComponents(view);
 
   bool allCyclesLive = true;
   for (std::size_t c : scc.nonTrivial) {
@@ -197,8 +205,8 @@ LivenessReport checkLiveness(const Graph& g,
     }
 
     cycle.strictClusterable =
-        strictBlockSchedule(g, report.sampleEnv, cycle.actors, counts);
-    cycle.lateSchedulable = lateSchedule(g, report.sampleEnv, cycle.actors,
+        strictBlockSchedule(view, sampleRates, cycle.actors, counts);
+    cycle.lateSchedulable = lateSchedule(view, sampleRates, cycle.actors,
                                          counts, &cycle.localSchedule);
     if (!cycle.lateSchedulable) {
       std::string names;
@@ -214,10 +222,11 @@ LivenessReport checkLiveness(const Graph& g,
     report.cycles.push_back(std::move(cycle));
   }
 
-  // Whole-graph symbolic execution at the sample valuation.
+  // Whole-graph symbolic execution at the sample valuation, over the
+  // shared view and integer rate tables.
   const csdf::LivenessResult global =
-      csdf::findSchedule(g, rv, report.sampleEnv,
-                         csdf::SchedulePolicy::Eager);
+      csdf::findSchedule(view, rv, report.sampleEnv,
+                         csdf::SchedulePolicy::Eager, &sampleRates);
   report.sampleSchedule = global.schedule;
 
   report.live = allCyclesLive && global.live;
@@ -255,6 +264,21 @@ LivenessReport checkLiveness(const Graph& g,
   }
   report.parametricSchedule = rendered;
   return report;
+}
+
+}  // namespace
+
+LivenessReport checkLiveness(const Graph& g,
+                             const csdf::RepetitionVector& rv,
+                             const Environment& env,
+                             std::int64_t sampleValue) {
+  return checkLivenessOver(AnalysisContext(g), rv, env, sampleValue);
+}
+
+LivenessReport checkLiveness(const AnalysisContext& ctx,
+                             const Environment& env,
+                             std::int64_t sampleValue) {
+  return checkLivenessOver(ctx, ctx.repetition(), env, sampleValue);
 }
 
 }  // namespace tpdf::core

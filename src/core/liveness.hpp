@@ -20,6 +20,7 @@
 #include "csdf/liveness.hpp"
 #include "csdf/repetition.hpp"
 #include "graph/graph.hpp"
+#include "core/context.hpp"
 #include "core/local.hpp"
 #include "symbolic/env.hpp"
 
@@ -56,6 +57,14 @@ struct LivenessReport {
 /// the all-ports-required check conservative).
 LivenessReport checkLiveness(const graph::Graph& g,
                              const csdf::RepetitionVector& rv,
+                             const symbolic::Environment& env = {},
+                             std::int64_t sampleValue = 2);
+
+/// Same through a shared context: SCCs and cycle simulations read the
+/// view's adjacency, the repetition vector is the memoized one, and the
+/// sample-valuation integer rate tables are shared with the global
+/// schedule search instead of re-evaluated per cycle.
+LivenessReport checkLiveness(const AnalysisContext& ctx,
                              const symbolic::Environment& env = {},
                              std::int64_t sampleValue = 2);
 

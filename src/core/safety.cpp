@@ -12,13 +12,16 @@ namespace {
 
 /// Checks Equation 9 on one channel between the control actor and a
 /// neighbour.  Returns an empty string on success, a diagnostic otherwise.
-std::string checkChannel(const Graph& g, const graph::Channel& c,
-                         bool controlIsProducer, const Expr& qLNeighbour) {
+std::string checkChannel(const graph::GraphView& view,
+                         const graph::Channel& c, bool controlIsProducer,
+                         const Expr& qLNeighbour) {
   const graph::PortId ctlPort = controlIsProducer ? c.src : c.dst;
   const graph::PortId actorPort = controlIsProducer ? c.dst : c.src;
   try {
-    const Expr ctlSide = g.effectiveRates(ctlPort).cumulative(std::int64_t{1});
-    const Expr actorSide = g.effectiveRates(actorPort).cumulative(qLNeighbour);
+    const Expr ctlSide =
+        view.effectiveRates(ctlPort).cumulative(std::int64_t{1});
+    const Expr actorSide =
+        view.effectiveRates(actorPort).cumulative(qLNeighbour);
     if (ctlSide != actorSide) {
       return "channel '" + c.name + "': control transfers " +
              ctlSide.toString() + " token(s) per firing but its area " +
@@ -30,10 +33,9 @@ std::string checkChannel(const Graph& g, const graph::Channel& c,
   return "";
 }
 
-}  // namespace
-
-RateSafetyReport checkRateSafety(const Graph& g,
-                                 const csdf::RepetitionVector& rv) {
+RateSafetyReport checkRateSafetyOver(const graph::GraphView& view,
+                                     const csdf::RepetitionVector& rv) {
+  const Graph& g = view.graph();
   RateSafetyReport report;
   if (!rv.consistent) {
     report.diagnostic = "graph is not rate consistent: " + rv.diagnostic;
@@ -46,7 +48,7 @@ RateSafetyReport checkRateSafety(const Graph& g,
 
     ControlSafety cs;
     cs.control = actor.id;
-    cs.area = controlArea(g, actor.id);
+    cs.area = controlArea(view, actor.id);
     cs.local = localSolution(g, rv, cs.area.all);
     if (!cs.local.ok) {
       cs.diagnostic = cs.local.diagnostic;
@@ -76,12 +78,12 @@ RateSafetyReport checkRateSafety(const Graph& g,
     // Equation 9 on every channel between the control actor and its
     // predecessors / successors.
     if (ok) {
-      for (graph::ChannelId cid : g.outChannels(actor.id)) {
+      for (graph::ChannelId cid : view.outChannels(actor.id)) {
         const graph::Channel& c = g.channel(cid);
-        const ActorId neighbour = g.destActor(cid);
+        const ActorId neighbour = view.destActor(cid);
         if (neighbour == actor.id) continue;  // self-loop: no Eq. 9 form
         const std::string err =
-            checkChannel(g, c, /*controlIsProducer=*/true,
+            checkChannel(view, c, /*controlIsProducer=*/true,
                          cs.local.of(neighbour));
         if (!err.empty()) {
           cs.diagnostic = err;
@@ -91,12 +93,12 @@ RateSafetyReport checkRateSafety(const Graph& g,
       }
     }
     if (ok) {
-      for (graph::ChannelId cid : g.inChannels(actor.id)) {
+      for (graph::ChannelId cid : view.inChannels(actor.id)) {
         const graph::Channel& c = g.channel(cid);
-        const ActorId neighbour = g.sourceActor(cid);
+        const ActorId neighbour = view.sourceActor(cid);
         if (neighbour == actor.id) continue;  // self-loop: no Eq. 9 form
         const std::string err =
-            checkChannel(g, c, /*controlIsProducer=*/false,
+            checkChannel(view, c, /*controlIsProducer=*/false,
                          cs.local.of(neighbour));
         if (!err.empty()) {
           cs.diagnostic = err;
@@ -114,6 +116,17 @@ RateSafetyReport checkRateSafety(const Graph& g,
     report.perControl.push_back(std::move(cs));
   }
   return report;
+}
+
+}  // namespace
+
+RateSafetyReport checkRateSafety(const Graph& g,
+                                 const csdf::RepetitionVector& rv) {
+  return checkRateSafetyOver(graph::GraphView(g), rv);
+}
+
+RateSafetyReport checkRateSafety(const AnalysisContext& ctx) {
+  return checkRateSafetyOver(ctx.view(), ctx.repetition());
 }
 
 }  // namespace tpdf::core

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/area.hpp"
+#include "core/context.hpp"
 #include "core/local.hpp"
 #include "csdf/repetition.hpp"
 #include "graph/graph.hpp"
@@ -41,5 +42,9 @@ struct RateSafetyReport {
 /// repetition vector.  Graphs without control actors are trivially safe.
 RateSafetyReport checkRateSafety(const graph::Graph& g,
                                  const csdf::RepetitionVector& rv);
+
+/// Same through a shared context (view adjacency + memoized repetition
+/// vector).
+RateSafetyReport checkRateSafety(const AnalysisContext& ctx);
 
 }  // namespace tpdf::core

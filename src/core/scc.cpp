@@ -10,7 +10,7 @@ using graph::Graph;
 namespace {
 
 struct TarjanState {
-  const Graph& g;
+  std::size_t actorCount;
   std::vector<std::vector<std::size_t>> successors;
   std::vector<int> index;
   std::vector<int> lowlink;
@@ -19,22 +19,19 @@ struct TarjanState {
   int counter = 0;
   SccResult result;
 
-  explicit TarjanState(const Graph& graph)
-      : g(graph),
-        successors(graph.actorCount()),
-        index(graph.actorCount(), -1),
-        lowlink(graph.actorCount(), 0),
-        onStack(graph.actorCount(), false) {
-    for (const graph::Channel& c : graph.channels()) {
-      successors[graph.sourceActor(c.id).index()].push_back(
-          graph.destActor(c.id).index());
-    }
-    result.component.resize(graph.actorCount());
+  explicit TarjanState(std::size_t n,
+                       std::vector<std::vector<std::size_t>> succ)
+      : actorCount(n),
+        successors(std::move(succ)),
+        index(n, -1),
+        lowlink(n, 0),
+        onStack(n, false) {
+    result.component.resize(n);
   }
 
   // Iterative Tarjan (explicit stack) to stay safe on deep graphs.
   void run() {
-    for (std::size_t v = 0; v < g.actorCount(); ++v) {
+    for (std::size_t v = 0; v < actorCount; ++v) {
       if (index[v] < 0) visit(v);
     }
     // Tarjan emits components in reverse topological order; renumber in
@@ -93,19 +90,14 @@ struct TarjanState {
   }
 };
 
-}  // namespace
-
-SccResult stronglyConnectedComponents(const Graph& g) {
-  TarjanState state(g);
+/// Shared tail: runs Tarjan over a prebuilt successor list and marks the
+/// non-trivial components.
+SccResult sccOverSuccessors(std::size_t actorCount,
+                            std::vector<std::vector<std::size_t>> successors,
+                            const std::vector<bool>& selfLoop) {
+  TarjanState state(actorCount, std::move(successors));
   state.run();
   SccResult result = std::move(state.result);
-
-  std::vector<bool> selfLoop(g.actorCount(), false);
-  for (const graph::Channel& c : g.channels()) {
-    if (g.sourceActor(c.id) == g.destActor(c.id)) {
-      selfLoop[g.sourceActor(c.id).index()] = true;
-    }
-  }
   for (std::size_t c = 0; c < result.members.size(); ++c) {
     if (result.members[c].size() > 1 ||
         selfLoop[result.members[c][0].index()]) {
@@ -113,6 +105,31 @@ SccResult stronglyConnectedComponents(const Graph& g) {
     }
   }
   return result;
+}
+
+/// Shared front-end over Graph and GraphView: both expose actorCount,
+/// channelCount and the channel->actor endpoint maps under the same
+/// names (the area.cpp pattern).
+template <class G>
+SccResult sccOver(const G& g) {
+  std::vector<std::vector<std::size_t>> successors(g.actorCount());
+  std::vector<bool> selfLoop(g.actorCount(), false);
+  for (std::size_t c = 0; c < g.channelCount(); ++c) {
+    const graph::ChannelId id(static_cast<std::uint32_t>(c));
+    const std::size_t src = g.sourceActor(id).index();
+    const std::size_t dst = g.destActor(id).index();
+    successors[src].push_back(dst);
+    if (src == dst) selfLoop[src] = true;
+  }
+  return sccOverSuccessors(g.actorCount(), std::move(successors), selfLoop);
+}
+
+}  // namespace
+
+SccResult stronglyConnectedComponents(const Graph& g) { return sccOver(g); }
+
+SccResult stronglyConnectedComponents(const graph::GraphView& view) {
+  return sccOver(view);
 }
 
 }  // namespace tpdf::core

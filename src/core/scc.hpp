@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "graph/view.hpp"
 
 namespace tpdf::core {
 
@@ -23,5 +24,9 @@ struct SccResult {
 };
 
 SccResult stronglyConnectedComponents(const graph::Graph& g);
+
+/// Same decomposition over a precomputed view (flat channel->actor maps,
+/// no adjacency re-derivation).
+SccResult stronglyConnectedComponents(const graph::GraphView& view);
 
 }  // namespace tpdf::core

@@ -27,19 +27,35 @@ std::int64_t BufferReport::controlTotal(const graph::Graph& g) const {
 BufferReport minimumBuffers(const graph::Graph& g,
                             const symbolic::Environment& env,
                             SchedulePolicy policy) {
+  const graph::GraphView view(g);
+  return minimumBuffers(view, computeRepetitionVector(view), env, policy);
+}
+
+BufferReport minimumBuffers(const graph::GraphView& view,
+                            const RepetitionVector& rv,
+                            const symbolic::Environment& env,
+                            SchedulePolicy policy,
+                            const graph::EvaluatedRates* rates) {
   BufferReport report;
-  const LivenessResult live = findSchedule(g, env, policy);
+  const LivenessResult live = findSchedule(view, rv, env, policy, rates);
   if (!live.live) {
     report.diagnostic = live.diagnostic;
     return report;
   }
-  return buffersForSchedule(g, live.schedule, env);
+  return buffersForSchedule(view, live.schedule, env, rates);
 }
 
 BufferReport buffersForSchedule(const graph::Graph& g, const Schedule& s,
                                 const symbolic::Environment& env) {
+  return buffersForSchedule(graph::GraphView(g), s, env);
+}
+
+BufferReport buffersForSchedule(const graph::GraphView& view,
+                                const Schedule& s,
+                                const symbolic::Environment& env,
+                                const graph::EvaluatedRates* rates) {
   BufferReport report;
-  const ScheduleCheck check = validateSchedule(g, s, env);
+  const ScheduleCheck check = validateSchedule(view, s, env, rates);
   if (!check.ok) {
     report.diagnostic = check.diagnostic;
     return report;

@@ -43,8 +43,21 @@ BufferReport minimumBuffers(const graph::Graph& g,
                             const symbolic::Environment& env = {},
                             SchedulePolicy policy = SchedulePolicy::MinOccupancy);
 
+/// Shared-intermediate variant: schedule search and validation both run
+/// over `view`, reusing `rv` (and `rates`, when non-null) instead of
+/// recomputing them.
+BufferReport minimumBuffers(const graph::GraphView& view,
+                            const RepetitionVector& rv,
+                            const symbolic::Environment& env = {},
+                            SchedulePolicy policy = SchedulePolicy::MinOccupancy,
+                            const graph::EvaluatedRates* rates = nullptr);
+
 /// Buffer sizes for a caller-provided schedule.
 BufferReport buffersForSchedule(const graph::Graph& g, const Schedule& s,
                                 const symbolic::Environment& env = {});
+BufferReport buffersForSchedule(const graph::GraphView& view,
+                                const Schedule& s,
+                                const symbolic::Environment& env = {},
+                                const graph::EvaluatedRates* rates = nullptr);
 
 }  // namespace tpdf::csdf

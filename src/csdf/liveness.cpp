@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <numeric>
+#include <optional>
 #include <set>
+#include <span>
 
 #include "support/error.hpp"
 
@@ -13,12 +15,13 @@ using graph::Graph;
 
 namespace {
 
-/// Per-port rates fully evaluated to integers for fast simulation.
-/// Output ports carry the channel's consumer so the scheduler can wake
-/// exactly the actors a firing may have enabled.
+/// Per-port integer rates for fast simulation; the spans point into an
+/// EvaluatedRates table owned by the caller (or by findSchedule's local
+/// fallback).  Output ports carry the channel's consumer so the
+/// scheduler can wake exactly the actors a firing may have enabled.
 struct EvalPort {
   std::size_t channel;
-  std::vector<std::int64_t> rates;  // length tau(actor)
+  std::span<const std::int64_t> rates;  // length tau(actor)
   /// Consumer of `channel` (for an input port that is the owning actor).
   std::size_t dstActor;
 };
@@ -31,11 +34,12 @@ struct EvalActor {
   std::vector<std::int64_t> delta;
 };
 
-std::vector<EvalActor> evaluatePorts(const Graph& g,
-                                     const symbolic::Environment& env) {
+std::vector<EvalActor> buildEvalActors(const graph::GraphView& view,
+                                       const graph::EvaluatedRates& er) {
+  const Graph& g = view.graph();
   std::vector<EvalActor> actors(g.actorCount());
   for (const graph::Actor& a : g.actors()) {
-    const std::int64_t tau = g.phases(a.id);
+    const std::int64_t tau = view.phases(a.id);
     EvalActor& ea = actors[a.id.index()];
     ea.delta.assign(static_cast<std::size_t>(tau), 0);
     for (graph::PortId pid : a.ports) {
@@ -43,20 +47,13 @@ std::vector<EvalActor> evaluatePorts(const Graph& g,
       EvalPort ep;
       ep.channel = p.channel.index();
       const bool input = graph::isInput(p.kind);
-      ep.dstActor = input ? a.id.index() : g.destActor(p.channel).index();
-      // p.rates.at(i) cyclically extends to the actor's tau phases, so
-      // the sequence is read in place — no effectiveRates() copy.
-      const graph::RateSeq& rates = p.rates;
-      ep.rates.reserve(static_cast<std::size_t>(tau));
+      ep.dstActor =
+          input ? a.id.index() : view.destActor(p.channel).index();
+      ep.rates = er.of(pid);
       for (std::int64_t i = 0; i < tau; ++i) {
-        const std::int64_t v = rates.at(i).evaluateInt(env);
-        if (v < 0) {
-          throw support::Error("port '" + a.name + "." + p.name +
-                               "' has negative rate " + std::to_string(v) +
-                               " under the given environment");
-        }
-        ep.rates.push_back(v);
-        ea.delta[static_cast<std::size_t>(i)] += input ? -v : v;
+        ea.delta[static_cast<std::size_t>(i)] +=
+            input ? -ep.rates[static_cast<std::size_t>(i)]
+                  : ep.rates[static_cast<std::size_t>(i)];
       }
       (input ? ea.inputs : ea.outputs).push_back(std::move(ep));
     }
@@ -68,12 +65,22 @@ std::vector<EvalActor> evaluatePorts(const Graph& g,
 
 LivenessResult findSchedule(const Graph& g, const symbolic::Environment& env,
                             SchedulePolicy policy) {
-  return findSchedule(g, computeRepetitionVector(g), env, policy);
+  const graph::GraphView view(g);
+  return findSchedule(view, computeRepetitionVector(view), env, policy);
 }
 
 LivenessResult findSchedule(const Graph& g, const RepetitionVector& rv,
                             const symbolic::Environment& env,
                             SchedulePolicy policy) {
+  return findSchedule(graph::GraphView(g), rv, env, policy);
+}
+
+LivenessResult findSchedule(const graph::GraphView& view,
+                            const RepetitionVector& rv,
+                            const symbolic::Environment& env,
+                            SchedulePolicy policy,
+                            const graph::EvaluatedRates* rates) {
+  const Graph& g = view.graph();
   LivenessResult out;
   if (!rv.consistent) {
     out.diagnostic = "graph is not rate consistent: " + rv.diagnostic;
@@ -89,7 +96,9 @@ LivenessResult findSchedule(const Graph& g, const RepetitionVector& rv,
     totalFirings += qi;
   }
 
-  const std::vector<EvalActor> eval = evaluatePorts(g, env);
+  std::optional<graph::EvaluatedRates> localRates;
+  if (rates == nullptr) rates = &localRates.emplace(view, env);
+  const std::vector<EvalActor> eval = buildEvalActors(view, *rates);
   std::vector<std::int64_t> occupancy(g.channelCount());
   for (const graph::Channel& c : g.channels()) {
     occupancy[c.id.index()] = c.initialTokens;

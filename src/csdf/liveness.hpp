@@ -23,6 +23,7 @@
 #include "csdf/repetition.hpp"
 #include "csdf/schedule.hpp"
 #include "graph/graph.hpp"
+#include "graph/view.hpp"
 #include "symbolic/env.hpp"
 
 namespace tpdf::csdf {
@@ -57,5 +58,16 @@ LivenessResult findSchedule(const graph::Graph& g,
                             const RepetitionVector& rv,
                             const symbolic::Environment& env,
                             SchedulePolicy policy);
+
+/// Fully shared-intermediate variant: adjacency and phase counts come
+/// from `view`, and when `rates` is non-null the integer rate tables are
+/// reused instead of re-evaluating every rate expression (`rates` must
+/// have been built from `view` under `env`).  Firing orders are identical
+/// to the Graph overloads.
+LivenessResult findSchedule(const graph::GraphView& view,
+                            const RepetitionVector& rv,
+                            const symbolic::Environment& env,
+                            SchedulePolicy policy,
+                            const graph::EvaluatedRates* rates = nullptr);
 
 }  // namespace tpdf::csdf

@@ -19,20 +19,23 @@ std::string RepetitionVector::toString() const {
   return "[" + support::join(parts, ", ") + "]";
 }
 
-std::vector<std::vector<Expr>> topologyMatrix(const Graph& g) {
+std::vector<std::vector<Expr>> topologyMatrix(const graph::GraphView& view) {
+  const Graph& g = view.graph();
   std::vector<std::vector<Expr>> gamma(
       g.channelCount(), std::vector<Expr>(g.actorCount()));
   for (const graph::Channel& c : g.channels()) {
-    const graph::Port& src = g.port(c.src);
-    const graph::Port& dst = g.port(c.dst);
     // Gamma_{u,j} += X_j(tau_j) for the producer, -Y_j(tau_j) for the
     // consumer; += handles self-loops correctly.
-    gamma[c.id.index()][src.actor.index()] +=
-        g.effectiveRates(c.src).periodSum();
-    gamma[c.id.index()][dst.actor.index()] -=
-        g.effectiveRates(c.dst).periodSum();
+    gamma[c.id.index()][view.sourceActor(c.id).index()] +=
+        view.periodSum(c.src);
+    gamma[c.id.index()][view.destActor(c.id).index()] -=
+        view.periodSum(c.dst);
   }
   return gamma;
+}
+
+std::vector<std::vector<Expr>> topologyMatrix(const Graph& g) {
+  return topologyMatrix(graph::GraphView(g));
 }
 
 namespace {
@@ -49,6 +52,11 @@ struct Balance {
 }  // namespace
 
 RepetitionVector computeRepetitionVector(const Graph& g) {
+  return computeRepetitionVector(graph::GraphView(g));
+}
+
+RepetitionVector computeRepetitionVector(const graph::GraphView& view) {
+  const Graph& g = view.graph();
   RepetitionVector out;
 
   std::vector<Balance> balances;
@@ -56,10 +64,10 @@ RepetitionVector computeRepetitionVector(const Graph& g) {
   std::vector<std::vector<std::size_t>> adjacency(g.actorCount());
   for (const graph::Channel& c : g.channels()) {
     Balance b;
-    b.prod = g.port(c.src).actor;
-    b.cons = g.port(c.dst).actor;
-    b.prodTotal = g.effectiveRates(c.src).periodSum();
-    b.consTotal = g.effectiveRates(c.dst).periodSum();
+    b.prod = view.sourceActor(c.id);
+    b.cons = view.destActor(c.id);
+    b.prodTotal = view.periodSum(c.src);
+    b.consTotal = view.periodSum(c.dst);
     b.channel = c.id;
     adjacency[b.prod.index()].push_back(balances.size());
     adjacency[b.cons.index()].push_back(balances.size());
@@ -188,7 +196,7 @@ RepetitionVector computeRepetitionVector(const Graph& g) {
   out.q.reserve(rs.size());
   for (std::size_t i = 0; i < rs.size(); ++i) {
     const std::int64_t tau =
-        g.phases(ActorId(static_cast<std::uint32_t>(i)));
+        view.phases(ActorId(static_cast<std::uint32_t>(i)));
     out.q.push_back(rs[i] * Expr(tau));
   }
   return out;

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "graph/view.hpp"
 #include "symbolic/expr.hpp"
 
 namespace tpdf::csdf {
@@ -39,9 +40,16 @@ struct RepetitionVector {
 /// connected graph).
 RepetitionVector computeRepetitionVector(const graph::Graph& g);
 
+/// Same, reading period sums and phase counts from a precomputed view
+/// (no per-channel RateSeq copies).  The Graph overload builds a
+/// temporary view and forwards here.
+RepetitionVector computeRepetitionVector(const graph::GraphView& view);
+
 /// The topology matrix Gamma of Equation (3): one row per channel, one
 /// column per actor; entry = total period production (positive) or
 /// consumption (negative) of that actor on that channel.
 std::vector<std::vector<symbolic::Expr>> topologyMatrix(const graph::Graph& g);
+std::vector<std::vector<symbolic::Expr>> topologyMatrix(
+    const graph::GraphView& view);
 
 }  // namespace tpdf::csdf

@@ -37,6 +37,23 @@ std::string Schedule::toString(const Graph& g) const {
 
 ScheduleCheck validateSchedule(const Graph& g, const Schedule& s,
                                const symbolic::Environment& env) {
+  return validateSchedule(graph::GraphView(g), s, env);
+}
+
+ScheduleCheck validateSchedule(const graph::GraphView& view, const Schedule& s,
+                               const symbolic::Environment& env,
+                               const graph::EvaluatedRates* rates) {
+  const Graph& g = view.graph();
+  // Without caller-provided tables, rates are evaluated lazily per
+  // event (the legacy behaviour): a partial schedule must stay
+  // checkable even when actors it never fires have unbound or
+  // ill-valued rates under `env`.
+  const auto rateAt = [&](graph::PortId pid, std::int64_t k) {
+    return rates != nullptr
+               ? rates->at(pid, k)
+               : view.effectiveRates(pid).at(k).evaluateInt(env);
+  };
+
   ScheduleCheck check;
   check.finalOccupancy.resize(g.channelCount());
   check.maxOccupancy.resize(g.channelCount());
@@ -59,8 +76,7 @@ ScheduleCheck validateSchedule(const Graph& g, const Schedule& s,
     for (graph::PortId pid : g.actor(e.actor).ports) {
       const graph::Port& p = g.port(pid);
       if (!graph::isInput(p.kind)) continue;
-      const std::int64_t need =
-          g.effectiveRates(pid).at(e.k).evaluateInt(env);
+      const std::int64_t need = rateAt(pid, e.k);
       std::int64_t& occupancy = check.finalOccupancy[p.channel.index()];
       if (occupancy < need) {
         check.diagnostic =
@@ -75,8 +91,7 @@ ScheduleCheck validateSchedule(const Graph& g, const Schedule& s,
     for (graph::PortId pid : g.actor(e.actor).ports) {
       const graph::Port& p = g.port(pid);
       if (graph::isInput(p.kind)) continue;
-      const std::int64_t made =
-          g.effectiveRates(pid).at(e.k).evaluateInt(env);
+      const std::int64_t made = rateAt(pid, e.k);
       std::int64_t& occupancy = check.finalOccupancy[p.channel.index()];
       occupancy += made;
       check.maxOccupancy[p.channel.index()] =

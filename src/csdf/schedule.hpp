@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "graph/view.hpp"
 #include "symbolic/env.hpp"
 
 namespace tpdf::csdf {
@@ -56,5 +57,14 @@ struct ScheduleCheck {
 /// (the conservative dataflow rule used by the static analyses).
 ScheduleCheck validateSchedule(const graph::Graph& g, const Schedule& s,
                                const symbolic::Environment& env = {});
+
+/// Same, over a precomputed view; when `rates` is non-null (built from
+/// `view` under `env`) no rate expression is re-evaluated at all.
+/// Without `rates`, rates are evaluated lazily per firing event, so a
+/// partial schedule stays checkable even when actors it never fires
+/// have unbound parameters under `env`.
+ScheduleCheck validateSchedule(const graph::GraphView& view, const Schedule& s,
+                               const symbolic::Environment& env = {},
+                               const graph::EvaluatedRates* rates = nullptr);
 
 }  // namespace tpdf::csdf

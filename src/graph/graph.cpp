@@ -23,11 +23,27 @@ std::string toString(ActorKind k) {
   return k == ActorKind::Kernel ? "kernel" : "control";
 }
 
-void Graph::addParam(const std::string& name) { params_.insert(name); }
+void Graph::addParam(const std::string& name) {
+  if (name.empty()) {
+    throw support::ModelError("parameter name must not be empty");
+  }
+  if (params_.count(name) != 0) {
+    throw support::ModelError("duplicate parameter name '" + name + "'");
+  }
+  if (actorByName_.count(name) != 0) {
+    throw support::ModelError("parameter '" + name +
+                              "' collides with an actor of the same name");
+  }
+  params_.insert(name);
+}
 
 ActorId Graph::addActor(const std::string& name, ActorKind kind) {
   if (actorByName_.count(name) != 0) {
     throw support::ModelError("duplicate actor name '" + name + "'");
+  }
+  if (params_.count(name) != 0) {
+    throw support::ModelError("actor '" + name +
+                              "' collides with a parameter of the same name");
   }
   const ActorId id(static_cast<std::uint32_t>(actors_.size()));
   Actor a;

@@ -16,6 +16,7 @@
 
 #include "graph/ids.hpp"
 #include "graph/rates.hpp"
+#include "support/error.hpp"
 
 namespace tpdf::graph {
 
@@ -58,6 +59,12 @@ struct Actor {
   std::vector<double> execTime{1.0};
 
   double execTimeOfPhase(std::int64_t n) const {
+    // A negative index would wrap through the size_t cast into a huge
+    // modulus and read a phase that was never meant.
+    if (n < 0) {
+      throw support::Error("negative firing index " + std::to_string(n) +
+                           " for actor '" + name + "'");
+    }
     return execTime[static_cast<std::size_t>(n) % execTime.size()];
   }
 };
@@ -81,6 +88,8 @@ class Graph {
   // ---- Construction ------------------------------------------------
 
   /// Declares an integer parameter (element of the paper's set P).
+  /// Throws support::ModelError on an empty name or one colliding with
+  /// an existing parameter or actor.
   void addParam(const std::string& name);
 
   ActorId addActor(const std::string& name,

@@ -1,0 +1,150 @@
+// Immutable, cache-friendly companion of a Graph.
+//
+// Every analysis layer above graph:: used to re-derive the same
+// structural facts on each call: outChannels()/inChannels() allocate a
+// fresh vector per invocation, phases() recomputes an LCM per query, and
+// effectiveRates() copies a RateSeq per port access.  A GraphView is
+// built once per Graph revision and precomputes all of them:
+//
+//   * CSR-style per-actor in/out channel adjacency (flat offset + index
+//     arrays, returned as spans — no per-call allocation);
+//   * per-actor phase counts tau (the port-length LCM, cached);
+//   * per-port rate sequences cyclically extended to tau (period sums
+//     derived on demand — only the memoized repetition solver needs
+//     them);
+//   * channel -> source/destination actor maps (flat arrays).
+//
+// A GraphView never mutates and never outlives its Graph; analyses that
+// take a view answer exactly as the equivalent Graph walk would (the
+// graph_view_test equivalence suite locks this in element-wise).
+//
+// EvaluatedRates complements the symbolic tables with per-environment
+// integer rates (one flat table sharing the view's port offsets), which
+// is what the schedulers and the simulator consume in their hot loops.
+// core::AnalysisContext (core/context.hpp) memoizes both per graph.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "graph/rates.hpp"
+#include "support/error.hpp"
+#include "symbolic/env.hpp"
+
+namespace tpdf::graph {
+
+class GraphView {
+ public:
+  /// Builds the view; O(|ports| + |channels| + total phase count).
+  /// The Graph must outlive the view and stay unmodified while the view
+  /// is in use.
+  explicit GraphView(const Graph& g);
+
+  // The view aliases rate sequences owned by the Graph (and by its own
+  // extension storage), so it is pinned in place: rebuild instead of
+  // copying.
+  GraphView(const GraphView&) = delete;
+  GraphView& operator=(const GraphView&) = delete;
+
+  const Graph& graph() const { return *g_; }
+
+  std::size_t actorCount() const { return tau_.size(); }
+  std::size_t channelCount() const { return srcActor_.size(); }
+  std::size_t portCount() const { return rateOffset_.size(); }
+
+  /// Channels whose source port belongs to `a`, in port order (the same
+  /// order Graph::outChannels returns).
+  std::span<const ChannelId> outChannels(ActorId a) const {
+    return {outAdj_.data() + outOffset_[a.index()],
+            outOffset_[a.index() + 1] - outOffset_[a.index()]};
+  }
+  /// Channels whose destination port belongs to `a`, in port order.
+  std::span<const ChannelId> inChannels(ActorId a) const {
+    return {inAdj_.data() + inOffset_[a.index()],
+            inOffset_[a.index() + 1] - inOffset_[a.index()]};
+  }
+
+  /// Number of phases tau of the actor (cached Graph::phases).
+  std::int64_t phases(ActorId a) const { return tau_[a.index()]; }
+
+  ActorId sourceActor(ChannelId c) const { return srcActor_[c.index()]; }
+  ActorId destActor(ChannelId c) const { return dstActor_[c.index()]; }
+
+  /// The port's rate sequence cyclically extended to the actor's phase
+  /// count — the precomputed Graph::effectiveRates, by reference.  When
+  /// the port's own sequence already has tau entries (the common case)
+  /// this aliases it directly; only genuinely shorter sequences are
+  /// materialized at construction.
+  const RateSeq& effectiveRates(PortId p) const {
+    return *effective_[p.index()];
+  }
+
+  /// Sum of the port's effective rates over one full period.  Computed
+  /// on demand: its only consumer is the repetition-vector solver,
+  /// which AnalysisContext memoizes one level up, so storing the sums
+  /// would charge every structural-only view construction (schedule
+  /// validation, ADF, areas) for symbolic arithmetic they never read.
+  symbolic::Expr periodSum(PortId p) const {
+    return effective_[p.index()]->periodSum();
+  }
+
+  /// Offset of port `p` in an EvaluatedRates table; the port's slice has
+  /// length phases(port's actor).
+  std::uint32_t rateOffset(PortId p) const { return rateOffset_[p.index()]; }
+  /// Total length of an EvaluatedRates table.
+  std::size_t rateTableSize() const { return rateTableSize_; }
+
+ private:
+  const Graph* g_;
+  std::vector<std::uint32_t> outOffset_;  // actorCount + 1
+  std::vector<std::uint32_t> inOffset_;   // actorCount + 1
+  std::vector<ChannelId> outAdj_;
+  std::vector<ChannelId> inAdj_;
+  std::vector<std::int64_t> tau_;         // per actor
+  std::vector<ActorId> srcActor_;         // per channel
+  std::vector<ActorId> dstActor_;         // per channel
+  std::vector<const RateSeq*> effective_; // per port, length tau(actor)
+  std::deque<RateSeq> extended_;          // stable storage for the
+                                          // materialized extensions
+  std::vector<std::uint32_t> rateOffset_; // per port
+  std::size_t rateTableSize_ = 0;
+};
+
+/// All port rates of one graph evaluated to integers under one
+/// environment: a flat table laid out by GraphView::rateOffset.  Negative
+/// evaluated rates are rejected at construction (they would corrupt every
+/// occupancy computation downstream).
+class EvaluatedRates {
+ public:
+  EvaluatedRates(const GraphView& view, const symbolic::Environment& env);
+
+  /// The port's integer rates, one entry per phase.
+  std::span<const std::int64_t> of(PortId p) const {
+    return {table_.data() + view_->rateOffset(p),
+            static_cast<std::size_t>(
+                view_->phases(view_->graph().port(p).actor))};
+  }
+
+  /// Rate of the port's n-th firing (n mod tau).  A negative index
+  /// would wrap through the size_t cast into a huge modulus and pick an
+  /// arbitrary phase, so it is rejected.
+  std::int64_t at(PortId p, std::int64_t firing) const {
+    if (firing < 0) {
+      throw support::Error("negative firing index " +
+                           std::to_string(firing) + " in rate lookup");
+    }
+    const auto rates = of(p);
+    return rates[static_cast<std::size_t>(firing) % rates.size()];
+  }
+
+  const GraphView& view() const { return *view_; }
+
+ private:
+  const GraphView* view_;
+  std::vector<std::int64_t> table_;
+};
+
+}  // namespace tpdf::graph

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/model.hpp"
+#include "graph/view.hpp"
 #include "sched/canonical.hpp"
 
 namespace tpdf::sched {
@@ -21,6 +22,14 @@ namespace tpdf::sched {
 /// occurrence of `kernel` itself or of any graph sink.
 std::vector<bool> unnecessaryFirings(const CanonicalPeriod& cp,
                                      const graph::Graph& g,
+                                     graph::ActorId kernel,
+                                     const core::ModeSpec& mode);
+
+/// Same over a precomputed view (the Graph overload builds a temporary
+/// one): per-edge rejection tests read the CSR adjacency instead of
+/// allocating an outChannels vector per edge.
+std::vector<bool> unnecessaryFirings(const CanonicalPeriod& cp,
+                                     const graph::GraphView& view,
                                      graph::ActorId kernel,
                                      const core::ModeSpec& mode);
 

@@ -13,11 +13,29 @@ using graph::Graph;
 CanonicalPeriod::CanonicalPeriod(const Graph& g,
                                  const symbolic::Environment& env)
     : graph_(&g) {
-  const csdf::RepetitionVector rv = csdf::computeRepetitionVector(g);
+  const graph::GraphView view(g);
+  const csdf::RepetitionVector rv = csdf::computeRepetitionVector(view);
   if (!rv.consistent) {
     throw support::Error("cannot build canonical period: " + rv.diagnostic);
   }
+  build(view, rv, graph::EvaluatedRates(view, env), env);
+}
 
+CanonicalPeriod::CanonicalPeriod(const core::AnalysisContext& ctx,
+                                 const symbolic::Environment& env)
+    : graph_(&ctx.graph()) {
+  const csdf::RepetitionVector& rv = ctx.repetition();
+  if (!rv.consistent) {
+    throw support::Error("cannot build canonical period: " + rv.diagnostic);
+  }
+  build(ctx.view(), rv, ctx.rates(env), env);
+}
+
+void CanonicalPeriod::build(const graph::GraphView& view,
+                            const csdf::RepetitionVector& rv,
+                            const graph::EvaluatedRates& rates,
+                            const symbolic::Environment& env) {
+  const Graph& g = *graph_;
   q_.resize(g.actorCount());
   firstIndex_.resize(g.actorCount());
   for (std::size_t i = 0; i < g.actorCount(); ++i) {
@@ -43,24 +61,22 @@ CanonicalPeriod::CanonicalPeriod(const Graph& g,
     }
   }
 
-  // (ii) Token dependencies per channel.
+  // (ii) Token dependencies per channel, over the precomputed integer
+  // rate tables (no RateSeq copies, no symbolic evaluation).
   for (const graph::Channel& c : g.channels()) {
-    const ActorId src = g.sourceActor(c.id);
-    const ActorId dst = g.destActor(c.id);
+    const ActorId src = view.sourceActor(c.id);
+    const ActorId dst = view.destActor(c.id);
     if (src == dst) continue;  // self-loops order firings sequentially anyway
-
-    const graph::RateSeq prodRates = g.effectiveRates(c.src);
-    const graph::RateSeq consRates = g.effectiveRates(c.dst);
 
     std::int64_t produced = 0;   // X_src(m)
     std::int64_t m = 0;          // producer firings counted so far
     std::int64_t demanded = c.initialTokens;  // threshold to cover
     for (std::int64_t n = 0; n < q_[dst.index()]; ++n) {
-      demanded -= consRates.at(n).evaluateInt(env);
+      demanded -= rates.at(c.dst, n);
       if (demanded >= 0) continue;  // covered by initial tokens
       // Advance the producer until cumulative production covers -demanded.
       while (produced < -demanded && m < q_[src.index()]) {
-        produced += prodRates.at(m).evaluateInt(env);
+        produced += rates.at(c.src, m);
         ++m;
       }
       if (produced < -demanded) {

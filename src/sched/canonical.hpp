@@ -13,8 +13,10 @@
 #include <string>
 #include <vector>
 
+#include "core/context.hpp"
 #include "csdf/repetition.hpp"
 #include "graph/graph.hpp"
+#include "graph/view.hpp"
 #include "symbolic/env.hpp"
 
 namespace tpdf::sched {
@@ -35,6 +37,13 @@ class CanonicalPeriod {
   /// Builds the canonical period of one iteration of `g` under `env`.
   /// Throws support::Error when the graph is not consistent.
   CanonicalPeriod(const graph::Graph& g, const symbolic::Environment& env);
+
+  /// Same through a shared context: reuses the memoized repetition
+  /// vector and the valuation's integer rate tables instead of
+  /// recomputing them.  The context (and its Graph) must outlive the
+  /// period.
+  CanonicalPeriod(const core::AnalysisContext& ctx,
+                  const symbolic::Environment& env);
 
   const graph::Graph& graph() const { return *graph_; }
   std::size_t size() const { return nodes_.size(); }
@@ -69,6 +78,9 @@ class CanonicalPeriod {
   std::vector<std::size_t> topologicalOrder() const;
 
  private:
+  void build(const graph::GraphView& view, const csdf::RepetitionVector& rv,
+             const graph::EvaluatedRates& rates,
+             const symbolic::Environment& env);
   void addEdge(std::size_t from, std::size_t to);
 
   const graph::Graph* graph_;

@@ -55,8 +55,14 @@ ListSchedule listSchedule(const CanonicalPeriod& cp, const Platform& platform,
     rank[i] = cp.execTime(i) + best;
   }
 
+  // Per-actor control flag, derived once: the ready-queue priority scan
+  // below consults it O(n * ready) times.
+  std::vector<char> actorIsControl(g.actorCount(), 0);
+  for (const graph::Actor& a : g.actors()) {
+    actorIsControl[a.id.index()] = a.kind == ActorKind::Control ? 1 : 0;
+  }
   auto isControlNode = [&](std::size_t i) {
-    return g.actor(cp.node(i).actor).kind == ActorKind::Control;
+    return actorIsControl[cp.node(i).actor.index()] != 0;
   };
   // An edge from a control actor carries a control token: latency-free
   // (rule 2: the receiver fires immediately on token arrival).

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 #include <deque>
+#include <optional>
 #include <queue>
 #include <set>
 
@@ -52,7 +53,16 @@ void FiringContext::setDuration(double duration) {
 // ---- Simulator ----------------------------------------------------------
 
 Simulator::Simulator(const core::TpdfGraph& model, symbolic::Environment env)
-    : model_(&model), env_(std::move(env)) {
+    : Simulator(model, std::move(env), nullptr) {}
+
+Simulator::Simulator(const core::TpdfGraph& model, symbolic::Environment env,
+                     const core::AnalysisContext* ctx)
+    : model_(&model), env_(std::move(env)), ctx_(ctx) {
+  if (ctx_ != nullptr && &ctx_->graph() != &model.graph()) {
+    throw support::Error(
+        "analysis context was built for a different graph than the "
+        "simulated model");
+  }
   model.validate();
 }
 
@@ -129,8 +139,15 @@ SimResult Simulator::run(const SimOptions& options) {
   SimResult result;
   result.firings.resize(g.actorCount(), 0);
 
+  // Shared intermediates: the caller's context when one was provided,
+  // otherwise a run-local one (same cost profile as the pre-context
+  // implementation).
+  std::optional<core::AnalysisContext> localCtx;
+  const core::AnalysisContext& ctx =
+      ctx_ != nullptr ? *ctx_ : localCtx.emplace(g);
+
   // Concrete repetition vector for the iteration limits.
-  const csdf::RepetitionVector rv = csdf::computeRepetitionVector(g);
+  const csdf::RepetitionVector& rv = ctx.repetition();
   if (!rv.consistent) {
     result.diagnostic = "graph is not rate consistent: " + rv.diagnostic;
     return result;
@@ -169,34 +186,20 @@ SimResult Simulator::run(const SimOptions& options) {
   const std::vector<core::ModeSpec> defaultModes{
       core::ModeSpec{"default", core::Mode::WaitAll, {}, {}}};
 
-  // Every port's rate sequence, evaluated once to integers over the
-  // actor's tau phases; the per-firing lookup in the hot loop is then a
-  // plain array index instead of a RateSeq copy plus symbolic evaluation.
-  std::vector<std::vector<std::int64_t>> portRates(g.portCount());
-  for (const graph::Actor& a : g.actors()) {
-    const std::int64_t tau = g.phases(a.id);
-    for (PortId pid : a.ports) {
-      const graph::Port& p = g.port(pid);
-      std::vector<std::int64_t>& table = portRates[pid.index()];
-      table.reserve(static_cast<std::size_t>(tau));
-      for (std::int64_t i = 0; i < tau; ++i) {
-        table.push_back(p.rates.at(i).evaluateInt(env_));
-      }
-    }
-  }
+  // Every port's rate sequence as integers over the actor's tau phases,
+  // from the context's memoized tables; the per-firing lookup in the hot
+  // loop is a plain array index instead of a RateSeq copy plus symbolic
+  // evaluation (and with a shared context, the evaluation itself
+  // happened at most once per valuation across analyze + simulate).
+  const graph::EvaluatedRates& portRates = ctx.rates(env_);
   auto phaseRate = [&](PortId pid, std::int64_t firing) {
-    const std::vector<std::int64_t>& table = portRates[pid.index()];
-    return table[static_cast<std::size_t>(firing) %
-                 table.size()];
+    return portRates.at(pid, firing);
   };
 
   // Channel -> consuming actor, for the adjacency-driven wakeup: a token
   // arrival can only change the startability of the channel's one
   // consumer, so that is the only actor worth re-examining.
-  std::vector<std::size_t> consumerOf(g.channelCount());
-  for (const graph::Channel& c : g.channels()) {
-    consumerOf[c.id.index()] = g.destActor(c.id).index();
-  }
+  const graph::GraphView& view = ctx.view();
 
   // Actors to (re-)try starting at the current instant, in id order.
   std::set<std::size_t> wake;
@@ -395,7 +398,8 @@ SimResult Simulator::run(const SimOptions& options) {
     ActorState& st = actors[a.id.index()];
     for (auto& [c, tokens] : st.pending.outputs) {
       for (Token& t : tokens) state.push(c, std::move(t));
-      wake.insert(consumerOf[c]);
+      wake.insert(
+          view.destActor(ChannelId(static_cast<std::uint32_t>(c))).index());
     }
     st.pending = PendingFiring{};
     wake.insert(a.id.index());  // the actor itself is free to start again
@@ -416,7 +420,7 @@ SimResult Simulator::run(const SimOptions& options) {
       tokens.resize(static_cast<std::size_t>(std::max<std::int64_t>(
           rate, static_cast<std::int64_t>(tokens.size()))));
       for (Token& t : tokens) state.push(p.channel.index(), std::move(t));
-      if (!tokens.empty()) wake.insert(consumerOf[p.channel.index()]);
+      if (!tokens.empty()) wake.insert(view.destActor(p.channel).index());
     }
     if (options.recordTrace) {
       result.trace.push_back({a.id, st.fired, 0, now, now});

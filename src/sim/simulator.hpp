@@ -28,6 +28,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/context.hpp"
 #include "core/model.hpp"
 #include "sim/token.hpp"
 #include "symbolic/env.hpp"
@@ -132,6 +133,14 @@ class Simulator {
  public:
   Simulator(const core::TpdfGraph& model, symbolic::Environment env);
 
+  /// Shares analysis intermediates with the caller: the repetition
+  /// vector and the valuation's integer rate tables come from `ctx`
+  /// (which must be built over `model.graph()` and outlive the
+  /// simulator) instead of being recomputed per run() call.  Traces are
+  /// identical to the two-argument constructor.
+  Simulator(const core::TpdfGraph& model, symbolic::Environment env,
+            const core::AnalysisContext* ctx);
+
   /// Installs a behaviour for an actor (payload computation, dynamic
   /// durations, control-token tags).  Without one, firings consume and
   /// produce default tokens.
@@ -159,6 +168,9 @@ class Simulator {
 
   const core::TpdfGraph* model_;
   symbolic::Environment env_;
+  /// Shared intermediates; null when the simulator owns no context and
+  /// run() builds a local one.
+  const core::AnalysisContext* ctx_ = nullptr;
   std::map<std::uint32_t, Behaviour> behaviours_;
 };
 

@@ -1,0 +1,102 @@
+// A fixed-size thread pool with a single shared FIFO queue.
+//
+// Deliberately work-stealing-free: batch analysis jobs are coarse (one
+// whole graph each), so a mutex-guarded central queue is contention-free
+// in practice and keeps completion order reasoning trivial.  Workers are
+// spawned once at construction and joined at destruction; submit() after
+// shutdown is a contract violation.
+//
+// Exceptions thrown by a job are the job's responsibility — wrap the
+// body in try/catch and record the failure (core::analyzeBatch does).
+// An exception escaping a job would terminate the process, so the pool
+// catches and drops it as a last resort.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tpdf::support {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least one).
+  explicit ThreadPool(std::size_t threads) {
+    if (threads == 0) threads = 1;
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { workerLoop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      stopping_ = true;
+    }
+    wakeWorkers_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t threadCount() const { return workers_.size(); }
+
+  /// Enqueues a job; it runs on some worker, FIFO relative to other
+  /// submissions.
+  void submit(std::function<void()> job) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      queue_.push_back(std::move(job));
+      ++pending_;
+    }
+    wakeWorkers_.notify_one();
+  }
+
+  /// Blocks until every submitted job has finished running (queue empty
+  /// and no job in flight).  Jobs may keep submitting more work; wait()
+  /// returns only once the whole transitive batch has drained.
+  void wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock, [this] { return pending_ == 0; });
+  }
+
+ private:
+  void workerLoop() {
+    for (;;) {
+      std::function<void()> job;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        wakeWorkers_.wait(lock,
+                          [this] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_ and drained
+        job = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      try {
+        job();
+      } catch (...) {
+        // Last-resort containment; jobs are expected to catch their own.
+      }
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (--pending_ == 0) idle_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable wakeWorkers_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t pending_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace tpdf::support

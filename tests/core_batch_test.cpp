@@ -1,0 +1,173 @@
+// Batch analysis driver and its thread pool: results must be
+// deterministic (input order, identical reports) regardless of the job
+// count, and per-entry failures must not poison the batch.
+#include "core/batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "apps/papergraphs.hpp"
+#include "graph/builder.hpp"
+#include "support/error.hpp"
+#include "support/prng.hpp"
+#include "support/threadpool.hpp"
+
+namespace tpdf::core {
+namespace {
+
+using graph::Graph;
+using graph::GraphBuilder;
+
+TEST(ThreadPool, RunsEverySubmittedJob) {
+  support::ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&counter] { ++counter; });
+  }
+  pool.wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReentrant) {
+  support::ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { ++counter; });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 1);
+  // A second round after a drain works the same.
+  pool.submit([&counter] { ++counter; });
+  pool.submit([&counter] { ++counter; });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(ThreadPool, ZeroThreadsClampedToOne) {
+  support::ThreadPool pool(0);
+  EXPECT_EQ(pool.threadCount(), 1u);
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { ++counter; });
+  pool.wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+/// Small mixed corpus: consistent chains plus one inconsistent graph.
+std::vector<Graph> mixedCorpus() {
+  std::vector<Graph> graphs;
+  graphs.push_back(apps::fig1Csdf());
+  graphs.push_back(apps::fig2Tpdf());
+  for (int i = 0; i < 6; ++i) {
+    GraphBuilder b("chain" + std::to_string(i));
+    const int n = 3 + i;
+    for (int k = 0; k < n; ++k) {
+      b.kernel("K" + std::to_string(k));
+      if (k > 0) b.in("i", "[1]");
+      if (k + 1 < n) b.out("o", "[2]");
+    }
+    for (int k = 0; k + 1 < n; ++k) {
+      b.channel("e" + std::to_string(k), "K" + std::to_string(k) + ".o",
+                "K" + std::to_string(k + 1) + ".i");
+    }
+    graphs.push_back(b.build());
+  }
+  // Inconsistent: 2 produced vs 3 consumed with no compensation.
+  graphs.push_back(GraphBuilder("inconsistent")
+                       .kernel("A").out("o", "[2]").in("back", "[1]")
+                       .kernel("B").in("i", "[3]").out("fwd", "[1]")
+                       .channel("e1", "A.o", "B.i")
+                       .channel("e2", "B.fwd", "A.back")
+                       .build());
+  return graphs;
+}
+
+TEST(AnalyzeBatch, ResultsComeBackInInputOrder) {
+  const std::vector<Graph> graphs = mixedCorpus();
+  const BatchResult result = analyzeBatch(graphs, {});
+  ASSERT_EQ(result.entries.size(), graphs.size());
+  for (std::size_t i = 0; i < graphs.size(); ++i) {
+    EXPECT_EQ(result.entries[i].name, graphs[i].name());
+    EXPECT_TRUE(result.entries[i].ok) << result.entries[i].error;
+  }
+  // The deliberately inconsistent graph analyzed fine but is unbounded.
+  EXPECT_EQ(result.failed(), 0u);
+  EXPECT_EQ(result.bounded(), graphs.size() - 1);
+  EXPECT_FALSE(result.entries.back().report.consistent());
+}
+
+TEST(AnalyzeBatch, JobCountDoesNotChangeReports) {
+  const std::vector<Graph> graphs = mixedCorpus();
+  BatchOptions serial;
+  serial.jobs = 1;
+  BatchOptions parallel;
+  parallel.jobs = 4;
+  const BatchResult a = analyzeBatch(graphs, serial);
+  const BatchResult b = analyzeBatch(graphs, parallel);
+  ASSERT_EQ(a.entries.size(), b.entries.size());
+  for (std::size_t i = 0; i < a.entries.size(); ++i) {
+    EXPECT_EQ(a.entries[i].ok, b.entries[i].ok);
+    EXPECT_EQ(a.entries[i].report.toString(graphs[i]),
+              b.entries[i].report.toString(graphs[i]))
+        << graphs[i].name();
+  }
+}
+
+TEST(AnalyzeBatch, LoaderFailureIsCapturedPerEntry) {
+  std::vector<BatchSource> sources;
+  sources.push_back({"good", [] { return apps::fig1Csdf(); }});
+  sources.push_back({"bad", []() -> Graph {
+                       throw support::Error("synthetic load failure");
+                     }});
+  sources.push_back({"", [] { return apps::fig2Tpdf(); }});
+  const BatchResult result = analyzeBatch(sources, {});
+  ASSERT_EQ(result.entries.size(), 3u);
+  EXPECT_TRUE(result.entries[0].ok);
+  EXPECT_FALSE(result.entries[1].ok);
+  EXPECT_EQ(result.entries[1].error, "synthetic load failure");
+  EXPECT_TRUE(result.entries[2].ok);
+  // An empty label falls back to the graph's own name.
+  EXPECT_EQ(result.entries[2].name, "fig2_tpdf");
+  EXPECT_EQ(result.failed(), 1u);
+}
+
+TEST(AnalyzeBatch, EnvironmentIsSharedAcrossEntries) {
+  std::vector<Graph> graphs;
+  graphs.push_back(apps::fig2Tpdf());
+  BatchOptions options;
+  options.env = symbolic::Environment{{"p", 4}};
+  const BatchResult result = analyzeBatch(graphs, options);
+  ASSERT_TRUE(result.entries[0].ok) << result.entries[0].error;
+  EXPECT_TRUE(result.entries[0].report.bounded());
+  // The sample valuation the liveness check used is the bound one.
+  EXPECT_EQ(result.entries[0].report.liveness.sampleEnv.lookup("p"), 4);
+}
+
+TEST(AnalyzeBatch, ThousandGraphsAllAnalyzed) {
+  // A down-scaled version of the tpdfc --batch load: many small chains.
+  std::vector<Graph> graphs;
+  graphs.reserve(200);
+  support::Prng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    const int n = static_cast<int>(rng.uniform(2, 8));
+    GraphBuilder b("g" + std::to_string(i));
+    for (int k = 0; k < n; ++k) {
+      b.kernel("K" + std::to_string(k));
+      if (k > 0) b.in("i", "[1]");
+      if (k + 1 < n) b.out("o", "[1]");
+    }
+    for (int k = 0; k + 1 < n; ++k) {
+      b.channel("e" + std::to_string(k), "K" + std::to_string(k) + ".o",
+                "K" + std::to_string(k + 1) + ".i");
+    }
+    graphs.push_back(b.build());
+  }
+  BatchOptions options;
+  options.jobs = 8;
+  const BatchResult result = analyzeBatch(graphs, options);
+  EXPECT_EQ(result.analyzed(), graphs.size());
+  EXPECT_EQ(result.bounded(), graphs.size());
+}
+
+}  // namespace
+}  // namespace tpdf::core

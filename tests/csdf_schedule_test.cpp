@@ -225,5 +225,27 @@ TEST_P(BufferProperty, IterationReturnsToInitialStateOnFig2) {
 INSTANTIATE_TEST_SUITE_P(ParameterSweep, BufferProperty,
                          ::testing::Values(1, 2, 3, 5, 8, 16));
 
+// A partial schedule stays checkable when actors it never fires have
+// unbound parameters: rates are evaluated lazily per firing event.
+TEST(ScheduleCheckTest, PartialScheduleIgnoresUnboundRatesOfIdleActors) {
+  const Graph g = GraphBuilder("partial")
+                      .param("q")
+                      .kernel("A").out("o", "[1]")
+                      .kernel("B").in("i", "[1]")
+                      .kernel("C").out("o", "[q]")
+                      .kernel("D").in("i", "[q]")
+                      .channel("e1", "A.o", "B.i")
+                      .channel("e2", "C.o", "D.i")
+                      .build();
+  Schedule s;
+  s.order.push_back({*g.findActor("A"), 0});
+  s.order.push_back({*g.findActor("B"), 0});
+  // No binding for q: C and D never fire, so their rates are never
+  // evaluated and the check must succeed.
+  const ScheduleCheck check = validateSchedule(g, s, {});
+  ASSERT_TRUE(check.ok) << check.diagnostic;
+  EXPECT_EQ(check.maxOccupancy[g.findChannel("e1")->index()], 1);
+}
+
 }  // namespace
 }  // namespace tpdf::csdf

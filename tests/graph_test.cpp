@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "graph/builder.hpp"
 #include "support/error.hpp"
 
@@ -212,6 +214,54 @@ TEST(Validate, PortReuseAcrossChannelsRejected) {
   g.addChannel("e1", o, i1);
   g.addChannel("e2", o, i2);
   EXPECT_THROW(g.validate(), ModelError);
+}
+
+TEST(Graph, AddParamRejectsEmptyName) {
+  Graph g("g");
+  EXPECT_THROW(g.addParam(""), ModelError);
+}
+
+TEST(Graph, AddParamRejectsDuplicateParameter) {
+  Graph g("g");
+  g.addParam("p");
+  EXPECT_THROW(g.addParam("p"), ModelError);
+  EXPECT_EQ(g.params().size(), 1u);
+}
+
+TEST(Graph, AddParamRejectsActorNameCollision) {
+  Graph g("g");
+  g.addActor("A");
+  EXPECT_THROW(g.addParam("A"), ModelError);
+  EXPECT_TRUE(g.params().empty());
+  // A non-colliding name still works.
+  g.addParam("p");
+  EXPECT_EQ(g.params().count("p"), 1u);
+}
+
+TEST(Graph, AddActorRejectsParameterNameCollision) {
+  // The mirror of the check above, so the no-aliasing invariant holds
+  // regardless of declaration order.
+  Graph g("g");
+  g.addParam("p");
+  EXPECT_THROW(g.addActor("p"), ModelError);
+  EXPECT_EQ(g.actorCount(), 0u);
+}
+
+TEST(Actor, ExecTimeOfPhaseWrapsCyclically) {
+  Actor a;
+  a.execTime = {1.0, 2.5, 4.0};
+  EXPECT_DOUBLE_EQ(a.execTimeOfPhase(0), 1.0);
+  EXPECT_DOUBLE_EQ(a.execTimeOfPhase(4), 2.5);
+}
+
+TEST(Actor, ExecTimeOfPhaseRejectsNegativeIndex) {
+  Actor a;
+  a.name = "A";
+  a.execTime = {1.0, 2.0};
+  // A negative index used to wrap through size_t into a huge modulus.
+  EXPECT_THROW(a.execTimeOfPhase(-1), support::Error);
+  EXPECT_THROW(a.execTimeOfPhase(std::numeric_limits<std::int64_t>::min()),
+               support::Error);
 }
 
 TEST(Dot, RendersActorsAndChannels) {

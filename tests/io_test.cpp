@@ -2,10 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include "apps/edgegraph.hpp"
 #include "apps/ofdm.hpp"
 #include "apps/papergraphs.hpp"
+#include "apps/randomgraphs.hpp"
 #include "csdf/repetition.hpp"
 #include "support/error.hpp"
+#include "support/prng.hpp"
 
 namespace tpdf::io {
 namespace {
@@ -179,6 +182,38 @@ TEST(IoFiles, WriteAndReadBack) {
 
 TEST(IoFiles, MissingFileThrows) {
   EXPECT_THROW(readGraphFile("/nonexistent/path.tpdf"), support::Error);
+}
+
+/// Random consistent chain (the shared bench/golden-test generator).
+Graph randomChain(int n, std::uint64_t seed) {
+  return apps::randomConsistentChain(n, seed);
+}
+
+/// Property: writing is a fixpoint of one read — write(read(write(g)))
+/// == write(g) byte for byte, over the paper corpus and random chains.
+TEST(IoRoundTrip, WriteReadWriteIsAFixpointOnCorpus) {
+  std::vector<Graph> corpus;
+  corpus.push_back(apps::fig1Csdf());
+  corpus.push_back(apps::fig2Tpdf());
+  corpus.push_back(apps::fig4aCycle());
+  corpus.push_back(apps::fig4bCycle());
+  corpus.push_back(apps::edgeDetectionGraph().graph());
+  corpus.push_back(apps::ofdmTpdfEffective(apps::Constellation::Qam16));
+  corpus.push_back(apps::ofdmCsdfGraph());
+  support::Prng seeds(0xF1CF01D);
+  for (int trial = 0; trial < 8; ++trial) {
+    // Sequenced: argument evaluation order is unspecified across
+    // compilers, and the corpus should be stable.
+    const int n = static_cast<int>(seeds.uniform(2, 25));
+    const std::uint64_t seed = seeds.next();
+    corpus.push_back(randomChain(n, seed));
+  }
+  for (const Graph& g : corpus) {
+    const std::string once = writeGraph(g);
+    const Graph parsed = readGraph(once);
+    const std::string twice = writeGraph(parsed);
+    EXPECT_EQ(once, twice) << g.name();
+  }
 }
 
 }  // namespace
