@@ -6,6 +6,7 @@
 // graphs.
 #include <benchmark/benchmark.h>
 
+#include "api/session.hpp"
 #include "apps/edgegraph.hpp"
 #include "apps/fmradio.hpp"
 #include "apps/ofdm.hpp"
@@ -16,6 +17,7 @@
 #include "csdf/buffer.hpp"
 #include "csdf/liveness.hpp"
 #include "graph/builder.hpp"
+#include "io/format.hpp"
 #include "support/prng.hpp"
 
 namespace {
@@ -200,6 +202,30 @@ void BM_RepeatedFullAnalysisChainShared(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_RepeatedFullAnalysisChainShared)->Arg(100)->Arg(1000);
+
+// The same repeated analysis through the api::Session façade: one load,
+// then analyze per iteration.  The façade must hit the session's
+// memoized AnalysisContext, so this is expected to track the *Shared
+// fixture above (request dispatch + diagnostics are the only overhead),
+// not the *Fresh one.
+void BM_RepeatedFullAnalysisOfdmApi(benchmark::State& state) {
+  api::Session session;
+  api::LoadRequest load;
+  load.text =
+      io::writeGraph(apps::ofdmTpdfEffective(apps::Constellation::Qam16));
+  load.id = "ofdm";
+  if (!session.load(load).ok()) {
+    state.SkipWithError("load failed");
+    return;
+  }
+  api::AnalyzeRequest request;
+  request.graphId = "ofdm";
+  request.bindings = symbolic::Environment{{"b", 10}, {"N", 512}, {"L", 1}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.analyze(request));
+  }
+}
+BENCHMARK(BM_RepeatedFullAnalysisOfdmApi);
 
 // ---- Batch-driver fixture: N graphs through the thread pool. ---------
 // Arg is the job count; the corpus is fixed (200 random chains), so the

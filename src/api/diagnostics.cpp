@@ -1,0 +1,104 @@
+#include "api/diagnostics.hpp"
+
+namespace tpdf::api {
+
+std::string toString(Severity s) {
+  switch (s) {
+    case Severity::Note:
+      return "note";
+    case Severity::Warning:
+      return "warning";
+    case Severity::Error:
+      return "error";
+  }
+  return "?";
+}
+
+std::string toString(Status s) {
+  switch (s) {
+    case Status::Ok:
+      return "ok";
+    case Status::AnalysisNegative:
+      return "analysis-negative";
+    case Status::InvalidRequest:
+      return "invalid-request";
+    case Status::InputError:
+      return "input-error";
+    case Status::InternalError:
+      return "internal-error";
+  }
+  return "?";
+}
+
+int exitCode(Status s) {
+  switch (s) {
+    case Status::Ok:
+      return 0;
+    case Status::AnalysisNegative:
+      return 1;
+    case Status::InvalidRequest:
+      return 2;
+    case Status::InputError:
+    case Status::InternalError:
+      return 3;
+  }
+  return 3;
+}
+
+std::string Diagnostic::toString() const {
+  std::string out = api::toString(severity) + " [" + code + "]";
+  if (!file.empty()) {
+    out += " " + file;
+    if (line >= 0) {
+      out += ":" + std::to_string(line) + ":" + std::to_string(column);
+    }
+    out += ":";
+  }
+  return out + " " + message;
+}
+
+support::json::Value Diagnostic::toJson() const {
+  auto doc = support::json::Value::object();
+  doc.set("severity", api::toString(severity));
+  doc.set("code", code);
+  doc.set("message", message);
+  if (!file.empty()) doc.set("file", file);
+  if (line >= 0) {
+    doc.set("line", line);
+    doc.set("column", column);
+  }
+  return doc;
+}
+
+void Response::note(std::string code, std::string message) {
+  diagnostics.push_back(Diagnostic{Severity::Note, std::move(code),
+                                   std::move(message), "", -1, -1});
+}
+
+void Response::warn(std::string code, std::string message) {
+  diagnostics.push_back(Diagnostic{Severity::Warning, std::move(code),
+                                   std::move(message), "", -1, -1});
+}
+
+void Response::fail(Status s, std::string code, std::string message,
+                    std::string file, int line, int column) {
+  status = s;
+  diagnostics.push_back(Diagnostic{Severity::Error, std::move(code),
+                                   std::move(message), std::move(file), line,
+                                   column});
+}
+
+std::string Response::firstError() const {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::Error) return d.message;
+  }
+  return "";
+}
+
+support::json::Value Response::diagnosticsJson() const {
+  auto arr = support::json::Value::array();
+  for (const Diagnostic& d : diagnostics) arr.push(d.toJson());
+  return arr;
+}
+
+}  // namespace tpdf::api

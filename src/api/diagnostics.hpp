@@ -1,0 +1,101 @@
+// Diagnostics and status codes of the tpdf::api service façade.
+//
+// The façade (api/session.hpp) never lets an exception cross the API
+// boundary: every outcome — success, negative analysis verdict, bad
+// request, malformed input, internal fault — is a Status plus a list of
+// structured Diagnostics on the response.  Parse positions
+// (support::ParseError's line/column) and input file names survive as
+// fields instead of being flattened into message text, so clients (CI
+// gates, dashboards, the `tpdfc --json` output) can point at the
+// offending source line.
+//
+// Diagnostic codes are stable kebab-case identifiers (documented in
+// docs/api.md); clients should branch on `code`, never on message text.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/json.hpp"
+
+namespace tpdf::api {
+
+enum class Severity { Note, Warning, Error };
+
+/// "note", "warning", "error".
+std::string toString(Severity s);
+
+/// Outcome class of a façade call; exitCode() maps it onto the
+/// documented tpdfc exit-code contract.
+enum class Status {
+  /// The request ran and the verdict is positive (analysis: bounded).
+  Ok,
+  /// The request ran but the verdict is negative: inconsistent rates,
+  /// unsafe, deadlocked, unschedulable, simulation failure.
+  AnalysisNegative,
+  /// The request itself is malformed: unknown graph id, missing input,
+  /// conflicting fields (the CLI analogue is a usage error).
+  InvalidRequest,
+  /// The input could not be processed: parse error, model validation
+  /// failure, unbound parameter, arithmetic overflow.
+  InputError,
+  /// A defect in the toolkit itself (unexpected exception).
+  InternalError,
+};
+
+/// "ok", "analysis-negative", "invalid-request", "input-error",
+/// "internal-error".
+std::string toString(Status s);
+
+/// The documented tpdfc exit-code contract: Ok = 0, AnalysisNegative = 1,
+/// InvalidRequest = 2, InputError = 3 (InternalError also maps to 3: from
+/// a script's point of view the input could not be processed).
+int exitCode(Status s);
+
+/// One structured finding attached to a response.
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  /// Stable machine-readable identifier, e.g. "parse-error".
+  std::string code;
+  /// Human-readable explanation.
+  std::string message;
+  /// Input file (or batch entry label) the finding refers to, if any.
+  std::string file;
+  /// 1-based source position; -1 when the finding carries no position.
+  int line = -1;
+  int column = -1;
+
+  /// "error [parse-error] graph.tpdf:3:7: expected '{'".
+  std::string toString() const;
+
+  /// {"severity": "error", "code": "parse-error", "message": ...,
+  /// "file": ..., "line": 3, "column": 7} (position fields only when
+  /// present).
+  support::json::Value toJson() const;
+};
+
+/// Base of every façade response: a status and its diagnostics.
+struct Response {
+  Status status = Status::Ok;
+  std::vector<Diagnostic> diagnostics;
+
+  bool ok() const { return status == Status::Ok; }
+
+  /// Appends a Note-severity diagnostic (does not change the status).
+  void note(std::string code, std::string message);
+
+  /// Appends a Warning-severity diagnostic (does not change the status).
+  void warn(std::string code, std::string message);
+
+  /// Appends an Error-severity diagnostic and downgrades the status.
+  void fail(Status s, std::string code, std::string message,
+            std::string file = "", int line = -1, int column = -1);
+
+  /// Message of the first Error-severity diagnostic, or "" when none.
+  std::string firstError() const;
+
+  /// ["<Diagnostic::toJson>", ...] in append order.
+  support::json::Value diagnosticsJson() const;
+};
+
+}  // namespace tpdf::api

@@ -1,0 +1,191 @@
+// Request/response value types of the tpdf::api service façade.
+//
+// One request struct and one response struct per operation the toolkit
+// exposes (load, analyze, schedule, buffers, map, simulate, batch).
+// Requests are plain aggregates a client fills in; responses derive from
+// api::Response (status + diagnostics, see diagnostics.hpp) and embed
+// the domain report types unchanged, so existing consumers of
+// core::AnalysisReport etc. keep working on top of the façade.
+//
+// Every response renders one stable JSON document via toJson(); where a
+// graph argument is required it must be the session's graph for the
+// response's graphId (Session::graph()) — responses do not retain graph
+// references of their own, except MapResponse whose CanonicalPeriod
+// already points into the session-owned graph.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "api/diagnostics.hpp"
+#include "core/analysis.hpp"
+#include "core/batch.hpp"
+#include "csdf/buffer.hpp"
+#include "csdf/liveness.hpp"
+#include "sched/canonical.hpp"
+#include "sched/list.hpp"
+#include "sim/simulator.hpp"
+#include "support/json.hpp"
+#include "symbolic/env.hpp"
+
+namespace tpdf::api {
+
+// ---- load ---------------------------------------------------------------
+
+struct LoadRequest {
+  /// Read this .tpdf file when non-empty ...
+  std::string path;
+  /// ... otherwise parse this inline .tpdf text.
+  std::string text;
+  /// Session key for the loaded graph; defaults to the graph's name.
+  std::string id;
+};
+
+struct LoadResponse : Response {
+  /// The key subsequent requests reference the graph by.
+  std::string id;
+  std::string graphName;
+  std::size_t actorCount = 0;
+  std::size_t channelCount = 0;
+  std::vector<std::string> params;
+
+  support::json::Value toJson() const;
+};
+
+// ---- analyze ------------------------------------------------------------
+
+struct AnalyzeRequest {
+  std::string graphId;
+  /// Pre-bound parameters; the rest are sampled for the concrete
+  /// liveness checks (core::analyze semantics).
+  symbolic::Environment bindings;
+};
+
+struct AnalyzeResponse : Response {
+  std::string graphId;
+  std::string graphName;
+  /// True when the chain actually ran (status Ok or AnalysisNegative);
+  /// `report` is meaningful only then.
+  bool analysisRan = false;
+  core::AnalysisReport report;
+
+  bool bounded() const { return analysisRan && report.bounded(); }
+
+  /// `g` must be the session's graph for graphId when analysisRan; it
+  /// may be null otherwise.
+  support::json::Value toJson(const graph::Graph* g) const;
+};
+
+// ---- schedule (+ buffer sizing) -----------------------------------------
+
+struct ScheduleRequest {
+  std::string graphId;
+  /// Unbound parameters are defaulted to 2 with a Note diagnostic.
+  symbolic::Environment bindings;
+  csdf::SchedulePolicy policy = csdf::SchedulePolicy::Eager;
+  /// Also compute minimum buffer sizes when a schedule exists.
+  bool computeBuffers = true;
+};
+
+struct ScheduleResponse : Response {
+  std::string graphId;
+  std::string graphName;
+  /// The bindings actually used (request bindings + defaulted params).
+  symbolic::Environment bindings;
+  /// Schedule search outcome (live flag, firing order, concrete q).
+  csdf::LivenessResult result;
+  /// Minimum buffer sizes; meaningful when buffersComputed.
+  csdf::BufferReport buffers;
+  bool buffersComputed = false;
+
+  support::json::Value toJson(const graph::Graph* g) const;
+};
+
+// ---- minimum buffers ----------------------------------------------------
+
+struct BufferRequest {
+  std::string graphId;
+  /// Unbound parameters are defaulted to 2 with a Note diagnostic.
+  symbolic::Environment bindings;
+  csdf::SchedulePolicy policy = csdf::SchedulePolicy::MinOccupancy;
+};
+
+struct BufferResponse : Response {
+  std::string graphId;
+  std::string graphName;
+  symbolic::Environment bindings;
+  csdf::BufferReport report;
+
+  support::json::Value toJson(const graph::Graph* g) const;
+};
+
+// ---- map (canonical period + list schedule) -----------------------------
+
+struct MapRequest {
+  std::string graphId;
+  /// Unbound parameters are defaulted to 2 with a Note diagnostic.
+  symbolic::Environment bindings;
+  /// Worker PEs of the target platform.
+  std::size_t pes = 4;
+  sched::ListSchedulerOptions options;
+};
+
+struct MapResponse : Response {
+  std::string graphId;
+  std::string graphName;
+  symbolic::Environment bindings;
+  /// The iteration DAG; engaged when status is Ok.  Points into the
+  /// session-owned graph, so it must not outlive the session entry.
+  std::optional<sched::CanonicalPeriod> period;
+  sched::ListSchedule schedule;
+
+  support::json::Value toJson() const;
+};
+
+// ---- simulate -----------------------------------------------------------
+
+struct SimulateRequest {
+  std::string graphId;
+  /// Unbound parameters are defaulted to 2 with a Note diagnostic.
+  symbolic::Environment bindings;
+  sim::SimOptions options;
+};
+
+struct SimulateResponse : Response {
+  std::string graphId;
+  std::string graphName;
+  symbolic::Environment bindings;
+  /// True when the simulator ran; `result` is meaningful only then.
+  bool simulated = false;
+  sim::SimResult result;
+
+  support::json::Value toJson(const graph::Graph* g) const;
+};
+
+// ---- batch --------------------------------------------------------------
+
+struct BatchRequest {
+  /// Directory scanned (non-recursively) for *.tpdf files, in sorted
+  /// order; may be combined with explicit `files`.
+  std::string directory;
+  /// Explicit input files, analyzed after the directory scan results.
+  std::vector<std::string> files;
+  /// Pre-bound parameters shared by every entry.
+  symbolic::Environment bindings;
+  /// Worker threads; 0 means hardware concurrency.
+  std::size_t jobs = 0;
+};
+
+struct BatchResponse : Response {
+  core::BatchResult result;
+  std::size_t inputCount = 0;
+  double elapsedMs = 0.0;
+  /// The requested job count (0 = auto).
+  std::size_t jobs = 0;
+
+  support::json::Value toJson() const;
+};
+
+}  // namespace tpdf::api

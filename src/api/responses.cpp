@@ -1,0 +1,126 @@
+// JSON rendering of the façade responses (requests.hpp).
+//
+// Every response document leads with the same two members — "status"
+// and "diagnostics" — followed by the operation's payload; `tpdfc
+// --json` wraps these in its envelope unchanged.  Payload members are
+// emitted only when the operation actually produced them, so a failed
+// request never serializes half-initialized reports.
+#include <utility>
+
+#include "api/requests.hpp"
+
+namespace tpdf::api {
+
+namespace {
+
+support::json::Value base(const Response& response) {
+  auto doc = support::json::Value::object();
+  doc.set("status", toString(response.status));
+  doc.set("diagnostics", response.diagnosticsJson());
+  return doc;
+}
+
+support::json::Value bindingsJson(const symbolic::Environment& env) {
+  auto doc = support::json::Value::object();
+  for (const auto& [name, value] : env.bindings()) doc.set(name, value);
+  return doc;
+}
+
+/// True when the operation ran far enough for result payloads to exist.
+bool ran(const Response& response) {
+  return response.status == Status::Ok ||
+         response.status == Status::AnalysisNegative;
+}
+
+}  // namespace
+
+support::json::Value LoadResponse::toJson() const {
+  auto doc = base(*this);
+  if (ok()) {
+    doc.set("id", id);
+    doc.set("graph", graphName);
+    doc.set("actors", actorCount);
+    doc.set("channels", channelCount);
+    auto paramArray = support::json::Value::array();
+    for (const std::string& p : params) paramArray.push(p);
+    doc.set("params", std::move(paramArray));
+  }
+  return doc;
+}
+
+support::json::Value AnalyzeResponse::toJson(const graph::Graph* g) const {
+  auto doc = base(*this);
+  doc.set("graphId", graphId);
+  if (analysisRan && g != nullptr) {
+    doc.set("report", report.toJson(*g));
+  }
+  return doc;
+}
+
+support::json::Value ScheduleResponse::toJson(const graph::Graph* g) const {
+  auto doc = base(*this);
+  doc.set("graphId", graphId);
+  if (!ran(*this) || g == nullptr) return doc;
+  doc.set("bindings", bindingsJson(bindings));
+  doc.set("live", result.live);
+  if (result.live) {
+    doc.set("schedule", result.schedule.toJson(*g));
+    auto q = support::json::Value::array();
+    for (std::size_t i = 0; i < result.q.size(); ++i) {
+      auto entry = support::json::Value::object();
+      entry.set("actor", g->actors()[i].name);
+      entry.set("q", result.q[i]);
+      q.push(std::move(entry));
+    }
+    doc.set("q", std::move(q));
+  }
+  if (buffersComputed) {
+    doc.set("buffers", buffers.toJson(*g));
+  }
+  return doc;
+}
+
+support::json::Value BufferResponse::toJson(const graph::Graph* g) const {
+  auto doc = base(*this);
+  doc.set("graphId", graphId);
+  if (!ran(*this) || g == nullptr) return doc;
+  doc.set("bindings", bindingsJson(bindings));
+  doc.set("buffers", report.toJson(*g));
+  return doc;
+}
+
+support::json::Value MapResponse::toJson() const {
+  auto doc = base(*this);
+  doc.set("graphId", graphId);
+  if (!ran(*this) || !period.has_value()) return doc;
+  doc.set("bindings", bindingsJson(bindings));
+  doc.set("period", period->toJson());
+  doc.set("mapping", schedule.toJson(*period));
+  return doc;
+}
+
+support::json::Value SimulateResponse::toJson(const graph::Graph* g) const {
+  auto doc = base(*this);
+  doc.set("graphId", graphId);
+  if (!simulated || g == nullptr) return doc;
+  doc.set("bindings", bindingsJson(bindings));
+  doc.set("sim", result.toJson(*g));
+  return doc;
+}
+
+support::json::Value BatchResponse::toJson() const {
+  auto doc = base(*this);
+  // The batch payload is meaningful whenever entries were processed —
+  // including runs where some entries failed (status input-error with
+  // batch-entry diagnostics).  A request that never ran (bad directory,
+  // nothing to do) must not serialize an empty-but-clean-looking batch.
+  if (!result.entries.empty()) {
+    doc.set("inputs", inputCount);
+    doc.set("jobs", jobs);
+    doc.set("elapsedMs", elapsedMs);
+    doc.set("batch", result.toJson());
+  }
+  return doc;
+}
+
+}  // namespace tpdf::api

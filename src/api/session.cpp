@@ -1,0 +1,369 @@
+#include "api/session.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <filesystem>
+#include <utility>
+
+#include "csdf/liveness.hpp"
+#include "io/format.hpp"
+#include "sched/platform.hpp"
+#include "support/error.hpp"
+
+namespace tpdf::api {
+
+namespace {
+
+/// Runs `fn` with the façade's no-throw guarantee: every exception type
+/// the toolkit can raise is mapped to a Status + structured Diagnostic
+/// on `response` (ParseError keeps its line/column; `file` names the
+/// input the failure refers to, when known).
+template <typename Fn>
+void guarded(Response& response, const std::string& file, Fn&& fn) {
+  try {
+    fn();
+  } catch (const support::ParseError& e) {
+    response.fail(Status::InputError, "parse-error", e.what(), file, e.line(),
+                  e.column());
+  } catch (const support::ModelError& e) {
+    response.fail(Status::InputError, "model-error", e.what(), file);
+  } catch (const support::OverflowError& e) {
+    response.fail(Status::InputError, "overflow", e.what(), file);
+  } catch (const support::DivisionByZeroError& e) {
+    response.fail(Status::InputError, "division-by-zero", e.what(), file);
+  } catch (const support::Error& e) {
+    response.fail(Status::InputError, "runtime-error", e.what(), file);
+  } catch (const std::exception& e) {
+    response.fail(Status::InternalError, "internal-error", e.what(), file);
+  } catch (...) {
+    response.fail(Status::InternalError, "internal-error",
+                  "unknown non-standard exception", file);
+  }
+}
+
+/// Binds every still-unbound parameter of `g` to 2 (the conventional
+/// sample value) so concrete steps can run, recording a Note per
+/// defaulted parameter.
+symbolic::Environment concretize(const graph::Graph& g,
+                                 const symbolic::Environment& bindings,
+                                 Response& response) {
+  symbolic::Environment env = bindings;
+  for (const std::string& p : g.params()) {
+    if (!env.has(p)) {
+      response.note("unbound-parameter",
+                    "parameter '" + p + "' unbound, using 2");
+      env.bind(p, 2);
+    }
+  }
+  return env;
+}
+
+}  // namespace
+
+// ---- Introspection ------------------------------------------------------
+
+bool Session::has(const std::string& id) const {
+  return entries_.count(id) != 0;
+}
+
+std::vector<std::string> Session::graphIds() const {
+  std::vector<std::string> ids;
+  ids.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) ids.push_back(id);
+  return ids;
+}
+
+const graph::Graph* Session::graph(const std::string& id) const {
+  const auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : &it->second.model.graph();
+}
+
+const core::TpdfGraph* Session::model(const std::string& id) const {
+  const auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : &it->second.model;
+}
+
+const core::AnalysisContext* Session::context(const std::string& id) const {
+  const auto it = entries_.find(id);
+  return it == entries_.end() ? nullptr : it->second.ctx.get();
+}
+
+bool Session::erase(const std::string& id) {
+  return entries_.erase(id) != 0;
+}
+
+Session::Entry* Session::resolve(const std::string& id, Response& response) {
+  const auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    response.fail(Status::InvalidRequest, "unknown-graph",
+                  "no graph '" + id + "' loaded in this session");
+    return nullptr;
+  }
+  return &it->second;
+}
+
+core::AnalysisContext& Session::contextOf(Entry& entry) {
+  if (entry.ctx == nullptr) {
+    entry.ctx = std::make_unique<core::AnalysisContext>(entry.model.graph());
+  }
+  return *entry.ctx;
+}
+
+// ---- load ---------------------------------------------------------------
+
+LoadResponse Session::load(const LoadRequest& request) {
+  LoadResponse response;
+  if (request.path.empty() && request.text.empty()) {
+    response.fail(Status::InvalidRequest, "invalid-request",
+                  "load needs either a file path or inline text");
+    return response;
+  }
+  if (!request.path.empty() && !request.text.empty()) {
+    response.fail(Status::InvalidRequest, "invalid-request",
+                  "load takes a file path or inline text, not both");
+    return response;
+  }
+  guarded(response, request.path, [&] {
+    graph::Graph g = request.path.empty() ? io::readGraph(request.text)
+                                          : io::readGraphFile(request.path);
+    const std::string id = request.id.empty() ? g.name() : request.id;
+    if (entries_.count(id) != 0) {
+      response.fail(Status::InvalidRequest, "duplicate-graph",
+                    "graph '" + id + "' is already loaded (erase it first)");
+      return;
+    }
+    const auto [it, inserted] = entries_.emplace(
+        id, Entry{core::TpdfGraph(std::move(g)), nullptr});
+    (void)inserted;
+    const graph::Graph& stored = it->second.model.graph();
+    response.id = id;
+    response.graphName = stored.name();
+    response.actorCount = stored.actorCount();
+    response.channelCount = stored.channelCount();
+    response.params.assign(stored.params().begin(), stored.params().end());
+  });
+  return response;
+}
+
+// ---- analyze ------------------------------------------------------------
+
+AnalyzeResponse Session::analyze(const AnalyzeRequest& request) {
+  AnalyzeResponse response;
+  response.graphId = request.graphId;
+  Entry* entry = resolve(request.graphId, response);
+  if (entry == nullptr) return response;
+  response.graphName = entry->model.graph().name();
+  guarded(response, "", [&] {
+    response.report = core::analyze(contextOf(*entry), request.bindings);
+    response.analysisRan = true;
+    if (response.report.bounded()) return;  // status stays Ok
+    response.status = Status::AnalysisNegative;
+    // One diagnostic per failing stage, with the stage's own text.
+    if (!response.report.consistent()) {
+      response.diagnostics.push_back(
+          Diagnostic{Severity::Error, "inconsistent-rates",
+                     response.report.repetition.diagnostic, "", -1, -1});
+    }
+    if (!response.report.rateSafe()) {
+      response.diagnostics.push_back(
+          Diagnostic{Severity::Error, "rate-unsafe",
+                     response.report.safety.diagnostic, "", -1, -1});
+    }
+    if (!response.report.live()) {
+      response.diagnostics.push_back(
+          Diagnostic{Severity::Error, "deadlock",
+                     response.report.liveness.diagnostic, "", -1, -1});
+    }
+  });
+  return response;
+}
+
+// ---- schedule -----------------------------------------------------------
+
+ScheduleResponse Session::schedule(const ScheduleRequest& request) {
+  ScheduleResponse response;
+  response.graphId = request.graphId;
+  Entry* entry = resolve(request.graphId, response);
+  if (entry == nullptr) return response;
+  const graph::Graph& g = entry->model.graph();
+  response.graphName = g.name();
+  guarded(response, "", [&] {
+    response.bindings = concretize(g, request.bindings, response);
+    core::AnalysisContext& ctx = contextOf(*entry);
+    const graph::EvaluatedRates& rates = ctx.rates(response.bindings);
+    response.result = csdf::findSchedule(ctx.view(), ctx.repetition(),
+                                         response.bindings, request.policy,
+                                         &rates);
+    if (!response.result.live) {
+      response.fail(Status::AnalysisNegative, "no-schedule",
+                    response.result.diagnostic);
+      return;
+    }
+    if (request.computeBuffers) {
+      response.buffers = csdf::minimumBuffers(
+          ctx.view(), ctx.repetition(), response.bindings,
+          csdf::SchedulePolicy::MinOccupancy, &rates);
+      response.buffersComputed = response.buffers.ok;
+      if (!response.buffers.ok) {
+        response.warn("no-buffer-sizing", response.buffers.diagnostic);
+      }
+    }
+  });
+  return response;
+}
+
+// ---- buffers ------------------------------------------------------------
+
+BufferResponse Session::buffers(const BufferRequest& request) {
+  BufferResponse response;
+  response.graphId = request.graphId;
+  Entry* entry = resolve(request.graphId, response);
+  if (entry == nullptr) return response;
+  const graph::Graph& g = entry->model.graph();
+  response.graphName = g.name();
+  guarded(response, "", [&] {
+    response.bindings = concretize(g, request.bindings, response);
+    core::AnalysisContext& ctx = contextOf(*entry);
+    const graph::EvaluatedRates& rates = ctx.rates(response.bindings);
+    response.report =
+        csdf::minimumBuffers(ctx.view(), ctx.repetition(), response.bindings,
+                             request.policy, &rates);
+    if (!response.report.ok) {
+      response.fail(Status::AnalysisNegative, "no-buffer-sizing",
+                    response.report.diagnostic);
+    }
+  });
+  return response;
+}
+
+// ---- map ----------------------------------------------------------------
+
+MapResponse Session::map(const MapRequest& request) {
+  MapResponse response;
+  response.graphId = request.graphId;
+  if (request.pes == 0) {
+    response.fail(Status::InvalidRequest, "invalid-request",
+                  "platform must have at least one PE");
+    return response;
+  }
+  Entry* entry = resolve(request.graphId, response);
+  if (entry == nullptr) return response;
+  const graph::Graph& g = entry->model.graph();
+  response.graphName = g.name();
+  guarded(response, "", [&] {
+    response.bindings = concretize(g, request.bindings, response);
+    core::AnalysisContext& ctx = contextOf(*entry);
+    if (!ctx.repetition().consistent) {
+      response.fail(Status::AnalysisNegative, "inconsistent-rates",
+                    ctx.repetition().diagnostic);
+      return;
+    }
+    // A deadlocked graph has a cyclic canonical period; report that as
+    // a negative verdict (with the scheduler's diagnosis) instead of
+    // letting the period construction fail on the cycle.
+    const csdf::LivenessResult live = csdf::findSchedule(
+        ctx.view(), ctx.repetition(), response.bindings,
+        csdf::SchedulePolicy::Eager, &ctx.rates(response.bindings));
+    if (!live.live) {
+      response.fail(Status::AnalysisNegative, "no-schedule",
+                    live.diagnostic);
+      return;
+    }
+    response.period.emplace(ctx, response.bindings);
+    response.schedule = sched::listSchedule(
+        *response.period, sched::Platform{.peCount = request.pes},
+        request.options);
+  });
+  return response;
+}
+
+// ---- simulate -----------------------------------------------------------
+
+SimulateResponse Session::simulate(const SimulateRequest& request) {
+  SimulateResponse response;
+  response.graphId = request.graphId;
+  Entry* entry = resolve(request.graphId, response);
+  if (entry == nullptr) return response;
+  const graph::Graph& g = entry->model.graph();
+  response.graphName = g.name();
+  guarded(response, "", [&] {
+    response.bindings = concretize(g, request.bindings, response);
+    sim::Simulator simulator(entry->model, response.bindings,
+                             &contextOf(*entry));
+    response.result = simulator.run(request.options);
+    response.simulated = true;
+    if (!response.result.ok) {
+      response.fail(Status::AnalysisNegative, "sim-failed",
+                    response.result.diagnostic);
+    }
+  });
+  return response;
+}
+
+// ---- batch --------------------------------------------------------------
+
+BatchResponse Session::batch(const BatchRequest& request) {
+  BatchResponse response;
+  response.jobs = request.jobs;
+  if (request.directory.empty() && request.files.empty()) {
+    response.fail(Status::InvalidRequest, "invalid-request",
+                  "batch needs a directory or explicit files");
+    return response;
+  }
+
+  std::vector<std::string> files;
+  if (!request.directory.empty()) {
+    try {
+      for (const auto& dirEntry :
+           std::filesystem::directory_iterator(request.directory)) {
+        if (dirEntry.is_regular_file() &&
+            dirEntry.path().extension() == ".tpdf") {
+          files.push_back(dirEntry.path().string());
+        }
+      }
+    } catch (const std::filesystem::filesystem_error& e) {
+      response.fail(Status::InputError, "io-error", e.what(),
+                    request.directory);
+      return response;
+    }
+    std::sort(files.begin(), files.end());
+    if (files.empty() && request.files.empty()) {
+      response.fail(Status::InputError, "no-inputs",
+                    "no .tpdf files under '" + request.directory + "'",
+                    request.directory);
+      return response;
+    }
+  }
+  files.insert(files.end(), request.files.begin(), request.files.end());
+  response.inputCount = files.size();
+
+  guarded(response, request.directory, [&] {
+    std::vector<core::BatchSource> sources;
+    sources.reserve(files.size());
+    for (const std::string& path : files) {
+      sources.push_back({path, [path] { return io::readGraphFile(path); }});
+    }
+    core::BatchOptions options;
+    options.jobs = request.jobs;
+    options.env = request.bindings;
+
+    const auto start = std::chrono::steady_clock::now();
+    response.result = core::analyzeBatch(sources, options);
+    response.elapsedMs = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+
+    for (const core::BatchEntry& e : response.result.entries) {
+      if (e.ok) continue;
+      // Negative analysis verdicts are results; only load/analysis
+      // failures are errors.  The entry's ParseError position survives
+      // into the diagnostic.
+      response.fail(Status::InputError, "batch-entry", e.error, e.name,
+                    e.errorLine, e.errorColumn);
+    }
+  });
+  return response;
+}
+
+}  // namespace tpdf::api

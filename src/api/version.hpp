@@ -1,0 +1,36 @@
+// Toolkit version identification.
+//
+// The semver comes from the CMake project() version; the git describe
+// string is captured at configure time and baked into version.cpp via a
+// per-source compile definition (so only that one TU rebuilds when the
+// commit changes).  `tpdfc version` / `tpdfc --version` print this.
+#pragma once
+
+#include <string>
+
+#include "support/json.hpp"
+
+namespace tpdf::api {
+
+struct Version {
+  int major = 0;
+  int minor = 0;
+  int patch = 0;
+  /// "0.2.0".
+  std::string semver;
+  /// `git describe --always --dirty` at configure time; "unknown" when
+  /// the build did not run from a git checkout.
+  std::string gitDescribe;
+
+  /// "tpdf 0.2.0 (git 6d073f3)".
+  std::string toString() const;
+
+  /// {"semver": "0.2.0", "major": 0, "minor": 2, "patch": 0,
+  /// "git": "6d073f3"}.
+  support::json::Value toJson() const;
+};
+
+/// The version of this build (computed once).
+const Version& version();
+
+}  // namespace tpdf::api

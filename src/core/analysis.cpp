@@ -72,4 +72,19 @@ std::string AnalysisReport::toString(const graph::Graph& g) const {
   return os.str();
 }
 
+support::json::Value AnalysisReport::toJson(const graph::Graph& g) const {
+  auto doc = support::json::Value::object();
+  doc.set("graph", g.name());
+  doc.set("actors", g.actorCount());
+  doc.set("channels", g.channelCount());
+  doc.set("consistent", consistent());
+  doc.set("rateSafe", rateSafe());
+  doc.set("live", live());
+  doc.set("bounded", bounded());
+  doc.set("repetition", repetition.toJson(g));
+  doc.set("safety", safety.toJson(g));
+  doc.set("liveness", liveness.toJson(g));
+  return doc;
+}
+
 }  // namespace tpdf::core

@@ -9,6 +9,7 @@
 #include "core/model.hpp"
 #include "core/safety.hpp"
 #include "csdf/repetition.hpp"
+#include "support/json.hpp"
 #include "symbolic/env.hpp"
 
 namespace tpdf::core {
@@ -29,6 +30,10 @@ struct AnalysisReport {
 
   /// Multi-line human-readable summary.
   std::string toString(const graph::Graph& g) const;
+
+  /// Machine-readable sibling of toString(): verdict booleans plus the
+  /// per-stage sub-reports ("repetition", "safety", "liveness").
+  support::json::Value toJson(const graph::Graph& g) const;
 };
 
 /// Runs the full analysis chain on a TPDF graph.  `env` may pre-bind some

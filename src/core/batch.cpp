@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "core/context.hpp"
+#include "support/error.hpp"
 #include "support/threadpool.hpp"
 
 namespace tpdf::core {
@@ -23,6 +24,40 @@ std::size_t BatchResult::bounded() const {
 
 std::size_t BatchResult::failed() const {
   return entries.size() - analyzed();
+}
+
+support::json::Value BatchEntry::toJson() const {
+  auto doc = support::json::Value::object();
+  doc.set("name", name);
+  doc.set("ok", ok);
+  if (ok) {
+    doc.set("consistent", report.consistent());
+    doc.set("rateSafe", report.rateSafe());
+    doc.set("live", report.live());
+    doc.set("bounded", report.bounded());
+  } else {
+    auto err = support::json::Value::object();
+    err.set("message", error);
+    if (errorLine >= 0) {
+      err.set("line", errorLine);
+      err.set("column", errorColumn);
+    }
+    doc.set("error", std::move(err));
+  }
+  return doc;
+}
+
+support::json::Value BatchResult::toJson() const {
+  auto doc = support::json::Value::object();
+  doc.set("total", entries.size());
+  doc.set("analyzed", analyzed());
+  doc.set("bounded", bounded());
+  doc.set("notBounded", analyzed() - bounded());
+  doc.set("errors", failed());
+  auto list = support::json::Value::array();
+  for (const BatchEntry& e : entries) list.push(e.toJson());
+  doc.set("entries", std::move(list));
+  return doc;
 }
 
 namespace {
@@ -49,6 +84,13 @@ BatchResult runBatch(
       try {
         analyzeOne(i, entry);
         entry.ok = true;
+      } catch (const support::ParseError& e) {
+        // Keep the source position structured: batch consumers (the
+        // --json output in particular) point at the offending line
+        // instead of re-parsing it out of the message text.
+        entry.error = e.what();
+        entry.errorLine = e.line();
+        entry.errorColumn = e.column();
       } catch (const std::exception& e) {
         entry.error = e.what();
       } catch (...) {

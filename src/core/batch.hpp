@@ -21,6 +21,7 @@
 
 #include "core/analysis.hpp"
 #include "graph/graph.hpp"
+#include "support/json.hpp"
 #include "symbolic/env.hpp"
 
 namespace tpdf::core {
@@ -39,9 +40,20 @@ struct BatchEntry {
   /// False when loading or analysis threw; `error` holds the reason.
   bool ok = false;
   std::string error;
+  /// Source position of the failure when the loader threw a ParseError
+  /// (1-based; -1 when the failure carries no position), so batch
+  /// consumers can point at the offending line.
+  int errorLine = -1;
+  int errorColumn = -1;
   AnalysisReport report;
 
   bool bounded() const { return ok && report.bounded(); }
+
+  /// {"name": ..., "ok": true, "bounded": true, "consistent": ...} or
+  /// {"name": ..., "ok": false, "error": {"message", "line", "column"}}.
+  /// Verdict summaries only — the per-entry graphs are not retained by
+  /// the batch driver, so the full reports are not serializable here.
+  support::json::Value toJson() const;
 };
 
 struct BatchResult {
@@ -51,6 +63,10 @@ struct BatchResult {
   std::size_t analyzed() const;  // entries with ok
   std::size_t bounded() const;   // entries with ok && report.bounded()
   std::size_t failed() const;    // entries with !ok
+
+  /// {"total": N, "analyzed": N, "bounded": N, "notBounded": N,
+  /// "errors": N, "entries": [<BatchEntry::toJson>, ...]}.
+  support::json::Value toJson() const;
 };
 
 /// A labelled graph producer; invoked on a worker thread.

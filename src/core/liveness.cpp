@@ -281,4 +281,37 @@ LivenessReport checkLiveness(const AnalysisContext& ctx,
   return checkLivenessOver(ctx, ctx.repetition(), env, sampleValue);
 }
 
+support::json::Value LivenessReport::toJson(const Graph& g) const {
+  auto doc = support::json::Value::object();
+  doc.set("live", live);
+  if (!diagnostic.empty()) doc.set("diagnostic", diagnostic);
+  if (!parametricSchedule.empty()) {
+    doc.set("parametricSchedule", parametricSchedule);
+  }
+  auto bindings = support::json::Value::object();
+  for (const auto& [name, value] : sampleEnv.bindings()) {
+    bindings.set(name, value);
+  }
+  doc.set("sampleBindings", std::move(bindings));
+  if (!sampleSchedule.empty()) {
+    doc.set("sampleSchedule", sampleSchedule.toJson(g));
+  }
+  auto cycleArray = support::json::Value::array();
+  for (const CycleReport& c : cycles) {
+    auto entry = support::json::Value::object();
+    auto actors = support::json::Value::array();
+    for (const ActorId a : c.actors) actors.push(g.actor(a).name);
+    entry.set("actors", std::move(actors));
+    entry.set("strictClusterable", c.strictClusterable);
+    entry.set("lateSchedulable", c.lateSchedulable);
+    if (!c.localSchedule.empty()) {
+      entry.set("localSchedule", c.localSchedule.toJson(g));
+    }
+    if (!c.diagnostic.empty()) entry.set("diagnostic", c.diagnostic);
+    cycleArray.push(std::move(entry));
+  }
+  doc.set("cycles", std::move(cycleArray));
+  return doc;
+}
+
 }  // namespace tpdf::core

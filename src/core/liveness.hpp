@@ -22,6 +22,7 @@
 #include "graph/graph.hpp"
 #include "core/context.hpp"
 #include "core/local.hpp"
+#include "support/json.hpp"
 #include "symbolic/env.hpp"
 
 namespace tpdf::core {
@@ -49,6 +50,10 @@ struct LivenessReport {
   symbolic::Environment sampleEnv;
   /// Symbolic schedule in clustered form, e.g. "A^2 (B C C B)^p".
   std::string parametricSchedule;
+
+  /// {"live": true, "parametricSchedule": "...", "sampleBindings":
+  /// {"p": 2}, "sampleSchedule": <Schedule::toJson>, "cycles": [...]}.
+  support::json::Value toJson(const graph::Graph& g) const;
 };
 
 /// Checks liveness of `g` given its repetition vector.  Unbound

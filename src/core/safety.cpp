@@ -129,4 +129,30 @@ RateSafetyReport checkRateSafety(const AnalysisContext& ctx) {
   return checkRateSafetyOver(ctx.view(), ctx.repetition());
 }
 
+support::json::Value RateSafetyReport::toJson(const Graph& g) const {
+  auto doc = support::json::Value::object();
+  doc.set("safe", safe);
+  if (!diagnostic.empty()) doc.set("diagnostic", diagnostic);
+  auto controls = support::json::Value::array();
+  for (const ControlSafety& cs : perControl) {
+    auto entry = support::json::Value::object();
+    entry.set("control", g.actor(cs.control).name);
+    entry.set("safe", cs.safe);
+    if (!cs.diagnostic.empty()) entry.set("diagnostic", cs.diagnostic);
+    auto area = support::json::Value::array();
+    for (const graph::ActorId a : cs.area.all) {
+      area.push(g.actor(a).name);
+    }
+    entry.set("area", std::move(area));
+    if (cs.local.ok) {
+      entry.set("qG", cs.local.qG.toString());
+    }
+    entry.set("firingsPerLocalIteration",
+              cs.firingsPerLocalIteration.toString());
+    controls.push(std::move(entry));
+  }
+  doc.set("controls", std::move(controls));
+  return doc;
+}
+
 }  // namespace tpdf::core

@@ -18,6 +18,7 @@
 #include "core/local.hpp"
 #include "csdf/repetition.hpp"
 #include "graph/graph.hpp"
+#include "support/json.hpp"
 
 namespace tpdf::core {
 
@@ -36,6 +37,10 @@ struct RateSafetyReport {
   bool safe = false;
   std::string diagnostic;
   std::vector<ControlSafety> perControl;
+
+  /// {"safe": true, "controls": [{"control": "C", "area": ["B", ...],
+  /// "qG": "p", "firingsPerLocalIteration": "1", "safe": true}, ...]}.
+  support::json::Value toJson(const graph::Graph& g) const;
 };
 
 /// Checks Definition 5 for every control actor of `g` given its

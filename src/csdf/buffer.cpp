@@ -24,6 +24,28 @@ std::int64_t BufferReport::controlTotal(const graph::Graph& g) const {
   return sum;
 }
 
+support::json::Value BufferReport::toJson(const graph::Graph& g) const {
+  auto doc = support::json::Value::object();
+  doc.set("ok", ok);
+  if (!diagnostic.empty()) doc.set("diagnostic", diagnostic);
+  if (ok) {
+    doc.set("total", total());
+    doc.set("dataTotal", dataTotal(g));
+    doc.set("controlTotal", controlTotal(g));
+    auto channels = support::json::Value::array();
+    for (const graph::Channel& c : g.channels()) {
+      auto entry = support::json::Value::object();
+      entry.set("channel", c.name);
+      entry.set("tokens", perChannel[c.id.index()]);
+      entry.set("control", g.isControlChannel(c.id));
+      channels.push(std::move(entry));
+    }
+    doc.set("channels", std::move(channels));
+    doc.set("schedule", schedule.toJson(g));
+  }
+  return doc;
+}
+
 BufferReport minimumBuffers(const graph::Graph& g,
                             const symbolic::Environment& env,
                             SchedulePolicy policy) {

@@ -13,6 +13,7 @@
 
 #include "csdf/liveness.hpp"
 #include "graph/graph.hpp"
+#include "support/json.hpp"
 #include "symbolic/env.hpp"
 
 namespace tpdf::csdf {
@@ -35,6 +36,11 @@ struct BufferReport {
   std::int64_t of(graph::ChannelId c) const {
     return perChannel.at(c.index());
   }
+
+  /// {"ok": true, "total": N, "dataTotal": N, "controlTotal": N,
+  /// "channels": [{"channel": "e1", "tokens": N, "control": false}, ...],
+  /// "schedule": <Schedule::toJson>}.
+  support::json::Value toJson(const graph::Graph& g) const;
 };
 
 /// Computes per-channel minimum buffer sizes for one iteration of `g`

@@ -19,6 +19,24 @@ std::string RepetitionVector::toString() const {
   return "[" + support::join(parts, ", ") + "]";
 }
 
+support::json::Value RepetitionVector::toJson(const Graph& g) const {
+  auto doc = support::json::Value::object();
+  doc.set("consistent", consistent);
+  if (!diagnostic.empty()) doc.set("diagnostic", diagnostic);
+  if (consistent) {
+    auto actors = support::json::Value::array();
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      auto entry = support::json::Value::object();
+      entry.set("actor", g.actors()[i].name);
+      entry.set("r", r[i].toString());
+      entry.set("q", q[i].toString());
+      actors.push(std::move(entry));
+    }
+    doc.set("actors", std::move(actors));
+  }
+  return doc;
+}
+
 std::vector<std::vector<Expr>> topologyMatrix(const graph::GraphView& view) {
   const Graph& g = view.graph();
   std::vector<std::vector<Expr>> gamma(

@@ -13,6 +13,7 @@
 
 #include "graph/graph.hpp"
 #include "graph/view.hpp"
+#include "support/json.hpp"
 #include "symbolic/expr.hpp"
 
 namespace tpdf::csdf {
@@ -33,6 +34,10 @@ struct RepetitionVector {
 
   /// "[2, 2p, p, p, 2p, 2p]" in actor-id order.
   std::string toString() const;
+
+  /// {"consistent": true, "actors": [{"actor": "A", "r": "2", "q": "2"},
+  /// ...]}; actor names come from `g` (which must be the analyzed graph).
+  support::json::Value toJson(const graph::Graph& g) const;
 };
 
 /// Computes the symbolic repetition vector of `g` (all channels present,

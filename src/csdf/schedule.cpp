@@ -35,6 +35,24 @@ std::string Schedule::toString(const Graph& g) const {
   return out;
 }
 
+support::json::Value Schedule::toJson(const Graph& g) const {
+  auto doc = support::json::Value::object();
+  doc.set("firings", order.size());
+  auto runs = support::json::Value::array();
+  std::size_t i = 0;
+  while (i < order.size()) {
+    std::size_t j = i;
+    while (j < order.size() && order[j].actor == order[i].actor) ++j;
+    auto run = support::json::Value::object();
+    run.set("actor", g.actor(order[i].actor).name);
+    run.set("count", j - i);
+    runs.push(std::move(run));
+    i = j;
+  }
+  doc.set("runs", std::move(runs));
+  return doc;
+}
+
 ScheduleCheck validateSchedule(const Graph& g, const Schedule& s,
                                const symbolic::Environment& env) {
   return validateSchedule(graph::GraphView(g), s, env);

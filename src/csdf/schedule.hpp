@@ -11,6 +11,7 @@
 
 #include "graph/graph.hpp"
 #include "graph/view.hpp"
+#include "support/json.hpp"
 #include "symbolic/env.hpp"
 
 namespace tpdf::csdf {
@@ -38,6 +39,11 @@ struct Schedule {
   /// Run-length grouped rendering, e.g. "a3^2 a1^3 a2^2"; singleton
   /// runs are printed without the exponent: "A B C".
   std::string toString(const graph::Graph& g) const;
+
+  /// {"firings": N, "runs": [{"actor": "a3", "count": 2}, ...]} with the
+  /// same run-length grouping as toString() (lossless: each actor's
+  /// firing indices are consecutive, so k is recoverable per run).
+  support::json::Value toJson(const graph::Graph& g) const;
 };
 
 /// Result of token-accurate schedule validation / construction.

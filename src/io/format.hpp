@@ -31,6 +31,7 @@
 #include <string>
 
 #include "graph/graph.hpp"
+#include "support/json.hpp"
 
 namespace tpdf::io {
 
@@ -43,5 +44,11 @@ graph::Graph readGraphFile(const std::string& path);
 /// Renders `g` in the .tpdf format.
 std::string writeGraph(const graph::Graph& g);
 void writeGraphFile(const graph::Graph& g, const std::string& path);
+
+/// Structural JSON rendering of `g`: parameters, actors with their ports
+/// (rates as the same strings the .tpdf format uses), channels with
+/// endpoints and initial tokens.  The machine-readable sibling of
+/// writeGraph(), emitted by `tpdfc echo --json`.
+support::json::Value toJson(const graph::Graph& g);
 
 }  // namespace tpdf::io

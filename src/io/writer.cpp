@@ -80,4 +80,50 @@ void writeGraphFile(const Graph& g, const std::string& path) {
   out << writeGraph(g);
 }
 
+support::json::Value toJson(const Graph& g) {
+  auto doc = support::json::Value::object();
+  doc.set("name", g.name());
+  auto params = support::json::Value::array();
+  for (const std::string& p : g.params()) params.push(p);
+  doc.set("params", std::move(params));
+
+  auto actors = support::json::Value::array();
+  for (const graph::Actor& a : g.actors()) {
+    auto actor = support::json::Value::object();
+    actor.set("name", a.name);
+    actor.set("kind",
+              a.kind == graph::ActorKind::Kernel ? "kernel" : "control");
+    auto ports = support::json::Value::array();
+    for (const graph::PortId pid : a.ports) {
+      const graph::Port& p = g.port(pid);
+      auto port = support::json::Value::object();
+      port.set("name", p.name);
+      port.set("kind", portKeyword(p.kind));
+      port.set("rates", p.rates.toString());
+      if (p.priority != 0) port.set("priority", p.priority);
+      ports.push(std::move(port));
+    }
+    actor.set("ports", std::move(ports));
+    auto exec = support::json::Value::array();
+    for (const double t : a.execTime) exec.push(t);
+    actor.set("execTime", std::move(exec));
+    actors.push(std::move(actor));
+  }
+  doc.set("actors", std::move(actors));
+
+  auto channels = support::json::Value::array();
+  for (const graph::Channel& c : g.channels()) {
+    const graph::Port& src = g.port(c.src);
+    const graph::Port& dst = g.port(c.dst);
+    auto channel = support::json::Value::object();
+    channel.set("name", c.name);
+    channel.set("from", g.actor(src.actor).name + "." + src.name);
+    channel.set("to", g.actor(dst.actor).name + "." + dst.name);
+    if (c.initialTokens != 0) channel.set("initialTokens", c.initialTokens);
+    channels.push(std::move(channel));
+  }
+  doc.set("channels", std::move(channels));
+  return doc;
+}
+
 }  // namespace tpdf::io

@@ -149,4 +149,27 @@ std::vector<std::size_t> CanonicalPeriod::topologicalOrder() const {
   return order;
 }
 
+support::json::Value CanonicalPeriod::toJson() const {
+  auto doc = support::json::Value::object();
+  doc.set("size", nodes_.size());
+  auto nodeArray = support::json::Value::array();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    auto entry = support::json::Value::object();
+    entry.set("name", nodeName(i));
+    entry.set("actor", graph_->actor(nodes_[i].actor).name);
+    entry.set("k", nodes_[i].k);
+    entry.set("execTime", execTime(i));
+    nodeArray.push(std::move(entry));
+  }
+  doc.set("nodes", std::move(nodeArray));
+  auto edges = support::json::Value::array();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    for (const std::size_t s : succ_[i]) {
+      edges.push(support::json::Value::array().push(i).push(s));
+    }
+  }
+  doc.set("edges", std::move(edges));
+  return doc;
+}
+
 }  // namespace tpdf::sched

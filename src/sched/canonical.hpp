@@ -17,6 +17,7 @@
 #include "csdf/repetition.hpp"
 #include "graph/graph.hpp"
 #include "graph/view.hpp"
+#include "support/json.hpp"
 #include "symbolic/env.hpp"
 
 namespace tpdf::sched {
@@ -76,6 +77,11 @@ class CanonicalPeriod {
 
   /// Nodes in a valid topological order (dependencies first).
   std::vector<std::size_t> topologicalOrder() const;
+
+  /// {"size": N, "nodes": [{"name": "A1", "actor": "A", "k": 0,
+  /// "execTime": 1.0}, ...], "edges": [[from, to], ...]} — the full
+  /// iteration DAG of Figure 5, node indices as used by successors().
+  support::json::Value toJson() const;
 
  private:
   void build(const graph::GraphView& view, const csdf::RepetitionVector& rv,

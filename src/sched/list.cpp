@@ -37,6 +37,22 @@ std::string ListSchedule::toString(const CanonicalPeriod& cp) const {
   return os.str();
 }
 
+support::json::Value ListSchedule::toJson(const CanonicalPeriod& cp) const {
+  auto doc = support::json::Value::object();
+  doc.set("makespan", makespan);
+  auto list = support::json::Value::array();
+  for (const ScheduledOccurrence& e : entries) {
+    auto entry = support::json::Value::object();
+    entry.set("node", cp.nodeName(e.node));
+    entry.set("pe", e.pe);
+    entry.set("start", e.start);
+    entry.set("finish", e.finish);
+    list.push(std::move(entry));
+  }
+  doc.set("entries", std::move(list));
+  return doc;
+}
+
 ListSchedule listSchedule(const CanonicalPeriod& cp, const Platform& platform,
                           const ListSchedulerOptions& options) {
   if (platform.peCount == 0) {

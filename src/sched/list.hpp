@@ -18,6 +18,7 @@
 
 #include "sched/canonical.hpp"
 #include "sched/platform.hpp"
+#include "support/json.hpp"
 
 namespace tpdf::sched {
 
@@ -37,6 +38,10 @@ struct ListSchedule {
 
   /// Gantt-style rendering, one line per PE.
   std::string toString(const CanonicalPeriod& cp) const;
+
+  /// {"makespan": 12.5, "entries": [{"node": "A1", "pe": 0, "start":
+  /// 0.0, "finish": 1.0}, ...]} in start order.
+  support::json::Value toJson(const CanonicalPeriod& cp) const;
 };
 
 struct ListSchedulerOptions {

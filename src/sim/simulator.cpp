@@ -91,6 +91,49 @@ std::string SimResult::renderTrace(const graph::Graph& g) const {
   return out;
 }
 
+support::json::Value SimResult::toJson(const graph::Graph& g) const {
+  auto doc = support::json::Value::object();
+  doc.set("ok", ok);
+  if (!diagnostic.empty()) doc.set("diagnostic", diagnostic);
+  doc.set("endTime", endTime);
+  doc.set("totalFirings", totalFirings);
+  doc.set("returnedToInitialState", returnedToInitialState);
+  auto actorArray = support::json::Value::array();
+  for (std::size_t i = 0; i < firings.size(); ++i) {
+    auto entry = support::json::Value::object();
+    entry.set("actor", g.actors()[i].name);
+    entry.set("firings", firings[i]);
+    actorArray.push(std::move(entry));
+  }
+  doc.set("actors", std::move(actorArray));
+  auto channelArray = support::json::Value::array();
+  for (std::size_t i = 0; i < channels.size(); ++i) {
+    const ChannelStats& s = channels[i];
+    auto entry = support::json::Value::object();
+    entry.set("channel", g.channels()[i].name);
+    entry.set("maxOccupancy", s.maxOccupancy);
+    entry.set("produced", s.produced);
+    entry.set("consumed", s.consumed);
+    entry.set("discarded", s.discarded);
+    channelArray.push(std::move(entry));
+  }
+  doc.set("channels", std::move(channelArray));
+  if (!trace.empty()) {
+    auto traceArray = support::json::Value::array();
+    for (const TraceEvent& e : trace) {
+      auto entry = support::json::Value::object();
+      entry.set("actor", g.actor(e.actor).name);
+      entry.set("k", e.k);
+      entry.set("mode", e.mode);
+      entry.set("start", e.start);
+      entry.set("finish", e.finish);
+      traceArray.push(std::move(entry));
+    }
+    doc.set("trace", std::move(traceArray));
+  }
+  return doc;
+}
+
 namespace {
 
 constexpr std::int64_t kUnlimited =

@@ -31,6 +31,7 @@
 #include "core/context.hpp"
 #include "core/model.hpp"
 #include "sim/token.hpp"
+#include "support/json.hpp"
 #include "symbolic/env.hpp"
 
 namespace tpdf::sim {
@@ -127,6 +128,11 @@ struct SimResult {
   /// Text timeline of the recorded trace, one line per firing:
   /// "[12.0-14.5] Sobel#0 (mode 0)".
   std::string renderTrace(const graph::Graph& g) const;
+
+  /// {"ok": true, "endTime": ..., "totalFirings": N,
+  /// "returnedToInitialState": true, "actors": [...], "channels": [...],
+  /// "trace": [...]} ("trace" only when a trace was recorded).
+  support::json::Value toJson(const graph::Graph& g) const;
 };
 
 class Simulator {

@@ -1,0 +1,263 @@
+// A hand-rolled JSON document builder (writer only, no parser).
+//
+// Every report type of the toolkit renders a machine-readable document
+// through this Value type (the `toJson(...)` siblings of the
+// `toString(...)` renderers), and `tpdfc --json` emits one such document
+// per command.  Design constraints, in order:
+//   * deterministic output — objects keep insertion order, so the same
+//     report always serializes to the same bytes (golden tests diff it);
+//   * no dependencies — the container image pins the toolchain, so this
+//     is ~200 lines of std:: instead of a vendored library;
+//   * strict RFC 8259 output — escaped strings, shortest round-trip
+//     doubles via std::to_chars, non-finite doubles degrade to null.
+#pragma once
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace tpdf::support::json {
+
+/// Escapes `s` for use inside a JSON string literal (quotes excluded).
+/// Control characters below 0x20 become \u00XX; bytes >= 0x80 are passed
+/// through untouched (input is assumed UTF-8).
+inline std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char raw : s) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          static const char hex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[c >> 4];
+          out += hex[c & 0xF];
+        } else {
+          out += raw;
+        }
+    }
+  }
+  return out;
+}
+
+/// One JSON value: null, bool, integer, double, string, array or object.
+/// Integers are kept distinct from doubles so counts serialize without a
+/// fractional part.  Objects preserve insertion order.
+class Value {
+ public:
+  using Array = std::vector<Value>;
+  using Member = std::pair<std::string, Value>;
+  using Object = std::vector<Member>;
+
+  Value() : data_(nullptr) {}
+  Value(std::nullptr_t) : data_(nullptr) {}          // NOLINT
+  Value(bool b) : data_(b) {}                        // NOLINT
+  Value(int v) : data_(static_cast<std::int64_t>(v)) {}        // NOLINT
+  Value(long v) : data_(static_cast<std::int64_t>(v)) {}       // NOLINT
+  Value(long long v) : data_(static_cast<std::int64_t>(v)) {}  // NOLINT
+  Value(unsigned v) : data_(static_cast<std::int64_t>(v)) {}   // NOLINT
+  Value(unsigned long v)                                       // NOLINT
+      : data_(static_cast<std::int64_t>(v)) {}
+  Value(unsigned long long v)                                  // NOLINT
+      : data_(static_cast<std::int64_t>(v)) {}
+  Value(double d) : data_(d) {}                      // NOLINT
+  Value(std::string s) : data_(std::move(s)) {}      // NOLINT
+  Value(const char* s) : data_(std::string(s)) {}    // NOLINT
+
+  static Value object() {
+    Value v;
+    v.data_ = Object{};
+    return v;
+  }
+  static Value array() {
+    Value v;
+    v.data_ = Array{};
+    return v;
+  }
+
+  bool isNull() const { return std::holds_alternative<std::nullptr_t>(data_); }
+  bool isBool() const { return std::holds_alternative<bool>(data_); }
+  bool isInt() const { return std::holds_alternative<std::int64_t>(data_); }
+  bool isDouble() const { return std::holds_alternative<double>(data_); }
+  bool isString() const { return std::holds_alternative<std::string>(data_); }
+  bool isArray() const { return std::holds_alternative<Array>(data_); }
+  bool isObject() const { return std::holds_alternative<Object>(data_); }
+
+  bool asBool() const { return std::get<bool>(data_); }
+  std::int64_t asInt() const { return std::get<std::int64_t>(data_); }
+  double asDouble() const { return std::get<double>(data_); }
+  const std::string& asString() const { return std::get<std::string>(data_); }
+  const Array& items() const { return std::get<Array>(data_); }
+  const Object& members() const { return std::get<Object>(data_); }
+  /// Mutable member access (lets callers move values out when splicing
+  /// one document into another).
+  Object& members() { return std::get<Object>(data_); }
+
+  /// Sets `key` in an object (replacing an existing member in place, so
+  /// insertion order is stable under overwrite).  Throws on non-objects.
+  Value& set(std::string key, Value v) {
+    Object& obj = mutableObject();
+    for (Member& m : obj) {
+      if (m.first == key) {
+        m.second = std::move(v);
+        return *this;
+      }
+    }
+    obj.emplace_back(std::move(key), std::move(v));
+    return *this;
+  }
+
+  /// Appends to an array.  Throws on non-arrays.
+  Value& push(Value v) {
+    if (!isArray()) {
+      throw support::Error("json: push() on a non-array value");
+    }
+    std::get<Array>(data_).push_back(std::move(v));
+    return *this;
+  }
+
+  /// Member lookup; nullptr when absent or not an object.
+  const Value* find(const std::string& key) const {
+    if (!isObject()) return nullptr;
+    for (const Member& m : members()) {
+      if (m.first == key) return &m.second;
+    }
+    return nullptr;
+  }
+
+  std::size_t size() const {
+    if (isArray()) return items().size();
+    if (isObject()) return members().size();
+    return 0;
+  }
+
+  bool operator==(const Value& o) const { return data_ == o.data_; }
+  bool operator!=(const Value& o) const { return !(*this == o); }
+
+  /// Compact single-line serialization.
+  std::string dump() const {
+    std::string out;
+    write(out, -1, 0);
+    return out;
+  }
+
+  /// Indented multi-line serialization (`indent` spaces per level).
+  std::string pretty(int indent = 2) const {
+    std::string out;
+    write(out, indent < 0 ? 0 : indent, 0);
+    out += '\n';
+    return out;
+  }
+
+ private:
+  Object& mutableObject() {
+    if (!isObject()) {
+      throw support::Error("json: set() on a non-object value");
+    }
+    return std::get<Object>(data_);
+  }
+
+  static void writeNumber(std::string& out, std::int64_t v) {
+    char buf[24];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    out.append(buf, res.ptr);
+  }
+
+  static void writeNumber(std::string& out, double v) {
+    if (!std::isfinite(v)) {
+      // JSON has no NaN/Infinity; degrade explicitly rather than emit an
+      // invalid token.
+      out += "null";
+      return;
+    }
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    std::string token(buf, res.ptr);
+    // Keep the value recognizably floating-point: shortest-round-trip
+    // renders 1.0 as "1", which would read back as an integer.
+    if (token.find('.') == std::string::npos &&
+        token.find('e') == std::string::npos) {
+      token += ".0";
+    }
+    out += token;
+  }
+
+  void newline(std::string& out, int indent, int depth) const {
+    if (indent <= 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * depth), ' ');
+  }
+
+  /// `indent` < 0 means compact.
+  void write(std::string& out, int indent, int depth) const {
+    if (isNull()) {
+      out += "null";
+    } else if (isBool()) {
+      out += asBool() ? "true" : "false";
+    } else if (isInt()) {
+      writeNumber(out, asInt());
+    } else if (isDouble()) {
+      writeNumber(out, asDouble());
+    } else if (isString()) {
+      out += '"';
+      out += escape(asString());
+      out += '"';
+    } else if (isArray()) {
+      const Array& arr = items();
+      if (arr.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      bool first = true;
+      for (const Value& v : arr) {
+        if (!first) out += ',';
+        first = false;
+        newline(out, indent, depth + 1);
+        v.write(out, indent, depth + 1);
+      }
+      newline(out, indent, depth);
+      out += ']';
+    } else {
+      const Object& obj = members();
+      if (obj.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      bool first = true;
+      for (const Member& m : obj) {
+        if (!first) out += ',';
+        first = false;
+        newline(out, indent, depth + 1);
+        out += '"';
+        out += escape(m.first);
+        out += "\":";
+        if (indent > 0) out += ' ';
+        m.second.write(out, indent, depth + 1);
+      }
+      newline(out, indent, depth);
+      out += '}';
+    }
+  }
+
+  std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, Array,
+               Object>
+      data_;
+};
+
+}  // namespace tpdf::support::json

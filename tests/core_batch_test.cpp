@@ -129,6 +129,28 @@ TEST(AnalyzeBatch, LoaderFailureIsCapturedPerEntry) {
   // An empty label falls back to the graph's own name.
   EXPECT_EQ(result.entries[2].name, "fig2_tpdf");
   EXPECT_EQ(result.failed(), 1u);
+  // A failure with no source position leaves line/column unset.
+  EXPECT_EQ(result.entries[1].errorLine, -1);
+  EXPECT_EQ(result.entries[1].errorColumn, -1);
+}
+
+TEST(AnalyzeBatch, ParseErrorPositionSurvivesPerEntry) {
+  std::vector<BatchSource> sources;
+  sources.push_back({"good", [] { return apps::fig1Csdf(); }});
+  sources.push_back({"bad", []() -> Graph {
+                       throw support::ParseError("expected '{'", 7, 13);
+                     }});
+  const BatchResult result = analyzeBatch(sources, {});
+  ASSERT_EQ(result.entries.size(), 2u);
+  const BatchEntry& failed = result.entries[1];
+  EXPECT_FALSE(failed.ok);
+  EXPECT_EQ(failed.errorLine, 7);
+  EXPECT_EQ(failed.errorColumn, 13);
+  // ... and lands structured in the JSON rendering too.
+  const support::json::Value doc = failed.toJson();
+  ASSERT_NE(doc.find("error"), nullptr);
+  EXPECT_EQ(doc.find("error")->find("line")->asInt(), 7);
+  EXPECT_EQ(doc.find("error")->find("column")->asInt(), 13);
 }
 
 TEST(AnalyzeBatch, EnvironmentIsSharedAcrossEntries) {

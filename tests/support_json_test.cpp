@@ -1,0 +1,99 @@
+// Unit tests for the hand-rolled JSON writer (support/json.hpp).
+#include "support/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace tpdf::support::json {
+namespace {
+
+TEST(JsonValue, ScalarsSerializeCompactly) {
+  EXPECT_EQ(Value().dump(), "null");
+  EXPECT_EQ(Value(nullptr).dump(), "null");
+  EXPECT_EQ(Value(true).dump(), "true");
+  EXPECT_EQ(Value(false).dump(), "false");
+  EXPECT_EQ(Value(0).dump(), "0");
+  EXPECT_EQ(Value(-42).dump(), "-42");
+  EXPECT_EQ(Value(std::int64_t{1} << 62).dump(), "4611686018427387904");
+  EXPECT_EQ(Value("hi").dump(), "\"hi\"");
+  EXPECT_EQ(Value(std::string("hi")).dump(), "\"hi\"");
+}
+
+TEST(JsonValue, IntegersStayIntegers) {
+  // A count must never pick up a fractional part or an exponent.
+  EXPECT_EQ(Value(std::size_t{7}).dump(), "7");
+  EXPECT_TRUE(Value(std::size_t{7}).isInt());
+  EXPECT_TRUE(Value(2.0).isDouble());
+}
+
+TEST(JsonValue, DoublesRoundTripShortest) {
+  EXPECT_EQ(Value(2.5).dump(), "2.5");
+  EXPECT_EQ(Value(0.1).dump(), "0.1");
+  EXPECT_EQ(Value(1e100).dump(), "1e+100");
+  // Non-finite values have no JSON spelling; they degrade to null.
+  EXPECT_EQ(Value(std::numeric_limits<double>::infinity()).dump(), "null");
+  EXPECT_EQ(Value(std::nan("")).dump(), "null");
+}
+
+TEST(JsonValue, StringEscaping) {
+  EXPECT_EQ(Value("a\"b").dump(), "\"a\\\"b\"");
+  EXPECT_EQ(Value("back\\slash").dump(), "\"back\\\\slash\"");
+  EXPECT_EQ(Value("line\nbreak\ttab").dump(), "\"line\\nbreak\\ttab\"");
+  EXPECT_EQ(Value(std::string("ctrl\x01") + "x").dump(), "\"ctrl\\u0001x\"");
+  // UTF-8 passes through untouched.
+  EXPECT_EQ(Value("µs").dump(), "\"µs\"");
+}
+
+TEST(JsonValue, ArraysAndObjectsNest) {
+  auto doc = Value::object();
+  doc.set("name", "fig2");
+  doc.set("bounded", true);
+  auto arr = Value::array();
+  arr.push(1).push(2).push(Value::object().set("k", "v"));
+  doc.set("items", std::move(arr));
+  EXPECT_EQ(doc.dump(),
+            "{\"name\":\"fig2\",\"bounded\":true,"
+            "\"items\":[1,2,{\"k\":\"v\"}]}");
+}
+
+TEST(JsonValue, ObjectsPreserveInsertionOrderAndReplaceInPlace) {
+  auto doc = Value::object();
+  doc.set("z", 1);
+  doc.set("a", 2);
+  doc.set("z", 3);  // replaced, not re-appended
+  EXPECT_EQ(doc.dump(), "{\"z\":3,\"a\":2}");
+  ASSERT_NE(doc.find("a"), nullptr);
+  EXPECT_EQ(doc.find("a")->asInt(), 2);
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(JsonValue, EmptyContainers) {
+  EXPECT_EQ(Value::object().dump(), "{}");
+  EXPECT_EQ(Value::array().dump(), "[]");
+  EXPECT_EQ(Value::object().pretty(), "{}\n");
+}
+
+TEST(JsonValue, PrettyPrintsWithStableIndentation) {
+  auto doc = Value::object();
+  doc.set("a", Value::array().push(1));
+  EXPECT_EQ(doc.pretty(), "{\n  \"a\": [\n    1\n  ]\n}\n");
+}
+
+TEST(JsonValue, TypeErrorsThrow) {
+  Value notAnObject(3);
+  EXPECT_THROW(notAnObject.set("k", 1), support::Error);
+  EXPECT_THROW(notAnObject.push(1), support::Error);
+}
+
+TEST(JsonValue, EqualityIsStructural) {
+  auto a = Value::object().set("x", 1);
+  auto b = Value::object().set("x", 1);
+  EXPECT_EQ(a, b);
+  b.set("x", 2);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace tpdf::support::json

@@ -1,224 +1,431 @@
 // tpdfc — the TPDF analyzer command line.
 //
-// Reads a graph in the .tpdf text format and runs the paper's analysis
-// chain and tooling on it:
+// A thin shell over the tpdf::api service façade (api/session.hpp):
+// every subcommand builds a request, runs it through an api::Session,
+// and renders the response as human text or — with the global --json
+// flag — as one stable machine-readable JSON document on stdout.
 //
-//   tpdfc analyze  graph.tpdf [p=4 ...]   consistency/safety/liveness/
-//                                         boundedness report
-//   tpdfc schedule graph.tpdf [p=4 ...]   one-iteration schedule + buffer
-//                                         sizing at a parameter valuation
-//   tpdfc map      graph.tpdf pes=4 [..]  canonical period + list schedule
-//                                         on an MPPA-like platform
-//   tpdfc dot      graph.tpdf             Graphviz rendering
-//   tpdfc echo     graph.tpdf             parse + pretty-print round trip
-//   tpdfc --batch  dir [--jobs N]         analyze every .tpdf in a
-//                                         directory on a thread pool
+//   tpdfc analyze  graph.tpdf [p=4 ...]    consistency/safety/liveness/
+//                                          boundedness report
+//   tpdfc schedule graph.tpdf [p=4 ...]    one-iteration schedule + buffer
+//                                          sizing at a parameter valuation
+//   tpdfc map      graph.tpdf pes=4 [..]   canonical period + list schedule
+//                                          on an MPPA-like platform
+//   tpdfc sim      graph.tpdf [p=4 ...]    discrete-event simulation
+//                  [--iterations N] [--trace]
+//   tpdfc dot      graph.tpdf              Graphviz rendering
+//   tpdfc echo     graph.tpdf              parse + pretty-print round trip
+//   tpdfc batch    dir [--jobs N] [p=4..]  analyze every .tpdf in a
+//                                          directory on a thread pool
+//                                          (`tpdfc --batch dir` still works)
+//   tpdfc version                          semver + git describe
 //
 // Parameters are given as name=value pairs; unbound parameters default
-// to 2 for concrete steps.
-#include <algorithm>
-#include <chrono>
+// to 2 for concrete steps (reported as a note diagnostic).
+//
+// Exit codes (stable contract, see docs/api.md):
+//   0  the request ran and the verdict is positive (analyze: bounded)
+//   1  the request ran but the verdict is negative (not bounded,
+//      deadlock, no schedule, simulation failure)
+//   2  usage / invalid request
+//   3  input error (unreadable file, parse error, model error) or an
+//      internal fault
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
-#include <filesystem>
 #include <string>
+#include <utility>
 #include <vector>
 
-#include "core/analysis.hpp"
-#include "core/batch.hpp"
-#include "csdf/buffer.hpp"
+#include "api/diagnostics.hpp"
+#include "api/session.hpp"
+#include "api/version.hpp"
 #include "io/format.hpp"
-#include "sched/canonical.hpp"
-#include "sched/list.hpp"
-#include "support/error.hpp"
+#include "support/json.hpp"
 
 using namespace tpdf;
 
 namespace {
 
-int usage() {
-  std::fprintf(stderr,
-               "usage: tpdfc <analyze|schedule|map|dot|echo> <file.tpdf> "
-               "[name=value ...] [pes=N]\n"
-               "       tpdfc --batch <dir> [--jobs N] [name=value ...]\n");
-  return 2;
-}
+constexpr const char* kUsage =
+    "usage: tpdfc <analyze|schedule|map|sim|dot|echo> <file.tpdf> "
+    "[name=value ...] [pes=N] [--json]\n"
+    "       tpdfc sim <file.tpdf> [name=value ...] [--iterations N] "
+    "[--trace] [--json]\n"
+    "       tpdfc batch <dir> [--jobs N] [name=value ...] [--json]\n"
+    "       tpdfc version | --version\n"
+    "exit codes: 0 ok/bounded, 1 analysis negative, 2 usage, "
+    "3 input/parse error\n";
 
 struct Cli {
   std::string command;
-  std::string file;
-  symbolic::Environment env;
+  std::string input;  // graph file, or directory for batch
+  bool json = false;
+  bool trace = false;
+  std::int64_t iterations = 1;
   std::size_t pes = 4;
+  std::size_t jobs = 0;
+  /// name=value pairs, validated but not yet bound (binding can reject
+  /// non-positive values, which must surface as a usage diagnostic).
+  std::vector<std::pair<std::string, std::int64_t>> bindings;
 };
 
-bool parseArgs(int argc, char** argv, Cli& cli) {
-  if (argc < 3) return false;
-  cli.command = argv[1];
-  cli.file = argv[2];
-  for (int i = 3; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const auto eq = arg.find('=');
-    if (eq == std::string::npos) return false;
-    const std::string name = arg.substr(0, eq);
-    const std::int64_t value = std::atoll(arg.c_str() + eq + 1);
-    if (name == "pes") {
-      cli.pes = static_cast<std::size_t>(value);
-    } else {
-      cli.env.bind(name, value);
+/// Prints the final document: the envelope identifies the tool and the
+/// command, then the response members (status, diagnostics, payload)
+/// follow verbatim.  Takes the document by value so the members (a sim
+/// trace can be megabytes) are moved, not copied, into the envelope.
+void emitJson(const Cli& cli, support::json::Value responseDoc) {
+  auto envelope = support::json::Value::object();
+  envelope.set("tool", "tpdfc");
+  envelope.set("version", api::version().semver);
+  envelope.set("command", cli.command);
+  for (auto& [key, value] : responseDoc.members()) {
+    envelope.set(key, std::move(value));
+  }
+  std::printf("%s", envelope.pretty().c_str());
+}
+
+/// Text mode: diagnostics go to stderr, one line each.
+void emitDiagnostics(const api::Response& response) {
+  for (const api::Diagnostic& d : response.diagnostics) {
+    std::fprintf(stderr, "tpdfc: %s\n", d.toString().c_str());
+  }
+}
+
+/// Renders a response whose text payload was already printed (or that
+/// has none), returning the documented exit code.
+int finish(const Cli& cli, const api::Response& response,
+           const support::json::Value& doc) {
+  if (cli.json) {
+    emitJson(cli, doc);
+  } else {
+    emitDiagnostics(response);
+  }
+  return api::exitCode(response.status);
+}
+
+int usageError(const Cli& cli, const std::string& message) {
+  api::Response response;
+  response.fail(api::Status::InvalidRequest, "invalid-request", message);
+  if (cli.json) {
+    auto doc = support::json::Value::object();
+    doc.set("status", toString(response.status));
+    doc.set("diagnostics", response.diagnosticsJson());
+    emitJson(cli, doc);
+  }
+  std::fprintf(stderr, "tpdfc: %s\n%s", message.c_str(), kUsage);
+  return api::exitCode(response.status);
+}
+
+bool parseInt(const std::string& text, std::int64_t& out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  out = std::strtoll(text.c_str(), &end, 10);
+  return errno != ERANGE && end != nullptr && *end == '\0';
+}
+
+/// Builds an Environment from the CLI pairs; a non-positive value is
+/// reported as a usage diagnostic on `response`.
+bool bindAll(const Cli& cli, symbolic::Environment& env,
+             api::Response& response) {
+  for (const auto& [name, value] : cli.bindings) {
+    try {
+      env.bind(name, value);
+    } catch (const support::Error& e) {
+      response.fail(api::Status::InvalidRequest, "invalid-request", e.what());
+      return false;
     }
   }
   return true;
 }
 
-/// Binds every still-unbound parameter to 2 so concrete steps can run.
-symbolic::Environment concretize(const graph::Graph& g,
-                                 const symbolic::Environment& env) {
-  symbolic::Environment full = env;
-  for (const std::string& p : g.params()) {
-    if (!full.has(p)) {
-      std::fprintf(stderr, "note: parameter '%s' unbound, using 2\n",
-                   p.c_str());
-      full.bind(p, 2);
-    }
-  }
-  return full;
-}
-
-int runAnalyze(const graph::Graph& g, const Cli& cli) {
-  const core::AnalysisReport report = core::analyze(g, cli.env);
-  std::printf("%s", report.toString(g).c_str());
-  return report.bounded() ? 0 : 1;
-}
-
-int runSchedule(const graph::Graph& g, const Cli& cli) {
-  const symbolic::Environment env = concretize(g, cli.env);
-  const csdf::LivenessResult live = csdf::findSchedule(g, env);
-  if (!live.live) {
-    std::printf("no schedule: %s\n", live.diagnostic.c_str());
-    return 1;
-  }
-  std::printf("schedule: %s\n", live.schedule.toString(g).c_str());
-  const csdf::BufferReport buffers = csdf::minimumBuffers(g, env);
-  if (buffers.ok) {
-    std::printf("buffers:  %lld tokens total\n",
-                static_cast<long long>(buffers.total()));
-    for (const graph::Channel& c : g.channels()) {
-      std::printf("  %-12s %lld\n", c.name.c_str(),
-                  static_cast<long long>(buffers.of(c.id)));
-    }
-  }
-  return 0;
-}
-
-/// `tpdfc --batch <dir> [--jobs N] [name=value ...]`: analyzes every
-/// .tpdf file under <dir> concurrently.  Exit 0 iff no file failed to
-/// load or analyze (unbounded graphs are reported, not errors).
-int runBatch(int argc, char** argv) {
-  if (argc < 3) return usage();
-  const std::string dir = argv[2];
-  core::BatchOptions options;
-  for (int i = 3; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--jobs") {
-      if (i + 1 >= argc) return usage();
-      const long long n = std::atoll(argv[++i]);
-      if (n <= 0) {
-        std::fprintf(stderr, "tpdfc: --jobs must be a positive integer\n");
-        return 2;
-      }
-      options.jobs = static_cast<std::size_t>(n);
-      continue;
-    }
-    const auto eq = arg.find('=');
-    if (eq == std::string::npos) return usage();
-    options.env.bind(arg.substr(0, eq), std::atoll(arg.c_str() + eq + 1));
-  }
-
-  std::vector<std::string> files;
-  try {
-    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
-      if (entry.is_regular_file() && entry.path().extension() == ".tpdf") {
-        files.push_back(entry.path().string());
-      }
-    }
-  } catch (const std::filesystem::filesystem_error& e) {
-    std::fprintf(stderr, "tpdfc: %s\n", e.what());
-    return 1;
-  }
-  std::sort(files.begin(), files.end());
-  if (files.empty()) {
-    std::fprintf(stderr, "tpdfc: no .tpdf files under '%s'\n", dir.c_str());
-    return 1;
-  }
-
-  // Loaders run on the pool's workers, so parsing parallelizes too.
-  std::vector<core::BatchSource> sources;
-  sources.reserve(files.size());
-  for (const std::string& path : files) {
-    sources.push_back({path, [path] { return io::readGraphFile(path); }});
-  }
-
-  const auto start = std::chrono::steady_clock::now();
-  const core::BatchResult result = core::analyzeBatch(sources, options);
-  const double ms = std::chrono::duration<double, std::milli>(
-                        std::chrono::steady_clock::now() - start)
-                        .count();
-
-  for (const core::BatchEntry& e : result.entries) {
-    if (!e.ok) {
-      std::fprintf(stderr, "tpdfc: %s: %s\n", e.name.c_str(),
-                   e.error.c_str());
-    }
-  }
-  std::printf("batch: %zu graphs from %s\n", result.entries.size(),
-              dir.c_str());
-  std::printf("  bounded:     %zu\n", result.bounded());
-  std::printf("  not bounded: %zu\n", result.analyzed() - result.bounded());
-  std::printf("  errors:      %zu\n", result.failed());
-  if (options.jobs == 0) {
-    std::printf("  elapsed:     %.1f ms (auto jobs)\n", ms);
+int runVersion(const Cli& cli) {
+  if (cli.json) {
+    auto doc = support::json::Value::object();
+    doc.set("status", "ok");
+    doc.set("diagnostics", support::json::Value::array());
+    doc.set("release", api::version().toJson());
+    emitJson(cli, doc);
   } else {
-    std::printf("  elapsed:     %.1f ms (%zu jobs)\n", ms, options.jobs);
+    std::printf("%s\n", api::version().toString().c_str());
   }
-  return result.failed() == 0 ? 0 : 1;
+  return 0;
 }
 
-int runMap(const graph::Graph& g, const Cli& cli) {
-  const symbolic::Environment env = concretize(g, cli.env);
-  const sched::CanonicalPeriod cp(g, env);
-  std::printf("canonical period: %zu occurrences\n", cp.size());
-  const sched::ListSchedule ls =
-      sched::listSchedule(cp, sched::Platform{.peCount = cli.pes});
-  std::printf("%s", ls.toString(cp).c_str());
+int runBatch(const Cli& cli) {
+  api::BatchRequest request;
+  request.directory = cli.input;
+  request.jobs = cli.jobs;
+  {
+    api::Response usage;
+    if (!bindAll(cli, request.bindings, usage)) {
+      return usageError(cli, usage.firstError());
+    }
+  }
+  api::Session session;
+  const api::BatchResponse response = session.batch(request);
+  if (cli.json) {
+    emitJson(cli, response.toJson());
+    return api::exitCode(response.status);
+  }
+  emitDiagnostics(response);
+  if (response.inputCount > 0) {
+    const core::BatchResult& result = response.result;
+    std::printf("batch: %zu graphs from %s\n", result.entries.size(),
+                cli.input.c_str());
+    std::printf("  bounded:     %zu\n", result.bounded());
+    std::printf("  not bounded: %zu\n", result.analyzed() - result.bounded());
+    std::printf("  errors:      %zu\n", result.failed());
+    if (cli.jobs == 0) {
+      std::printf("  elapsed:     %.1f ms (auto jobs)\n", response.elapsedMs);
+    } else {
+      std::printf("  elapsed:     %.1f ms (%zu jobs)\n", response.elapsedMs,
+                  cli.jobs);
+    }
+  }
+  return api::exitCode(response.status);
+}
+
+int runAnalyze(const Cli& cli, api::Session& session, const std::string& id) {
+  api::AnalyzeRequest request;
+  request.graphId = id;
+  {
+    api::Response usage;
+    if (!bindAll(cli, request.bindings, usage)) {
+      return usageError(cli, usage.firstError());
+    }
+  }
+  const api::AnalyzeResponse response = session.analyze(request);
+  if (!cli.json && response.analysisRan) {
+    std::printf("%s", response.report.toString(*session.graph(id)).c_str());
+  }
+  return finish(cli, response, response.toJson(session.graph(id)));
+}
+
+int runSchedule(const Cli& cli, api::Session& session, const std::string& id) {
+  api::ScheduleRequest request;
+  request.graphId = id;
+  {
+    api::Response usage;
+    if (!bindAll(cli, request.bindings, usage)) {
+      return usageError(cli, usage.firstError());
+    }
+  }
+  const api::ScheduleResponse response = session.schedule(request);
+  if (!cli.json) {
+    const graph::Graph* g = session.graph(id);
+    if (response.result.live && g != nullptr) {
+      std::printf("schedule: %s\n",
+                  response.result.schedule.toString(*g).c_str());
+      if (response.buffersComputed) {
+        std::printf("buffers:  %lld tokens total\n",
+                    static_cast<long long>(response.buffers.total()));
+        for (const graph::Channel& c : g->channels()) {
+          std::printf("  %-12s %lld\n", c.name.c_str(),
+                      static_cast<long long>(response.buffers.of(c.id)));
+        }
+      }
+    } else if (!response.result.live && response.status ==
+                                            api::Status::AnalysisNegative) {
+      std::printf("no schedule: %s\n", response.result.diagnostic.c_str());
+    }
+  }
+  return finish(cli, response, response.toJson(session.graph(id)));
+}
+
+int runMap(const Cli& cli, api::Session& session, const std::string& id) {
+  api::MapRequest request;
+  request.graphId = id;
+  request.pes = cli.pes;
+  {
+    api::Response usage;
+    if (!bindAll(cli, request.bindings, usage)) {
+      return usageError(cli, usage.firstError());
+    }
+  }
+  const api::MapResponse response = session.map(request);
+  if (!cli.json && response.period.has_value()) {
+    std::printf("canonical period: %zu occurrences\n",
+                response.period->size());
+    std::printf("%s", response.schedule.toString(*response.period).c_str());
+  }
+  return finish(cli, response, response.toJson());
+}
+
+int runSim(const Cli& cli, api::Session& session, const std::string& id) {
+  api::SimulateRequest request;
+  request.graphId = id;
+  request.options.iterations = cli.iterations;
+  request.options.recordTrace = cli.trace;
+  {
+    api::Response usage;
+    if (!bindAll(cli, request.bindings, usage)) {
+      return usageError(cli, usage.firstError());
+    }
+  }
+  const api::SimulateResponse response = session.simulate(request);
+  if (!cli.json && response.simulated) {
+    const sim::SimResult& r = response.result;
+    std::printf("simulated %lld firings to t=%g (%s)\n",
+                static_cast<long long>(r.totalFirings), r.endTime,
+                r.returnedToInitialState ? "returned to initial state"
+                                         : "did not return to initial state");
+    if (cli.trace) {
+      std::printf("%s", r.renderTrace(*session.graph(id)).c_str());
+    }
+  }
+  return finish(cli, response, response.toJson(session.graph(id)));
+}
+
+int runDot(const Cli& cli, api::Session& session, const std::string& id) {
+  const graph::Graph& g = *session.graph(id);
+  if (cli.json) {
+    auto doc = support::json::Value::object();
+    doc.set("status", "ok");
+    doc.set("diagnostics", support::json::Value::array());
+    doc.set("dot", g.toDot());
+    emitJson(cli, doc);
+  } else {
+    std::printf("%s", g.toDot().c_str());
+  }
   return 0;
+}
+
+int runEcho(const Cli& cli, api::Session& session, const std::string& id) {
+  const graph::Graph& g = *session.graph(id);
+  if (cli.json) {
+    auto doc = support::json::Value::object();
+    doc.set("status", "ok");
+    doc.set("diagnostics", support::json::Value::array());
+    doc.set("tpdf", io::writeGraph(g));
+    doc.set("graph", io::toJson(g));
+    emitJson(cli, doc);
+  } else {
+    std::printf("%s", io::writeGraph(g).c_str());
+  }
+  return 0;
+}
+
+int run(const Cli& cli) {
+  if (cli.command == "version") return runVersion(cli);
+  if (cli.command == "batch") return runBatch(cli);
+
+  api::Session session;
+  api::LoadRequest loadRequest;
+  loadRequest.path = cli.input;
+  const api::LoadResponse loaded = session.load(loadRequest);
+  if (!loaded.ok()) {
+    return finish(cli, loaded, loaded.toJson());
+  }
+
+  if (cli.command == "analyze") return runAnalyze(cli, session, loaded.id);
+  if (cli.command == "schedule") return runSchedule(cli, session, loaded.id);
+  if (cli.command == "map") return runMap(cli, session, loaded.id);
+  if (cli.command == "sim") return runSim(cli, session, loaded.id);
+  if (cli.command == "dot") return runDot(cli, session, loaded.id);
+  if (cli.command == "echo") return runEcho(cli, session, loaded.id);
+  return usageError(cli, "unknown command '" + cli.command + "'");
+}
+
+/// Returns false on malformed arguments; `error` explains why.
+///
+/// Positional layout mirrors the pre-façade CLI: the first non-flag
+/// token is the command, the second is the input path — always, even
+/// when the path contains '=' — and only tokens *after* the input are
+/// parsed as name=value bindings.
+bool parseArgs(int argc, char** argv, Cli& cli, std::string& error) {
+  bool haveCommand = false;
+  bool haveInput = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      cli.json = true;
+    } else if (arg == "--trace") {
+      cli.trace = true;
+    } else if (arg == "--version") {
+      cli.command = "version";
+      haveCommand = true;
+    } else if (arg == "--batch") {
+      // Back-compat spelling of the batch subcommand.
+      cli.command = "batch";
+      haveCommand = true;
+    } else if (arg == "--jobs" || arg == "--iterations") {
+      if (i + 1 >= argc) {
+        error = arg + " needs a value";
+        return false;
+      }
+      std::int64_t value = 0;
+      if (!parseInt(argv[++i], value) || value <= 0) {
+        error = arg + " must be a positive integer";
+        return false;
+      }
+      if (arg == "--jobs") {
+        cli.jobs = static_cast<std::size_t>(value);
+      } else {
+        // The simulator hard-caps total firings at 1'000'000, so more
+        // iterations than that can never complete — and an unbounded
+        // value would overflow the per-actor firing limit (q * N).
+        if (value > 1'000'000) {
+          error = "--iterations must be at most 1000000";
+          return false;
+        }
+        cli.iterations = value;
+      }
+    } else if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
+      error = "unknown flag '" + arg + "'";
+      return false;
+    } else if (!haveCommand) {
+      cli.command = arg;
+      haveCommand = true;
+    } else if (!haveInput && cli.command != "version") {
+      cli.input = arg;
+      haveInput = true;
+    } else if (arg.find('=') != std::string::npos) {
+      const auto eq = arg.find('=');
+      const std::string name = arg.substr(0, eq);
+      std::int64_t value = 0;
+      if (name.empty() || !parseInt(arg.substr(eq + 1), value)) {
+        error = "malformed name=value pair '" + arg + "'";
+        return false;
+      }
+      if (name == "pes") {
+        if (value <= 0) {
+          error = "pes must be a positive integer";
+          return false;
+        }
+        cli.pes = static_cast<std::size_t>(value);
+      } else {
+        cli.bindings.emplace_back(name, value);
+      }
+    } else {
+      error = "unexpected argument '" + arg + "'";
+      return false;
+    }
+  }
+
+  if (!haveCommand) {
+    error = "missing command";
+    return false;
+  }
+  if (cli.command == "version") {
+    return true;
+  }
+  if (!haveInput) {
+    error = cli.command == "batch" ? "batch needs a directory"
+                                   : "missing input file";
+    return false;
+  }
+  return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   Cli cli;
-  try {
-    // Inside the try: binding a non-positive parameter value throws.
-    if (argc >= 2 && std::strcmp(argv[1], "--batch") == 0) {
-      return runBatch(argc, argv);
-    }
-    if (!parseArgs(argc, argv, cli)) return usage();
-    const graph::Graph g = io::readGraphFile(cli.file);
-    if (cli.command == "analyze") return runAnalyze(g, cli);
-    if (cli.command == "schedule") return runSchedule(g, cli);
-    if (cli.command == "map") return runMap(g, cli);
-    if (cli.command == "dot") {
-      std::printf("%s", g.toDot().c_str());
-      return 0;
-    }
-    if (cli.command == "echo") {
-      std::printf("%s", io::writeGraph(g).c_str());
-      return 0;
-    }
-    return usage();
-  } catch (const support::Error& e) {
-    std::fprintf(stderr, "tpdfc: %s\n", e.what());
-    return 1;
+  std::string error;
+  if (!parseArgs(argc, argv, cli, error)) {
+    return usageError(cli, error);
   }
+  return run(cli);
 }
