@@ -14,6 +14,7 @@
 #include "core/analysis.hpp"
 #include "core/batch.hpp"
 #include "core/context.hpp"
+#include "core/sweep.hpp"
 #include "csdf/buffer.hpp"
 #include "csdf/liveness.hpp"
 #include "graph/builder.hpp"
@@ -253,6 +254,79 @@ void BM_AnalyzeBatchChains(benchmark::State& state) {
 }
 BENCHMARK(BM_AnalyzeBatchChains)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
+
+// ---- Sweep fixtures: N valuations of one graph. ----------------------
+// The design-space-exploration shape: one symbolic graph answers the
+// same question at N parameter points.  The sweep shares a single
+// AnalysisContext (view + repetition vector + rate safety computed once
+// for the whole grid); the FreshLoop twins run the same N analyses the
+// pre-sweep way — a fresh context per binding — so the pair quantifies
+// what the shared-context reuse buys.  jobs=1 keeps the comparison
+// serial (parallel speedup is a separate axis, see BM_AnalyzeBatchChains).
+
+void BM_SweepOfdm(benchmark::State& state) {
+  const Graph g = apps::ofdmTpdfEffective(apps::Constellation::Qam16);
+  const core::AnalysisContext ctx(g);
+  core::SweepSpec spec;
+  spec.axes.push_back(
+      core::SweepAxis::range("b", 1, state.range(0)));
+  spec.fixed = symbolic::Environment{{"N", 512}, {"L", 1}};
+  spec.computeBuffers = false;  // match what a fresh analyze computes
+  spec.computePeriod = false;
+  spec.jobs = 1;
+  for (auto _ : state) {
+    const core::SweepResult result = core::sweep(ctx, spec);
+    benchmark::DoNotOptimize(result.bounded());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SweepOfdm)
+    ->Arg(64)->Arg(256)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+void BM_SweepOfdmFreshLoop(benchmark::State& state) {
+  const Graph g = apps::ofdmTpdfEffective(apps::Constellation::Qam16);
+  for (auto _ : state) {
+    std::size_t bounded = 0;
+    for (std::int64_t b = 1; b <= state.range(0); ++b) {
+      const symbolic::Environment env{{"b", b}, {"N", 512}, {"L", 1}};
+      bounded += core::analyze(g, env).bounded() ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(bounded);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SweepOfdmFreshLoop)
+    ->Arg(64)->Arg(256)->Unit(benchmark::kMillisecond);
+
+void BM_SweepChain(benchmark::State& state) {
+  const Graph g = paramChain(64);
+  const core::AnalysisContext ctx(g);
+  core::SweepSpec spec;
+  spec.axes.push_back(core::SweepAxis::range("p", 1, state.range(0)));
+  spec.computeBuffers = false;
+  spec.computePeriod = false;
+  spec.jobs = 1;
+  for (auto _ : state) {
+    const core::SweepResult result = core::sweep(ctx, spec);
+    benchmark::DoNotOptimize(result.bounded());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SweepChain)->Arg(64)->UseRealTime()->Unit(benchmark::kMillisecond);
+
+void BM_SweepChainFreshLoop(benchmark::State& state) {
+  const Graph g = paramChain(64);
+  for (auto _ : state) {
+    std::size_t bounded = 0;
+    for (std::int64_t p = 1; p <= state.range(0); ++p) {
+      const symbolic::Environment env{{"p", p}};
+      bounded += core::analyze(g, env).bounded() ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(bounded);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SweepChainFreshLoop)->Arg(64)->Unit(benchmark::kMillisecond);
 
 void BM_BufferSizingOfdm(benchmark::State& state) {
   const graph::Graph g = apps::ofdmTpdfEffective(apps::Constellation::Qam16);

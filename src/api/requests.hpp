@@ -1,7 +1,8 @@
 // Request/response value types of the tpdf::api service façade.
 //
 // One request struct and one response struct per operation the toolkit
-// exposes (load, analyze, schedule, buffers, map, simulate, batch).
+// exposes (load, analyze, schedule, buffers, map, simulate, sweep,
+// batch).
 // Requests are plain aggregates a client fills in; responses derive from
 // api::Response (status + diagnostics, see diagnostics.hpp) and embed
 // the domain report types unchanged, so existing consumers of
@@ -22,6 +23,7 @@
 #include "api/diagnostics.hpp"
 #include "core/analysis.hpp"
 #include "core/batch.hpp"
+#include "core/sweep.hpp"
 #include "csdf/buffer.hpp"
 #include "csdf/liveness.hpp"
 #include "sched/canonical.hpp"
@@ -162,6 +164,46 @@ struct SimulateResponse : Response {
   sim::SimResult result;
 
   support::json::Value toJson(const graph::Graph* g) const;
+};
+
+// ---- sweep (design-space exploration) -----------------------------------
+
+struct SweepRequest {
+  std::string graphId;
+  /// Swept parameters: the cartesian grid of their values is analyzed
+  /// point by point.  An axis parameter must belong to the graph and
+  /// must not also appear in `fixed` (invalid-request otherwise —
+  /// a swept parameter is never silently defaulted or overridden).
+  std::vector<core::SweepAxis> axes;
+  /// Bindings shared by every point.
+  symbolic::Environment fixed;
+  /// Hard cap on analyzed points; larger grids are truncated with an
+  /// explicit `sweep-truncated` warning diagnostic.
+  std::size_t maxPoints = core::SweepSpec::kDefaultMaxPoints;
+  /// Worker threads; 0 means hardware concurrency.
+  std::size_t jobs = 0;
+  /// Platform width for the per-point period metric.
+  std::size_t pes = 4;
+  /// Per-point metrics; analysis verdicts are always produced.
+  bool computeBuffers = true;
+  bool computePeriod = true;
+  /// Retain the full per-point AnalysisReports (tests; off by default).
+  bool keepReports = false;
+};
+
+struct SweepResponse : Response {
+  std::string graphId;
+  std::string graphName;
+  /// True when the grid was enumerated and analyzed; `result` is
+  /// meaningful only then (an empty grid never ran — status
+  /// invalid-request with an `empty-sweep` diagnostic).
+  bool ran = false;
+  core::SweepResult result;
+  double elapsedMs = 0.0;
+  /// The requested job count (0 = auto).
+  std::size_t jobs = 0;
+
+  support::json::Value toJson() const;
 };
 
 // ---- batch --------------------------------------------------------------

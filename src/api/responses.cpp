@@ -108,6 +108,20 @@ support::json::Value SimulateResponse::toJson(const graph::Graph* g) const {
   return doc;
 }
 
+support::json::Value SweepResponse::toJson() const {
+  auto doc = base(*this);
+  doc.set("graphId", graphId);
+  // Same rule as the batch payload: a sweep that never enumerated a
+  // point (unknown graph, empty grid, invalid axes) must not serialize
+  // an empty-but-clean-looking result — status, the `empty-sweep` /
+  // `invalid-request` diagnostic and exit 2 tell the story instead.
+  if (!ran || result.points.empty()) return doc;
+  doc.set("jobs", jobs);
+  doc.set("elapsedMs", elapsedMs);
+  doc.set("sweep", result.toJson());
+  return doc;
+}
+
 support::json::Value BatchResponse::toJson() const {
   auto doc = base(*this);
   // The batch payload is meaningful whenever entries were processed —

@@ -301,6 +301,82 @@ SimulateResponse Session::simulate(const SimulateRequest& request) {
   return response;
 }
 
+// ---- sweep --------------------------------------------------------------
+
+SweepResponse Session::sweep(const SweepRequest& request) {
+  SweepResponse response;
+  response.graphId = request.graphId;
+  response.jobs = request.jobs;
+  Entry* entry = resolve(request.graphId, response);
+  if (entry == nullptr) return response;
+  const graph::Graph& g = entry->model.graph();
+  response.graphName = g.name();
+
+  if (request.axes.empty()) {
+    response.fail(Status::InvalidRequest, "invalid-request",
+                  "sweep needs at least one swept parameter "
+                  "(name=lo:hi[:step] or name=v1,v2,...)");
+    return response;
+  }
+
+  core::SweepSpec spec;
+  spec.axes = request.axes;
+  spec.fixed = request.fixed;
+  spec.maxPoints = request.maxPoints;
+  spec.jobs = request.jobs;
+  spec.pes = request.pes;
+  spec.computeBuffers = request.computeBuffers;
+  spec.computePeriod = request.computePeriod;
+  spec.keepReports = request.keepReports;
+  // One rule set shared with core::sweep (which would throw the same
+  // message): a malformed spec is a usage error (exit 2), not an input
+  // error — the defaulting audit (swept-and-fixed conflicts) included.
+  const std::string violation = core::validateSweepSpec(g, spec);
+  if (!violation.empty()) {
+    response.fail(Status::InvalidRequest, "invalid-request", violation);
+    return response;
+  }
+  if (spec.gridSize() == 0) {
+    // An empty grid (lo > hi, empty list) ran nothing; saying "ok" with
+    // an empty payload would look exactly like a clean sweep to a CI
+    // gate, so it is an explicit usage failure instead.
+    response.fail(Status::InvalidRequest, "empty-sweep",
+                  "sweep grid is empty: every axis needs at least one "
+                  "value (check for lo > hi ranges)");
+    return response;
+  }
+
+  guarded(response, "", [&] {
+    const auto start = std::chrono::steady_clock::now();
+    response.result = core::sweep(contextOf(*entry), spec);
+    response.elapsedMs = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+    response.ran = true;
+    if (response.result.truncated) {
+      response.warn("sweep-truncated",
+                    "grid has " + std::to_string(response.result.gridSize) +
+                        " points; analyzed the first " +
+                        std::to_string(response.result.points.size()) +
+                        " (raise the cap to cover the rest)");
+    }
+    for (const std::string& param : response.result.defaulted) {
+      response.note("unbound-parameter",
+                    "parameter '" + param +
+                        "' neither swept nor fixed, using 2 at every point");
+    }
+    for (std::size_t i = 0; i < response.result.points.size(); ++i) {
+      const core::SweepPoint& point = response.result.points[i];
+      if (point.ok) continue;
+      // Mirror batch-entry semantics: negative verdicts are results,
+      // only evaluation failures are errors.
+      response.fail(Status::InputError, "sweep-point",
+                    "point " + std::to_string(i) + " failed: " + point.error);
+    }
+  });
+  return response;
+}
+
 // ---- batch --------------------------------------------------------------
 
 BatchResponse Session::batch(const BatchRequest& request) {

@@ -18,7 +18,9 @@
 //   * A Session is NOT internally synchronized (same rule as
 //     AnalysisContext): share one per thread or guard it externally.
 //     batch() is the exception — it spawns its own worker pool but
-//     touches no session state.
+//     touches no session state.  sweep() fans out over a pool too, but
+//     warms the graph's context on the calling thread and then shares
+//     it strictly read-only.
 #pragma once
 
 #include <map>
@@ -65,6 +67,16 @@ class Session {
   /// status is Ok when every entry loaded and analyzed (negative
   /// verdicts are results, not errors).
   BatchResponse batch(const BatchRequest& request);
+
+  /// Design-space exploration: analyzes the cartesian grid of the
+  /// request's parameter axes on a thread pool, sharing the graph's
+  /// memoized AnalysisContext across every point (the repetition vector
+  /// and rate safety are computed once per sweep, not once per point).
+  /// Negative verdicts are results; per-point failures become
+  /// `sweep-point` diagnostics.  A request whose grid is empty (lo > hi,
+  /// empty value list) is refused as invalid-request with an
+  /// `empty-sweep` diagnostic — it never masquerades as a clean sweep.
+  SweepResponse sweep(const SweepRequest& request);
 
   // ---- Introspection -----------------------------------------------
 

@@ -165,7 +165,8 @@ namespace {
 LivenessReport checkLivenessOver(const AnalysisContext& ctx,
                                  const csdf::RepetitionVector& rv,
                                  const Environment& env,
-                                 std::int64_t sampleValue) {
+                                 std::int64_t sampleValue,
+                                 const graph::EvaluatedRates* providedRates) {
   const Graph& g = ctx.graph();
   const graph::GraphView& view = ctx.view();
   LivenessReport report;
@@ -180,7 +181,11 @@ LivenessReport checkLivenessOver(const AnalysisContext& ctx,
       report.sampleEnv.bind(param, sampleValue);
     }
   }
-  const graph::EvaluatedRates& sampleRates = ctx.rates(report.sampleEnv);
+  // Caller-provided tables keep concurrent sweeps off the context's
+  // mutable rate cache; they must match the completed sample env.
+  const graph::EvaluatedRates& sampleRates =
+      providedRates != nullptr ? *providedRates
+                               : ctx.rates(report.sampleEnv);
 
   const SccResult scc = stronglyConnectedComponents(view);
 
@@ -272,13 +277,21 @@ LivenessReport checkLiveness(const Graph& g,
                              const csdf::RepetitionVector& rv,
                              const Environment& env,
                              std::int64_t sampleValue) {
-  return checkLivenessOver(AnalysisContext(g), rv, env, sampleValue);
+  return checkLivenessOver(AnalysisContext(g), rv, env, sampleValue, nullptr);
 }
 
 LivenessReport checkLiveness(const AnalysisContext& ctx,
                              const Environment& env,
                              std::int64_t sampleValue) {
-  return checkLivenessOver(ctx, ctx.repetition(), env, sampleValue);
+  return checkLivenessOver(ctx, ctx.repetition(), env, sampleValue, nullptr);
+}
+
+LivenessReport checkLiveness(const AnalysisContext& ctx,
+                             const Environment& env,
+                             std::int64_t sampleValue,
+                             const graph::EvaluatedRates& sampleRates) {
+  return checkLivenessOver(ctx, ctx.repetition(), env, sampleValue,
+                           &sampleRates);
 }
 
 support::json::Value LivenessReport::toJson(const Graph& g) const {

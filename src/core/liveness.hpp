@@ -73,4 +73,16 @@ LivenessReport checkLiveness(const AnalysisContext& ctx,
                              const symbolic::Environment& env = {},
                              std::int64_t sampleValue = 2);
 
+/// Race-free variant for concurrent callers (the sweep driver): the
+/// caller supplies the integer rate tables instead of going through the
+/// context's mutable rate cache, so many threads can share one context
+/// read-only.  `sampleRates` must have been built over ctx.view() under
+/// `env` completed with `sampleValue` for every unbound parameter (the
+/// same environment checkLiveness would build internally); reports are
+/// identical to the cached overload.
+LivenessReport checkLiveness(const AnalysisContext& ctx,
+                             const symbolic::Environment& env,
+                             std::int64_t sampleValue,
+                             const graph::EvaluatedRates& sampleRates);
+
 }  // namespace tpdf::core

@@ -1,0 +1,436 @@
+#include "core/sweep.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <limits>
+#include <thread>
+#include <utility>
+
+#include "core/liveness.hpp"
+#include "core/safety.hpp"
+#include "csdf/buffer.hpp"
+#include "sched/canonical.hpp"
+#include "sched/list.hpp"
+#include "sched/platform.hpp"
+#include "support/error.hpp"
+#include "support/threadpool.hpp"
+
+namespace tpdf::core {
+
+using symbolic::Environment;
+
+// ---- SweepAxis ------------------------------------------------------------
+
+SweepAxis SweepAxis::range(std::string param, std::int64_t lo, std::int64_t hi,
+                           std::int64_t step) {
+  if (step <= 0) {
+    throw support::Error("sweep range for '" + param +
+                         "' needs a positive step, got " +
+                         std::to_string(step));
+  }
+  // Bounded domain: keeps hi - v overflow-free below and puts a ceiling
+  // on eager materialization (an axis is a value *list*; a range that
+  // large is out of scope for a grid sweep anyway).
+  constexpr std::int64_t kDomain = std::int64_t{1} << 32;
+  if (lo < -kDomain || hi > kDomain) {
+    throw support::Error("sweep range for '" + param +
+                         "' is outside the supported domain [-2^32, 2^32]");
+  }
+  constexpr std::int64_t kMaxAxisValues = 1 << 20;
+  if (lo <= hi && (hi - lo) / step + 1 > kMaxAxisValues) {
+    throw support::Error("sweep range for '" + param + "' has " +
+                         std::to_string((hi - lo) / step + 1) +
+                         " values; at most " +
+                         std::to_string(kMaxAxisValues) +
+                         " per axis are supported");
+  }
+  SweepAxis axis;
+  axis.param = std::move(param);
+  for (std::int64_t v = lo; v <= hi; v += step) {
+    axis.values.push_back(v);
+  }
+  return axis;
+}
+
+SweepAxis SweepAxis::list(std::string param, std::vector<std::int64_t> values) {
+  SweepAxis axis;
+  axis.param = std::move(param);
+  axis.values = std::move(values);
+  return axis;
+}
+
+namespace {
+
+std::int64_t parseAxisInt(const std::string& param, const std::string& text) {
+  if (text.empty()) {
+    throw support::Error("sweep values for '" + param +
+                         "' contain an empty field");
+  }
+  std::size_t used = 0;
+  std::int64_t value = 0;
+  try {
+    value = std::stoll(text, &used);
+  } catch (const std::exception&) {
+    used = text.size() + 1;  // force the malformed path below
+  }
+  if (used != text.size()) {
+    throw support::Error("malformed sweep value '" + text + "' for '" +
+                         param + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+SweepAxis SweepAxis::parse(std::string param, const std::string& text) {
+  if (text.find(':') != std::string::npos) {
+    std::vector<std::string> parts;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= text.size(); ++i) {
+      if (i == text.size() || text[i] == ':') {
+        parts.push_back(text.substr(start, i - start));
+        start = i + 1;
+      }
+    }
+    if (parts.size() < 2 || parts.size() > 3) {
+      throw support::Error("sweep range for '" + param +
+                           "' must be lo:hi or lo:hi:step, got '" + text +
+                           "'");
+    }
+    const std::int64_t lo = parseAxisInt(param, parts[0]);
+    const std::int64_t hi = parseAxisInt(param, parts[1]);
+    const std::int64_t step =
+        parts.size() == 3 ? parseAxisInt(param, parts[2]) : 1;
+    return range(std::move(param), lo, hi, step);
+  }
+  std::vector<std::int64_t> values;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == ',') {
+      values.push_back(parseAxisInt(param, text.substr(start, i - start)));
+      start = i + 1;
+    }
+  }
+  return list(std::move(param), std::move(values));
+}
+
+support::json::Value SweepAxis::toJson() const {
+  auto doc = support::json::Value::object();
+  doc.set("param", param);
+  auto list = support::json::Value::array();
+  for (const std::int64_t v : values) list.push(v);
+  doc.set("values", std::move(list));
+  return doc;
+}
+
+// ---- SweepSpec ------------------------------------------------------------
+
+std::size_t SweepSpec::gridSize() const {
+  // Saturate at int64 max, not size_t max: the count is serialized as a
+  // JSON integer (int64), and a size_t-max sentinel would render as -1.
+  constexpr std::size_t kMax =
+      static_cast<std::size_t>(std::numeric_limits<std::int64_t>::max());
+  std::size_t total = 1;
+  for (const SweepAxis& axis : axes) {
+    const std::size_t n = axis.values.size();
+    if (n == 0) return 0;
+    if (total > kMax / n) return kMax;  // saturate, never overflow
+    total *= n;
+  }
+  return total;
+}
+
+// ---- SweepPoint / SweepResult JSON ---------------------------------------
+
+namespace {
+
+support::json::Value bindingsJson(const Environment& env) {
+  auto doc = support::json::Value::object();
+  for (const auto& [name, value] : env.bindings()) doc.set(name, value);
+  return doc;
+}
+
+}  // namespace
+
+support::json::Value SweepPoint::toJson() const {
+  auto doc = support::json::Value::object();
+  doc.set("bindings", bindingsJson(bindings));
+  doc.set("ok", ok);
+  if (!ok) {
+    doc.set("error", error);
+    return doc;
+  }
+  doc.set("consistent", consistent);
+  doc.set("rateSafe", rateSafe);
+  doc.set("live", live);
+  doc.set("bounded", bounded);
+  if (!diagnostic.empty()) doc.set("diagnostic", diagnostic);
+  if (buffersComputed) {
+    doc.set("bufferTotal", bufferTotal);
+    doc.set("dataBufferTotal", dataBufferTotal);
+    doc.set("controlBufferTotal", controlBufferTotal);
+  }
+  if (periodComputed) {
+    doc.set("period", period);
+    doc.set("throughput", throughput);
+  }
+  if (buffersComputed && periodComputed) doc.set("pareto", pareto);
+  return doc;
+}
+
+std::size_t SweepResult::analyzed() const {
+  std::size_t n = 0;
+  for (const SweepPoint& p : points) n += p.ok ? 1 : 0;
+  return n;
+}
+
+std::size_t SweepResult::bounded() const {
+  std::size_t n = 0;
+  for (const SweepPoint& p : points) n += (p.ok && p.bounded) ? 1 : 0;
+  return n;
+}
+
+std::size_t SweepResult::failed() const {
+  return points.size() - analyzed();
+}
+
+support::json::Value SweepResult::toJson() const {
+  auto doc = support::json::Value::object();
+  auto axisList = support::json::Value::array();
+  for (const SweepAxis& axis : axes) axisList.push(axis.toJson());
+  doc.set("axes", std::move(axisList));
+  doc.set("gridSize", gridSize);
+  doc.set("analyzedPoints", points.size());
+  doc.set("truncated", truncated);
+  if (!defaulted.empty()) {
+    auto names = support::json::Value::array();
+    for (const std::string& name : defaulted) names.push(name);
+    doc.set("defaulted", std::move(names));
+  }
+  doc.set("analyzed", analyzed());
+  doc.set("bounded", bounded());
+  doc.set("notBounded", analyzed() - bounded());
+  doc.set("errors", failed());
+  auto pointList = support::json::Value::array();
+  for (const SweepPoint& p : points) pointList.push(p.toJson());
+  doc.set("points", std::move(pointList));
+  auto front = support::json::Value::array();
+  for (const std::size_t i : frontier) {
+    auto entry = support::json::Value::object();
+    entry.set("point", i);
+    entry.set("bindings", bindingsJson(points[i].bindings));
+    entry.set("bufferTotal", points[i].bufferTotal);
+    entry.set("period", points[i].period);
+    front.push(std::move(entry));
+  }
+  doc.set("pareto", std::move(front));
+  return doc;
+}
+
+// ---- Driver ---------------------------------------------------------------
+
+namespace {
+
+std::size_t resolveJobs(std::size_t requested) {
+  if (requested != 0) return requested;
+  const std::size_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+/// Marks the non-dominated points (bufferTotal vs. period, both
+/// minimized) and returns their indices by ascending bufferTotal.  A
+/// point survives iff no other point is <= on both metrics and < on one.
+std::vector<std::size_t> paretoFrontier(std::vector<SweepPoint>& points) {
+  std::vector<std::size_t> candidates;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (points[i].ok && points[i].bounded && points[i].buffersComputed &&
+        points[i].periodComputed) {
+      candidates.push_back(i);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (points[a].bufferTotal != points[b].bufferTotal) {
+                return points[a].bufferTotal < points[b].bufferTotal;
+              }
+              if (points[a].period != points[b].period) {
+                return points[a].period < points[b].period;
+              }
+              return a < b;
+            });
+  std::vector<std::size_t> frontier;
+  double bestPeriod = std::numeric_limits<double>::infinity();
+  std::size_t g = 0;
+  while (g < candidates.size()) {
+    // One group of equal bufferTotal; only its minimum-period points can
+    // be non-dominated, and only if they beat every smaller buffer.
+    std::size_t gEnd = g;
+    while (gEnd < candidates.size() &&
+           points[candidates[gEnd]].bufferTotal ==
+               points[candidates[g]].bufferTotal) {
+      ++gEnd;
+    }
+    const double groupMin = points[candidates[g]].period;  // sorted
+    if (groupMin < bestPeriod) {
+      for (std::size_t k = g; k < gEnd; ++k) {
+        if (points[candidates[k]].period != groupMin) break;
+        points[candidates[k]].pareto = true;
+        frontier.push_back(candidates[k]);
+      }
+      bestPeriod = groupMin;
+    }
+    g = gEnd;
+  }
+  return frontier;
+}
+
+}  // namespace
+
+std::string validateSweepSpec(const graph::Graph& g, const SweepSpec& spec) {
+  if (spec.maxPoints == 0) {
+    return "sweep point cap must be positive";
+  }
+  const auto& params = g.params();
+  for (std::size_t i = 0; i < spec.axes.size(); ++i) {
+    const std::string& name = spec.axes[i].param;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (spec.axes[j].param == name) {
+        return "parameter '" + name + "' is swept twice";
+      }
+    }
+    // A parameter is swept *or* fixed, never both: a fixed binding
+    // would silently pin every grid point of the axis.
+    if (spec.fixed.has(name)) {
+      return "parameter '" + name + "' is both swept and fixed";
+    }
+    if (std::find(params.begin(), params.end(), name) == params.end()) {
+      return "swept parameter '" + name + "' is not a parameter of graph '" +
+             g.name() + "'";
+    }
+    for (const std::int64_t v : spec.axes[i].values) {
+      if (v <= 0) {
+        return "swept parameter '" + name + "' takes non-positive value " +
+               std::to_string(v) + " (parameters are strictly positive)";
+      }
+    }
+  }
+  return "";
+}
+
+SweepResult sweep(const AnalysisContext& ctx, const SweepSpec& spec) {
+  const graph::Graph& g = ctx.graph();
+  const std::string violation = validateSweepSpec(g, spec);
+  if (!violation.empty()) {
+    throw support::Error(violation);
+  }
+
+  SweepResult result;
+  result.axes = spec.axes;
+  result.gridSize = spec.gridSize();
+  result.truncated = result.gridSize > spec.maxPoints;
+  const std::size_t pointCount =
+      std::min(result.gridSize, spec.maxPoints);
+
+  for (const std::string& param : g.params()) {
+    bool covered = spec.fixed.has(param);
+    for (const SweepAxis& axis : spec.axes) covered |= axis.param == param;
+    if (!covered) result.defaulted.push_back(param);
+  }
+  if (pointCount == 0) return result;  // empty grid: zero points, no verdicts
+
+  // Main-thread warm-up: after this the context is only ever read, so
+  // the workers can share it without synchronization.
+  const csdf::RepetitionVector& rv = ctx.repetition();
+  const RateSafetyReport safety = checkRateSafety(ctx);
+
+  result.points.resize(pointCount);
+  support::ThreadPool pool(
+      std::min(resolveJobs(spec.jobs), std::max<std::size_t>(pointCount, 1)));
+  for (std::size_t i = 0; i < pointCount; ++i) {
+    pool.submit([&, i] {
+      SweepPoint& point = result.points[i];
+      // Decode the row-major grid index: the first axis varies slowest.
+      std::size_t rest = i;
+      std::vector<std::int64_t> coords(spec.axes.size(), 0);
+      for (std::size_t a = spec.axes.size(); a-- > 0;) {
+        const std::size_t n = spec.axes[a].values.size();
+        coords[a] = spec.axes[a].values[rest % n];
+        rest /= n;
+      }
+      try {
+        Environment env = spec.fixed;
+        for (std::size_t a = 0; a < spec.axes.size(); ++a) {
+          env.bind(spec.axes[a].param, coords[a]);
+        }
+        point.bindings = env;
+
+        // The per-binding memoization, worker-local: evaluate every rate
+        // expression exactly once and reuse the table across liveness,
+        // buffer sizing and the canonical period.  `completed` is the
+        // sample environment checkLiveness builds internally (unbound,
+        // never-swept parameters at 2).
+        Environment completed = env;
+        for (const std::string& param : g.params()) {
+          if (!completed.has(param)) completed.bind(param, 2);
+        }
+        const graph::EvaluatedRates rates(ctx.view(), completed);
+
+        AnalysisReport report;
+        report.repetition = rv;
+        report.safety = safety;
+        report.liveness = checkLiveness(ctx, env, 2, rates);
+
+        point.consistent = report.consistent();
+        point.rateSafe = report.rateSafe();
+        point.live = report.live();
+        point.bounded = report.bounded();
+        if (!point.consistent) {
+          point.diagnostic = report.repetition.diagnostic;
+        } else if (!point.rateSafe) {
+          point.diagnostic = report.safety.diagnostic;
+        } else if (!point.live) {
+          point.diagnostic = report.liveness.diagnostic;
+        }
+
+        if (point.bounded && spec.computeBuffers) {
+          const csdf::BufferReport buffers = csdf::minimumBuffers(
+              ctx.view(), rv, completed, spec.bufferPolicy, &rates);
+          if (buffers.ok) {
+            point.buffersComputed = true;
+            point.bufferTotal = buffers.total();
+            point.dataBufferTotal = buffers.dataTotal(g);
+            point.controlBufferTotal = buffers.controlTotal(g);
+          } else if (point.diagnostic.empty()) {
+            point.diagnostic = buffers.diagnostic;
+          }
+        }
+        if (point.bounded && spec.computePeriod) {
+          const sched::CanonicalPeriod period(ctx.view(), rv, rates,
+                                              completed);
+          const sched::ListSchedule schedule = sched::listSchedule(
+              period, sched::Platform{.peCount = spec.pes});
+          point.periodComputed = true;
+          point.period = schedule.makespan;
+          point.throughput =
+              schedule.makespan > 0.0 ? 1.0 / schedule.makespan : 0.0;
+        }
+        if (spec.keepReports) point.report = std::move(report);
+        point.ok = true;
+      } catch (const std::exception& e) {
+        point.error = e.what();
+      } catch (...) {
+        point.error = "unknown error (non-standard exception)";
+      }
+    });
+  }
+  pool.wait();
+
+  result.frontier = paretoFrontier(result.points);
+  return result;
+}
+
+SweepResult sweep(const graph::Graph& g, const SweepSpec& spec) {
+  return sweep(AnalysisContext(g), spec);
+}
+
+}  // namespace tpdf::core

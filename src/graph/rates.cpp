@@ -1,5 +1,8 @@
 #include "graph/rates.hpp"
 
+#include <cctype>
+#include <utility>
+
 #include "support/error.hpp"
 #include "support/strings.hpp"
 
@@ -76,18 +79,66 @@ std::string RateSeq::toString() const {
   return "[" + support::join(parts, ",") + "]";
 }
 
-RateSeq RateSeq::parse(const std::string& text) {
-  std::string body = support::trim(text);
-  if (!body.empty() && body.front() == '[') {
-    if (body.back() != ']') {
-      throw support::ParseError("unterminated rate sequence '" + text + "'",
-                                1, 1);
+namespace {
+
+/// Line/column of 1-based `offset` within `text` (both 1-based), so a
+/// parse failure inside a multi-line bracketed list still points at the
+/// right spot of the specification.
+std::pair<int, int> positionAt(const std::string& text, std::size_t offset) {
+  int line = 1;
+  int column = 1;
+  for (std::size_t i = 0; i + 1 < offset && i < text.size(); ++i) {
+    if (text[i] == '\n') {
+      ++line;
+      column = 1;
+    } else {
+      ++column;
     }
-    body = body.substr(1, body.size() - 2);
+  }
+  return {line, column};
+}
+
+}  // namespace
+
+RateSeq RateSeq::parse(const std::string& text) {
+  // Track offsets into `text` so every ParseError carries a position
+  // relative to the whole specification, not to one entry's substring —
+  // callers (the .tpdf reader) then remap it to a file position.
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  if (begin < end && text[begin] == '[') {
+    if (text[end - 1] != ']') {
+      const auto [line, column] = positionAt(text, begin + 1);
+      throw support::ParseError("unterminated rate sequence '" + text + "'",
+                                line, column);
+    }
+    ++begin;
+    --end;
   }
   std::vector<Expr> entries;
-  for (const std::string& field : support::split(body, ',')) {
-    entries.push_back(symbolic::parseExpr(field));
+  std::size_t fieldStart = begin;
+  for (std::size_t i = begin; i <= end; ++i) {
+    if (i != end && text[i] != ',') continue;
+    try {
+      entries.push_back(
+          symbolic::parseExpr(text.substr(fieldStart, i - fieldStart)));
+    } catch (const support::ParseError& e) {
+      // The expression parser reports (1, offset-in-entry); shift to the
+      // entry's place in the specification.
+      const std::size_t offset =
+          fieldStart + static_cast<std::size_t>(e.column());
+      const auto [line, column] = positionAt(text, offset);
+      throw support::ParseError(e.message(), line, column);
+    }
+    fieldStart = i + 1;
   }
   return RateSeq(std::move(entries));
 }

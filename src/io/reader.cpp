@@ -2,6 +2,7 @@
 #include <cctype>
 #include <fstream>
 #include <sstream>
+#include <utility>
 
 #include "io/format.hpp"
 #include "support/error.hpp"
@@ -186,13 +187,28 @@ void parsePortClause(Lexer& lex, Graph& g, graph::ActorId actor,
                      PortKind kind) {
   const std::string name = lex.identifier();
   lex.expectKeyword("rates");
+  // Record where the rate specification starts: RateSeq::parse reports
+  // positions relative to the spec text, and diagnostics must point at
+  // the real location in the .tpdf file, not "line 1" of the expression.
+  lex.skipSpaceAndComments();
+  const int specLine = lex.line;
+  const int specColumn = lex.column;
   const std::string rates = lex.rateSpec();
+  graph::RateSeq seq;
+  try {
+    seq = RateSeq::parse(rates);
+  } catch (const support::ParseError& e) {
+    const int line = specLine + e.line() - 1;
+    const int column = e.line() == 1 ? specColumn + e.column() - 1
+                                     : e.column();
+    throw support::ParseError(e.message(), line, column);
+  }
   int priority = 0;
   if (lex.tryKeyword("priority")) {
     priority = static_cast<int>(lex.integer());
   }
   lex.expect(';');
-  g.addPort(actor, name, kind, RateSeq::parse(rates), priority);
+  g.addPort(actor, name, kind, std::move(seq), priority);
 }
 
 void parseActorBody(Lexer& lex, Graph& g, graph::ActorId actor) {

@@ -31,6 +31,17 @@ CanonicalPeriod::CanonicalPeriod(const core::AnalysisContext& ctx,
   build(ctx.view(), rv, ctx.rates(env), env);
 }
 
+CanonicalPeriod::CanonicalPeriod(const graph::GraphView& view,
+                                 const csdf::RepetitionVector& rv,
+                                 const graph::EvaluatedRates& rates,
+                                 const symbolic::Environment& env)
+    : graph_(&view.graph()) {
+  if (!rv.consistent) {
+    throw support::Error("cannot build canonical period: " + rv.diagnostic);
+  }
+  build(view, rv, rates, env);
+}
+
 void CanonicalPeriod::build(const graph::GraphView& view,
                             const csdf::RepetitionVector& rv,
                             const graph::EvaluatedRates& rates,

@@ -46,6 +46,15 @@ class CanonicalPeriod {
   CanonicalPeriod(const core::AnalysisContext& ctx,
                   const symbolic::Environment& env);
 
+  /// Fully caller-provided intermediates (race-free: never touches a
+  /// context's mutable caches, which is what the concurrent sweep driver
+  /// needs).  `rv` must be consistent and `rates` built over `view`
+  /// under `env`; the view's Graph must outlive the period.
+  CanonicalPeriod(const graph::GraphView& view,
+                  const csdf::RepetitionVector& rv,
+                  const graph::EvaluatedRates& rates,
+                  const symbolic::Environment& env);
+
   const graph::Graph& graph() const { return *graph_; }
   std::size_t size() const { return nodes_.size(); }
   const std::vector<Occurrence>& nodes() const { return nodes_; }

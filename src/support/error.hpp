@@ -43,13 +43,20 @@ class ParseError : public Error {
   ParseError(const std::string& what, int line, int column)
       : Error(what + " at line " + std::to_string(line) + ", column " +
               std::to_string(column)),
+        message_(what),
         line_(line),
         column_(column) {}
+
+  /// The bare message, without the appended position suffix — what a
+  /// handler needs to rethrow at a corrected position (the .tpdf reader
+  /// remaps expression-local rate-parse positions to file positions).
+  const std::string& message() const { return message_; }
 
   int line() const { return line_; }
   int column() const { return column_; }
 
  private:
+  std::string message_;
   int line_;
   int column_;
 };

@@ -139,6 +139,64 @@ TEST(IoRead, SyntaxErrorsCarryPosition) {
   }
 }
 
+TEST(IoRead, RateExpressionErrorsCarryFilePosition) {
+  // A bad rate expression mid-file must point at the real file location,
+  // not "line 1, column <offset-in-expression>" (the expression parser's
+  // local coordinates).
+  const std::string text =
+      "graph bad {\n"                        // line 1
+      "  param p;\n"                         // line 2
+      "  kernel A { out o rates [p]; }\n"    // line 3
+      "  kernel B { in i rates [2+*3]; }\n"  // line 4: '*' at column 28
+      "  channel e1 from A.o to B.i;\n"
+      "}\n";
+  try {
+    readGraph(text);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 4);
+    EXPECT_EQ(e.column(), 28);
+    EXPECT_NE(std::string(e.what()).find("unexpected character '*'"),
+              std::string::npos);
+  }
+}
+
+TEST(IoRead, RateErrorInMultiLineListCarriesFilePosition) {
+  // Bracketed rate lists may span lines; the position must follow.
+  const std::string text =
+      "graph bad {\n"                 // line 1
+      "  kernel A { out o rates [1,\n"  // line 2
+      "    2+*3]; }\n"                // line 3: '*' at column 7
+      "  kernel B { in i rates [1]; }\n"
+      "  channel e1 from A.o to B.i;\n"
+      "}\n";
+  try {
+    readGraph(text);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3);
+    EXPECT_EQ(e.column(), 7);
+  }
+}
+
+TEST(IoRead, SecondEntryErrorPointsPastTheComma) {
+  // Same line, second list entry: the column is spec-relative, shifted
+  // by the spec's start column.
+  const std::string text =
+      "graph bad {\n"
+      "  kernel A { out o rates [1, )2]; }\n"  // line 2: ')' at column 30
+      "  kernel B { in i rates [1]; }\n"
+      "  channel e1 from A.o to B.i;\n"
+      "}\n";
+  try {
+    readGraph(text);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_EQ(e.column(), 30);
+  }
+}
+
 TEST(IoRead, UnknownPortInChannelRejected) {
   EXPECT_THROW(readGraph(R"(
     graph bad {

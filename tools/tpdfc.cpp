@@ -18,6 +18,12 @@
 //   tpdfc batch    dir [--jobs N] [p=4..]  analyze every .tpdf in a
 //                                          directory on a thread pool
 //                                          (`tpdfc --batch dir` still works)
+//   tpdfc sweep    graph.tpdf p=1:256[:s]  design-space exploration: analyze
+//                  [q=1,2,4] [b=8] [--jobs N] [--cap N] [--analysis-only]
+//                                          the cartesian parameter grid over
+//                                          one shared analysis context, with
+//                                          per-point buffer totals + period
+//                                          and the Pareto frontier
 //   tpdfc version                          semver + git describe
 //
 // Parameters are given as name=value pairs; unbound parameters default
@@ -40,7 +46,9 @@
 #include "api/diagnostics.hpp"
 #include "api/session.hpp"
 #include "api/version.hpp"
+#include "core/sweep.hpp"
 #include "io/format.hpp"
+#include "support/error.hpp"
 #include "support/json.hpp"
 
 using namespace tpdf;
@@ -53,6 +61,9 @@ constexpr const char* kUsage =
     "       tpdfc sim <file.tpdf> [name=value ...] [--iterations N] "
     "[--trace] [--json]\n"
     "       tpdfc batch <dir> [--jobs N] [name=value ...] [--json]\n"
+    "       tpdfc sweep <file.tpdf> name=lo:hi[:step] [name=v1,v2,...] "
+    "[name=value ...] [pes=N]\n"
+    "             [--jobs N] [--cap N] [--analysis-only] [--json]\n"
     "       tpdfc version | --version\n"
     "exit codes: 0 ok/bounded, 1 analysis negative, 2 usage, "
     "3 input/parse error\n";
@@ -62,12 +73,16 @@ struct Cli {
   std::string input;  // graph file, or directory for batch
   bool json = false;
   bool trace = false;
+  bool analysisOnly = false;
   std::int64_t iterations = 1;
   std::size_t pes = 4;
   std::size_t jobs = 0;
+  std::size_t cap = core::SweepSpec::kDefaultMaxPoints;
   /// name=value pairs, validated but not yet bound (binding can reject
   /// non-positive values, which must surface as a usage diagnostic).
   std::vector<std::pair<std::string, std::int64_t>> bindings;
+  /// Swept parameter axes (sweep command: name=lo:hi[:step] / name=v1,v2).
+  std::vector<core::SweepAxis> axes;
 };
 
 /// Prints the final document: the envelope identifies the tool and the
@@ -185,6 +200,85 @@ int runBatch(const Cli& cli) {
     }
   }
   return api::exitCode(response.status);
+}
+
+/// "1,2,3" or "1,2,3,..,64" — the sweep's text rendering of an axis.
+/// Lists the actual values (a list axis is not a contiguous range, so
+/// "[lo..hi]" would misstate which points were analyzed).
+std::string axisValuesText(const core::SweepAxis& axis) {
+  constexpr std::size_t kShown = 8;
+  std::string out;
+  const std::size_t shown = std::min(axis.values.size(), kShown);
+  for (std::size_t i = 0; i < shown; ++i) {
+    if (i != 0) out += ",";
+    out += std::to_string(axis.values[i]);
+  }
+  if (shown < axis.values.size()) {
+    out += ",..," + std::to_string(axis.values.back());
+  }
+  return out;
+}
+
+/// "p=4 q=2" — the sweep's text rendering of one point's bindings.
+std::string bindingsText(const symbolic::Environment& env) {
+  std::string out;
+  for (const auto& [name, value] : env.bindings()) {
+    if (!out.empty()) out += " ";
+    out += name + "=" + std::to_string(value);
+  }
+  return out;
+}
+
+int runSweep(const Cli& cli, api::Session& session, const std::string& id) {
+  api::SweepRequest request;
+  request.graphId = id;
+  request.axes = cli.axes;
+  request.jobs = cli.jobs;
+  request.pes = cli.pes;
+  request.maxPoints = cli.cap;
+  if (cli.analysisOnly) {
+    request.computeBuffers = false;
+    request.computePeriod = false;
+  }
+  {
+    api::Response usage;
+    if (!bindAll(cli, request.fixed, usage)) {
+      return usageError(cli, usage.firstError());
+    }
+  }
+  const api::SweepResponse response = session.sweep(request);
+  if (!cli.json && response.ran) {
+    const core::SweepResult& r = response.result;
+    std::printf("sweep: %zu points over graph '%s'", r.points.size(),
+                response.graphName.c_str());
+    if (r.truncated) {
+      std::printf(" (grid %zu, truncated)", r.gridSize);
+    }
+    std::printf("\n");
+    for (const core::SweepAxis& axis : r.axes) {
+      std::printf("  axis %-8s %zu values [%s]\n", axis.param.c_str(),
+                  axis.values.size(), axisValuesText(axis).c_str());
+    }
+    std::printf("  bounded:     %zu\n", r.bounded());
+    std::printf("  not bounded: %zu\n", r.analyzed() - r.bounded());
+    std::printf("  errors:      %zu\n", r.failed());
+    if (cli.jobs == 0) {
+      std::printf("  elapsed:     %.1f ms (auto jobs)\n", response.elapsedMs);
+    } else {
+      std::printf("  elapsed:     %.1f ms (%zu jobs)\n", response.elapsedMs,
+                  cli.jobs);
+    }
+    if (!r.frontier.empty()) {
+      std::printf("pareto frontier (buffer total vs. period):\n");
+      for (const std::size_t i : r.frontier) {
+        const core::SweepPoint& p = r.points[i];
+        std::printf("  %-24s buffers=%-8lld period=%g\n",
+                    bindingsText(p.bindings).c_str(),
+                    static_cast<long long>(p.bufferTotal), p.period);
+      }
+    }
+  }
+  return finish(cli, response, response.toJson());
 }
 
 int runAnalyze(const Cli& cli, api::Session& session, const std::string& id) {
@@ -320,6 +414,7 @@ int run(const Cli& cli) {
   }
 
   if (cli.command == "analyze") return runAnalyze(cli, session, loaded.id);
+  if (cli.command == "sweep") return runSweep(cli, session, loaded.id);
   if (cli.command == "schedule") return runSchedule(cli, session, loaded.id);
   if (cli.command == "map") return runMap(cli, session, loaded.id);
   if (cli.command == "sim") return runSim(cli, session, loaded.id);
@@ -350,7 +445,9 @@ bool parseArgs(int argc, char** argv, Cli& cli, std::string& error) {
       // Back-compat spelling of the batch subcommand.
       cli.command = "batch";
       haveCommand = true;
-    } else if (arg == "--jobs" || arg == "--iterations") {
+    } else if (arg == "--analysis-only") {
+      cli.analysisOnly = true;
+    } else if (arg == "--jobs" || arg == "--iterations" || arg == "--cap") {
       if (i + 1 >= argc) {
         error = arg + " needs a value";
         return false;
@@ -362,6 +459,8 @@ bool parseArgs(int argc, char** argv, Cli& cli, std::string& error) {
       }
       if (arg == "--jobs") {
         cli.jobs = static_cast<std::size_t>(value);
+      } else if (arg == "--cap") {
+        cli.cap = static_cast<std::size_t>(value);
       } else {
         // The simulator hard-caps total firings at 1'000'000, so more
         // iterations than that can never complete — and an unbounded
@@ -384,8 +483,31 @@ bool parseArgs(int argc, char** argv, Cli& cli, std::string& error) {
     } else if (arg.find('=') != std::string::npos) {
       const auto eq = arg.find('=');
       const std::string name = arg.substr(0, eq);
+      const std::string spec = arg.substr(eq + 1);
+      if (name.empty()) {
+        error = "malformed name=value pair '" + arg + "'";
+        return false;
+      }
+      // Sweep axes: a value with ':' (range) or ',' (list) names a swept
+      // parameter; a plain integer stays a fixed binding.  `pes` is the
+      // platform width, not a graph parameter — never an axis.
+      if (cli.command == "sweep" && spec.find_first_of(":,") !=
+                                        std::string::npos) {
+        if (name == "pes") {
+          error = "pes cannot be swept (it is the platform width); "
+                  "use pes=N";
+          return false;
+        }
+        try {
+          cli.axes.push_back(core::SweepAxis::parse(name, spec));
+        } catch (const support::Error& e) {
+          error = e.what();
+          return false;
+        }
+        continue;
+      }
       std::int64_t value = 0;
-      if (name.empty() || !parseInt(arg.substr(eq + 1), value)) {
+      if (!parseInt(spec, value)) {
         error = "malformed name=value pair '" + arg + "'";
         return false;
       }
