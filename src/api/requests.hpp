@@ -23,6 +23,7 @@
 #include "api/diagnostics.hpp"
 #include "core/analysis.hpp"
 #include "core/batch.hpp"
+#include "core/differential.hpp"
 #include "core/sweep.hpp"
 #include "csdf/buffer.hpp"
 #include "csdf/liveness.hpp"
@@ -226,6 +227,33 @@ struct BatchResponse : Response {
   double elapsedMs = 0.0;
   /// The requested job count (0 = auto).
   std::size_t jobs = 0;
+
+  support::json::Value toJson() const;
+};
+
+// ---- verify (differential sim-vs-static harness) ------------------------
+
+struct VerifyRequest {
+  /// Directory scanned *recursively* for *.tpdf files, in sorted order
+  /// (unlike batch: the corpus lives in nested family directories); may
+  /// be combined with explicit `files`.
+  std::string directory;
+  /// Explicit input files, verified after the directory scan results.
+  std::vector<std::string> files;
+  /// Pre-bound parameters shared by every graph; parameters still
+  /// unbound are defaulted to 2 inside the harness.
+  symbolic::Environment bindings;
+  /// Harness knobs (iterations, firing budget, which checks, the
+  /// tamper-capacities negative self-test).
+  core::DiffOptions options;
+};
+
+struct VerifyResponse : Response {
+  std::size_t inputCount = 0;
+  /// Per-graph verdicts plus every discrepancy record (each with a
+  /// replayable .tpdf dump of the graph the simulator executed).
+  core::DiffReport report;
+  double elapsedMs = 0.0;
 
   support::json::Value toJson() const;
 };

@@ -137,4 +137,18 @@ support::json::Value BatchResponse::toJson() const {
   return doc;
 }
 
+support::json::Value VerifyResponse::toJson() const {
+  auto doc = base(*this);
+  // Same rule as batch: the payload is meaningful whenever graphs were
+  // cross-checked, including runs that found discrepancies or skipped
+  // unloadable files; a request that never ran serializes status +
+  // diagnostics only.
+  if (!report.verdicts.empty()) {
+    doc.set("inputs", inputCount);
+    doc.set("elapsedMs", elapsedMs);
+    doc.set("verify", report.toJson());
+  }
+  return doc;
+}
+
 }  // namespace tpdf::api

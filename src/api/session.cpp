@@ -442,4 +442,66 @@ BatchResponse Session::batch(const BatchRequest& request) {
   return response;
 }
 
+// ---- verify -------------------------------------------------------------
+
+VerifyResponse Session::verify(const VerifyRequest& request) {
+  VerifyResponse response;
+  if (request.directory.empty() && request.files.empty()) {
+    response.fail(Status::InvalidRequest, "invalid-request",
+                  "verify needs a directory or explicit files");
+    return response;
+  }
+
+  std::vector<std::string> files;
+  if (!request.directory.empty()) {
+    try {
+      for (const auto& dirEntry : std::filesystem::recursive_directory_iterator(
+               request.directory)) {
+        if (dirEntry.is_regular_file() &&
+            dirEntry.path().extension() == ".tpdf") {
+          files.push_back(dirEntry.path().string());
+        }
+      }
+    } catch (const std::filesystem::filesystem_error& e) {
+      response.fail(Status::InputError, "io-error", e.what(),
+                    request.directory);
+      return response;
+    }
+    std::sort(files.begin(), files.end());
+    if (files.empty() && request.files.empty()) {
+      response.fail(Status::InputError, "no-inputs",
+                    "no .tpdf files under '" + request.directory + "'",
+                    request.directory);
+      return response;
+    }
+  }
+  files.insert(files.end(), request.files.begin(), request.files.end());
+  response.inputCount = files.size();
+
+  const auto start = std::chrono::steady_clock::now();
+  for (const std::string& path : files) {
+    // Per-file guard: a file that fails to load (or a harness fault) is
+    // an input-error diagnostic for that file; the remaining corpus is
+    // still verified.
+    guarded(response, path, [&] {
+      core::TpdfGraph model(io::readGraphFile(path));
+      core::crossCheck(model, request.bindings, request.options,
+                       response.report, path);
+    });
+  }
+  response.elapsedMs = std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+
+  // fail() is last-wins on the status; keep the more severe InputError
+  // when some corpus file could not even be loaded.
+  const Status loadStatus = response.status;
+  for (const core::DiffRecord& r : response.report.records) {
+    response.fail(Status::AnalysisNegative, "discrepancy",
+                  "[" + r.check + "] " + r.graph + ": " + r.detail, r.file);
+  }
+  if (loadStatus != Status::Ok) response.status = loadStatus;
+  return response;
+}
+
 }  // namespace tpdf::api

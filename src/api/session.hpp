@@ -78,6 +78,15 @@ class Session {
   /// `empty-sweep` diagnostic — it never masquerades as a clean sweep.
   SweepResponse sweep(const SweepRequest& request);
 
+  /// Differential verification: runs the sim-vs-static cross-checks of
+  /// core/differential.hpp over every .tpdf found under the request's
+  /// directory (recursively, unlike batch — the corpus lives in nested
+  /// family directories) plus any explicit files.  Session state is
+  /// neither read nor written.  Status is AnalysisNegative when any
+  /// discrepancy was recorded (one `discrepancy` diagnostic each),
+  /// InputError when a corpus file failed to load.
+  VerifyResponse verify(const VerifyRequest& request);
+
   // ---- Introspection -----------------------------------------------
 
   bool has(const std::string& id) const;

@@ -1,0 +1,313 @@
+#include "apps/scenarios.hpp"
+
+#include <filesystem>
+#include <numeric>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "io/format.hpp"
+#include "support/prng.hpp"
+
+namespace tpdf::apps {
+
+using graph::Graph;
+using graph::GraphBuilder;
+
+namespace {
+
+std::string rateList(std::int64_t a, std::int64_t b) {
+  return "[" + std::to_string(a) + "," + std::to_string(b) + "]";
+}
+
+std::string rateScalar(std::int64_t a) {
+  return "[" + std::to_string(a) + "]";
+}
+
+}  // namespace
+
+Graph videoPipeline(int stages, std::uint64_t seed) {
+  support::Prng rng(seed);
+
+  // Per-edge scalar rates from a multiplicative walk over the repetition
+  // count v (kept even so actors can be split into two phases).
+  std::vector<std::int64_t> v(static_cast<std::size_t>(stages), 0);
+  std::vector<std::pair<std::int64_t, std::int64_t>> edge;  // (prod, cons)
+  v[0] = 4;
+  for (int i = 0; i + 1 < stages; ++i) {
+    const std::int64_t k = rng.uniform(2, 3);
+    std::int64_t prod = 1;
+    std::int64_t cons = 1;
+    const bool canShrink = v[static_cast<std::size_t>(i)] % (2 * k) == 0;
+    const bool canGrow = v[static_cast<std::size_t>(i)] * k <= 64;
+    if (canGrow && (!canShrink || rng.chance(0.5))) {
+      prod = k;
+    } else if (canShrink) {
+      cons = k;
+    }
+    edge.emplace_back(prod, cons);
+    v[static_cast<std::size_t>(i + 1)] =
+        v[static_cast<std::size_t>(i)] * prod / cons;
+  }
+
+  // Feedback rates balance q_last * a == q_first * b; primed with one
+  // iteration of the first stage's consumption so the cycle is live.
+  const std::int64_t g = std::gcd(v.front(), v.back());
+  const std::int64_t fbOut = v.front() / g;  // produced by the last stage
+  const std::int64_t fbIn = v.back() / g;    // consumed by the first stage
+  const std::int64_t fbInit = v.front() * fbIn;
+
+  GraphBuilder b("video" + std::to_string(stages) + "_" +
+                 std::to_string(seed & 0xFFF));
+  for (int i = 0; i < stages; ++i) {
+    const std::size_t si = static_cast<std::size_t>(i);
+    // Two-phase cyclo-static split preserves the per-iteration totals:
+    // a scalar rate r over q firings equals [r1, 2r - r1] over q/2 pairs.
+    const bool split = v[si] % 2 == 0 && rng.chance(0.5);
+    b.kernel("V" + std::to_string(i));
+    if (i > 0) {
+      const std::int64_t c = edge[si - 1].second;
+      if (split) {
+        const std::int64_t c1 = rng.uniform(0, 2 * c);
+        b.in("i", rateList(c1, 2 * c - c1));
+      } else {
+        b.in("i", rateScalar(c));
+      }
+    }
+    if (i + 1 < stages) {
+      const std::int64_t p = edge[si].first;
+      if (split) {
+        const std::int64_t p1 = rng.uniform(0, 2 * p);
+        b.out("o", rateList(p1, 2 * p - p1));
+      } else {
+        b.out("o", rateScalar(p));
+      }
+    }
+    if (i == 0) b.in("fb", rateScalar(fbIn));
+    if (i == stages - 1) b.out("fb", rateScalar(fbOut));
+    if (split) {
+      b.execTime({static_cast<double>(rng.uniform(1, 3)),
+                  0.5 * static_cast<double>(rng.uniform(1, 4))});
+    } else {
+      b.execTime({static_cast<double>(rng.uniform(1, 3))});
+    }
+  }
+  for (int i = 0; i + 1 < stages; ++i) {
+    b.channel("e" + std::to_string(i), "V" + std::to_string(i) + ".o",
+              "V" + std::to_string(i + 1) + ".i");
+  }
+  b.channel("fb", "V" + std::to_string(stages - 1) + ".fb", "V0.fb", fbInit);
+  return b.build();
+}
+
+Graph lteChain(int stages, std::uint64_t seed, std::int64_t qCap) {
+  support::Prng rng(seed);
+  static constexpr std::int64_t kCoprimes[] = {3, 5, 7, 11, 13};
+
+  std::vector<std::pair<std::int64_t, std::int64_t>> edge;
+  std::int64_t v = 1;
+  for (int i = 0; i + 1 < stages; ++i) {
+    const std::int64_t k =
+        kCoprimes[static_cast<std::size_t>(rng.uniform(0, 4))];
+    if (v * k <= qCap && (v % k != 0 || rng.chance(0.6))) {
+      edge.emplace_back(k, 1);
+      v *= k;
+    } else if (v % k == 0) {
+      edge.emplace_back(1, k);
+      v /= k;
+    } else {
+      edge.emplace_back(1, 1);
+    }
+  }
+
+  GraphBuilder b("lte" + std::to_string(stages) + "_" +
+                 std::to_string(seed & 0xFFF));
+  for (int i = 0; i < stages; ++i) {
+    b.kernel("S" + std::to_string(i));
+    if (i > 0) {
+      b.in("i", rateScalar(edge[static_cast<std::size_t>(i - 1)].second));
+    }
+    if (i + 1 < stages) {
+      b.out("o", rateScalar(edge[static_cast<std::size_t>(i)].first));
+    }
+    b.execTime({static_cast<double>(rng.uniform(1, 4))});
+  }
+  for (int i = 0; i + 1 < stages; ++i) {
+    b.channel("e" + std::to_string(i), "S" + std::to_string(i) + ".o",
+              "S" + std::to_string(i + 1) + ".i");
+  }
+  return b.build();
+}
+
+Graph parametricRegimes(int variant) {
+  switch (variant) {
+    case 0:
+      // q = [1, p, p, 1]: one parameter scales the middle stages.
+      return GraphBuilder("regime_p")
+          .param("p")
+          .kernel("SRC").out("o", "[p]")
+          .kernel("DEC").in("i", "[1]").out("o", "[2]").execTime({2.0})
+          .kernel("PROC").in("i", "[2]").out("o", "[1]").execTime({3.0})
+          .kernel("SNK").in("i", "[p]")
+          .channel("e1", "SRC.o", "DEC.i")
+          .channel("e2", "DEC.o", "PROC.i")
+          .channel("e3", "PROC.o", "SNK.i")
+          .build();
+    case 1:
+      // q = [q, p, p, q]: two independent regime parameters.
+      return GraphBuilder("regime_pq")
+          .param("p")
+          .param("q")
+          .kernel("A").out("o", "[p]")
+          .kernel("B").in("i", "[q]").out("o", "[1]").execTime({2.0})
+          .kernel("C").in("i", "[1]").out("o", "[q]")
+          .kernel("D").in("i", "[p]").execTime({1.5})
+          .channel("e1", "A.o", "B.i")
+          .channel("e2", "B.o", "C.i")
+          .channel("e3", "C.o", "D.i")
+          .build();
+    default:
+      // A zero phase gated by p: A produces [p, 0], so only every other
+      // firing emits.  q = [2, p, 2].
+      return GraphBuilder("regime_gated")
+          .param("p")
+          .kernel("A").out("o", "[p,0]").execTime({1.5, 0.5})
+          .kernel("B").in("i", "[1]").out("o", "[2]")
+          .kernel("C").in("i", "[p]").execTime({2.0})
+          .channel("e1", "A.o", "B.i")
+          .channel("e2", "B.o", "C.i")
+          .build();
+  }
+}
+
+Graph nestedCycles(int depth, std::uint64_t seed, bool live) {
+  support::Prng rng(seed);
+  struct Back {
+    int from;
+    int to;
+  };
+  std::vector<Back> backs;
+  backs.push_back({depth, 0});  // outermost cycle
+  for (int i = 2; i <= depth; ++i) {
+    if (i != depth && rng.chance(0.6)) {
+      backs.push_back({i, static_cast<int>(rng.uniform(0, i - 2))});
+    }
+  }
+
+  GraphBuilder b(std::string(live ? "nest" : "starved") +
+                 std::to_string(depth) + "_" + std::to_string(seed & 0xFFF));
+  for (int i = 0; i <= depth; ++i) {
+    b.kernel("N" + std::to_string(i));
+    if (i > 0) b.in("i", "[1]");
+    if (i < depth) b.out("o", "[1]");
+    for (std::size_t e = 0; e < backs.size(); ++e) {
+      if (backs[e].from == i) b.out("bo" + std::to_string(e), "[1]");
+      if (backs[e].to == i) b.in("bi" + std::to_string(e), "[1]");
+    }
+    b.execTime({static_cast<double>(rng.uniform(1, 2))});
+  }
+  for (int i = 0; i < depth; ++i) {
+    b.channel("f" + std::to_string(i), "N" + std::to_string(i) + ".o",
+              "N" + std::to_string(i + 1) + ".i");
+  }
+  for (std::size_t e = 0; e < backs.size(); ++e) {
+    // The starved variant drains the outermost back edge: its cycle then
+    // holds zero tokens in total, so the graph cannot be live.
+    const std::int64_t init = (!live && e == 0) ? 0 : 1;
+    b.channel("b" + std::to_string(e),
+              "N" + std::to_string(backs[e].from) + ".bo" + std::to_string(e),
+              "N" + std::to_string(backs[e].to) + ".bi" + std::to_string(e),
+              init);
+  }
+  return b.build();
+}
+
+Graph nearOverflowChain() {
+  // q = [1, 2^20]: the rate product stresses the checked arithmetic in
+  // the balance equations, and the firing count (just above the 1e6
+  // simulator cap) forces the differential harness down its skip path.
+  return GraphBuilder("near_overflow")
+      .kernel("A").out("o", "[1048576]")
+      .kernel("B").in("i", "[1]")
+      .channel("e", "A.o", "B.i")
+      .build();
+}
+
+Graph zeroRatePhaseChain(std::uint64_t seed) {
+  support::Prng rng(seed);
+  const bool flip = rng.chance(0.5);
+  // q = [2, 4, 2, 2]; A's and B's sequences both carry zero phases.
+  return GraphBuilder("zerophase_" + std::to_string(seed & 0xFFF))
+      .kernel("A").out("o", flip ? "[2,0]" : "[0,2]").execTime({1.0, 2.0})
+      .kernel("B").in("i", flip ? "[1,0,1,0]" : "[0,1,0,1]")
+                  .out("o", "[1]")
+      .kernel("C").in("i", "[2]").out("o", "[1]").execTime({2.5})
+      .kernel("D").in("i", "[1]")
+      .channel("e1", "A.o", "B.i")
+      .channel("e2", "B.o", "C.i")
+      .channel("e3", "C.o", "D.i")
+      .build();
+}
+
+Graph disconnectedComponents(std::uint64_t seed) {
+  support::Prng rng(seed);
+  const std::int64_t k1 = rng.uniform(2, 4);
+  const std::int64_t k2 = rng.uniform(2, 3);
+  // Two weakly disconnected chains; the repetition vector normalizes
+  // each component independently.
+  return GraphBuilder("islands_" + std::to_string(seed & 0xFFF))
+      .kernel("A0").out("o", rateScalar(k1))
+      .kernel("A1").in("i", rateScalar(k1 + 1))
+      .kernel("B0").out("o", "[1]")
+      .kernel("B1").in("i", "[1]").out("o", rateScalar(k2))
+      .kernel("B2").in("i", "[1]").execTime({2.0})
+      .channel("a0", "A0.o", "A1.i")
+      .channel("b0", "B0.o", "B1.i")
+      .channel("b1", "B1.o", "B2.i")
+      .build();
+}
+
+Graph inconsistentPair() {
+  // 2 q_A = 3 q_B together with q_B = q_A has no non-zero solution.
+  return GraphBuilder("inconsistent_pair")
+      .kernel("A").in("bi", "[1]").out("o", "[2]")
+      .kernel("B").in("i", "[3]").out("bo", "[1]")
+      .channel("e1", "A.o", "B.i")
+      .channel("e2", "B.bo", "A.bi", 4)
+      .build();
+}
+
+std::vector<Scenario> scenarioCorpus() {
+  std::vector<Scenario> corpus;
+  const auto add = [&](std::string name, std::string family, Graph g) {
+    corpus.push_back(
+        Scenario{std::move(name), std::move(family), std::move(g)});
+  };
+  add("video_pipe_small", "video", videoPipeline(4, 0xA1));
+  add("video_pipe_deep", "video", videoPipeline(7, 0xB2));
+  add("video_pipe_phased", "video", videoPipeline(5, 0xC3));
+  add("lte_prb", "lte", lteChain(5, 0xD4, 512));
+  add("lte_frame", "lte", lteChain(8, 0xE5, 20'000));
+  add("lte_huge_q", "lte", lteChain(6, 0xF6, 1'200'000));
+  add("param_regime_p", "parametric", parametricRegimes(0));
+  add("param_regime_pq", "parametric", parametricRegimes(1));
+  add("param_gated_phase", "parametric", parametricRegimes(2));
+  add("adv_nested_cycles", "adversarial", nestedCycles(5, 0x11, true));
+  add("adv_nested_deep", "adversarial", nestedCycles(8, 0x22, true));
+  add("adv_starved_cycle", "adversarial", nestedCycles(4, 0x33, false));
+  add("adv_near_overflow", "adversarial", nearOverflowChain());
+  add("adv_zero_phase", "adversarial", zeroRatePhaseChain(0x44));
+  add("adv_disconnected", "adversarial", disconnectedComponents(0x55));
+  add("adv_inconsistent", "adversarial", inconsistentPair());
+  return corpus;
+}
+
+void writeScenarioFiles(const std::string& directory) {
+  std::filesystem::create_directories(directory);
+  for (const Scenario& s : scenarioCorpus()) {
+    io::writeGraphFile(s.graph, directory + "/" + s.name + ".tpdf");
+  }
+}
+
+}  // namespace tpdf::apps

@@ -1,0 +1,84 @@
+// Seeded scenario generator families for the differential test corpus.
+//
+// randomConsistentChain (randomgraphs.hpp) covers plain SDF chains; the
+// families here cover the shapes the static analyses and the simulator
+// must agree on but the paper corpus does not exercise:
+//   * video pipelines — cyclo-static multi-phase rates with a feedback
+//     channel primed with one iteration of initial tokens;
+//   * LTE-style multi-rate chains — coprime rate pairs whose products
+//     drive the repetition vector far above the per-edge rates;
+//   * parametric regime graphs — symbolic rates gated by one or two
+//     parameters, so every valuation is a different concrete CSDF graph;
+//   * adversarial shapes — nested cycles, token-starved (non-live)
+//     cycles, near-overflow rate products, zero-rate phases,
+//     disconnected components and an inconsistent pair.
+//
+// Every generator is deterministic in its arguments (seeded Prng, no
+// global state), returns an in-memory Graph, and round-trips through the
+// .tpdf writer; scenarioCorpus() is the named instance list committed
+// under examples/graphs/scenarios/ and writeScenarioFiles() regenerates
+// those files (`tpdfc scenarios <dir>`).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace tpdf::apps {
+
+/// Cyclo-static pipeline of `stages` kernels: per-edge scalar rates from
+/// a multiplicative random walk, randomly split into two-phase sequences
+/// (preserving the per-iteration totals), plus a feedback channel from
+/// the last stage to the first primed with one iteration of tokens.
+graph::Graph videoPipeline(int stages, std::uint64_t seed);
+
+/// Multi-rate chain of `stages` kernels with coprime (prod, cons) rate
+/// pairs; repetition counts grow multiplicatively until the projected
+/// maximum would exceed `qCap`, after which edges fall back to 1:1.
+graph::Graph lteChain(int stages, std::uint64_t seed,
+                      std::int64_t qCap = 4096);
+
+/// Parametric regime graphs: variant 0 uses one parameter `p`, variant 1
+/// two parameters `p`/`q`, variant 2 gates a two-phase rate with a zero
+/// phase on `p`.  Every variant is consistent and live at any valuation.
+graph::Graph parametricRegimes(int variant);
+
+/// `depth + 1` unit-rate actors in a chain with a back edge from every
+/// level to an earlier one (nested cycles).  When `live`, every back
+/// edge carries one initial token; otherwise the outermost back edge is
+/// token-starved, so the graph is consistent but not live.
+graph::Graph nestedCycles(int depth, std::uint64_t seed, bool live = true);
+
+/// Two-actor chain with a 2^20 rate: the balance-equation products reach
+/// 2^40, and the repetition vector (just above the simulator's firing
+/// cap) is consistent and live but beyond any simulation budget.
+graph::Graph nearOverflowChain();
+
+/// Chain exercising zero-rate phases ([0,2]-style sequences) on both
+/// producer and consumer sides.
+graph::Graph zeroRatePhaseChain(std::uint64_t seed);
+
+/// Two independent consistent chains in one graph (weakly disconnected).
+graph::Graph disconnectedComponents(std::uint64_t seed);
+
+/// Two actors in a 2:3 / 1:1 cycle — no non-zero repetition vector.
+graph::Graph inconsistentPair();
+
+/// One named, seeded instance of a generator family.
+struct Scenario {
+  std::string name;    // file stem under examples/graphs/scenarios/
+  std::string family;  // "video" | "lte" | "parametric" | "adversarial"
+  graph::Graph graph;
+};
+
+/// The committed corpus: ~16 representative instances across the four
+/// families, in a stable order with stable seeds (the .tpdf files under
+/// examples/graphs/scenarios/ are byte-for-byte this list).
+std::vector<Scenario> scenarioCorpus();
+
+/// Writes `<directory>/<name>.tpdf` for every corpus scenario.
+void writeScenarioFiles(const std::string& directory);
+
+}  // namespace tpdf::apps

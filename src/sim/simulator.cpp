@@ -484,9 +484,12 @@ SimResult Simulator::run(const SimOptions& options) {
   // over the wake set reproduces the firing order of a full
   // rescan-until-fixpoint sweep.
   std::vector<std::size_t> due;
-  while (result.totalFirings < options.maxFirings) {
-    // Start everything that can start at the current time.
-    while (!wake.empty()) {
+  while (true) {
+    // Start everything that can start at the current time.  The firing
+    // cap gates starts (not event delivery), so a run that hits exactly
+    // maxFirings still delivers its in-flight completions and can report
+    // returnedToInitialState on the boundary.
+    while (!wake.empty() && result.totalFirings < options.maxFirings) {
       const std::size_t ai = *wake.begin();
       wake.erase(wake.begin());
       const graph::Actor& a = g.actors()[ai];

@@ -1,0 +1,174 @@
+// Differential sim-vs-static harness: the committed corpus must be
+// discrepancy-free, a deliberately broken oracle must be detected with a
+// replayable dump, and the back-pressure transform must preserve the
+// forward structure it promises.
+#include "core/differential.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "apps/papergraphs.hpp"
+#include "apps/scenarios.hpp"
+#include "core/analysis.hpp"
+#include "io/format.hpp"
+#include "support/error.hpp"
+
+namespace tpdf::core {
+namespace {
+
+using graph::Graph;
+using symbolic::Environment;
+
+/// Paper figures plus every scenario family — the same population
+/// `tpdfc verify examples/graphs` walks in CI.
+std::vector<Graph> fullCorpus() {
+  std::vector<Graph> corpus;
+  corpus.push_back(apps::fig1Csdf());
+  corpus.push_back(apps::fig2Tpdf());
+  corpus.push_back(apps::fig4aCycle());
+  corpus.push_back(apps::fig4bCycle());
+  for (apps::Scenario& s : apps::scenarioCorpus()) {
+    corpus.push_back(std::move(s.graph));
+  }
+  return corpus;
+}
+
+TEST(Differential, CorpusIsDiscrepancyFree) {
+  DiffReport report;
+  for (const Graph& g : fullCorpus()) {
+    crossCheck(TpdfGraph(g), Environment{}, DiffOptions{}, report);
+  }
+  for (const DiffRecord& r : report.records) {
+    ADD_FAILURE() << r.graph << " [" << r.check << "] " << r.detail;
+  }
+  EXPECT_TRUE(report.ok());
+  EXPECT_EQ(report.verdicts.size(), fullCorpus().size());
+  // The harness must actually exercise the oracles, not skip everything:
+  // the four paper graphs alone contribute three checks each.
+  EXPECT_GE(report.checksRun(), 12u);
+}
+
+TEST(Differential, CommittedScenarioFilesMatchTheGenerators) {
+  // The corpus on disk is generated (tpdfc scenarios); a drifted
+  // generator must fail here, not silently verify a stale corpus.
+  const std::filesystem::path dir = std::filesystem::path(TPDF_SOURCE_DIR) /
+                                    "examples" / "graphs" / "scenarios";
+  for (const apps::Scenario& s : apps::scenarioCorpus()) {
+    const std::filesystem::path file = dir / (s.name + ".tpdf");
+    ASSERT_TRUE(std::filesystem::exists(file)) << file;
+    const Graph onDisk = io::readGraphFile(file.string());
+    EXPECT_EQ(io::writeGraph(onDisk), io::writeGraph(s.graph)) << s.name;
+  }
+}
+
+TEST(Differential, TamperedCapacitiesAreDetectedWithReplayableDumps) {
+  // Negative self-test: shrink every computed capacity by one before the
+  // at-capacity run.  A healthy harness MUST flag this on every graph
+  // whose buffer check runs — silence would mean the oracle comparison
+  // is vacuous.
+  DiffOptions options;
+  options.tamperBufferCapacities = true;
+  DiffReport report;
+  crossCheck(TpdfGraph(apps::fig1Csdf()), Environment{}, options, report);
+  ASSERT_FALSE(report.records.empty());
+  const DiffRecord& r = report.records.front();
+  EXPECT_EQ(r.check, "buffers");
+  EXPECT_EQ(r.graph, "fig1_csdf");
+  // The dump is the exact back-pressure graph the simulator executed; it
+  // must parse back and analyze as consistent-but-not-live (that is the
+  // deadlock the record reports).
+  const Graph replay = io::readGraph(r.replay);
+  const AnalysisReport verdict = analyze(TpdfGraph(replay), Environment{});
+  EXPECT_TRUE(verdict.consistent());
+  EXPECT_FALSE(verdict.live());
+}
+
+TEST(Differential, WithChannelCapacitiesPreservesForwardStructure) {
+  const Graph g = apps::fig1Csdf();
+  std::vector<std::int64_t> capacity(g.channelCount(), 8);
+  const Graph capped = withChannelCapacities(g, capacity);
+  ASSERT_EQ(capped.actorCount(), g.actorCount());
+  // One reverse channel per data channel, appended after the originals
+  // so forward ChannelIds coincide.
+  ASSERT_EQ(capped.channelCount(), 2 * g.channelCount());
+  for (std::size_t i = 0; i < g.channelCount(); ++i) {
+    const graph::ChannelId id(static_cast<std::uint32_t>(i));
+    EXPECT_EQ(capped.channel(id).name, g.channel(id).name);
+    EXPECT_EQ(capped.channel(id).initialTokens, g.channel(id).initialTokens);
+    EXPECT_EQ(capped.sourceActor(id), g.sourceActor(id));
+    EXPECT_EQ(capped.destActor(id), g.destActor(id));
+    // The reverse channel starts with the free space and runs from the
+    // forward consumer back to the forward producer.
+    const graph::ChannelId rev(
+        static_cast<std::uint32_t>(g.channelCount() + i));
+    EXPECT_EQ(capped.channel(rev).name, "__bp_" + g.channel(id).name);
+    EXPECT_EQ(capped.channel(rev).initialTokens,
+              8 - g.channel(id).initialTokens);
+    EXPECT_EQ(capped.sourceActor(rev), g.destActor(id));
+    EXPECT_EQ(capped.destActor(rev), g.sourceActor(id));
+  }
+}
+
+TEST(Differential, WithChannelCapacitiesRejectsCapacityBelowInitialTokens) {
+  const Graph g = apps::fig4aCycle();
+  std::vector<std::int64_t> capacity(g.channelCount(), 0);
+  EXPECT_THROW(withChannelCapacities(g, capacity), support::Error);
+}
+
+TEST(Differential, InconsistentGraphAgreesWithSimulatorRejection) {
+  // Invariant (a), negative side: the simulator must refuse the graph
+  // the analyzer found rate inconsistent — agreement, so no record.
+  DiffReport report;
+  crossCheck(TpdfGraph(apps::inconsistentPair()), Environment{},
+             DiffOptions{}, report);
+  EXPECT_TRUE(report.ok());
+  ASSERT_EQ(report.verdicts.size(), 1u);
+  EXPECT_FALSE(report.verdicts.front().bounded);
+  EXPECT_EQ(report.verdicts.front().checksRun,
+            std::vector<std::string>{"boundedness"});
+}
+
+TEST(Differential, StarvedCycleAgreesWithSimulatorStall) {
+  // Consistent but not live: the simulation must stall (not return to
+  // the initial state), matching the static verdict.
+  DiffReport report;
+  crossCheck(TpdfGraph(apps::nestedCycles(4, 0x33, /*live=*/false)),
+             Environment{}, DiffOptions{}, report);
+  EXPECT_TRUE(report.ok());
+  ASSERT_EQ(report.verdicts.size(), 1u);
+  EXPECT_FALSE(report.verdicts.front().bounded);
+}
+
+TEST(Differential, HugeRepetitionVectorSkipsSimulationChecks) {
+  // Σq exceeds the firing budget: every simulation-backed check must be
+  // skipped with a reason, never attempted.
+  DiffReport report;
+  crossCheck(TpdfGraph(apps::nearOverflowChain()), Environment{},
+             DiffOptions{}, report);
+  EXPECT_TRUE(report.ok());
+  ASSERT_EQ(report.verdicts.size(), 1u);
+  const GraphVerdict& v = report.verdicts.front();
+  EXPECT_TRUE(v.bounded);  // static analysis still runs
+  EXPECT_TRUE(v.checksRun.empty());
+  EXPECT_EQ(v.skipped.size(), 3u);
+}
+
+TEST(Differential, ReportJsonCarriesCountsAndRecords) {
+  DiffOptions options;
+  options.tamperBufferCapacities = true;
+  DiffReport report;
+  crossCheck(TpdfGraph(apps::fig1Csdf()), Environment{}, options, report,
+             "fig1.tpdf");
+  const support::json::Value doc = report.toJson();
+  const std::string text = doc.dump();
+  EXPECT_NE(text.find("\"ok\":false"), std::string::npos);
+  EXPECT_NE(text.find("\"graphCount\":1"), std::string::npos);
+  EXPECT_NE(text.find("fig1.tpdf"), std::string::npos);
+  EXPECT_NE(text.find("\"check\":\"buffers\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tpdf::core

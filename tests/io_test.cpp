@@ -6,6 +6,7 @@
 #include "apps/ofdm.hpp"
 #include "apps/papergraphs.hpp"
 #include "apps/randomgraphs.hpp"
+#include "apps/scenarios.hpp"
 #include "csdf/repetition.hpp"
 #include "support/error.hpp"
 #include "support/prng.hpp"
@@ -248,7 +249,9 @@ Graph randomChain(int n, std::uint64_t seed) {
 }
 
 /// Property: writing is a fixpoint of one read — write(read(write(g)))
-/// == write(g) byte for byte, over the paper corpus and random chains.
+/// == write(g) byte for byte, over the paper corpus, every scenario
+/// family (multi-phase rate lists, parametric rate expressions,
+/// fractional execution times) and random chains.
 TEST(IoRoundTrip, WriteReadWriteIsAFixpointOnCorpus) {
   std::vector<Graph> corpus;
   corpus.push_back(apps::fig1Csdf());
@@ -258,6 +261,9 @@ TEST(IoRoundTrip, WriteReadWriteIsAFixpointOnCorpus) {
   corpus.push_back(apps::edgeDetectionGraph().graph());
   corpus.push_back(apps::ofdmTpdfEffective(apps::Constellation::Qam16));
   corpus.push_back(apps::ofdmCsdfGraph());
+  for (apps::Scenario& s : apps::scenarioCorpus()) {
+    corpus.push_back(std::move(s.graph));
+  }
   support::Prng seeds(0xF1CF01D);
   for (int trial = 0; trial < 8; ++trial) {
     // Sequenced: argument evaluation order is unspecified across

@@ -1,0 +1,150 @@
+// Scenario corpus generators: deterministic, structurally as advertised
+// (each adversarial family actually exhibits its hazard), and in sync
+// with the committed examples/graphs/scenarios/ files.
+#include "apps/scenarios.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/analysis.hpp"
+#include "core/model.hpp"
+#include "io/format.hpp"
+#include "support/error.hpp"
+
+namespace tpdf::apps {
+namespace {
+
+using graph::Graph;
+using symbolic::Environment;
+
+core::AnalysisReport analyzed(const Graph& g,
+                              const Environment& env = Environment{}) {
+  return core::analyze(core::TpdfGraph(g), env);
+}
+
+TEST(Scenarios, CorpusHasAtLeastFifteenUniquelyNamedInstances) {
+  const std::vector<Scenario> corpus = scenarioCorpus();
+  EXPECT_GE(corpus.size(), 15u);
+  std::set<std::string> names;
+  std::set<std::string> families;
+  for (const Scenario& s : corpus) {
+    EXPECT_TRUE(names.insert(s.name).second) << "duplicate " << s.name;
+    families.insert(s.family);
+  }
+  // Video pipelines, LTE chains, parametric regimes, adversarial shapes.
+  EXPECT_GE(families.size(), 4u);
+}
+
+TEST(Scenarios, GeneratorsAreDeterministic) {
+  // Same seed, same bytes — the property the committed corpus and every
+  // replay workflow depend on.
+  EXPECT_EQ(io::writeGraph(videoPipeline(5, 0xC3)),
+            io::writeGraph(videoPipeline(5, 0xC3)));
+  EXPECT_EQ(io::writeGraph(lteChain(8, 0xE5, 20000)),
+            io::writeGraph(lteChain(8, 0xE5, 20000)));
+  EXPECT_EQ(io::writeGraph(nestedCycles(8, 0x22)),
+            io::writeGraph(nestedCycles(8, 0x22)));
+  const std::vector<Scenario> a = scenarioCorpus();
+  const std::vector<Scenario> b = scenarioCorpus();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(io::writeGraph(a[i].graph), io::writeGraph(b[i].graph));
+  }
+}
+
+TEST(Scenarios, DifferentSeedsChangeTheGraph) {
+  EXPECT_NE(io::writeGraph(videoPipeline(5, 1)),
+            io::writeGraph(videoPipeline(5, 2)));
+}
+
+TEST(Scenarios, VideoPipelinesAreBoundedWithFeedback) {
+  for (const std::uint64_t seed : {0xA1ull, 0xB2ull, 0xC3ull}) {
+    const Graph g = videoPipeline(5, seed);
+    EXPECT_TRUE(analyzed(g).bounded()) << seed;
+    // The feedback edge makes the pipeline cyclic.
+    bool feedback = false;
+    for (const graph::Channel& c : g.channels()) {
+      if (g.sourceActor(c.id).index() > g.destActor(c.id).index()) {
+        feedback = true;
+      }
+    }
+    EXPECT_TRUE(feedback) << seed;
+  }
+}
+
+TEST(Scenarios, LteChainsAreBoundedWithMultiRateSteps) {
+  const Graph g = lteChain(6, 0xF6, 1'200'000);
+  const core::AnalysisReport report = analyzed(g);
+  EXPECT_TRUE(report.bounded());
+  // Coprime rate steps drive the repetition counts apart: the vector
+  // must not be uniform.
+  std::set<std::int64_t> counts;
+  for (const graph::Actor& a : g.actors()) {
+    counts.insert(report.repetition.qOf(a.id).evaluateInt(Environment{}));
+  }
+  EXPECT_GT(counts.size(), 1u);
+}
+
+TEST(Scenarios, ParametricRegimesExposeUnboundParameters) {
+  for (int variant = 0; variant < 3; ++variant) {
+    const Graph g = parametricRegimes(variant);
+    EXPECT_FALSE(g.params().empty()) << variant;
+    // Bounded at a concrete valuation — the sweep/verify default.
+    Environment env;
+    for (const std::string& p : g.params()) env.bind(p, 2);
+    EXPECT_TRUE(analyzed(g, env).bounded()) << variant;
+  }
+}
+
+TEST(Scenarios, NearOverflowChainExceedsTheSimulationBudget) {
+  const Graph g = nearOverflowChain();
+  const core::AnalysisReport report = analyzed(g);
+  EXPECT_TRUE(report.bounded());
+  std::int64_t total = 0;
+  for (const graph::Actor& a : g.actors()) {
+    total += report.repetition.qOf(a.id).evaluateInt(Environment{});
+  }
+  EXPECT_GT(total, 1'000'000);
+}
+
+TEST(Scenarios, StarvedCycleIsConsistentButNotLive) {
+  const core::AnalysisReport report =
+      analyzed(nestedCycles(4, 0x33, /*live=*/false));
+  EXPECT_TRUE(report.consistent());
+  EXPECT_FALSE(report.live());
+}
+
+TEST(Scenarios, InconsistentPairFailsTheBalanceEquations) {
+  EXPECT_FALSE(analyzed(inconsistentPair()).consistent());
+}
+
+TEST(Scenarios, ZeroRatePhaseChainIsBounded) {
+  EXPECT_TRUE(analyzed(zeroRatePhaseChain(0x44)).bounded());
+}
+
+TEST(Scenarios, DisconnectedComponentsAreBounded) {
+  const Graph g = disconnectedComponents(0x55);
+  EXPECT_TRUE(analyzed(g).bounded());
+}
+
+TEST(Scenarios, WriteScenarioFilesEmitsOneParsableFilePerScenario) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "scenario_corpus";
+  std::filesystem::remove_all(dir);
+  writeScenarioFiles(dir.string());
+  for (const Scenario& s : scenarioCorpus()) {
+    const std::filesystem::path file = dir / (s.name + ".tpdf");
+    ASSERT_TRUE(std::filesystem::exists(file)) << file;
+    const Graph parsed = io::readGraphFile(file.string());
+    EXPECT_EQ(io::writeGraph(parsed), io::writeGraph(s.graph)) << s.name;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace tpdf::apps

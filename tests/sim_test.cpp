@@ -273,5 +273,101 @@ TEST(Simulator, TightDeadlineSelectsQuickMask) {
   EXPECT_EQ(winner, "QMask");
 }
 
+// ---- Edge cases around iteration and firing limits ----------------------
+
+TEST(SimulatorEdge, ZeroIterationsCompleteImmediately) {
+  core::TpdfGraph model(apps::fig1Csdf());
+  Simulator sim(model, Environment{});
+  SimOptions options;
+  options.iterations = 0;
+  const SimResult result = sim.run(options);
+  ASSERT_TRUE(result.ok) << result.diagnostic;
+  EXPECT_EQ(result.totalFirings, 0);
+  EXPECT_EQ(result.endTime, 0.0);
+  EXPECT_TRUE(result.returnedToInitialState);
+}
+
+TEST(SimulatorEdge, SingleSelfLoopActor) {
+  // One actor recycling its own token: q = [1], every firing consumes
+  // and reproduces the loop token.
+  const Graph g = GraphBuilder("loop")
+      .kernel("A").in("i", "[1]").out("o", "[1]").execTime({2.0})
+      .channel("self", "A.o", "A.i", 1)
+      .build();
+  core::TpdfGraph model(g);
+  Simulator sim(model, Environment{});
+  SimOptions options;
+  options.iterations = 4;
+  const SimResult result = sim.run(options);
+  ASSERT_TRUE(result.ok) << result.diagnostic;
+  EXPECT_EQ(result.firings, (std::vector<std::int64_t>{4}));
+  // The single loop token serializes the firings.
+  EXPECT_EQ(result.endTime, 8.0);
+  EXPECT_TRUE(result.returnedToInitialState);
+  EXPECT_EQ(result.channel(*g.findChannel("self")).maxOccupancy, 1);
+}
+
+TEST(SimulatorEdge, InitialTokensExceedingOnePeriodsConsumption) {
+  // The channel starts with far more tokens than one iteration consumes;
+  // completion must still mean "back to 7", not "drained".
+  const Graph g = GraphBuilder("primed")
+      .kernel("A").out("o", "[2]")
+      .kernel("B").in("i", "[1,1]")
+      .channel("e", "A.o", "B.i", 7)
+      .build();
+  core::TpdfGraph model(g);
+  Simulator sim(model, Environment{});
+  const SimResult result = sim.run();
+  ASSERT_TRUE(result.ok) << result.diagnostic;
+  // One firing of A, two phase-firings of B: 2 of the 9 tokens move.
+  EXPECT_EQ(result.firings, (std::vector<std::int64_t>{1, 2}));
+  EXPECT_TRUE(result.returnedToInitialState);
+}
+
+TEST(SimulatorEdge, ExactFiringCapStillReportsSteadyState) {
+  // fig1 needs 7 firings per iteration; a cap of exactly 7*k must both
+  // finish the k-th iteration and deliver the in-flight completions, so
+  // the run still observes the return to the initial state.
+  core::TpdfGraph model(apps::fig1Csdf());
+  Simulator sim(model, Environment{});
+  SimOptions options;
+  options.iterations = 5;
+  options.maxFirings = 35;
+  const SimResult result = sim.run(options);
+  ASSERT_TRUE(result.ok) << result.diagnostic;
+  EXPECT_EQ(result.totalFirings, 35);
+  EXPECT_TRUE(result.returnedToInitialState);
+}
+
+TEST(SimulatorEdge, CapOneBelowRequirementStopsShort) {
+  core::TpdfGraph model(apps::fig1Csdf());
+  Simulator sim(model, Environment{});
+  SimOptions options;
+  options.iterations = 5;
+  options.maxFirings = 34;
+  const SimResult result = sim.run(options);
+  ASSERT_TRUE(result.ok) << result.diagnostic;
+  EXPECT_EQ(result.totalFirings, 34);
+  EXPECT_FALSE(result.returnedToInitialState);
+}
+
+TEST(SimulatorEdge, DefaultCapBoundaryAtExactlyOneMillionFirings) {
+  // 500k iterations of a two-actor chain hit the default 1e6 cap on the
+  // nose; the boundary must count as completion, not truncation.
+  const Graph g = GraphBuilder("pair")
+      .kernel("A").out("o", "[1]").execTime({0.0})
+      .kernel("B").in("i", "[1]").execTime({0.0})
+      .channel("e", "A.o", "B.i")
+      .build();
+  core::TpdfGraph model(g);
+  Simulator sim(model, Environment{});
+  SimOptions options;
+  options.iterations = 500'000;
+  const SimResult result = sim.run(options);
+  ASSERT_TRUE(result.ok) << result.diagnostic;
+  EXPECT_EQ(result.totalFirings, 1'000'000);
+  EXPECT_TRUE(result.returnedToInitialState);
+}
+
 }  // namespace
 }  // namespace tpdf::sim

@@ -1,10 +1,18 @@
-// Unit tests for the hand-rolled JSON writer (support/json.hpp).
+// Unit tests for the hand-rolled JSON writer (support/json.hpp), plus
+// randomized round-trip fuzz against the strict RFC 8259 test parser.
 #include "support/json.hpp"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <limits>
+#include <string>
+
+#include "api/requests.hpp"
+#include "core/differential.hpp"
+#include "support/prng.hpp"
+
+#include "strict_json.hpp"
 
 namespace tpdf::support::json {
 namespace {
@@ -93,6 +101,105 @@ TEST(JsonValue, EqualityIsStructural) {
   EXPECT_EQ(a, b);
   b.set("x", 2);
   EXPECT_NE(a, b);
+}
+
+// ---- Randomized round-trip fuzz (strict_json.hpp oracle) ----------------
+
+/// A string of random bytes: control characters, quotes, backslashes and
+/// high bytes — everything the escaper must get right.
+std::string randomString(Prng& rng) {
+  const std::int64_t len = rng.uniform(0, 24);
+  std::string out;
+  for (std::int64_t i = 0; i < len; ++i) {
+    out += static_cast<char>(rng.uniform(1, 255));
+  }
+  return out;
+}
+
+Value randomValue(Prng& rng, int depth) {
+  switch (rng.uniform(0, depth > 0 ? 6 : 4)) {
+    case 0:
+      return Value(nullptr);
+    case 1:
+      return Value(rng.chance(0.5));
+    case 2:
+      return Value(static_cast<std::int64_t>(rng.next()));
+    case 3:
+      // Finite doubles only: infinities/NaN degrade to null by design
+      // and would trivially break identity.
+      return Value(static_cast<double>(rng.uniform(-1'000'000, 1'000'000)) /
+                   128.0);
+    case 4:
+      return Value(randomString(rng));
+    case 5: {
+      auto arr = Value::array();
+      const std::int64_t n = rng.uniform(0, 4);
+      for (std::int64_t i = 0; i < n; ++i) {
+        arr.push(randomValue(rng, depth - 1));
+      }
+      return arr;
+    }
+    default: {
+      auto obj = Value::object();
+      const std::int64_t n = rng.uniform(0, 4);
+      for (std::int64_t i = 0; i < n; ++i) {
+        obj.set(randomString(rng) + std::to_string(i),
+                randomValue(rng, depth - 1));
+      }
+      return obj;
+    }
+  }
+}
+
+TEST(JsonFuzz, RandomDocumentsRoundTripThroughStrictParser) {
+  Prng rng(0x5EED);
+  for (int trial = 0; trial < 200; ++trial) {
+    tpdf::test::expectRoundTrip(randomValue(rng, 4));
+  }
+}
+
+TEST(JsonFuzz, RandomizedApiResponsesRoundTrip) {
+  // The façade documents its JSON as machine-consumable; randomized
+  // diagnostics and discrepancy records (arbitrary bytes in messages,
+  // file names, replay dumps) must survive serialize -> strict parse ->
+  // serialize byte-identically.
+  Prng rng(0xD0C5);
+  for (int trial = 0; trial < 50; ++trial) {
+    api::VerifyResponse response;
+    const std::int64_t diags = rng.uniform(0, 3);
+    for (std::int64_t i = 0; i < diags; ++i) {
+      api::Diagnostic d;
+      d.severity = rng.chance(0.5) ? api::Severity::Error
+                                   : api::Severity::Warning;
+      d.code = "fuzz-code";
+      d.message = randomString(rng);
+      d.file = randomString(rng);
+      if (rng.chance(0.5)) {
+        d.line = static_cast<int>(rng.uniform(1, 500));
+        d.column = static_cast<int>(rng.uniform(1, 120));
+      }
+      response.diagnostics.push_back(std::move(d));
+      response.status = api::Status::AnalysisNegative;
+    }
+    core::GraphVerdict verdict;
+    verdict.graph = randomString(rng);
+    verdict.file = randomString(rng);
+    verdict.bounded = rng.chance(0.5);
+    verdict.checksRun.push_back("boundedness");
+    verdict.skipped.push_back("throughput: " + randomString(rng));
+    response.report.verdicts.push_back(std::move(verdict));
+    if (rng.chance(0.5)) {
+      core::DiffRecord record;
+      record.graph = randomString(rng);
+      record.check = "buffers";
+      record.detail = randomString(rng);
+      record.replay = "graph g {\n  " + randomString(rng) + "\n}\n";
+      response.report.records.push_back(std::move(record));
+    }
+    response.inputCount = static_cast<std::size_t>(rng.uniform(1, 40));
+    response.elapsedMs = static_cast<double>(rng.uniform(0, 10'000)) / 16.0;
+    tpdf::test::expectRoundTrip(response.toJson());
+  }
 }
 
 }  // namespace

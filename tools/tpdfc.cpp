@@ -24,6 +24,14 @@
 //                                          one shared analysis context, with
 //                                          per-point buffer totals + period
 //                                          and the Pareto frontier
+//   tpdfc verify   dir|graph.tpdf          differential verification: cross-
+//                  [--iterations N]        check the static verdicts against
+//                  [--negative-selftest]   the simulator over every .tpdf
+//                                          under the directory (recursive);
+//                                          any discrepancy exits 1 with a
+//                                          replayable graph dump
+//   tpdfc scenarios dir                    regenerate the scenario corpus
+//                                          (examples/graphs/scenarios/)
 //   tpdfc version                          semver + git describe
 //
 // Parameters are given as name=value pairs; unbound parameters default
@@ -39,6 +47,8 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
+#include <filesystem>
 #include <string>
 #include <utility>
 #include <vector>
@@ -46,6 +56,8 @@
 #include "api/diagnostics.hpp"
 #include "api/session.hpp"
 #include "api/version.hpp"
+#include "apps/scenarios.hpp"
+#include "core/differential.hpp"
 #include "core/sweep.hpp"
 #include "io/format.hpp"
 #include "support/error.hpp"
@@ -61,6 +73,9 @@ constexpr const char* kUsage =
     "       tpdfc sim <file.tpdf> [name=value ...] [--iterations N] "
     "[--trace] [--json]\n"
     "       tpdfc batch <dir> [--jobs N] [name=value ...] [--json]\n"
+    "       tpdfc verify <dir|file.tpdf> [name=value ...] [--iterations N]\n"
+    "             [--negative-selftest] [--json]\n"
+    "       tpdfc scenarios <dir> [--json]\n"
     "       tpdfc sweep <file.tpdf> name=lo:hi[:step] [name=v1,v2,...] "
     "[name=value ...] [pes=N]\n"
     "             [--jobs N] [--cap N] [--analysis-only] [--json]\n"
@@ -70,11 +85,16 @@ constexpr const char* kUsage =
 
 struct Cli {
   std::string command;
-  std::string input;  // graph file, or directory for batch
+  std::string input;  // graph file, or directory for batch/verify/scenarios
   bool json = false;
   bool trace = false;
   bool analysisOnly = false;
+  /// verify: deliberately under-size every buffer capacity so the
+  /// harness must report discrepancies (negative self-test).
+  bool negativeSelftest = false;
   std::int64_t iterations = 1;
+  /// True when --iterations was given (verify defaults differ from sim).
+  bool iterationsSet = false;
   std::size_t pes = 4;
   std::size_t jobs = 0;
   std::size_t cap = core::SweepSpec::kDefaultMaxPoints;
@@ -200,6 +220,86 @@ int runBatch(const Cli& cli) {
     }
   }
   return api::exitCode(response.status);
+}
+
+int runVerify(const Cli& cli) {
+  api::VerifyRequest request;
+  // A single .tpdf replay file is accepted in place of a corpus
+  // directory (the replay workflow of docs/differential-testing.md).
+  if (std::filesystem::is_directory(cli.input)) {
+    request.directory = cli.input;
+  } else {
+    request.files.push_back(cli.input);
+  }
+  if (cli.iterationsSet) request.options.iterations = cli.iterations;
+  request.options.tamperBufferCapacities = cli.negativeSelftest;
+  {
+    api::Response usage;
+    if (!bindAll(cli, request.bindings, usage)) {
+      return usageError(cli, usage.firstError());
+    }
+  }
+  api::Session session;
+  const api::VerifyResponse response = session.verify(request);
+  if (cli.json) {
+    emitJson(cli, response.toJson());
+    return api::exitCode(response.status);
+  }
+  emitDiagnostics(response);
+  const core::DiffReport& report = response.report;
+  if (!report.verdicts.empty()) {
+    std::size_t skipped = 0;
+    for (const core::GraphVerdict& v : report.verdicts) {
+      skipped += v.skipped.size();
+    }
+    std::printf("verify: %zu graphs from %s\n", report.verdicts.size(),
+                cli.input.c_str());
+    std::printf("  checks run:    %zu\n", report.checksRun());
+    std::printf("  skipped:       %zu\n", skipped);
+    std::printf("  discrepancies: %zu\n", report.records.size());
+    if (!report.records.empty()) {
+      std::printf("re-run with --json for replayable graph dumps\n");
+    }
+  }
+  return api::exitCode(response.status);
+}
+
+int runScenarios(const Cli& cli) {
+  try {
+    apps::writeScenarioFiles(cli.input);
+  } catch (const std::exception& e) {
+    api::Response response;
+    response.fail(api::Status::InputError, "io-error", e.what(), cli.input);
+    if (cli.json) {
+      auto doc = support::json::Value::object();
+      doc.set("status", toString(response.status));
+      doc.set("diagnostics", response.diagnosticsJson());
+      emitJson(cli, doc);
+    }
+    std::fprintf(stderr, "tpdfc: %s\n", e.what());
+    return api::exitCode(response.status);
+  }
+  const std::vector<apps::Scenario> corpus = apps::scenarioCorpus();
+  if (cli.json) {
+    auto doc = support::json::Value::object();
+    doc.set("status", "ok");
+    doc.set("diagnostics", support::json::Value::array());
+    doc.set("directory", cli.input);
+    auto list = support::json::Value::array();
+    for (const apps::Scenario& s : corpus) {
+      auto entry = support::json::Value::object();
+      entry.set("name", s.name);
+      entry.set("family", s.family);
+      entry.set("file", cli.input + "/" + s.name + ".tpdf");
+      list.push(std::move(entry));
+    }
+    doc.set("scenarios", std::move(list));
+    emitJson(cli, doc);
+  } else {
+    std::printf("wrote %zu scenario graphs to %s\n", corpus.size(),
+                cli.input.c_str());
+  }
+  return 0;
 }
 
 /// "1,2,3" or "1,2,3,..,64" — the sweep's text rendering of an axis.
@@ -404,6 +504,8 @@ int runEcho(const Cli& cli, api::Session& session, const std::string& id) {
 int run(const Cli& cli) {
   if (cli.command == "version") return runVersion(cli);
   if (cli.command == "batch") return runBatch(cli);
+  if (cli.command == "verify") return runVerify(cli);
+  if (cli.command == "scenarios") return runScenarios(cli);
 
   api::Session session;
   api::LoadRequest loadRequest;
@@ -447,6 +549,8 @@ bool parseArgs(int argc, char** argv, Cli& cli, std::string& error) {
       haveCommand = true;
     } else if (arg == "--analysis-only") {
       cli.analysisOnly = true;
+    } else if (arg == "--negative-selftest") {
+      cli.negativeSelftest = true;
     } else if (arg == "--jobs" || arg == "--iterations" || arg == "--cap") {
       if (i + 1 >= argc) {
         error = arg + " needs a value";
@@ -470,6 +574,7 @@ bool parseArgs(int argc, char** argv, Cli& cli, std::string& error) {
           return false;
         }
         cli.iterations = value;
+        cli.iterationsSet = true;
       }
     } else if (arg.size() >= 2 && arg[0] == '-' && arg[1] == '-') {
       error = "unknown flag '" + arg + "'";
@@ -534,8 +639,13 @@ bool parseArgs(int argc, char** argv, Cli& cli, std::string& error) {
     return true;
   }
   if (!haveInput) {
-    error = cli.command == "batch" ? "batch needs a directory"
-                                   : "missing input file";
+    if (cli.command == "batch" || cli.command == "verify") {
+      error = cli.command + " needs a directory";
+    } else if (cli.command == "scenarios") {
+      error = "scenarios needs an output directory";
+    } else {
+      error = "missing input file";
+    }
     return false;
   }
   return true;
