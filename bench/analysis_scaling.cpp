@@ -19,6 +19,7 @@
 #include "csdf/liveness.hpp"
 #include "graph/builder.hpp"
 #include "io/format.hpp"
+#include "support/budget.hpp"
 #include "support/prng.hpp"
 
 namespace {
@@ -91,6 +92,24 @@ void BM_LivenessOnChain(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_LivenessOnChain)->Arg(10)->Arg(100)->Arg(1000)->Complexity();
+
+/// Same search under a generous resource budget: quantifies the cost of
+/// the per-firing Budget::checkpoint() (the acceptance bar for the
+/// resource-governance layer is < 2% over BM_LivenessOnChain/1000).
+void BM_LivenessOnChainBudgeted(benchmark::State& state) {
+  const Graph g = randomChain(static_cast<int>(state.range(0)), 42);
+  for (auto _ : state) {
+    support::Budget budget(3'600'000, 1'000'000'000);
+    benchmark::DoNotOptimize(
+        csdf::findSchedule(g, {}, csdf::SchedulePolicy::Eager, &budget));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LivenessOnChainBudgeted)
+    ->Arg(10)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Complexity();
 
 void BM_ScheduleMinOccupancyOnChain(benchmark::State& state) {
   const Graph g = randomChain(static_cast<int>(state.range(0)), 42);

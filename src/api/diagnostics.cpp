@@ -26,6 +26,8 @@ std::string toString(Status s) {
       return "input-error";
     case Status::InternalError:
       return "internal-error";
+    case Status::ResourceLimit:
+      return "resource-limit";
   }
   return "?";
 }
@@ -41,6 +43,8 @@ int exitCode(Status s) {
     case Status::InputError:
     case Status::InternalError:
       return 3;
+    case Status::ResourceLimit:
+      return 4;
   }
   return 3;
 }

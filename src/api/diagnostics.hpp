@@ -41,15 +41,22 @@ enum class Status {
   InputError,
   /// A defect in the toolkit itself (unexpected exception).
   InternalError,
+  /// The request hit a resource limit (deadline, work budget, or
+  /// cooperative cancellation) before completing.  Distinct from every
+  /// other status: the verdict is neither positive nor negative — the
+  /// analysis simply was not allowed to finish.
+  ResourceLimit,
 };
 
 /// "ok", "analysis-negative", "invalid-request", "input-error",
-/// "internal-error".
+/// "internal-error", "resource-limit".
 std::string toString(Status s);
 
 /// The documented tpdfc exit-code contract: Ok = 0, AnalysisNegative = 1,
 /// InvalidRequest = 2, InputError = 3 (InternalError also maps to 3: from
-/// a script's point of view the input could not be processed).
+/// a script's point of view the input could not be processed),
+/// ResourceLimit = 4 (a deadline/work/cancellation trip — retry with a
+/// larger budget, the input itself may be fine).
 int exitCode(Status s);
 
 /// One structured finding attached to a response.

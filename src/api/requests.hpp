@@ -20,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include <cstdint>
+
 #include "api/diagnostics.hpp"
 #include "core/analysis.hpp"
 #include "core/batch.hpp"
@@ -34,6 +36,21 @@
 #include "symbolic/env.hpp"
 
 namespace tpdf::api {
+
+/// Resource limits shared by every analysis-running request (0 means
+/// unlimited).  A request that trips its limit gets Status::ResourceLimit
+/// (exit code 4) with a `resource-limit` diagnostic; for the multi-unit
+/// drivers (sweep, batch, verify) the limits are PER point/entry/file —
+/// one slow unit is recorded and the run continues with partial results.
+struct ResourceLimits {
+  /// Wall-clock deadline for the operation, in milliseconds.
+  std::int64_t timeoutMs = 0;
+  /// Cap on analysis work units (one unit ~ one scheduled/simulated
+  /// firing or one schedule-construction step).
+  std::int64_t maxWork = 0;
+
+  bool limited() const { return timeoutMs > 0 || maxWork > 0; }
+};
 
 // ---- load ---------------------------------------------------------------
 
@@ -64,6 +81,7 @@ struct AnalyzeRequest {
   /// Pre-bound parameters; the rest are sampled for the concrete
   /// liveness checks (core::analyze semantics).
   symbolic::Environment bindings;
+  ResourceLimits limits;
 };
 
 struct AnalyzeResponse : Response {
@@ -90,6 +108,7 @@ struct ScheduleRequest {
   csdf::SchedulePolicy policy = csdf::SchedulePolicy::Eager;
   /// Also compute minimum buffer sizes when a schedule exists.
   bool computeBuffers = true;
+  ResourceLimits limits;
 };
 
 struct ScheduleResponse : Response {
@@ -113,6 +132,7 @@ struct BufferRequest {
   /// Unbound parameters are defaulted to 2 with a Note diagnostic.
   symbolic::Environment bindings;
   csdf::SchedulePolicy policy = csdf::SchedulePolicy::MinOccupancy;
+  ResourceLimits limits;
 };
 
 struct BufferResponse : Response {
@@ -133,6 +153,7 @@ struct MapRequest {
   /// Worker PEs of the target platform.
   std::size_t pes = 4;
   sched::ListSchedulerOptions options;
+  ResourceLimits limits;
 };
 
 struct MapResponse : Response {
@@ -154,6 +175,7 @@ struct SimulateRequest {
   /// Unbound parameters are defaulted to 2 with a Note diagnostic.
   symbolic::Environment bindings;
   sim::SimOptions options;
+  ResourceLimits limits;
 };
 
 struct SimulateResponse : Response {
@@ -190,6 +212,10 @@ struct SweepRequest {
   bool computePeriod = true;
   /// Retain the full per-point AnalysisReports (tests; off by default).
   bool keepReports = false;
+  /// Per-POINT resource limits: a tripped point becomes a
+  /// `resource-limit` diagnostic and the sweep continues (partial
+  /// results), it never aborts the grid.
+  ResourceLimits limits;
 };
 
 struct SweepResponse : Response {
@@ -219,6 +245,10 @@ struct BatchRequest {
   symbolic::Environment bindings;
   /// Worker threads; 0 means hardware concurrency.
   std::size_t jobs = 0;
+  /// Per-ENTRY resource limits: a tripped entry becomes a
+  /// `resource-limit` diagnostic and the batch continues (partial
+  /// results), it never aborts the run.
+  ResourceLimits limits;
 };
 
 struct BatchResponse : Response {
@@ -246,6 +276,20 @@ struct VerifyRequest {
   /// Harness knobs (iterations, firing budget, which checks, the
   /// tamper-capacities negative self-test).
   core::DiffOptions options;
+  /// Per-FILE resource limits: a tripped file becomes a
+  /// `resource-limit` diagnostic and the rest of the corpus is still
+  /// verified (partial results).
+  ResourceLimits limits;
+  /// Fault-injection self-test: for every corpus file, first measure the
+  /// clean run's checkpoint count W, then re-run the cross-check W times
+  /// with a deterministic fault injected at checkpoint 1..W.  Every
+  /// injection must surface as a structured `resource-limit` record —
+  /// a crash, hang, or any other outcome is reported as a `fault-sweep`
+  /// error.  Exercises every unwind path through the analysis stack.
+  bool faultSweep = false;
+  /// Caps the number of injection points per file (evenly spread over
+  /// [1, W], endpoints included); 0 sweeps every checkpoint.
+  std::int64_t faultSweepLimit = 0;
 };
 
 struct VerifyResponse : Response {
@@ -254,6 +298,9 @@ struct VerifyResponse : Response {
   /// replayable .tpdf dump of the graph the simulator executed).
   core::DiffReport report;
   double elapsedMs = 0.0;
+  /// Fault-sweep mode only: total injection points exercised across the
+  /// corpus (each one produced a structured resource-limit outcome).
+  std::size_t faultInjections = 0;
 
   support::json::Value toJson() const;
 };

@@ -148,6 +148,9 @@ support::json::Value VerifyResponse::toJson() const {
     doc.set("elapsedMs", elapsedMs);
     doc.set("verify", report.toJson());
   }
+  if (faultInjections > 0) {
+    doc.set("faultInjections", static_cast<std::int64_t>(faultInjections));
+  }
   return doc;
 }
 

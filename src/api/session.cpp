@@ -9,6 +9,7 @@
 #include "csdf/liveness.hpp"
 #include "io/format.hpp"
 #include "sched/platform.hpp"
+#include "support/budget.hpp"
 #include "support/error.hpp"
 
 namespace tpdf::api {
@@ -23,6 +24,11 @@ template <typename Fn>
 void guarded(Response& response, const std::string& file, Fn&& fn) {
   try {
     fn();
+  } catch (const support::BudgetExceeded& e) {
+    // Before the support::Error catch (BudgetExceeded derives from it):
+    // a deadline/work/cancellation trip is the stable resource-limit
+    // outcome (exit 4), not a generic runtime error.
+    response.fail(Status::ResourceLimit, "resource-limit", e.what(), file);
   } catch (const support::ParseError& e) {
     response.fail(Status::InputError, "parse-error", e.what(), file, e.line(),
                   e.column());
@@ -57,6 +63,100 @@ symbolic::Environment concretize(const graph::Graph& g,
     }
   }
   return env;
+}
+
+/// Arms `budget` from the request's limits; nullptr (meaning: skip the
+/// budget plumbing entirely) when the request is unlimited.  An
+/// environment-armed fault injector (TPDF_FAULT_CHECKPOINT=N) rides on
+/// the same budget so external harnesses can inject faults into an
+/// unmodified tpdfc.
+support::Budget* armBudget(support::Budget& budget,
+                           const ResourceLimits& limits) {
+  const support::FaultInjector envFault = support::FaultInjector::fromEnv();
+  if (!limits.limited() && envFault.fireAt == 0) return nullptr;
+  if (limits.timeoutMs > 0) {
+    budget.setTimeout(std::chrono::milliseconds(limits.timeoutMs));
+  }
+  if (limits.maxWork > 0) {
+    budget.setMaxWork(static_cast<std::uint64_t>(limits.maxWork));
+  }
+  if (envFault.fireAt != 0) budget.arm(envFault);
+  return &budget;
+}
+
+/// Fault-sweep self-test over one corpus graph.  First a clean reference
+/// run whose budget only counts checkpoints, then one re-run per
+/// injection point with a deterministic fault armed at that checkpoint.
+/// Every injected run must unwind into exactly one structured
+/// "resource-limit" record — anything else (an escaped exception, no
+/// record, extra records) is a `fault-sweep` InternalError diagnostic:
+/// some unwind path through the stack mishandles interruption.
+void faultSweepOne(const core::TpdfGraph& model, const std::string& path,
+                   const VerifyRequest& request, VerifyResponse& response) {
+  core::DiffOptions counting = request.options;
+  support::Budget counter;
+  counting.budget = &counter;
+  // The clean run doubles as the file's regular verification: its
+  // verdict and any genuine discrepancies go into the response report.
+  core::crossCheck(model, request.bindings, counting, response.report, path);
+  const std::uint64_t total = counter.work();
+  if (total == 0) {
+    response.note("fault-sweep",
+                  path + ": no checkpoints reached, nothing to inject");
+    return;
+  }
+
+  // Injection points: every checkpoint in [1, total], or (when capped)
+  // an even spread over the range with both endpoints included.
+  std::vector<std::uint64_t> points;
+  const std::int64_t cap = request.faultSweepLimit;
+  if (cap <= 1 || static_cast<std::uint64_t>(cap) >= total) {
+    points.reserve(static_cast<std::size_t>(total));
+    for (std::uint64_t n = 1; n <= total; ++n) points.push_back(n);
+  } else {
+    const std::uint64_t steps = static_cast<std::uint64_t>(cap) - 1;
+    for (std::uint64_t i = 0; i <= steps; ++i) {
+      const std::uint64_t n = 1 + (i * (total - 1)) / steps;
+      if (points.empty() || points.back() != n) points.push_back(n);
+    }
+  }
+
+  std::size_t failures = 0;
+  for (const std::uint64_t n : points) {
+    support::Budget budget;
+    budget.arm(support::FaultInjector{n});
+    core::DiffOptions injected = request.options;
+    injected.budget = &budget;
+    core::DiffReport report;
+    std::string escaped;
+    try {
+      core::crossCheck(model, request.bindings, injected, report, path);
+    } catch (const std::exception& e) {
+      escaped = std::string("exception escaped crossCheck: ") + e.what();
+    } catch (...) {
+      escaped = "non-standard exception escaped crossCheck";
+    }
+    ++response.faultInjections;
+    std::string problem = escaped;
+    if (problem.empty() && report.resourceLimited() != 1) {
+      problem = "expected exactly one resource-limit record, got " +
+                std::to_string(report.resourceLimited()) + " (of " +
+                std::to_string(report.records.size()) + " records)";
+    }
+    if (!problem.empty() && ++failures <= 3) {  // cap the noise per file
+      response.fail(Status::InternalError, "fault-sweep",
+                    "injection at checkpoint " + std::to_string(n) + "/" +
+                        std::to_string(total) + ": " + problem,
+                    path);
+    }
+  }
+  if (failures > 3) {
+    response.fail(Status::InternalError, "fault-sweep",
+                  std::to_string(failures) + " of " +
+                      std::to_string(points.size()) +
+                      " injection points mishandled (first 3 reported)",
+                  path);
+  }
 }
 
 }  // namespace
@@ -155,7 +255,10 @@ AnalyzeResponse Session::analyze(const AnalyzeRequest& request) {
   if (entry == nullptr) return response;
   response.graphName = entry->model.graph().name();
   guarded(response, "", [&] {
-    response.report = core::analyze(contextOf(*entry), request.bindings);
+    support::Budget budgetStore;
+    support::Budget* budget = armBudget(budgetStore, request.limits);
+    response.report =
+        core::analyze(contextOf(*entry), request.bindings, budget);
     response.analysisRan = true;
     if (response.report.bounded()) return;  // status stays Ok
     response.status = Status::AnalysisNegative;
@@ -189,12 +292,14 @@ ScheduleResponse Session::schedule(const ScheduleRequest& request) {
   const graph::Graph& g = entry->model.graph();
   response.graphName = g.name();
   guarded(response, "", [&] {
+    support::Budget budgetStore;
+    support::Budget* budget = armBudget(budgetStore, request.limits);
     response.bindings = concretize(g, request.bindings, response);
     core::AnalysisContext& ctx = contextOf(*entry);
     const graph::EvaluatedRates& rates = ctx.rates(response.bindings);
     response.result = csdf::findSchedule(ctx.view(), ctx.repetition(),
                                          response.bindings, request.policy,
-                                         &rates);
+                                         &rates, budget);
     if (!response.result.live) {
       response.fail(Status::AnalysisNegative, "no-schedule",
                     response.result.diagnostic);
@@ -203,7 +308,7 @@ ScheduleResponse Session::schedule(const ScheduleRequest& request) {
     if (request.computeBuffers) {
       response.buffers = csdf::minimumBuffers(
           ctx.view(), ctx.repetition(), response.bindings,
-          csdf::SchedulePolicy::MinOccupancy, &rates);
+          csdf::SchedulePolicy::MinOccupancy, &rates, budget);
       response.buffersComputed = response.buffers.ok;
       if (!response.buffers.ok) {
         response.warn("no-buffer-sizing", response.buffers.diagnostic);
@@ -223,12 +328,14 @@ BufferResponse Session::buffers(const BufferRequest& request) {
   const graph::Graph& g = entry->model.graph();
   response.graphName = g.name();
   guarded(response, "", [&] {
+    support::Budget budgetStore;
+    support::Budget* budget = armBudget(budgetStore, request.limits);
     response.bindings = concretize(g, request.bindings, response);
     core::AnalysisContext& ctx = contextOf(*entry);
     const graph::EvaluatedRates& rates = ctx.rates(response.bindings);
     response.report =
         csdf::minimumBuffers(ctx.view(), ctx.repetition(), response.bindings,
-                             request.policy, &rates);
+                             request.policy, &rates, budget);
     if (!response.report.ok) {
       response.fail(Status::AnalysisNegative, "no-buffer-sizing",
                     response.report.diagnostic);
@@ -252,6 +359,8 @@ MapResponse Session::map(const MapRequest& request) {
   const graph::Graph& g = entry->model.graph();
   response.graphName = g.name();
   guarded(response, "", [&] {
+    support::Budget budgetStore;
+    support::Budget* budget = armBudget(budgetStore, request.limits);
     response.bindings = concretize(g, request.bindings, response);
     core::AnalysisContext& ctx = contextOf(*entry);
     if (!ctx.repetition().consistent) {
@@ -264,16 +373,16 @@ MapResponse Session::map(const MapRequest& request) {
     // letting the period construction fail on the cycle.
     const csdf::LivenessResult live = csdf::findSchedule(
         ctx.view(), ctx.repetition(), response.bindings,
-        csdf::SchedulePolicy::Eager, &ctx.rates(response.bindings));
+        csdf::SchedulePolicy::Eager, &ctx.rates(response.bindings), budget);
     if (!live.live) {
       response.fail(Status::AnalysisNegative, "no-schedule",
                     live.diagnostic);
       return;
     }
-    response.period.emplace(ctx, response.bindings);
+    response.period.emplace(ctx, response.bindings, budget);
     response.schedule = sched::listSchedule(
         *response.period, sched::Platform{.peCount = request.pes},
-        request.options);
+        request.options, budget);
   });
   return response;
 }
@@ -288,10 +397,14 @@ SimulateResponse Session::simulate(const SimulateRequest& request) {
   const graph::Graph& g = entry->model.graph();
   response.graphName = g.name();
   guarded(response, "", [&] {
+    support::Budget budgetStore;
+    support::Budget* budget = armBudget(budgetStore, request.limits);
     response.bindings = concretize(g, request.bindings, response);
     sim::Simulator simulator(entry->model, response.bindings,
                              &contextOf(*entry));
-    response.result = simulator.run(request.options);
+    sim::SimOptions options = request.options;
+    if (budget != nullptr) options.budget = budget;
+    response.result = simulator.run(options);
     response.simulated = true;
     if (!response.result.ok) {
       response.fail(Status::AnalysisNegative, "sim-failed",
@@ -328,6 +441,8 @@ SweepResponse Session::sweep(const SweepRequest& request) {
   spec.computeBuffers = request.computeBuffers;
   spec.computePeriod = request.computePeriod;
   spec.keepReports = request.keepReports;
+  spec.pointTimeoutMs = request.limits.timeoutMs;
+  spec.pointMaxWork = request.limits.maxWork;
   // One rule set shared with core::sweep (which would throw the same
   // message): a malformed spec is a usage error (exit 2), not an input
   // error — the defaulting audit (swept-and-fixed conflicts) included.
@@ -365,14 +480,28 @@ SweepResponse Session::sweep(const SweepRequest& request) {
                     "parameter '" + param +
                         "' neither swept nor fixed, using 2 at every point");
     }
+    bool anyError = false;
     for (std::size_t i = 0; i < response.result.points.size(); ++i) {
       const core::SweepPoint& point = response.result.points[i];
       if (point.ok) continue;
       // Mirror batch-entry semantics: negative verdicts are results,
-      // only evaluation failures are errors.
-      response.fail(Status::InputError, "sweep-point",
-                    "point " + std::to_string(i) + " failed: " + point.error);
+      // only evaluation failures are errors.  A budget trip is the
+      // distinct resource-limit outcome: the point was cut off, not
+      // wrong — the sweep still reports every other point (partial
+      // results, graceful degradation).
+      if (point.resourceLimited) {
+        response.fail(Status::ResourceLimit, "resource-limit",
+                      "point " + std::to_string(i) + ": " + point.error);
+      } else {
+        anyError = true;
+        response.fail(Status::InputError, "sweep-point",
+                      "point " + std::to_string(i) + " failed: " +
+                          point.error);
+      }
     }
+    // fail() is last-wins on the status; a genuine evaluation failure
+    // outranks a resource trip.
+    if (anyError) response.status = Status::InputError;
   });
   return response;
 }
@@ -423,6 +552,8 @@ BatchResponse Session::batch(const BatchRequest& request) {
     core::BatchOptions options;
     options.jobs = request.jobs;
     options.env = request.bindings;
+    options.entryTimeoutMs = request.limits.timeoutMs;
+    options.entryMaxWork = request.limits.maxWork;
 
     const auto start = std::chrono::steady_clock::now();
     response.result = core::analyzeBatch(sources, options);
@@ -430,14 +561,26 @@ BatchResponse Session::batch(const BatchRequest& request) {
                              std::chrono::steady_clock::now() - start)
                              .count();
 
+    bool anyError = false;
     for (const core::BatchEntry& e : response.result.entries) {
       if (e.ok) continue;
       // Negative analysis verdicts are results; only load/analysis
       // failures are errors.  The entry's ParseError position survives
-      // into the diagnostic.
-      response.fail(Status::InputError, "batch-entry", e.error, e.name,
-                    e.errorLine, e.errorColumn);
+      // into the diagnostic.  A budget trip is the distinct
+      // resource-limit outcome — that entry was cut off, the rest of
+      // the batch still completed (partial results).
+      if (e.resourceLimited) {
+        response.fail(Status::ResourceLimit, "resource-limit", e.error,
+                      e.name);
+      } else {
+        anyError = true;
+        response.fail(Status::InputError, "batch-entry", e.error, e.name,
+                      e.errorLine, e.errorColumn);
+      }
     }
+    // fail() is last-wins on the status; a genuine failure outranks a
+    // resource trip.
+    if (anyError) response.status = Status::InputError;
   });
   return response;
 }
@@ -485,21 +628,42 @@ VerifyResponse Session::verify(const VerifyRequest& request) {
     // still verified.
     guarded(response, path, [&] {
       core::TpdfGraph model(io::readGraphFile(path));
-      core::crossCheck(model, request.bindings, request.options,
-                       response.report, path);
+      if (request.faultSweep) {
+        faultSweepOne(model, path, request, response);
+        return;
+      }
+      // Per-file budget; budget trips surface as resource-limit records
+      // on the report (crossCheck absorbs them), so the rest of the
+      // corpus is still verified.
+      core::DiffOptions options = request.options;
+      support::Budget fileBudget(request.limits.timeoutMs,
+                                 request.limits.maxWork);
+      fileBudget.chainCancel(request.options.budget);
+      if (fileBudget.limited()) options.budget = &fileBudget;
+      core::crossCheck(model, request.bindings, options, response.report,
+                       path);
     });
   }
   response.elapsedMs = std::chrono::duration<double, std::milli>(
                            std::chrono::steady_clock::now() - start)
                            .count();
 
-  // fail() is last-wins on the status; keep the more severe InputError
-  // when some corpus file could not even be loaded.
+  // fail() is last-wins on the status; rank the final outcome explicitly:
+  // a load/internal failure outranks a genuine discrepancy, which
+  // outranks a resource trip (partial results, exit 4).
   const Status loadStatus = response.status;
+  bool anyDiscrepancy = false;
   for (const core::DiffRecord& r : response.report.records) {
-    response.fail(Status::AnalysisNegative, "discrepancy",
-                  "[" + r.check + "] " + r.graph + ": " + r.detail, r.file);
+    if (r.check == "resource-limit") {
+      response.fail(Status::ResourceLimit, "resource-limit",
+                    r.graph + ": " + r.detail, r.file);
+    } else {
+      anyDiscrepancy = true;
+      response.fail(Status::AnalysisNegative, "discrepancy",
+                    "[" + r.check + "] " + r.graph + ": " + r.detail, r.file);
+    }
   }
+  if (anyDiscrepancy) response.status = Status::AnalysisNegative;
   if (loadStatus != Status::Ok) response.status = loadStatus;
   return response;
 }

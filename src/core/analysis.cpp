@@ -5,22 +5,25 @@
 namespace tpdf::core {
 
 AnalysisReport analyze(const graph::Graph& g,
-                       const symbolic::Environment& env) {
-  return analyze(AnalysisContext(g), env);
+                       const symbolic::Environment& env,
+                       support::Budget* budget) {
+  return analyze(AnalysisContext(g), env, budget);
 }
 
 AnalysisReport analyze(const AnalysisContext& ctx,
-                       const symbolic::Environment& env) {
+                       const symbolic::Environment& env,
+                       support::Budget* budget) {
   AnalysisReport report;
   report.repetition = ctx.repetition();
   report.safety = checkRateSafety(ctx);
-  report.liveness = checkLiveness(ctx, env);
+  report.liveness = checkLiveness(ctx, env, 2, budget);
   return report;
 }
 
-AnalysisReport analyze(const TpdfGraph& g, const symbolic::Environment& env) {
+AnalysisReport analyze(const TpdfGraph& g, const symbolic::Environment& env,
+                       support::Budget* budget) {
   g.validate();
-  return analyze(g.graph(), env);
+  return analyze(g.graph(), env, budget);
 }
 
 std::string AnalysisReport::toString(const graph::Graph& g) const {

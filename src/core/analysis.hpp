@@ -37,13 +37,17 @@ struct AnalysisReport {
 };
 
 /// Runs the full analysis chain on a TPDF graph.  `env` may pre-bind some
-/// parameters; the rest are sampled for the concrete liveness checks.
+/// parameters; the rest are sampled for the concrete liveness checks.  A
+/// non-null `budget` is checkpointed throughout the liveness stage and
+/// may abort the chain with support::BudgetExceeded.
 AnalysisReport analyze(const TpdfGraph& g,
-                       const symbolic::Environment& env = {});
+                       const symbolic::Environment& env = {},
+                       support::Budget* budget = nullptr);
 
 /// Same, for a bare dataflow graph (SDF/CSDF or TPDF without metadata).
 AnalysisReport analyze(const graph::Graph& g,
-                       const symbolic::Environment& env = {});
+                       const symbolic::Environment& env = {},
+                       support::Budget* budget = nullptr);
 
 /// Staged-pass variant: consistency, safety and liveness all consume the
 /// context's shared intermediates (view, memoized repetition vector,
@@ -51,6 +55,7 @@ AnalysisReport analyze(const graph::Graph& g,
 /// re-derives nothing structural; reports are identical to the Graph
 /// overloads.
 AnalysisReport analyze(const AnalysisContext& ctx,
-                       const symbolic::Environment& env = {});
+                       const symbolic::Environment& env = {},
+                       support::Budget* budget = nullptr);
 
 }  // namespace tpdf::core

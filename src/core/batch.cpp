@@ -26,6 +26,12 @@ std::size_t BatchResult::failed() const {
   return entries.size() - analyzed();
 }
 
+std::size_t BatchResult::resourceLimited() const {
+  std::size_t n = 0;
+  for (const BatchEntry& e : entries) n += (!e.ok && e.resourceLimited) ? 1 : 0;
+  return n;
+}
+
 support::json::Value BatchEntry::toJson() const {
   auto doc = support::json::Value::object();
   doc.set("name", name);
@@ -43,6 +49,7 @@ support::json::Value BatchEntry::toJson() const {
       err.set("column", errorColumn);
     }
     doc.set("error", std::move(err));
+    if (resourceLimited) doc.set("resourceLimited", true);
   }
   return doc;
 }
@@ -54,6 +61,7 @@ support::json::Value BatchResult::toJson() const {
   doc.set("bounded", bounded());
   doc.set("notBounded", analyzed() - bounded());
   doc.set("errors", failed());
+  if (resourceLimited() > 0) doc.set("resourceLimited", resourceLimited());
   auto list = support::json::Value::array();
   for (const BatchEntry& e : entries) list.push(e.toJson());
   doc.set("entries", std::move(list));
@@ -70,20 +78,35 @@ std::size_t resolveJobs(std::size_t requested) {
 
 /// One task per graph; entries are pre-sized so each worker writes only
 /// its own slot and no post-hoc reordering is needed.  `analyzeOne` must
-/// fill entry.name and entry.report (it runs on a worker thread).
+/// fill entry.name and entry.report (it runs on a worker thread, under
+/// the per-entry budget when the options arm one).
 BatchResult runBatch(
-    std::size_t count, std::size_t jobs,
-    const std::function<void(std::size_t, BatchEntry&)>& analyzeOne) {
+    std::size_t count, const BatchOptions& options,
+    const std::function<void(std::size_t, BatchEntry&, support::Budget*)>&
+        analyzeOne) {
   BatchResult result;
   result.entries.resize(count);
   // No point spawning more workers than there are graphs.
-  support::ThreadPool pool(std::min(resolveJobs(jobs), std::max<std::size_t>(count, 1)));
+  support::ThreadPool pool(
+      std::min(resolveJobs(options.jobs), std::max<std::size_t>(count, 1)));
   for (std::size_t i = 0; i < count; ++i) {
     pool.submit([&, i] {
       BatchEntry& entry = result.entries[i];
+      // Worker-local budget: single-threaded by construction, chained to
+      // the run-wide cancel flag (reading the parent's atomic is the
+      // only cross-thread access).
+      support::Budget entryBudget(options.entryTimeoutMs,
+                                  options.entryMaxWork);
+      entryBudget.chainCancel(options.budget);
+      support::Budget* budget =
+          entryBudget.limited() ? &entryBudget : nullptr;
       try {
-        analyzeOne(i, entry);
+        analyzeOne(i, entry, budget);
         entry.ok = true;
+      } catch (const support::BudgetExceeded& e) {
+        // Graceful degradation: the entry is marked, the batch goes on.
+        entry.error = e.what();
+        entry.resourceLimited = true;
       } catch (const support::ParseError& e) {
         // Keep the source position structured: batch consumers (the
         // --json output in particular) point at the offending line
@@ -108,24 +131,26 @@ BatchResult runBatch(
 
 BatchResult analyzeBatch(const std::vector<BatchSource>& sources,
                          const BatchOptions& options) {
-  return runBatch(sources.size(), options.jobs,
-                  [&](std::size_t i, BatchEntry& entry) {
-                    entry.name = sources[i].name;
-                    const graph::Graph g = sources[i].load();
-                    if (entry.name.empty()) entry.name = g.name();
-                    const AnalysisContext ctx(g);
-                    entry.report = analyze(ctx, options.env);
-                  });
+  return runBatch(
+      sources.size(), options,
+      [&](std::size_t i, BatchEntry& entry, support::Budget* budget) {
+        entry.name = sources[i].name;
+        const graph::Graph g = sources[i].load();
+        if (entry.name.empty()) entry.name = g.name();
+        const AnalysisContext ctx(g);
+        entry.report = analyze(ctx, options.env, budget);
+      });
 }
 
 BatchResult analyzeBatch(const std::vector<graph::Graph>& graphs,
                          const BatchOptions& options) {
-  return runBatch(graphs.size(), options.jobs,
-                  [&](std::size_t i, BatchEntry& entry) {
-                    entry.name = graphs[i].name();
-                    const AnalysisContext ctx(graphs[i]);
-                    entry.report = analyze(ctx, options.env);
-                  });
+  return runBatch(
+      graphs.size(), options,
+      [&](std::size_t i, BatchEntry& entry, support::Budget* budget) {
+        entry.name = graphs[i].name();
+        const AnalysisContext ctx(graphs[i]);
+        entry.report = analyze(ctx, options.env, budget);
+      });
 }
 
 }  // namespace tpdf::core

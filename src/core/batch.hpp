@@ -19,8 +19,11 @@
 #include <string>
 #include <vector>
 
+#include <cstdint>
+
 #include "core/analysis.hpp"
 #include "graph/graph.hpp"
+#include "support/budget.hpp"
 #include "support/json.hpp"
 #include "symbolic/env.hpp"
 
@@ -31,6 +34,19 @@ struct BatchOptions {
   std::size_t jobs = 0;
   /// Pre-bound parameters, shared by every analysis.
   symbolic::Environment env;
+
+  /// Per-entry resource limits (0 = unlimited): each graph gets its own
+  /// budget with this deadline/work cap.  An entry that trips it is
+  /// recorded as a `resourceLimited` failure and the batch continues —
+  /// one slow graph never aborts the run.
+  std::int64_t entryTimeoutMs = 0;
+  std::int64_t entryMaxWork = 0;
+
+  /// Optional run-wide budget: every per-entry budget chains to its
+  /// cancel flag, so cancel() from any thread stops all in-flight and
+  /// remaining entries (each recorded as resourceLimited).  Must outlive
+  /// the analyzeBatch() call.
+  support::Budget* budget = nullptr;
 };
 
 /// Outcome for one input graph.
@@ -40,6 +56,9 @@ struct BatchEntry {
   /// False when loading or analysis threw; `error` holds the reason.
   bool ok = false;
   std::string error;
+  /// True when the failure was the entry's budget tripping (deadline,
+  /// work cap or cancellation) rather than a load/analysis error.
+  bool resourceLimited = false;
   /// Source position of the failure when the loader threw a ParseError
   /// (1-based; -1 when the failure carries no position), so batch
   /// consumers can point at the offending line.
@@ -60,12 +79,14 @@ struct BatchResult {
   /// One entry per input, in input order.
   std::vector<BatchEntry> entries;
 
-  std::size_t analyzed() const;  // entries with ok
-  std::size_t bounded() const;   // entries with ok && report.bounded()
-  std::size_t failed() const;    // entries with !ok
+  std::size_t analyzed() const;         // entries with ok
+  std::size_t bounded() const;          // entries with ok && report.bounded()
+  std::size_t failed() const;           // entries with !ok
+  std::size_t resourceLimited() const;  // entries with !ok && resourceLimited
 
   /// {"total": N, "analyzed": N, "bounded": N, "notBounded": N,
-  /// "errors": N, "entries": [<BatchEntry::toJson>, ...]}.
+  /// "errors": N, "resourceLimited": N (when > 0),
+  /// "entries": [<BatchEntry::toJson>, ...]}.
   support::json::Value toJson() const;
 };
 

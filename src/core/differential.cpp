@@ -45,11 +45,20 @@ std::size_t DiffReport::checksRun() const {
   return n;
 }
 
+std::size_t DiffReport::resourceLimited() const {
+  std::size_t n = 0;
+  for (const DiffRecord& r : records) n += r.check == "resource-limit" ? 1 : 0;
+  return n;
+}
+
 support::json::Value DiffReport::toJson() const {
   auto doc = support::json::Value::object();
   doc.set("ok", ok());
   doc.set("graphCount", static_cast<std::int64_t>(verdicts.size()));
   doc.set("checkCount", static_cast<std::int64_t>(checksRun()));
+  if (resourceLimited() > 0) {
+    doc.set("resourceLimited", static_cast<std::int64_t>(resourceLimited()));
+  }
   auto graphs = support::json::Value::array();
   for (const GraphVerdict& v : verdicts) graphs.push(v.toJson());
   doc.set("graphs", std::move(graphs));
@@ -235,6 +244,7 @@ struct CheckContext {
     sim::SimOptions opts;
     opts.iterations = iterations;
     opts.maxFirings = options.maxFirings;
+    opts.budget = options.budget;
     return sim.run(opts);
   }
 };
@@ -303,7 +313,8 @@ void checkBuffers(CheckContext& cc, const AnalysisReport& analysis) {
     cc.skip("buffers", "repetition vector exceeds the firing budget");
     return;
   }
-  const csdf::BufferReport buffers = csdf::minimumBuffers(g, cc.env);
+  const csdf::BufferReport buffers = csdf::minimumBuffers(
+      g, cc.env, csdf::SchedulePolicy::MinOccupancy, cc.options.budget);
   if (!buffers.ok) {
     cc.skip("buffers", "minimumBuffers failed: " + buffers.diagnostic);
     return;
@@ -417,7 +428,7 @@ void checkThroughput(CheckContext& cc, const AnalysisReport& analysis) {
                      static_cast<double>(kWindow);
     workloadBound = std::max(workloadBound, w);
   }
-  const sched::CanonicalPeriod period(g, cc.env);
+  const sched::CanonicalPeriod period(g, cc.env, cc.options.budget);
   const double pathBound = criticalPath(period);
 
   const double tol = cc.options.throughputTolerance;
@@ -459,7 +470,7 @@ void crossCheck(const TpdfGraph& model, const symbolic::Environment& env,
   cc.verdict.graph = model.name();
   cc.verdict.file = file;
   try {
-    const AnalysisReport analysis = analyze(model, cc.env);
+    const AnalysisReport analysis = analyze(model, cc.env, options.budget);
     cc.verdict.bounded = analysis.bounded();
     if (analysis.consistent()) {
       bool overflow = false;
@@ -489,6 +500,14 @@ void crossCheck(const TpdfGraph& model, const symbolic::Environment& env,
       if (options.checkBuffers) checkBuffers(cc, analysis);
       if (options.checkThroughput) checkThroughput(cc, analysis);
     }
+  } catch (const support::BudgetExceeded& e) {
+    // Must precede the support::Error catch (BudgetExceeded derives from
+    // it): a budget trip or injected fault is a structured resource-limit
+    // outcome, not an internal error.
+    cc.discrepancy("resource-limit",
+                   std::string("cross-check stopped by resource limit (") +
+                       e.kindName() + "): " + e.what(),
+                   model.graph());
   } catch (const support::Error& e) {
     cc.discrepancy("internal",
                    std::string("cross-check raised an error: ") + e.what(),

@@ -29,6 +29,7 @@
 
 #include "core/model.hpp"
 #include "graph/graph.hpp"
+#include "support/budget.hpp"
 #include "support/json.hpp"
 #include "symbolic/env.hpp"
 
@@ -49,6 +50,14 @@ struct DiffOptions {
   /// before the at-capacity run, so a healthy analyzer *must* produce
   /// discrepancy records (proves the harness detects broken verdicts).
   bool tamperBufferCapacities = false;
+
+  /// Optional resource budget for one crossCheck() call: checkpointed
+  /// throughout analysis, buffer sizing, scheduling and simulation.  A
+  /// trip is recorded as a "resource-limit" DiffRecord (graceful
+  /// degradation, never an unwind past crossCheck).  Also the hook for
+  /// deterministic fault injection: `tpdfc verify --fault-sweep` arms a
+  /// FaultInjector on the budget it passes here.  Must outlive the call.
+  support::Budget* budget = nullptr;
 };
 
 /// One detected disagreement between the static verdict and the
@@ -57,7 +66,7 @@ struct DiffRecord {
   std::string graph;
   std::string file;    // source path when known, else empty
   std::string check;   // "boundedness" | "buffers" | "buffers-minus-one"
-                       // | "throughput" | "internal"
+                       // | "throughput" | "resource-limit" | "internal"
   std::string detail;  // what was expected vs. what the simulator did
   /// .tpdf text of the graph the simulator actually executed (for the
   /// buffer checks this is the back-pressure-transformed graph).
@@ -84,6 +93,9 @@ struct DiffReport {
 
   bool ok() const { return records.empty(); }
   std::size_t checksRun() const;
+  /// Records whose check is "resource-limit" (budget trips / injected
+  /// faults) — callers distinguish these from genuine discrepancies.
+  std::size_t resourceLimited() const;
 
   /// {"ok": bool, "graphs": [...], "discrepancies": [...],
   ///  "graphCount": N, "checkCount": N}.

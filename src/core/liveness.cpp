@@ -102,7 +102,8 @@ struct CycleSim {
 bool strictBlockSchedule(const graph::GraphView& view,
                          const graph::EvaluatedRates& rates,
                          const std::vector<ActorId>& members,
-                         const std::vector<std::int64_t>& counts) {
+                         const std::vector<std::int64_t>& counts,
+                         support::Budget* budget) {
   CycleSim sim(view, rates, members, counts);
   while (!sim.done()) {
     bool progressed = false;
@@ -113,6 +114,7 @@ bool strictBlockSchedule(const graph::GraphView& view,
       const std::vector<std::int64_t> savedOccupancy = sim.occupancy;
       bool blockOk = true;
       while (sim.fired[mi] < sim.target[mi]) {
+        support::Budget::checkpoint(budget);
         if (!sim.enabled(mi)) {
           blockOk = false;
           break;
@@ -136,9 +138,10 @@ bool lateSchedule(const graph::GraphView& view,
                   const graph::EvaluatedRates& rates,
                   const std::vector<ActorId>& members,
                   const std::vector<std::int64_t>& counts,
-                  csdf::Schedule* out) {
+                  csdf::Schedule* out, support::Budget* budget) {
   CycleSim sim(view, rates, members, counts);
   while (!sim.done()) {
+    support::Budget::checkpoint(budget);
     bool progressed = false;
     for (std::size_t mi = 0; mi < sim.actors.size(); ++mi) {
       if (sim.enabled(mi)) {
@@ -166,7 +169,8 @@ LivenessReport checkLivenessOver(const AnalysisContext& ctx,
                                  const csdf::RepetitionVector& rv,
                                  const Environment& env,
                                  std::int64_t sampleValue,
-                                 const graph::EvaluatedRates* providedRates) {
+                                 const graph::EvaluatedRates* providedRates,
+                                 support::Budget* budget) {
   const Graph& g = ctx.graph();
   const graph::GraphView& view = ctx.view();
   LivenessReport report;
@@ -210,9 +214,9 @@ LivenessReport checkLivenessOver(const AnalysisContext& ctx,
     }
 
     cycle.strictClusterable =
-        strictBlockSchedule(view, sampleRates, cycle.actors, counts);
+        strictBlockSchedule(view, sampleRates, cycle.actors, counts, budget);
     cycle.lateSchedulable = lateSchedule(view, sampleRates, cycle.actors,
-                                         counts, &cycle.localSchedule);
+                                         counts, &cycle.localSchedule, budget);
     if (!cycle.lateSchedulable) {
       std::string names;
       for (ActorId a : cycle.actors) {
@@ -231,7 +235,7 @@ LivenessReport checkLivenessOver(const AnalysisContext& ctx,
   // shared view and integer rate tables.
   const csdf::LivenessResult global =
       csdf::findSchedule(view, rv, report.sampleEnv,
-                         csdf::SchedulePolicy::Eager, &sampleRates);
+                         csdf::SchedulePolicy::Eager, &sampleRates, budget);
   report.sampleSchedule = global.schedule;
 
   report.live = allCyclesLive && global.live;
@@ -276,22 +280,27 @@ LivenessReport checkLivenessOver(const AnalysisContext& ctx,
 LivenessReport checkLiveness(const Graph& g,
                              const csdf::RepetitionVector& rv,
                              const Environment& env,
-                             std::int64_t sampleValue) {
-  return checkLivenessOver(AnalysisContext(g), rv, env, sampleValue, nullptr);
-}
-
-LivenessReport checkLiveness(const AnalysisContext& ctx,
-                             const Environment& env,
-                             std::int64_t sampleValue) {
-  return checkLivenessOver(ctx, ctx.repetition(), env, sampleValue, nullptr);
+                             std::int64_t sampleValue,
+                             support::Budget* budget) {
+  return checkLivenessOver(AnalysisContext(g), rv, env, sampleValue, nullptr,
+                           budget);
 }
 
 LivenessReport checkLiveness(const AnalysisContext& ctx,
                              const Environment& env,
                              std::int64_t sampleValue,
-                             const graph::EvaluatedRates& sampleRates) {
+                             support::Budget* budget) {
+  return checkLivenessOver(ctx, ctx.repetition(), env, sampleValue, nullptr,
+                           budget);
+}
+
+LivenessReport checkLiveness(const AnalysisContext& ctx,
+                             const Environment& env,
+                             std::int64_t sampleValue,
+                             const graph::EvaluatedRates& sampleRates,
+                             support::Budget* budget) {
   return checkLivenessOver(ctx, ctx.repetition(), env, sampleValue,
-                           &sampleRates);
+                           &sampleRates, budget);
 }
 
 support::json::Value LivenessReport::toJson(const Graph& g) const {

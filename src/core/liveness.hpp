@@ -59,11 +59,14 @@ struct LivenessReport {
 /// Checks liveness of `g` given its repetition vector.  Unbound
 /// parameters are instantiated with `sampleValue` for the concrete
 /// simulations (the topology-selection argument of Section III-C makes
-/// the all-ports-required check conservative).
+/// the all-ports-required check conservative).  A non-null `budget` is
+/// checkpointed once per simulated firing (cycle simulations and the
+/// global schedule search) and may abort with support::BudgetExceeded.
 LivenessReport checkLiveness(const graph::Graph& g,
                              const csdf::RepetitionVector& rv,
                              const symbolic::Environment& env = {},
-                             std::int64_t sampleValue = 2);
+                             std::int64_t sampleValue = 2,
+                             support::Budget* budget = nullptr);
 
 /// Same through a shared context: SCCs and cycle simulations read the
 /// view's adjacency, the repetition vector is the memoized one, and the
@@ -71,7 +74,8 @@ LivenessReport checkLiveness(const graph::Graph& g,
 /// schedule search instead of re-evaluated per cycle.
 LivenessReport checkLiveness(const AnalysisContext& ctx,
                              const symbolic::Environment& env = {},
-                             std::int64_t sampleValue = 2);
+                             std::int64_t sampleValue = 2,
+                             support::Budget* budget = nullptr);
 
 /// Race-free variant for concurrent callers (the sweep driver): the
 /// caller supplies the integer rate tables instead of going through the
@@ -83,6 +87,7 @@ LivenessReport checkLiveness(const AnalysisContext& ctx,
 LivenessReport checkLiveness(const AnalysisContext& ctx,
                              const symbolic::Environment& env,
                              std::int64_t sampleValue,
-                             const graph::EvaluatedRates& sampleRates);
+                             const graph::EvaluatedRates& sampleRates,
+                             support::Budget* budget = nullptr);
 
 }  // namespace tpdf::core

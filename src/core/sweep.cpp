@@ -158,6 +158,7 @@ support::json::Value SweepPoint::toJson() const {
   doc.set("ok", ok);
   if (!ok) {
     doc.set("error", error);
+    if (resourceLimited) doc.set("resourceLimited", true);
     return doc;
   }
   doc.set("consistent", consistent);
@@ -194,6 +195,12 @@ std::size_t SweepResult::failed() const {
   return points.size() - analyzed();
 }
 
+std::size_t SweepResult::resourceLimited() const {
+  std::size_t n = 0;
+  for (const SweepPoint& p : points) n += (!p.ok && p.resourceLimited) ? 1 : 0;
+  return n;
+}
+
 support::json::Value SweepResult::toJson() const {
   auto doc = support::json::Value::object();
   auto axisList = support::json::Value::array();
@@ -211,6 +218,7 @@ support::json::Value SweepResult::toJson() const {
   doc.set("bounded", bounded());
   doc.set("notBounded", analyzed() - bounded());
   doc.set("errors", failed());
+  if (resourceLimited() > 0) doc.set("resourceLimited", resourceLimited());
   auto pointList = support::json::Value::array();
   for (const SweepPoint& p : points) pointList.push(p.toJson());
   doc.set("points", std::move(pointList));
@@ -357,6 +365,13 @@ SweepResult sweep(const AnalysisContext& ctx, const SweepSpec& spec) {
         coords[a] = spec.axes[a].values[rest % n];
         rest /= n;
       }
+      // Per-point budget: deadline/work cap from the spec, chained to
+      // the run-wide cancel flag.  Passed down only when actually
+      // limited, so an unbudgeted sweep pays nothing per firing.
+      support::Budget pointBudget(spec.pointTimeoutMs, spec.pointMaxWork);
+      pointBudget.chainCancel(spec.budget);
+      support::Budget* budget =
+          pointBudget.limited() ? &pointBudget : nullptr;
       try {
         Environment env = spec.fixed;
         for (std::size_t a = 0; a < spec.axes.size(); ++a) {
@@ -378,7 +393,7 @@ SweepResult sweep(const AnalysisContext& ctx, const SweepSpec& spec) {
         AnalysisReport report;
         report.repetition = rv;
         report.safety = safety;
-        report.liveness = checkLiveness(ctx, env, 2, rates);
+        report.liveness = checkLiveness(ctx, env, 2, rates, budget);
 
         point.consistent = report.consistent();
         point.rateSafe = report.rateSafe();
@@ -394,7 +409,7 @@ SweepResult sweep(const AnalysisContext& ctx, const SweepSpec& spec) {
 
         if (point.bounded && spec.computeBuffers) {
           const csdf::BufferReport buffers = csdf::minimumBuffers(
-              ctx.view(), rv, completed, spec.bufferPolicy, &rates);
+              ctx.view(), rv, completed, spec.bufferPolicy, &rates, budget);
           if (buffers.ok) {
             point.buffersComputed = true;
             point.bufferTotal = buffers.total();
@@ -406,9 +421,9 @@ SweepResult sweep(const AnalysisContext& ctx, const SweepSpec& spec) {
         }
         if (point.bounded && spec.computePeriod) {
           const sched::CanonicalPeriod period(ctx.view(), rv, rates,
-                                              completed);
+                                              completed, budget);
           const sched::ListSchedule schedule = sched::listSchedule(
-              period, sched::Platform{.peCount = spec.pes});
+              period, sched::Platform{.peCount = spec.pes}, {}, budget);
           point.periodComputed = true;
           point.period = schedule.makespan;
           point.throughput =
@@ -416,6 +431,9 @@ SweepResult sweep(const AnalysisContext& ctx, const SweepSpec& spec) {
         }
         if (spec.keepReports) point.report = std::move(report);
         point.ok = true;
+      } catch (const support::BudgetExceeded& e) {
+        point.resourceLimited = true;
+        point.error = e.what();
       } catch (const std::exception& e) {
         point.error = e.what();
       } catch (...) {

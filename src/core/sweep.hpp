@@ -102,6 +102,19 @@ struct SweepSpec {
   /// schedules would dwarf the metrics the sweep exists to produce.
   bool keepReports = false;
 
+  /// Per-point resource limits (0 = unlimited): each grid point gets its
+  /// own budget with this deadline/work cap.  A point that trips it is
+  /// recorded as a `resourceLimited` failure and the sweep continues —
+  /// graceful degradation, never a whole-run abort.
+  std::int64_t pointTimeoutMs = 0;
+  std::int64_t pointMaxWork = 0;
+
+  /// Optional run-wide budget: every per-point budget chains to its
+  /// cancel flag, so cancel() from any thread stops all in-flight and
+  /// remaining points (each recorded as resourceLimited).  Must outlive
+  /// the sweep() call.
+  support::Budget* budget = nullptr;
+
   /// Full cartesian size (may exceed maxPoints; saturates at SIZE_MAX).
   /// 0 when any axis is empty.
   std::size_t gridSize() const;
@@ -121,6 +134,9 @@ struct SweepPoint {
   /// field is meaningless.
   bool ok = false;
   std::string error;
+  /// True when the failure was the point's budget tripping (deadline,
+  /// work cap or cancellation) rather than an analysis error.
+  bool resourceLimited = false;
 
   // Verdicts (extracted from the point's AnalysisReport).
   bool consistent = false;
@@ -170,9 +186,10 @@ struct SweepResult {
   /// bufferTotal.  Empty when buffers or periods were not computed.
   std::vector<std::size_t> frontier;
 
-  std::size_t analyzed() const;  // points with ok
-  std::size_t bounded() const;   // points with ok && bounded
-  std::size_t failed() const;    // points with !ok
+  std::size_t analyzed() const;        // points with ok
+  std::size_t bounded() const;         // points with ok && bounded
+  std::size_t failed() const;          // points with !ok
+  std::size_t resourceLimited() const; // points with !ok && resourceLimited
 
   /// {"axes": [...], "gridSize": N, "points": [...], "truncated": true,
   /// "defaulted": [...], "analyzed": N, "bounded": N, "notBounded": N,

@@ -1,17 +1,21 @@
 #include "csdf/buffer.hpp"
 
+#include "support/checked.hpp"
+
 namespace tpdf::csdf {
 
 std::int64_t BufferReport::total() const {
   std::int64_t sum = 0;
-  for (std::int64_t v : perChannel) sum += v;
+  for (std::int64_t v : perChannel) sum = support::checkedAdd(sum, v);
   return sum;
 }
 
 std::int64_t BufferReport::dataTotal(const graph::Graph& g) const {
   std::int64_t sum = 0;
   for (const graph::Channel& c : g.channels()) {
-    if (!g.isControlChannel(c.id)) sum += perChannel[c.id.index()];
+    if (!g.isControlChannel(c.id)) {
+      sum = support::checkedAdd(sum, perChannel[c.id.index()]);
+    }
   }
   return sum;
 }
@@ -19,7 +23,9 @@ std::int64_t BufferReport::dataTotal(const graph::Graph& g) const {
 std::int64_t BufferReport::controlTotal(const graph::Graph& g) const {
   std::int64_t sum = 0;
   for (const graph::Channel& c : g.channels()) {
-    if (g.isControlChannel(c.id)) sum += perChannel[c.id.index()];
+    if (g.isControlChannel(c.id)) {
+      sum = support::checkedAdd(sum, perChannel[c.id.index()]);
+    }
   }
   return sum;
 }
@@ -48,23 +54,26 @@ support::json::Value BufferReport::toJson(const graph::Graph& g) const {
 
 BufferReport minimumBuffers(const graph::Graph& g,
                             const symbolic::Environment& env,
-                            SchedulePolicy policy) {
+                            SchedulePolicy policy, support::Budget* budget) {
   const graph::GraphView view(g);
-  return minimumBuffers(view, computeRepetitionVector(view), env, policy);
+  return minimumBuffers(view, computeRepetitionVector(view), env, policy,
+                        nullptr, budget);
 }
 
 BufferReport minimumBuffers(const graph::GraphView& view,
                             const RepetitionVector& rv,
                             const symbolic::Environment& env,
                             SchedulePolicy policy,
-                            const graph::EvaluatedRates* rates) {
+                            const graph::EvaluatedRates* rates,
+                            support::Budget* budget) {
   BufferReport report;
-  const LivenessResult live = findSchedule(view, rv, env, policy, rates);
+  const LivenessResult live =
+      findSchedule(view, rv, env, policy, rates, budget);
   if (!live.live) {
     report.diagnostic = live.diagnostic;
     return report;
   }
-  return buffersForSchedule(view, live.schedule, env, rates);
+  return buffersForSchedule(view, live.schedule, env, rates, budget);
 }
 
 BufferReport buffersForSchedule(const graph::Graph& g, const Schedule& s,
@@ -75,9 +84,10 @@ BufferReport buffersForSchedule(const graph::Graph& g, const Schedule& s,
 BufferReport buffersForSchedule(const graph::GraphView& view,
                                 const Schedule& s,
                                 const symbolic::Environment& env,
-                                const graph::EvaluatedRates* rates) {
+                                const graph::EvaluatedRates* rates,
+                                support::Budget* budget) {
   BufferReport report;
-  const ScheduleCheck check = validateSchedule(view, s, env, rates);
+  const ScheduleCheck check = validateSchedule(view, s, env, rates, budget);
   if (!check.ok) {
     report.diagnostic = check.diagnostic;
     return report;

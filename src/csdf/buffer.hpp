@@ -44,10 +44,13 @@ struct BufferReport {
 };
 
 /// Computes per-channel minimum buffer sizes for one iteration of `g`
-/// under `env`.
+/// under `env`.  A non-null `budget` is checkpointed once per firing of
+/// the schedule search and replay and may abort with
+/// support::BudgetExceeded.
 BufferReport minimumBuffers(const graph::Graph& g,
                             const symbolic::Environment& env = {},
-                            SchedulePolicy policy = SchedulePolicy::MinOccupancy);
+                            SchedulePolicy policy = SchedulePolicy::MinOccupancy,
+                            support::Budget* budget = nullptr);
 
 /// Shared-intermediate variant: schedule search and validation both run
 /// over `view`, reusing `rv` (and `rates`, when non-null) instead of
@@ -56,7 +59,8 @@ BufferReport minimumBuffers(const graph::GraphView& view,
                             const RepetitionVector& rv,
                             const symbolic::Environment& env = {},
                             SchedulePolicy policy = SchedulePolicy::MinOccupancy,
-                            const graph::EvaluatedRates* rates = nullptr);
+                            const graph::EvaluatedRates* rates = nullptr,
+                            support::Budget* budget = nullptr);
 
 /// Buffer sizes for a caller-provided schedule.
 BufferReport buffersForSchedule(const graph::Graph& g, const Schedule& s,
@@ -64,6 +68,7 @@ BufferReport buffersForSchedule(const graph::Graph& g, const Schedule& s,
 BufferReport buffersForSchedule(const graph::GraphView& view,
                                 const Schedule& s,
                                 const symbolic::Environment& env = {},
-                                const graph::EvaluatedRates* rates = nullptr);
+                                const graph::EvaluatedRates* rates = nullptr,
+                                support::Budget* budget = nullptr);
 
 }  // namespace tpdf::csdf

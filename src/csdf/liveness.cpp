@@ -6,6 +6,7 @@
 #include <set>
 #include <span>
 
+#include "support/checked.hpp"
 #include "support/error.hpp"
 
 namespace tpdf::csdf {
@@ -64,22 +65,24 @@ std::vector<EvalActor> buildEvalActors(const graph::GraphView& view,
 }  // namespace
 
 LivenessResult findSchedule(const Graph& g, const symbolic::Environment& env,
-                            SchedulePolicy policy) {
+                            SchedulePolicy policy, support::Budget* budget) {
   const graph::GraphView view(g);
-  return findSchedule(view, computeRepetitionVector(view), env, policy);
+  return findSchedule(view, computeRepetitionVector(view), env, policy,
+                      nullptr, budget);
 }
 
 LivenessResult findSchedule(const Graph& g, const RepetitionVector& rv,
                             const symbolic::Environment& env,
-                            SchedulePolicy policy) {
-  return findSchedule(graph::GraphView(g), rv, env, policy);
+                            SchedulePolicy policy, support::Budget* budget) {
+  return findSchedule(graph::GraphView(g), rv, env, policy, nullptr, budget);
 }
 
 LivenessResult findSchedule(const graph::GraphView& view,
                             const RepetitionVector& rv,
                             const symbolic::Environment& env,
                             SchedulePolicy policy,
-                            const graph::EvaluatedRates* rates) {
+                            const graph::EvaluatedRates* rates,
+                            support::Budget* budget) {
   const Graph& g = view.graph();
   LivenessResult out;
   if (!rv.consistent) {
@@ -93,7 +96,7 @@ LivenessResult findSchedule(const graph::GraphView& view,
   for (const symbolic::Expr& e : rv.q) {
     const std::int64_t qi = e.evaluateInt(env);
     out.q.push_back(qi);
-    totalFirings += qi;
+    totalFirings = support::checkedAdd(totalFirings, qi);
   }
 
   std::optional<graph::EvaluatedRates> localRates;
@@ -172,10 +175,27 @@ LivenessResult findSchedule(const graph::GraphView& view,
                      " firings; blocked actors: " + stuck;
   };
 
-  out.schedule.order.reserve(static_cast<std::size_t>(totalFirings));
+  // Cap the up-front reservation: an adversarial repetition vector can
+  // make totalFirings huge, and the budget (or a deadlock) may stop the
+  // run long before the schedule reaches that length.
+  constexpr std::int64_t kMaxReserve = 1 << 20;
+  out.schedule.order.reserve(
+      static_cast<std::size_t>(std::min(totalFirings, kMaxReserve)));
+  // Budget accounting is one unit per firing, but accumulated in a
+  // stack local and charged in >= kMaxBatch lumps: the scheduling loops
+  // carry no per-firing budget instructions, and a budgeted run still
+  // observes a deadline or cancellation within a couple of thousand
+  // firings (microseconds of work).
+  constexpr std::int64_t kMaxBatch = 4096;
+  std::int64_t pending = 0;
   while (static_cast<std::int64_t>(out.schedule.order.size()) <
          totalFirings) {
     if (ready.empty()) {
+      // A tripped budget outranks the deadlock verdict: the search was
+      // not allowed to finish, so it must not claim a negative result.
+      if (budget != nullptr) {
+        budget->charge(static_cast<std::uint64_t>(pending));
+      }
       deadlock();
       return out;
     }
@@ -206,7 +226,14 @@ LivenessResult findSchedule(const graph::GraphView& view,
     // Fire `chosen`; under Eager, keep firing it through consecutive
     // phases while it stays both enabled and the lowest-id enabled actor
     // (no consumer with a smaller id woke up), so long runs cost one
-    // ready-set update instead of one per firing.
+    // ready-set update instead of one per firing.  A budgeted batch is
+    // additionally capped at kMaxBatch firings; the outer loop re-picks
+    // the same actor, so the firing order is unchanged.
+    const std::int64_t batchStart =
+        static_cast<std::int64_t>(out.schedule.order.size());
+    const std::int64_t stopAt =
+        budget == nullptr ? totalFirings
+                          : std::min(totalFirings, batchStart + kMaxBatch);
     bool lowerWoke = false;
     do {
       const std::size_t phase =
@@ -217,15 +244,21 @@ LivenessResult findSchedule(const graph::GraphView& view,
         if (wake(p.dstActor) && p.dstActor < chosen) lowerWoke = true;
       }
     } while (policy == SchedulePolicy::Eager && !lowerWoke &&
-             static_cast<std::int64_t>(out.schedule.order.size()) <
-                 totalFirings &&
+             static_cast<std::int64_t>(out.schedule.order.size()) < stopAt &&
              enabled(chosen));
+    pending += static_cast<std::int64_t>(out.schedule.order.size()) -
+               batchStart;
+    if (budget != nullptr && pending >= kMaxBatch) {
+      budget->charge(static_cast<std::uint64_t>(pending));
+      pending = 0;
+    }
 
     if (!enabled(chosen)) {
       ready.erase(chosen);
       inReady[chosen] = 0;
     }
   }
+  if (budget != nullptr) budget->charge(static_cast<std::uint64_t>(pending));
 
   out.live = true;
   return out;

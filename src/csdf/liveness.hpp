@@ -24,6 +24,7 @@
 #include "csdf/schedule.hpp"
 #include "graph/graph.hpp"
 #include "graph/view.hpp"
+#include "support/budget.hpp"
 #include "symbolic/env.hpp"
 
 namespace tpdf::csdf {
@@ -49,15 +50,19 @@ struct LivenessResult {
 /// Control channels and ports participate like data (the conservative
 /// all-ports-required rule sound for deadlock detection: token selection
 /// by control actors removes no dependencies that could cure a deadlock).
+/// A non-null `budget` is checkpointed once per firing and may abort the
+/// search with support::BudgetExceeded.
 LivenessResult findSchedule(const graph::Graph& g,
                             const symbolic::Environment& env = {},
-                            SchedulePolicy policy = SchedulePolicy::Eager);
+                            SchedulePolicy policy = SchedulePolicy::Eager,
+                            support::Budget* budget = nullptr);
 
 /// Variant reusing an already-computed repetition vector.
 LivenessResult findSchedule(const graph::Graph& g,
                             const RepetitionVector& rv,
                             const symbolic::Environment& env,
-                            SchedulePolicy policy);
+                            SchedulePolicy policy,
+                            support::Budget* budget = nullptr);
 
 /// Fully shared-intermediate variant: adjacency and phase counts come
 /// from `view`, and when `rates` is non-null the integer rate tables are
@@ -68,6 +73,7 @@ LivenessResult findSchedule(const graph::GraphView& view,
                             const RepetitionVector& rv,
                             const symbolic::Environment& env,
                             SchedulePolicy policy,
-                            const graph::EvaluatedRates* rates = nullptr);
+                            const graph::EvaluatedRates* rates = nullptr,
+                            support::Budget* budget = nullptr);
 
 }  // namespace tpdf::csdf

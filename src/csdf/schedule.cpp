@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "support/checked.hpp"
 #include "support/error.hpp"
 
 namespace tpdf::csdf {
@@ -60,7 +61,8 @@ ScheduleCheck validateSchedule(const Graph& g, const Schedule& s,
 
 ScheduleCheck validateSchedule(const graph::GraphView& view, const Schedule& s,
                                const symbolic::Environment& env,
-                               const graph::EvaluatedRates* rates) {
+                               const graph::EvaluatedRates* rates,
+                               support::Budget* budget) {
   const Graph& g = view.graph();
   // Without caller-provided tables, rates are evaluated lazily per
   // event (the legacy behaviour): a partial schedule must stay
@@ -83,6 +85,7 @@ ScheduleCheck validateSchedule(const graph::GraphView& view, const Schedule& s,
   std::vector<std::int64_t> fired(g.actorCount(), 0);
 
   for (const FiringEvent& e : s.order) {
+    support::Budget::checkpoint(budget);
     if (e.k != fired[e.actor.index()]) {
       check.diagnostic = "firing of '" + g.actor(e.actor).name +
                          "' out of order: expected k=" +
@@ -111,7 +114,7 @@ ScheduleCheck validateSchedule(const graph::GraphView& view, const Schedule& s,
       if (graph::isInput(p.kind)) continue;
       const std::int64_t made = rateAt(pid, e.k);
       std::int64_t& occupancy = check.finalOccupancy[p.channel.index()];
-      occupancy += made;
+      occupancy = support::checkedAdd(occupancy, made);
       check.maxOccupancy[p.channel.index()] =
           std::max(check.maxOccupancy[p.channel.index()], occupancy);
     }

@@ -11,6 +11,7 @@
 
 #include "graph/graph.hpp"
 #include "graph/view.hpp"
+#include "support/budget.hpp"
 #include "support/json.hpp"
 #include "symbolic/env.hpp"
 
@@ -68,9 +69,11 @@ ScheduleCheck validateSchedule(const graph::Graph& g, const Schedule& s,
 /// `view` under `env`) no rate expression is re-evaluated at all.
 /// Without `rates`, rates are evaluated lazily per firing event, so a
 /// partial schedule stays checkable even when actors it never fires
-/// have unbound parameters under `env`.
+/// have unbound parameters under `env`.  A non-null `budget` is
+/// checkpointed once per replayed firing.
 ScheduleCheck validateSchedule(const graph::GraphView& view, const Schedule& s,
                                const symbolic::Environment& env = {},
-                               const graph::EvaluatedRates* rates = nullptr);
+                               const graph::EvaluatedRates* rates = nullptr,
+                               support::Budget* budget = nullptr);
 
 }  // namespace tpdf::csdf

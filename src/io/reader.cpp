@@ -1,6 +1,7 @@
 // Recursive-descent reader for the .tpdf format (see format.hpp).
 #include <cctype>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <utility>
 
@@ -126,9 +127,12 @@ struct Lexer {
       fail("expected integer");
     }
     std::int64_t value = 0;
+    constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
     while (pos < text.size() &&
            std::isdigit(static_cast<unsigned char>(text[pos]))) {
-      value = value * 10 + (text[pos] - '0');
+      const std::int64_t digit = text[pos] - '0';
+      if (value > (kMax - digit) / 10) fail("integer literal overflows");
+      value = value * 10 + digit;
       advance();
     }
     return negative ? -value : value;
@@ -158,11 +162,19 @@ struct Lexer {
     skipSpaceAndComments();
     std::string out;
     if (peek() == '[') {
+      // Brackets nest one level in well-formed specs ("[2 p [1 0]^3]" is
+      // not a thing; nesting comes only from expressions).  Cap the
+      // depth so adversarially deep "[[[[…" input fails here with a
+      // position instead of feeding an enormous spec to RateSeq::parse.
+      constexpr int kMaxBracketDepth = 16;
       int depth = 0;
       do {
         if (pos >= text.size()) fail("unterminated rate list");
         const char c = text[pos];
-        if (c == '[') ++depth;
+        if (c == '[' && ++depth > kMaxBracketDepth) {
+          fail("rate list nested too deeply (limit " +
+               std::to_string(kMaxBracketDepth) + ")");
+        }
         if (c == ']') --depth;
         out += c;
         advance();

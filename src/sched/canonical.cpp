@@ -11,41 +11,45 @@ using graph::ActorId;
 using graph::Graph;
 
 CanonicalPeriod::CanonicalPeriod(const Graph& g,
-                                 const symbolic::Environment& env)
+                                 const symbolic::Environment& env,
+                                 support::Budget* budget)
     : graph_(&g) {
   const graph::GraphView view(g);
   const csdf::RepetitionVector rv = csdf::computeRepetitionVector(view);
   if (!rv.consistent) {
     throw support::Error("cannot build canonical period: " + rv.diagnostic);
   }
-  build(view, rv, graph::EvaluatedRates(view, env), env);
+  build(view, rv, graph::EvaluatedRates(view, env), env, budget);
 }
 
 CanonicalPeriod::CanonicalPeriod(const core::AnalysisContext& ctx,
-                                 const symbolic::Environment& env)
+                                 const symbolic::Environment& env,
+                                 support::Budget* budget)
     : graph_(&ctx.graph()) {
   const csdf::RepetitionVector& rv = ctx.repetition();
   if (!rv.consistent) {
     throw support::Error("cannot build canonical period: " + rv.diagnostic);
   }
-  build(ctx.view(), rv, ctx.rates(env), env);
+  build(ctx.view(), rv, ctx.rates(env), env, budget);
 }
 
 CanonicalPeriod::CanonicalPeriod(const graph::GraphView& view,
                                  const csdf::RepetitionVector& rv,
                                  const graph::EvaluatedRates& rates,
-                                 const symbolic::Environment& env)
+                                 const symbolic::Environment& env,
+                                 support::Budget* budget)
     : graph_(&view.graph()) {
   if (!rv.consistent) {
     throw support::Error("cannot build canonical period: " + rv.diagnostic);
   }
-  build(view, rv, rates, env);
+  build(view, rv, rates, env, budget);
 }
 
 void CanonicalPeriod::build(const graph::GraphView& view,
                             const csdf::RepetitionVector& rv,
                             const graph::EvaluatedRates& rates,
-                            const symbolic::Environment& env) {
+                            const symbolic::Environment& env,
+                            support::Budget* budget) {
   const Graph& g = *graph_;
   q_.resize(g.actorCount());
   firstIndex_.resize(g.actorCount());
@@ -58,6 +62,7 @@ void CanonicalPeriod::build(const graph::GraphView& view,
     }
     firstIndex_[i] = nodes_.size();
     for (std::int64_t k = 0; k < q_[i]; ++k) {
+      support::Budget::checkpoint(budget);
       nodes_.push_back({ActorId(static_cast<std::uint32_t>(i)), k});
     }
   }
@@ -83,6 +88,7 @@ void CanonicalPeriod::build(const graph::GraphView& view,
     std::int64_t m = 0;          // producer firings counted so far
     std::int64_t demanded = c.initialTokens;  // threshold to cover
     for (std::int64_t n = 0; n < q_[dst.index()]; ++n) {
+      support::Budget::checkpoint(budget);
       demanded -= rates.at(c.dst, n);
       if (demanded >= 0) continue;  // covered by initial tokens
       // Advance the producer until cumulative production covers -demanded.

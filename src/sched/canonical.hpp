@@ -17,6 +17,7 @@
 #include "csdf/repetition.hpp"
 #include "graph/graph.hpp"
 #include "graph/view.hpp"
+#include "support/budget.hpp"
 #include "support/json.hpp"
 #include "symbolic/env.hpp"
 
@@ -36,15 +37,20 @@ struct Occurrence {
 class CanonicalPeriod {
  public:
   /// Builds the canonical period of one iteration of `g` under `env`.
-  /// Throws support::Error when the graph is not consistent.
-  CanonicalPeriod(const graph::Graph& g, const symbolic::Environment& env);
+  /// Throws support::Error when the graph is not consistent.  A non-null
+  /// `budget` is checkpointed once per occurrence node and per
+  /// dependency-scan step during construction and may abort with
+  /// support::BudgetExceeded.
+  CanonicalPeriod(const graph::Graph& g, const symbolic::Environment& env,
+                  support::Budget* budget = nullptr);
 
   /// Same through a shared context: reuses the memoized repetition
   /// vector and the valuation's integer rate tables instead of
   /// recomputing them.  The context (and its Graph) must outlive the
   /// period.
   CanonicalPeriod(const core::AnalysisContext& ctx,
-                  const symbolic::Environment& env);
+                  const symbolic::Environment& env,
+                  support::Budget* budget = nullptr);
 
   /// Fully caller-provided intermediates (race-free: never touches a
   /// context's mutable caches, which is what the concurrent sweep driver
@@ -53,7 +59,8 @@ class CanonicalPeriod {
   CanonicalPeriod(const graph::GraphView& view,
                   const csdf::RepetitionVector& rv,
                   const graph::EvaluatedRates& rates,
-                  const symbolic::Environment& env);
+                  const symbolic::Environment& env,
+                  support::Budget* budget = nullptr);
 
   const graph::Graph& graph() const { return *graph_; }
   std::size_t size() const { return nodes_.size(); }
@@ -95,7 +102,7 @@ class CanonicalPeriod {
  private:
   void build(const graph::GraphView& view, const csdf::RepetitionVector& rv,
              const graph::EvaluatedRates& rates,
-             const symbolic::Environment& env);
+             const symbolic::Environment& env, support::Budget* budget);
   void addEdge(std::size_t from, std::size_t to);
 
   const graph::Graph* graph_;

@@ -54,7 +54,8 @@ support::json::Value ListSchedule::toJson(const CanonicalPeriod& cp) const {
 }
 
 ListSchedule listSchedule(const CanonicalPeriod& cp, const Platform& platform,
-                          const ListSchedulerOptions& options) {
+                          const ListSchedulerOptions& options,
+                          support::Budget* budget) {
   if (platform.peCount == 0) {
     throw support::Error("platform must have at least one PE");
   }
@@ -119,6 +120,7 @@ ListSchedule listSchedule(const CanonicalPeriod& cp, const Platform& platform,
   };
 
   while (!ready.empty()) {
+    support::Budget::checkpoint(budget);
     // Pick the highest-priority ready node: control actors first (rule 1),
     // then by descending rank, then by node index for determinism.
     std::size_t bestIdx = 0;

@@ -51,8 +51,11 @@ struct ListSchedulerOptions {
 
 /// Schedules `cp` on `platform`.  Every dependency is honoured; a node
 /// starts at max(PE available, preds finish + link latency if mapped on a
-/// different PE; control-token edges are latency-free).
+/// different PE; control-token edges are latency-free).  A non-null
+/// `budget` is checkpointed once per placed occurrence and may abort
+/// with support::BudgetExceeded.
 ListSchedule listSchedule(const CanonicalPeriod& cp, const Platform& platform,
-                          const ListSchedulerOptions& options = {});
+                          const ListSchedulerOptions& options = {},
+                          support::Budget* budget = nullptr);
 
 }  // namespace tpdf::sched

@@ -9,6 +9,7 @@
 #include <set>
 
 #include "csdf/repetition.hpp"
+#include "support/checked.hpp"
 #include "support/error.hpp"
 
 namespace tpdf::sim {
@@ -206,7 +207,8 @@ SimResult Simulator::run(const SimOptions& options) {
       st.limit = kUnlimited;
       st.nextClockTick = *model_->clockPeriod(a.id);
     } else {
-      st.limit = rv.qOf(a.id).evaluateInt(env_) * options.iterations;
+      st.limit = support::checkedMul(rv.qOf(a.id).evaluateInt(env_),
+                                     options.iterations);
     }
   }
   if (hasClock && !std::isfinite(options.stopTime)) {
@@ -485,11 +487,13 @@ SimResult Simulator::run(const SimOptions& options) {
   // rescan-until-fixpoint sweep.
   std::vector<std::size_t> due;
   while (true) {
+    support::Budget::checkpoint(options.budget);
     // Start everything that can start at the current time.  The firing
     // cap gates starts (not event delivery), so a run that hits exactly
     // maxFirings still delivers its in-flight completions and can report
     // returnedToInitialState on the boundary.
     while (!wake.empty() && result.totalFirings < options.maxFirings) {
+      support::Budget::checkpoint(options.budget);
       const std::size_t ai = *wake.begin();
       wake.erase(wake.begin());
       const graph::Actor& a = g.actors()[ai];

@@ -31,6 +31,7 @@
 #include "core/context.hpp"
 #include "core/model.hpp"
 #include "sim/token.hpp"
+#include "support/budget.hpp"
 #include "support/json.hpp"
 #include "symbolic/env.hpp"
 
@@ -90,6 +91,11 @@ struct SimOptions {
   std::int64_t maxFirings = 1'000'000;
   /// Record one TraceEvent per firing in SimResult::trace.
   bool recordTrace = false;
+  /// Optional cooperative budget, checkpointed once per event-loop step
+  /// and per start attempt; run() throws support::BudgetExceeded when it
+  /// trips.  Unlike maxFirings (which ends the run gracefully), a budget
+  /// is a hard resource limit imposed by the caller.
+  support::Budget* budget = nullptr;
 };
 
 /// One firing in the recorded execution trace.

@@ -6,18 +6,23 @@
 // spawned once at construction and joined at destruction; submit() after
 // shutdown is a contract violation.
 //
-// Exceptions thrown by a job are the job's responsibility — wrap the
-// body in try/catch and record the failure (core::analyzeBatch does).
-// An exception escaping a job would terminate the process, so the pool
-// catches and drops it as a last resort.
+// Jobs are still encouraged to catch their own exceptions and record
+// failures in their result slots (core::analyzeBatch does) — but an
+// exception that *does* escape a job no longer vanishes: the pool
+// captures the first one and rethrows it from the next wait(), so
+// driver bugs surface instead of silently producing torn batches.
+// Later escapes (after the first) are dropped; the destructor never
+// throws and always joins.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace tpdf::support {
@@ -60,10 +65,17 @@ class ThreadPool {
 
   /// Blocks until every submitted job has finished running (queue empty
   /// and no job in flight).  Jobs may keep submitting more work; wait()
-  /// returns only once the whole transitive batch has drained.
+  /// returns only once the whole transitive batch has drained.  If any
+  /// job let an exception escape since the last wait(), the first such
+  /// exception is rethrown here (and the stored error is cleared).
   void wait() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    idle_.wait(lock, [this] { return pending_ == 0; });
+    std::exception_ptr error;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      idle_.wait(lock, [this] { return pending_ == 0; });
+      error = std::exchange(firstError_, nullptr);
+    }
+    if (error) std::rethrow_exception(error);
   }
 
  private:
@@ -78,13 +90,15 @@ class ThreadPool {
         job = std::move(queue_.front());
         queue_.pop_front();
       }
+      std::exception_ptr escaped;
       try {
         job();
       } catch (...) {
-        // Last-resort containment; jobs are expected to catch their own.
+        escaped = std::current_exception();
       }
       {
         std::unique_lock<std::mutex> lock(mutex_);
+        if (escaped && !firstError_) firstError_ = escaped;
         if (--pending_ == 0) idle_.notify_all();
       }
     }
@@ -96,6 +110,7 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   std::size_t pending_ = 0;
   bool stopping_ = false;
+  std::exception_ptr firstError_;  // first job escape since last wait()
   std::vector<std::thread> workers_;
 };
 

@@ -8,6 +8,7 @@
 // Division must be exact in the Laurent-polynomial sense.
 #include <cctype>
 #include <cstdint>
+#include <limits>
 
 #include "support/checked.hpp"
 #include "support/error.hpp"
@@ -30,10 +31,30 @@ class ExprParser {
   }
 
  private:
+  /// Recursion ceiling for nested parentheses / chained unary minus.  An
+  /// adversarial input like "((((…1…))))" must fail with a positioned
+  /// ParseError, not exhaust the thread stack; real rate expressions nest
+  /// a handful of levels.
+  static constexpr int kMaxDepth = 64;
+
   [[noreturn]] void fail(const std::string& message) const {
     throw support::ParseError("expression error: " + message, 1,
                               static_cast<int>(pos_) + 1);
   }
+
+  /// RAII depth guard entered by the recursive rules.
+  struct DepthGuard {
+    explicit DepthGuard(ExprParser& p) : parser(p) {
+      if (++parser.depth_ > kMaxDepth) {
+        parser.fail("expression nested too deeply (limit " +
+                    std::to_string(kMaxDepth) + ")");
+      }
+    }
+    ~DepthGuard() { --parser.depth_; }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+    ExprParser& parser;
+  };
 
   void skipSpace() {
     while (pos_ < text_.size() &&
@@ -95,6 +116,7 @@ class ExprParser {
 
   Expr parseUnary() {
     if (peek() == '-') {
+      const DepthGuard guard(*this);
       ++pos_;
       return -parseUnary();
     }
@@ -104,6 +126,7 @@ class ExprParser {
   Expr parsePrimary() {
     const char c = peek();
     if (c == '(') {
+      const DepthGuard guard(*this);
       ++pos_;
       const Expr inner = parseExprRule();
       if (peek() != ')') fail("expected ')'");
@@ -112,10 +135,14 @@ class ExprParser {
     }
     if (std::isdigit(static_cast<unsigned char>(c))) {
       std::int64_t value = 0;
+      constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
       while (pos_ < text_.size() &&
              std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
-        value = support::checkedAdd(support::checkedMul(value, 10),
-                                    text_[pos_] - '0');
+        const std::int64_t digit = text_[pos_] - '0';
+        // Positioned rejection (not a bare checked-arithmetic throw), so
+        // the .tpdf reader can remap it to a file line/column.
+        if (value > (kMax - digit) / 10) fail("integer literal overflows");
+        value = value * 10 + digit;
         ++pos_;
       }
       return Expr(value);
@@ -135,6 +162,7 @@ class ExprParser {
 
   const std::string& text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

@@ -1,0 +1,279 @@
+// Resource governance primitives: Budget deadlines, cooperative
+// cancellation, work caps, deterministic fault injection, and the
+// thread pool's first-error propagation.  These are the foundations the
+// analysis-stack budget threading (robustness_test.cpp) builds on, so
+// the semantics are pinned down at the unit level first.
+#include "support/budget.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "support/threadpool.hpp"
+
+namespace tpdf::support {
+namespace {
+
+TEST(Budget, UnlimitedBudgetNeverThrowsAndCountsWork) {
+  Budget budget;
+  EXPECT_FALSE(budget.limited());
+  for (int i = 0; i < 1000; ++i) budget.checkpoint();
+  EXPECT_EQ(budget.work(), 1000u);
+}
+
+TEST(Budget, NullSafeCheckpointIsANoOp) {
+  EXPECT_NO_THROW(Budget::checkpoint(nullptr));
+  Budget budget;
+  Budget::checkpoint(&budget);
+  EXPECT_EQ(budget.work(), 1u);
+}
+
+TEST(Budget, WorkCapThrowsAtExactlyTheBoundary) {
+  Budget budget;
+  budget.setMaxWork(5);
+  EXPECT_TRUE(budget.limited());
+  // Checkpoints 1..5 are within budget; the 6th is one unit too many.
+  for (int i = 0; i < 5; ++i) EXPECT_NO_THROW(budget.checkpoint());
+  try {
+    budget.checkpoint();
+    FAIL() << "expected BudgetExceeded";
+  } catch (const BudgetExceeded& e) {
+    EXPECT_EQ(e.kind(), BudgetExceeded::Kind::Work);
+    EXPECT_STREQ(e.kindName(), "work");
+  }
+}
+
+TEST(Budget, RequestStyleConstructorArmsBothLimits) {
+  const Budget unlimited(0, 0);
+  EXPECT_FALSE(unlimited.limited());
+  Budget capped(0, 3);
+  EXPECT_TRUE(capped.limited());
+  capped.checkpoint();
+  capped.checkpoint();
+  capped.checkpoint();
+  EXPECT_THROW(capped.checkpoint(), BudgetExceeded);
+  const Budget timed(5'000, 0);
+  EXPECT_TRUE(timed.limited());
+}
+
+TEST(Budget, ExpiredDeadlineTripsWithinOneClockStride) {
+  Budget budget;
+  budget.setDeadline(Budget::Clock::now() - std::chrono::milliseconds(1));
+  // The clock is read at the first checkpoint and then every
+  // kClockStride checkpoints, so an already-expired deadline must trip
+  // within the first stride.
+  std::uint64_t survived = 0;
+  try {
+    for (;; ++survived) budget.checkpoint();
+  } catch (const BudgetExceeded& e) {
+    EXPECT_EQ(e.kind(), BudgetExceeded::Kind::Deadline);
+    EXPECT_STREQ(e.kindName(), "deadline");
+  }
+  EXPECT_LT(survived, Budget::kClockStride);
+}
+
+TEST(Budget, FutureDeadlineEventuallyTrips) {
+  Budget budget;
+  budget.setTimeout(std::chrono::milliseconds(1));
+  try {
+    for (;;) budget.checkpoint();
+  } catch (const BudgetExceeded& e) {
+    EXPECT_EQ(e.kind(), BudgetExceeded::Kind::Deadline);
+  }
+  EXPECT_GT(budget.work(), 0u);
+}
+
+TEST(Budget, CancelFromAnotherThreadIsObservedAtACheckpoint) {
+  Budget budget;
+  std::atomic<bool> started{false};
+  std::thread canceller([&] {
+    started.store(true);
+    budget.cancel();
+  });
+  while (!started.load()) std::this_thread::yield();
+  canceller.join();
+  EXPECT_TRUE(budget.cancelled());
+  try {
+    for (;;) budget.checkpoint();
+  } catch (const BudgetExceeded& e) {
+    EXPECT_EQ(e.kind(), BudgetExceeded::Kind::Cancelled);
+    EXPECT_STREQ(e.kindName(), "cancelled");
+  }
+}
+
+TEST(Budget, ChainedCancelStopsTheChildBudget) {
+  Budget parent;
+  Budget child;
+  child.chainCancel(&parent);
+  EXPECT_TRUE(child.limited());  // chained budgets must keep checkpointing
+  EXPECT_NO_THROW(child.checkpoint());
+  parent.cancel();
+  // Cancellation is observed within one full-check stride.
+  std::uint64_t survived = 0;
+  try {
+    for (;; ++survived) child.checkpoint();
+  } catch (const BudgetExceeded& e) {
+    EXPECT_EQ(e.kind(), BudgetExceeded::Kind::Cancelled);
+  }
+  EXPECT_LT(survived, Budget::kClockStride);
+  // The child's own flag was never set; the parent's is what tripped.
+  EXPECT_FALSE(child.cancelled());
+  child.chainCancel(nullptr);
+  EXPECT_NO_THROW(child.checkpoint());
+}
+
+TEST(Budget, FaultInjectorFiresAtExactlyTheArmedCheckpoint) {
+  Budget budget;
+  budget.arm(FaultInjector{4});
+  EXPECT_TRUE(budget.limited());
+  for (int i = 0; i < 3; ++i) EXPECT_NO_THROW(budget.checkpoint());
+  try {
+    budget.checkpoint();
+    FAIL() << "expected BudgetExceeded";
+  } catch (const BudgetExceeded& e) {
+    EXPECT_EQ(e.kind(), BudgetExceeded::Kind::Injected);
+    EXPECT_STREQ(e.kindName(), "injected");
+  }
+  // A fault fires once; the budget is usable afterwards.
+  EXPECT_NO_THROW(budget.checkpoint());
+  EXPECT_EQ(budget.work(), 5u);
+}
+
+TEST(Budget, DisarmedFaultInjectorNeverFires) {
+  Budget budget;
+  budget.arm(FaultInjector{0});
+  for (int i = 0; i < 100; ++i) EXPECT_NO_THROW(budget.checkpoint());
+}
+
+TEST(Budget, BulkChargeCountsExactlyAndTripsTheCapAtTheCrossing) {
+  Budget budget;
+  budget.setMaxWork(100);
+  budget.charge(40);
+  budget.charge(60);  // exactly at the cap: still within budget
+  EXPECT_EQ(budget.work(), 100u);
+  EXPECT_THROW(budget.charge(7), BudgetExceeded);
+}
+
+TEST(Budget, BulkChargeCrossingAnArmedFaultFiresItOnce) {
+  Budget budget;
+  budget.arm(FaultInjector{50});
+  budget.charge(30);
+  try {
+    budget.charge(30);  // steps 31..60: crosses checkpoint 50
+    FAIL() << "expected BudgetExceeded";
+  } catch (const BudgetExceeded& e) {
+    EXPECT_EQ(e.kind(), BudgetExceeded::Kind::Injected);
+    // Attributed to the armed index even when detected at the boundary.
+    EXPECT_NE(std::string(e.what()).find("50"), std::string::npos);
+  }
+  // Fired once: further charges pass.
+  EXPECT_NO_THROW(budget.charge(1000));
+}
+
+TEST(Budget, MixedChargeAndCheckpointShareOneWorkCount) {
+  Budget budget;
+  budget.setMaxWork(10);
+  budget.charge(5);
+  for (int i = 0; i < 5; ++i) budget.checkpoint();
+  EXPECT_EQ(budget.work(), 10u);
+  EXPECT_THROW(budget.checkpoint(), BudgetExceeded);
+}
+
+TEST(FaultInjector, FromEnvParsesArmsAndRejects) {
+  ASSERT_EQ(::setenv("TPDF_TEST_FAULT", "17", 1), 0);
+  EXPECT_EQ(FaultInjector::fromEnv("TPDF_TEST_FAULT").fireAt, 17u);
+  ASSERT_EQ(::setenv("TPDF_TEST_FAULT", "not-a-number", 1), 0);
+  EXPECT_EQ(FaultInjector::fromEnv("TPDF_TEST_FAULT").fireAt, 0u);
+  ASSERT_EQ(::setenv("TPDF_TEST_FAULT", "12x", 1), 0);
+  EXPECT_EQ(FaultInjector::fromEnv("TPDF_TEST_FAULT").fireAt, 0u);
+  ASSERT_EQ(::unsetenv("TPDF_TEST_FAULT"), 0);
+  EXPECT_EQ(FaultInjector::fromEnv("TPDF_TEST_FAULT").fireAt, 0u);
+}
+
+TEST(Budget, BudgetExceededIsATypedSupportError) {
+  // The api layer catches BudgetExceeded before support::Error to map it
+  // to the resource-limit status; the derivation is what makes a missed
+  // catch degrade to runtime-error instead of a crash.
+  const BudgetExceeded e(BudgetExceeded::Kind::Work, "capped");
+  const Error& base = e;
+  EXPECT_STREQ(base.what(), "capped");
+}
+
+// ---- ThreadPool first-error propagation ---------------------------------
+
+TEST(ThreadPool, WorkerExceptionPropagatesOutOfWait) {
+  ThreadPool pool(2);
+  pool.submit([] { throw Error("worker blew up"); });
+  try {
+    pool.wait();
+    FAIL() << "expected the worker error to rethrow from wait()";
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "worker blew up");
+  }
+}
+
+TEST(ThreadPool, FirstErrorWinsAndWaitClearsIt) {
+  ThreadPool pool(1);  // serial: deterministic first error
+  pool.submit([] { throw Error("first"); });
+  pool.submit([] { throw Error("second"); });
+  try {
+    pool.wait();
+    FAIL() << "expected a rethrow";
+  } catch (const Error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+  // The error was consumed: the pool keeps working and a clean round
+  // waits without throwing.
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { ++counter; });
+  EXPECT_NO_THROW(pool.wait());
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, RemainingJobsStillRunAfterAWorkerThrows) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.submit([] { throw Error("boom"); });
+  for (int i = 0; i < 20; ++i) {
+    pool.submit([&counter] { ++counter; });
+  }
+  EXPECT_THROW(pool.wait(), Error);
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPool, DestructorJoinsCleanlyWithAPendingError) {
+  // An unconsumed error must not escape the destructor (that would
+  // terminate); it is simply dropped with the pool.
+  ThreadPool pool(2);
+  pool.submit([] { throw Error("never waited on"); });
+  // Destructor drains and joins here.
+}
+
+TEST(ThreadPool, CancellingABudgetStopsPoolWorkCooperatively) {
+  // The driver pattern: one run-wide budget, each worker checkpointing a
+  // chained child.  cancel() makes every in-flight and queued worker
+  // throw BudgetExceeded at its next checkpoint, and wait() surfaces the
+  // first one.
+  Budget runWide;
+  ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&] {
+      Budget worker;
+      worker.chainCancel(&runWide);
+      for (int n = 0; n < 1 << 22; ++n) worker.checkpoint();
+      ++completed;
+    });
+  }
+  runWide.cancel();
+  EXPECT_THROW(pool.wait(), BudgetExceeded);
+  // Cancellation raced real completions; whatever finished, the pool
+  // drained every job without hanging.
+  EXPECT_LE(completed.load(), 8);
+}
+
+}  // namespace
+}  // namespace tpdf::support

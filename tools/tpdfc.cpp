@@ -27,15 +27,25 @@
 //   tpdfc verify   dir|graph.tpdf          differential verification: cross-
 //                  [--iterations N]        check the static verdicts against
 //                  [--negative-selftest]   the simulator over every .tpdf
-//                                          under the directory (recursive);
-//                                          any discrepancy exits 1 with a
-//                                          replayable graph dump
+//                  [--fault-sweep]         under the directory (recursive);
+//                  [--fault-cap N]         any discrepancy exits 1 with a
+//                                          replayable graph dump;
+//                                          --fault-sweep injects a
+//                                          deterministic fault at every
+//                                          checkpoint and requires a
+//                                          structured diagnostic each time
 //   tpdfc scenarios dir                    regenerate the scenario corpus
 //                                          (examples/graphs/scenarios/)
 //   tpdfc version                          semver + git describe
 //
 // Parameters are given as name=value pairs; unbound parameters default
 // to 2 for concrete steps (reported as a note diagnostic).
+//
+// Global resource governance: --timeout-ms N arms a wall-clock deadline
+// and --max-work N a work-unit cap on any analysis-running command.  A
+// tripped limit is the stable `resource-limit` outcome (exit 4); for
+// sweep/batch/verify the limits apply PER point/entry/file and the run
+// continues with partial results.
 //
 // Exit codes (stable contract, see docs/api.md):
 //   0  the request ran and the verdict is positive (analyze: bounded)
@@ -44,6 +54,8 @@
 //   2  usage / invalid request
 //   3  input error (unreadable file, parse error, model error) or an
 //      internal fault
+//   4  resource limit (deadline, work budget, or cancellation) — the
+//      analysis was cut off, not judged
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
@@ -74,14 +86,18 @@ constexpr const char* kUsage =
     "[--trace] [--json]\n"
     "       tpdfc batch <dir> [--jobs N] [name=value ...] [--json]\n"
     "       tpdfc verify <dir|file.tpdf> [name=value ...] [--iterations N]\n"
-    "             [--negative-selftest] [--json]\n"
+    "             [--negative-selftest] [--fault-sweep] [--fault-cap N] "
+    "[--json]\n"
     "       tpdfc scenarios <dir> [--json]\n"
     "       tpdfc sweep <file.tpdf> name=lo:hi[:step] [name=v1,v2,...] "
     "[name=value ...] [pes=N]\n"
     "             [--jobs N] [--cap N] [--analysis-only] [--json]\n"
     "       tpdfc version | --version\n"
+    "global: [--timeout-ms N] [--max-work N] resource limits (per\n"
+    "        point/entry/file for sweep/batch/verify)\n"
     "exit codes: 0 ok/bounded, 1 analysis negative, 2 usage, "
-    "3 input/parse error\n";
+    "3 input/parse error,\n"
+    "            4 resource limit (deadline/work budget tripped)\n";
 
 struct Cli {
   std::string command;
@@ -92,6 +108,15 @@ struct Cli {
   /// verify: deliberately under-size every buffer capacity so the
   /// harness must report discrepancies (negative self-test).
   bool negativeSelftest = false;
+  /// verify: fault-injection self-test (a fault at every checkpoint
+  /// must surface as a structured diagnostic).
+  bool faultSweep = false;
+  /// verify: cap on injection points per file (0 = every checkpoint).
+  std::int64_t faultCap = 0;
+  /// Global resource limits (0 = unlimited); per unit for the
+  /// multi-input drivers.
+  std::int64_t timeoutMs = 0;
+  std::int64_t maxWork = 0;
   std::int64_t iterations = 1;
   /// True when --iterations was given (verify defaults differ from sim).
   bool iterationsSet = false;
@@ -175,6 +200,14 @@ bool bindAll(const Cli& cli, symbolic::Environment& env,
   return true;
 }
 
+/// The global --timeout-ms/--max-work flags as request limits.
+api::ResourceLimits limitsOf(const Cli& cli) {
+  api::ResourceLimits limits;
+  limits.timeoutMs = cli.timeoutMs;
+  limits.maxWork = cli.maxWork;
+  return limits;
+}
+
 int runVersion(const Cli& cli) {
   if (cli.json) {
     auto doc = support::json::Value::object();
@@ -192,6 +225,7 @@ int runBatch(const Cli& cli) {
   api::BatchRequest request;
   request.directory = cli.input;
   request.jobs = cli.jobs;
+  request.limits = limitsOf(cli);
   {
     api::Response usage;
     if (!bindAll(cli, request.bindings, usage)) {
@@ -233,6 +267,9 @@ int runVerify(const Cli& cli) {
   }
   if (cli.iterationsSet) request.options.iterations = cli.iterations;
   request.options.tamperBufferCapacities = cli.negativeSelftest;
+  request.limits = limitsOf(cli);
+  request.faultSweep = cli.faultSweep;
+  request.faultSweepLimit = cli.faultCap;
   {
     api::Response usage;
     if (!bindAll(cli, request.bindings, usage)) {
@@ -332,6 +369,7 @@ std::string bindingsText(const symbolic::Environment& env) {
 int runSweep(const Cli& cli, api::Session& session, const std::string& id) {
   api::SweepRequest request;
   request.graphId = id;
+  request.limits = limitsOf(cli);
   request.axes = cli.axes;
   request.jobs = cli.jobs;
   request.pes = cli.pes;
@@ -384,6 +422,7 @@ int runSweep(const Cli& cli, api::Session& session, const std::string& id) {
 int runAnalyze(const Cli& cli, api::Session& session, const std::string& id) {
   api::AnalyzeRequest request;
   request.graphId = id;
+  request.limits = limitsOf(cli);
   {
     api::Response usage;
     if (!bindAll(cli, request.bindings, usage)) {
@@ -400,6 +439,7 @@ int runAnalyze(const Cli& cli, api::Session& session, const std::string& id) {
 int runSchedule(const Cli& cli, api::Session& session, const std::string& id) {
   api::ScheduleRequest request;
   request.graphId = id;
+  request.limits = limitsOf(cli);
   {
     api::Response usage;
     if (!bindAll(cli, request.bindings, usage)) {
@@ -432,6 +472,7 @@ int runMap(const Cli& cli, api::Session& session, const std::string& id) {
   api::MapRequest request;
   request.graphId = id;
   request.pes = cli.pes;
+  request.limits = limitsOf(cli);
   {
     api::Response usage;
     if (!bindAll(cli, request.bindings, usage)) {
@@ -450,6 +491,7 @@ int runMap(const Cli& cli, api::Session& session, const std::string& id) {
 int runSim(const Cli& cli, api::Session& session, const std::string& id) {
   api::SimulateRequest request;
   request.graphId = id;
+  request.limits = limitsOf(cli);
   request.options.iterations = cli.iterations;
   request.options.recordTrace = cli.trace;
   {
@@ -551,7 +593,11 @@ bool parseArgs(int argc, char** argv, Cli& cli, std::string& error) {
       cli.analysisOnly = true;
     } else if (arg == "--negative-selftest") {
       cli.negativeSelftest = true;
-    } else if (arg == "--jobs" || arg == "--iterations" || arg == "--cap") {
+    } else if (arg == "--fault-sweep") {
+      cli.faultSweep = true;
+    } else if (arg == "--jobs" || arg == "--iterations" || arg == "--cap" ||
+               arg == "--timeout-ms" || arg == "--max-work" ||
+               arg == "--fault-cap") {
       if (i + 1 >= argc) {
         error = arg + " needs a value";
         return false;
@@ -565,6 +611,12 @@ bool parseArgs(int argc, char** argv, Cli& cli, std::string& error) {
         cli.jobs = static_cast<std::size_t>(value);
       } else if (arg == "--cap") {
         cli.cap = static_cast<std::size_t>(value);
+      } else if (arg == "--timeout-ms") {
+        cli.timeoutMs = value;
+      } else if (arg == "--max-work") {
+        cli.maxWork = value;
+      } else if (arg == "--fault-cap") {
+        cli.faultCap = value;
       } else {
         // The simulator hard-caps total firings at 1'000'000, so more
         // iterations than that can never complete — and an unbounded
