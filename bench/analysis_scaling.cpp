@@ -111,6 +111,34 @@ BENCHMARK(BM_LivenessOnChainBudgeted)
     ->Arg(1000)
     ->Complexity();
 
+// ---- Million-actor scaling points ------------------------------------
+//
+// Single large args rather than extra Complexity() ranges: they pin the
+// arena-backed flat storage (interned names, CSR freeze) at the "very
+// large graph" end without disturbing the fitted-complexity baselines of
+// the 10..1000 families above.  Graph construction happens outside the
+// timed loop; Iterations(1) keeps bench_json wall time bounded.
+void BM_RepetitionVectorOnChainHuge(benchmark::State& state) {
+  const Graph g = randomChain(static_cast<int>(state.range(0)), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(csdf::computeRepetitionVector(g));
+  }
+  state.counters["actors"] = static_cast<double>(g.actorCount());
+  state.counters["namePoolBytes"] = static_cast<double>(g.namePoolBytes());
+}
+BENCHMARK(BM_RepetitionVectorOnChainHuge)
+    ->Arg(1000000)->Iterations(1)->Unit(benchmark::kMillisecond);
+
+void BM_LivenessOnChainHuge(benchmark::State& state) {
+  const Graph g = randomChain(static_cast<int>(state.range(0)), 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(csdf::findSchedule(g));
+  }
+  state.counters["actors"] = static_cast<double>(g.actorCount());
+}
+BENCHMARK(BM_LivenessOnChainHuge)
+    ->Arg(100000)->Iterations(1)->Unit(benchmark::kMillisecond);
+
 void BM_ScheduleMinOccupancyOnChain(benchmark::State& state) {
   const Graph g = randomChain(static_cast<int>(state.range(0)), 42);
   for (auto _ : state) {

@@ -82,7 +82,8 @@ LivenessResult findSchedule(const graph::GraphView& view,
                             const symbolic::Environment& env,
                             SchedulePolicy policy,
                             const graph::EvaluatedRates* rates,
-                            support::Budget* budget) {
+                            support::Budget* budget,
+                            std::span<const char> actorMask) {
   const Graph& g = view.graph();
   LivenessResult out;
   if (!rv.consistent) {
@@ -93,8 +94,12 @@ LivenessResult findSchedule(const graph::GraphView& view,
   const std::size_t n = g.actorCount();
   out.q.reserve(n);
   std::int64_t totalFirings = 0;
-  for (const symbolic::Expr& e : rv.q) {
-    const std::int64_t qi = e.evaluateInt(env);
+  for (std::size_t i = 0; i < rv.q.size(); ++i) {
+    if (!actorMask.empty() && actorMask[i] == 0) {
+      out.q.push_back(0);  // excluded: never enabled, never blocking
+      continue;
+    }
+    const std::int64_t qi = rv.q[i].evaluateInt(env);
     out.q.push_back(qi);
     totalFirings = support::checkedAdd(totalFirings, qi);
   }

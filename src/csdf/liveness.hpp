@@ -17,6 +17,7 @@
 // tests).
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -69,11 +70,21 @@ LivenessResult findSchedule(const graph::Graph& g,
 /// reused instead of re-evaluating every rate expression (`rates` must
 /// have been built from `view` under `env`).  Firing orders are identical
 /// to the Graph overloads.
+///
+/// A non-empty `actorMask` restricts the simulation to the masked-in
+/// actors: everything else gets q = 0 and never fires.  Masking whole
+/// connected components is exact — components share no channels, so a
+/// component is live in the full graph iff it is live alone — which is
+/// how core::AnalysisContext re-checks only the components an edit
+/// touched.  The masked schedule covers only masked actors (it is the
+/// eager/min-occupancy order of that subgraph, not a slice of the full
+/// schedule).
 LivenessResult findSchedule(const graph::GraphView& view,
                             const RepetitionVector& rv,
                             const symbolic::Environment& env,
                             SchedulePolicy policy,
                             const graph::EvaluatedRates* rates = nullptr,
-                            support::Budget* budget = nullptr);
+                            support::Budget* budget = nullptr,
+                            std::span<const char> actorMask = {});
 
 }  // namespace tpdf::csdf

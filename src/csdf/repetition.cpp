@@ -3,6 +3,7 @@
 #include <deque>
 #include <optional>
 
+#include "support/error.hpp"
 #include "support/strings.hpp"
 
 namespace tpdf::csdf {
@@ -74,8 +75,16 @@ RepetitionVector computeRepetitionVector(const Graph& g) {
 }
 
 RepetitionVector computeRepetitionVector(const graph::GraphView& view) {
+  return computeRepetitionVector(view, {});
+}
+
+RepetitionVector computeRepetitionVector(const graph::GraphView& view,
+                                         std::span<const char> actorMask) {
   const Graph& g = view.graph();
   RepetitionVector out;
+  const auto included = [&](std::size_t actor) {
+    return actorMask.empty() || actorMask[actor] != 0;
+  };
 
   std::vector<Balance> balances;
   balances.reserve(g.channelCount());
@@ -84,6 +93,13 @@ RepetitionVector computeRepetitionVector(const graph::GraphView& view) {
     Balance b;
     b.prod = view.sourceActor(c.id);
     b.cons = view.destActor(c.id);
+    if (!included(b.prod.index()) || !included(b.cons.index())) {
+      if (included(b.prod.index()) != included(b.cons.index())) {
+        throw support::Error("actor mask splits a connected component at "
+                             "channel '" + g.channel(c.id).name + "'");
+      }
+      continue;
+    }
     b.prodTotal = view.periodSum(c.src);
     b.consTotal = view.periodSum(c.dst);
     b.channel = c.id;
@@ -153,7 +169,7 @@ RepetitionVector computeRepetitionVector(const graph::GraphView& view) {
   std::vector<std::size_t> component(g.actorCount(), 0);
   std::size_t componentCount = 0;
   for (std::size_t seed = 0; seed < g.actorCount(); ++seed) {
-    if (r[seed].has_value()) continue;
+    if (!included(seed) || r[seed].has_value()) continue;
     const std::size_t comp = componentCount++;
     r[seed] = Expr(1);
     component[seed] = comp;
@@ -189,7 +205,9 @@ RepetitionVector computeRepetitionVector(const graph::GraphView& view) {
     std::vector<std::size_t> memberIdx;
     std::vector<Expr> memberVals;
     for (std::size_t i = 0; i < g.actorCount(); ++i) {
-      if (component[i] == comp) {
+      // Unmasked actors never received a solution; they must not be
+      // swept into component 0 through the default component index.
+      if (r[i].has_value() && component[i] == comp) {
         memberIdx.push_back(i);
         memberVals.push_back(*r[i]);
       }
@@ -200,7 +218,7 @@ RepetitionVector computeRepetitionVector(const graph::GraphView& view) {
     }
   }
   for (std::size_t i = 0; i < g.actorCount(); ++i) {
-    if (rs[i].isZero()) {
+    if (included(i) && rs[i].isZero()) {
       out.consistent = false;
       out.diagnostic =
           "actor '" + g.actor(ActorId(static_cast<std::uint32_t>(i))).name +
@@ -213,6 +231,10 @@ RepetitionVector computeRepetitionVector(const graph::GraphView& view) {
   out.r = rs;
   out.q.reserve(rs.size());
   for (std::size_t i = 0; i < rs.size(); ++i) {
+    if (!included(i)) {
+      out.q.emplace_back();
+      continue;
+    }
     const std::int64_t tau =
         view.phases(ActorId(static_cast<std::uint32_t>(i)));
     out.q.push_back(rs[i] * Expr(tau));

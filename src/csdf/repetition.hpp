@@ -8,6 +8,7 @@
 // solutions; finally normalize the solutions to integers").
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -49,6 +50,19 @@ RepetitionVector computeRepetitionVector(const graph::Graph& g);
 /// (no per-channel RateSeq copies).  The Graph overload builds a
 /// temporary view and forwards here.
 RepetitionVector computeRepetitionVector(const graph::GraphView& view);
+
+/// Restricted solve over a subset of actors: only actors with
+/// `actorMask[i] != 0` (and the channels between them) participate; r/q
+/// entries of excluded actors are left default-constructed.  Because the
+/// balance system decomposes per connected component and each component
+/// is seeded and normalized independently, solving a union of whole
+/// components through this overload yields exactly the entries the full
+/// solve would — which is what core::AnalysisContext relies on to
+/// re-solve only the components an edit touched.  `actorMask` must cover
+/// whole components (a channel with exactly one masked-in endpoint is an
+/// error).
+RepetitionVector computeRepetitionVector(const graph::GraphView& view,
+                                         std::span<const char> actorMask);
 
 /// The topology matrix Gamma of Equation (3): one row per channel, one
 /// column per actor; entry = total period production (positive) or

@@ -1,5 +1,7 @@
 #include "graph/graph.hpp"
 
+#include <algorithm>
+
 #include "support/checked.hpp"
 #include "support/error.hpp"
 
@@ -23,35 +25,104 @@ std::string toString(ActorKind k) {
   return k == ActorKind::Kernel ? "kernel" : "control";
 }
 
+Graph::Graph(const Graph& o)
+    : name_(o.name_),
+      actors_(o.actors_),
+      ports_(o.ports_),
+      channels_(o.channels_),
+      params_(o.params_),
+      revision_(o.revision_),
+      shapeRevision_(o.shapeRevision_),
+      touchLog_(o.touchLog_),
+      oldestLoggedRevision_(o.oldestLoggedRevision_) {
+  reindexAfterCopy();
+}
+
+Graph& Graph::operator=(const Graph& o) {
+  if (this == &o) return *this;
+  Graph copy(o);
+  *this = std::move(copy);
+  return *this;
+}
+
+// The element vectors were copied verbatim, so every Name still views the
+// *source* graph's pool: re-intern each into this graph's own pool and
+// rebuild the name indices over the new views.
+void Graph::reindexAfterCopy() {
+  actorByName_.clear();
+  channelByName_.clear();
+  for (Actor& a : actors_) {
+    a.name = intern(a.name);
+    actorByName_.emplace(a.name.view(), a.id);
+  }
+  for (Port& p : ports_) p.name = intern(p.name);
+  for (Channel& c : channels_) {
+    c.name = intern(c.name);
+    channelByName_.emplace(c.name.view(), c.id);
+  }
+  frozenRevision_ = kNeverFrozen;
+}
+
+void Graph::touch(Touch::Kind kind, std::uint32_t index) {
+  ++revision_;
+  if (touchLog_.size() >= kTouchLogCap) {
+    touchLog_.pop_front();
+    oldestLoggedRevision_ = touchLog_.front().revision;
+  }
+  touchLog_.push_back(Touch{revision_, kind, index});
+}
+
+bool Graph::touchesSince(std::uint64_t sinceRevision,
+                         std::vector<Touch>& out) const {
+  if (sinceRevision >= revision_) return true;  // nothing newer
+  if (sinceRevision + 1 < oldestLoggedRevision_) return false;  // truncated
+  for (const Touch& t : touchLog_) {
+    if (t.revision > sinceRevision) out.push_back(t);
+  }
+  return true;
+}
+
 void Graph::addParam(const std::string& name) {
   if (name.empty()) {
     throw support::ModelError("parameter name must not be empty");
   }
-  if (params_.count(name) != 0) {
+  if (hasParam(name)) {
     throw support::ModelError("duplicate parameter name '" + name + "'");
   }
   if (actorByName_.count(name) != 0) {
     throw support::ModelError("parameter '" + name +
                               "' collides with an actor of the same name");
   }
-  params_.insert(name);
+  params_.insert(std::lower_bound(params_.begin(), params_.end(), name),
+                 name);
+  touch(Touch::Kind::Param, 0);
+}
+
+bool Graph::hasParam(std::string_view name) const {
+  return std::binary_search(params_.begin(), params_.end(), name,
+                            [](const auto& a, const auto& b) {
+                              return std::string_view(a) <
+                                     std::string_view(b);
+                            });
 }
 
 ActorId Graph::addActor(const std::string& name, ActorKind kind) {
   if (actorByName_.count(name) != 0) {
     throw support::ModelError("duplicate actor name '" + name + "'");
   }
-  if (params_.count(name) != 0) {
+  if (hasParam(name)) {
     throw support::ModelError("actor '" + name +
                               "' collides with a parameter of the same name");
   }
   const ActorId id(static_cast<std::uint32_t>(actors_.size()));
   Actor a;
   a.id = id;
-  a.name = name;
+  a.name = intern(name);
   a.kind = kind;
+  actorByName_.emplace(a.name.view(), id);
   actors_.push_back(std::move(a));
-  actorByName_.emplace(name, id);
+  ++shapeRevision_;
+  touch(Touch::Kind::Actor, id.value);
   return id;
 }
 
@@ -71,12 +142,14 @@ PortId Graph::addPort(ActorId actor, const std::string& name, PortKind kind,
   Port p;
   p.id = id;
   p.actor = actor;
-  p.name = name;
+  p.name = intern(name);
   p.kind = kind;
   p.rates = std::move(rates);
   p.priority = priority;
   ports_.push_back(std::move(p));
   actors_[actor.index()].ports.push_back(id);
+  ++shapeRevision_;
+  touch(Touch::Kind::Port, actor.value);
   return id;
 }
 
@@ -96,65 +169,51 @@ ChannelId Graph::addChannel(const std::string& name, PortId src, PortId dst,
   const ChannelId id(static_cast<std::uint32_t>(channels_.size()));
   Channel c;
   c.id = id;
-  c.name = name;
+  c.name = intern(name);
   c.src = src;
   c.dst = dst;
   c.initialTokens = initialTokens;
+  channelByName_.emplace(c.name.view(), id);
   channels_.push_back(std::move(c));
   ports_[src.index()].channel = id;
   ports_[dst.index()].channel = id;
-  channelByName_.emplace(name, id);
+  touch(Touch::Kind::Channel, id.value);
   return id;
 }
 
-void Graph::setExecTime(ActorId actor, std::vector<double> perPhase) {
+void Graph::setExecTime(ActorId actor, std::span<const double> perPhase) {
   if (perPhase.empty()) {
     throw support::ModelError("execution time vector must be non-empty");
   }
-  actors_.at(actor.index()).execTime = std::move(perPhase);
+  Actor& a = actors_.at(actor.index());
+  a.execTime.clear();
+  a.execTime.reserve(perPhase.size());
+  for (double v : perPhase) a.execTime.push_back(v);
+  touch(Touch::Kind::ExecTime, actor.value);
 }
 
-std::optional<ActorId> Graph::findActor(const std::string& name) const {
+std::optional<ActorId> Graph::findActor(std::string_view name) const {
   const auto it = actorByName_.find(name);
   if (it == actorByName_.end()) return std::nullopt;
   return it->second;
 }
 
-std::optional<ChannelId> Graph::findChannel(const std::string& name) const {
+std::optional<ChannelId> Graph::findChannel(std::string_view name) const {
   const auto it = channelByName_.find(name);
   if (it == channelByName_.end()) return std::nullopt;
   return it->second;
 }
 
-std::optional<PortId> Graph::findPort(
-    const std::string& qualifiedName) const {
+std::optional<PortId> Graph::findPort(std::string_view qualifiedName) const {
   const auto dot = qualifiedName.find('.');
-  if (dot == std::string::npos) return std::nullopt;
+  if (dot == std::string_view::npos) return std::nullopt;
   const auto actor = findActor(qualifiedName.substr(0, dot));
   if (!actor) return std::nullopt;
-  const std::string portName = qualifiedName.substr(dot + 1);
+  const std::string_view portName = qualifiedName.substr(dot + 1);
   for (PortId p : actors_[actor->index()].ports) {
     if (ports_[p.index()].name == portName) return p;
   }
   return std::nullopt;
-}
-
-std::vector<ChannelId> Graph::outChannels(ActorId a) const {
-  std::vector<ChannelId> out;
-  for (PortId p : actor(a).ports) {
-    const Port& pt = port(p);
-    if (!isInput(pt.kind) && pt.channel.valid()) out.push_back(pt.channel);
-  }
-  return out;
-}
-
-std::vector<ChannelId> Graph::inChannels(ActorId a) const {
-  std::vector<ChannelId> in;
-  for (PortId p : actor(a).ports) {
-    const Port& pt = port(p);
-    if (isInput(pt.kind) && pt.channel.valid()) in.push_back(pt.channel);
-  }
-  return in;
 }
 
 std::int64_t Graph::phases(ActorId a) const {
@@ -177,6 +236,112 @@ RateSeq Graph::effectiveRates(PortId p) const {
     entries.push_back(pt.rates.at(i));
   }
   return RateSeq(std::move(entries));
+}
+
+const Graph::Frozen& Graph::freeze() const {
+  if (frozenRevision_ == revision_) return frozen_;
+
+  const std::size_t nActors = actors_.size();
+  const std::size_t nPorts = ports_.size();
+  const std::size_t nChannels = channels_.size();
+
+  // Recycle the previous revision's space: the arena keeps its largest
+  // chunk, so steady-state re-freezes allocate nothing from the system.
+  frozenArena_.clear();
+  extendedStore_.clear();
+
+  auto* outOffset = frozenArena_.allocateArray<std::uint32_t>(nActors + 1);
+  auto* inOffset = frozenArena_.allocateArray<std::uint32_t>(nActors + 1);
+  auto* tau = frozenArena_.allocateArray<std::int64_t>(nActors);
+  auto* srcActor = frozenArena_.allocateArray<ActorId>(nChannels);
+  auto* dstActor = frozenArena_.allocateArray<ActorId>(nChannels);
+  auto* effective = frozenArena_.allocateArray<const RateSeq*>(nPorts);
+  auto* rateOffset = frozenArena_.allocateArray<std::uint32_t>(nPorts);
+
+  // Per-actor phase counts (the LCM phases() computes per query).
+  for (const Actor& a : actors_) {
+    std::int64_t t = 1;
+    for (PortId pid : a.ports) {
+      t = support::lcm64(
+          t, static_cast<std::int64_t>(ports_[pid.index()].rates.length()));
+    }
+    tau[a.id.index()] = t;
+  }
+
+  // CSR adjacency: count per actor, prefix-sum, then fill with cursors.
+  // Walking each actor's port list in order fixes the channel order the
+  // pre-CSR Graph::outChannels / Graph::inChannels returned.
+  for (std::size_t i = 0; i <= nActors; ++i) outOffset[i] = inOffset[i] = 0;
+  for (const Actor& a : actors_) {
+    for (PortId pid : a.ports) {
+      const Port& pt = ports_[pid.index()];
+      if (!pt.channel.valid()) continue;
+      ++(isInput(pt.kind) ? inOffset : outOffset)[a.id.index() + 1];
+    }
+  }
+  for (std::size_t i = 0; i < nActors; ++i) {
+    outOffset[i + 1] += outOffset[i];
+    inOffset[i + 1] += inOffset[i];
+  }
+  auto* outAdj = frozenArena_.allocateArray<ChannelId>(outOffset[nActors]);
+  auto* inAdj = frozenArena_.allocateArray<ChannelId>(inOffset[nActors]);
+  auto* outCursor = frozenArena_.allocateArray<std::uint32_t>(nActors);
+  auto* inCursor = frozenArena_.allocateArray<std::uint32_t>(nActors);
+  for (std::size_t i = 0; i < nActors; ++i) {
+    outCursor[i] = outOffset[i];
+    inCursor[i] = inOffset[i];
+  }
+  for (const Actor& a : actors_) {
+    for (PortId pid : a.ports) {
+      const Port& pt = ports_[pid.index()];
+      if (!pt.channel.valid()) continue;
+      if (isInput(pt.kind)) {
+        inAdj[inCursor[a.id.index()]++] = pt.channel;
+      } else {
+        outAdj[outCursor[a.id.index()]++] = pt.channel;
+      }
+    }
+  }
+
+  // Channel endpoint actors.
+  for (const Channel& c : channels_) {
+    srcActor[c.id.index()] = ports_[c.src.index()].actor;
+    dstActor[c.id.index()] = ports_[c.dst.index()].actor;
+  }
+
+  // Cyclically-extended rate tables, plus the flat offsets
+  // EvaluatedRates tables share.  No symbolic arithmetic happens here:
+  // a freeze is purely structural.
+  std::size_t offset = 0;
+  for (const Port& pt : ports_) {
+    const std::int64_t t = tau[pt.actor.index()];
+    if (static_cast<std::int64_t>(pt.rates.length()) == t) {
+      effective[pt.id.index()] = &pt.rates;
+    } else {
+      std::vector<symbolic::Expr> entries;
+      entries.reserve(static_cast<std::size_t>(t));
+      for (std::int64_t i = 0; i < t; ++i) {
+        entries.push_back(pt.rates.at(i));
+      }
+      effective[pt.id.index()] =
+          &extendedStore_.emplace_back(std::move(entries));
+    }
+    rateOffset[pt.id.index()] = static_cast<std::uint32_t>(offset);
+    offset += static_cast<std::size_t>(t);
+  }
+
+  frozen_.outOffset = {outOffset, nActors + 1};
+  frozen_.inOffset = {inOffset, nActors + 1};
+  frozen_.outAdj = {outAdj, outOffset[nActors]};
+  frozen_.inAdj = {inAdj, inOffset[nActors]};
+  frozen_.tau = {tau, nActors};
+  frozen_.srcActor = {srcActor, nChannels};
+  frozen_.dstActor = {dstActor, nChannels};
+  frozen_.effective = {effective, nPorts};
+  frozen_.rateOffset = {rateOffset, nPorts};
+  frozen_.rateTableSize = offset;
+  frozenRevision_ = revision_;
+  return frozen_;
 }
 
 }  // namespace tpdf::graph

@@ -5,18 +5,31 @@
 // cyclo-static symbolic rate sequences and priorities, channels with
 // initial tokens, and the set of integer parameters.  Analyses never
 // mutate a Graph.
+//
+// Storage is built for million-actor graphs: entity names live in one
+// arena-backed interned pool (a Name is a 16-byte view, not a
+// std::string), per-actor adjacency is a CSR block frozen once per
+// revision and served as spans, and every mutator bumps a revision
+// counter (with a bounded touch log) so analysis caches can invalidate
+// incrementally instead of recomputing from scratch.  See
+// docs/analysis-pipeline.md ("Memory layout").
 #pragma once
 
 #include <cstdint>
 #include <optional>
-#include <set>
+#include <deque>
+#include <span>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "graph/ids.hpp"
+#include "graph/name.hpp"
 #include "graph/rates.hpp"
+#include "support/arena.hpp"
 #include "support/error.hpp"
+#include "support/smallvec.hpp"
 
 namespace tpdf::graph {
 
@@ -39,7 +52,7 @@ std::string toString(ActorKind k);
 struct Port {
   PortId id;
   ActorId actor;
-  std::string name;
+  Name name;
   PortKind kind = PortKind::DataIn;
   RateSeq rates;
   /// Port priority (the paper's alpha function); larger value wins.  Used
@@ -51,12 +64,13 @@ struct Port {
 
 struct Actor {
   ActorId id;
-  std::string name;
+  Name name;
   ActorKind kind = ActorKind::Kernel;
   std::vector<PortId> ports;
   /// Worst-case execution time per phase (defaults to a single 1.0);
-  /// consumed by the scheduler and the simulator.
-  std::vector<double> execTime{1.0};
+  /// consumed by the scheduler and the simulator.  Two inline slots cover
+  /// the default and every committed example without a heap allocation.
+  support::SmallVec<double, 2> execTime{1.0};
 
   double execTimeOfPhase(std::int64_t n) const {
     // A negative index would wrap through the size_t cast into a huge
@@ -71,7 +85,7 @@ struct Actor {
 
 struct Channel {
   ChannelId id;
-  std::string name;
+  Name name;
   PortId src;
   PortId dst;
   std::int64_t initialTokens = 0;
@@ -82,6 +96,14 @@ struct Channel {
 class Graph {
  public:
   explicit Graph(std::string name = "graph") : name_(std::move(name)) {}
+
+  // Deep copy: names are re-interned into the copy's own pool so the
+  // copy is self-contained (the source may die first).
+  Graph(const Graph& o);
+  Graph& operator=(const Graph& o);
+  // Interner chunks are pointer-stable, so a move keeps every Name valid.
+  Graph(Graph&&) noexcept = default;
+  Graph& operator=(Graph&&) noexcept = default;
 
   const std::string& name() const { return name_; }
 
@@ -101,7 +123,7 @@ class Graph {
   ChannelId addChannel(const std::string& name, PortId src, PortId dst,
                        std::int64_t initialTokens = 0);
 
-  void setExecTime(ActorId actor, std::vector<double> perPhase);
+  void setExecTime(ActorId actor, std::span<const double> perPhase);
 
   // ---- Access ------------------------------------------------------
 
@@ -118,18 +140,31 @@ class Graph {
   const std::vector<Actor>& actors() const { return actors_; }
   const std::vector<Port>& ports() const { return ports_; }
   const std::vector<Channel>& channels() const { return channels_; }
-  const std::set<std::string>& params() const { return params_; }
+  /// Parameter names, sorted (the paper's set P).
+  const std::vector<std::string>& params() const { return params_; }
+  bool hasParam(std::string_view name) const;
 
-  std::optional<ActorId> findActor(const std::string& name) const;
-  std::optional<ChannelId> findChannel(const std::string& name) const;
+  std::optional<ActorId> findActor(std::string_view name) const;
+  std::optional<ChannelId> findChannel(std::string_view name) const;
 
   /// Resolves "actor.port".
-  std::optional<PortId> findPort(const std::string& qualifiedName) const;
+  std::optional<PortId> findPort(std::string_view qualifiedName) const;
 
-  /// Channels whose source port belongs to `a`.
-  std::vector<ChannelId> outChannels(ActorId a) const;
-  /// Channels whose destination port belongs to `a`.
-  std::vector<ChannelId> inChannels(ActorId a) const;
+  /// Channels whose source port belongs to `a`, in port order.  Served
+  /// from the frozen CSR block: no per-call allocation; the span is
+  /// valid until the next mutation.
+  std::span<const ChannelId> outChannels(ActorId a) const {
+    const Frozen& f = freeze();
+    return f.outAdj.subspan(f.outOffset[a.index()],
+                            f.outOffset[a.index() + 1] -
+                                f.outOffset[a.index()]);
+  }
+  /// Channels whose destination port belongs to `a`, in port order.
+  std::span<const ChannelId> inChannels(ActorId a) const {
+    const Frozen& f = freeze();
+    return f.inAdj.subspan(f.inOffset[a.index()],
+                           f.inOffset[a.index() + 1] - f.inOffset[a.index()]);
+  }
 
   ActorId sourceActor(ChannelId c) const {
     return port(channel(c).src).actor;
@@ -143,11 +178,70 @@ class Graph {
 
   /// Number of phases tau of the actor: the least common multiple of its
   /// port sequence lengths (equals the common length for classic CSDF).
+  /// Computed directly (cheap) so it stays usable mid-construction;
+  /// GraphView serves the frozen per-actor cache.
   std::int64_t phases(ActorId a) const;
 
   /// The rate sequence of `p`, cyclically extended to the actor's phase
   /// count (identity when lengths already match).
   RateSeq effectiveRates(PortId p) const;
+
+  // ---- Frozen storage and revision tracking ------------------------
+
+  /// Flat per-revision derived storage: CSR channel adjacency, phase
+  /// counts, channel endpoints, extended rate tables and the rate-table
+  /// layout.  All trivially-copyable blocks live in an arena that is
+  /// recycled wholesale on re-freeze; `effective` pointers alias either
+  /// a Port's own RateSeq or `extendedStore`.
+  struct Frozen {
+    std::span<const std::uint32_t> outOffset;  // actorCount + 1
+    std::span<const std::uint32_t> inOffset;   // actorCount + 1
+    std::span<const ChannelId> outAdj;
+    std::span<const ChannelId> inAdj;
+    std::span<const std::int64_t> tau;          // per actor
+    std::span<const ActorId> srcActor;          // per channel
+    std::span<const ActorId> dstActor;          // per channel
+    std::span<const RateSeq* const> effective;  // per port
+    std::span<const std::uint32_t> rateOffset;  // per port
+    std::size_t rateTableSize = 0;
+  };
+
+  /// Returns the derived storage for the current revision, building it
+  /// if the graph changed since the last freeze.  O(1) when current.
+  /// Not synchronized: freeze once (any accessor does) before sharing
+  /// the graph across threads.
+  const Frozen& freeze() const;
+
+  /// Bumped by every mutator.  Analysis caches compare this to decide
+  /// whether their memoized results are current.
+  std::uint64_t revision() const { return revision_; }
+  /// Bumped only by mutations that change the rate-table layout
+  /// (addActor/addPort); setExecTime and addChannel leave it alone, so
+  /// per-port rate tables survive those edits.
+  std::uint64_t shapeRevision() const { return shapeRevision_; }
+
+  /// One structural edit, for incremental cache invalidation.
+  struct Touch {
+    enum class Kind : std::uint8_t {
+      Param,      // index unused
+      Actor,      // index = actor
+      Port,       // index = owning actor
+      Channel,    // index = channel (endpoints derivable)
+      ExecTime,   // index = actor
+    };
+    std::uint64_t revision = 0;
+    Kind kind = Kind::Param;
+    std::uint32_t index = 0;
+  };
+
+  /// Appends every touch with revision > `sinceRevision` to `out` and
+  /// returns true; returns false when the log no longer reaches back
+  /// that far (bounded log — caller must fall back to full rebuild).
+  bool touchesSince(std::uint64_t sinceRevision,
+                    std::vector<Touch>& out) const;
+
+  /// Bytes held by the interned-name pool (diagnostics/bench).
+  std::size_t namePoolBytes() const { return interner_.bytesUsed(); }
 
   /// Structural validation (Definition 2's well-formedness): throws
   /// support::ModelError describing the first violation found.
@@ -157,13 +251,32 @@ class Graph {
   std::string toDot() const;
 
  private:
+  Name intern(std::string_view s) { return Name(interner_.intern(s)); }
+  void touch(Touch::Kind kind, std::uint32_t index);
+  void reindexAfterCopy();
+
   std::string name_;
+  support::StringInterner interner_;
   std::vector<Actor> actors_;
   std::vector<Port> ports_;
   std::vector<Channel> channels_;
-  std::set<std::string> params_;
-  std::unordered_map<std::string, ActorId> actorByName_;
-  std::unordered_map<std::string, ChannelId> channelByName_;
+  std::vector<std::string> params_;  // sorted
+  // Keys view into the interner pool (stable across growth and moves).
+  std::unordered_map<std::string_view, ActorId> actorByName_;
+  std::unordered_map<std::string_view, ChannelId> channelByName_;
+
+  std::uint64_t revision_ = 0;
+  std::uint64_t shapeRevision_ = 0;
+  static constexpr std::size_t kTouchLogCap = 1024;
+  std::deque<Touch> touchLog_;
+  std::uint64_t oldestLoggedRevision_ = 1;  // first revision still in log
+
+  // Lazily-built derived storage; recycled in place on re-freeze.
+  static constexpr std::uint64_t kNeverFrozen = ~std::uint64_t{0};
+  mutable Frozen frozen_;
+  mutable support::Arena frozenArena_;
+  mutable std::deque<RateSeq> extendedStore_;
+  mutable std::uint64_t frozenRevision_ = kNeverFrozen;
 };
 
 }  // namespace tpdf::graph

@@ -1,0 +1,102 @@
+// Interned entity names.
+//
+// Actor/port/channel names live in the owning Graph's string pool (one
+// arena-backed, deduplicated set of bytes — see support/arena.hpp); a
+// Name is an offset view into that pool.  It is 16 bytes, trivially
+// copyable, and valid exactly as long as the Graph that interned it.
+//
+// The conversion operators and the free operators below let the ~130
+// existing call sites (diagnostic concatenation, stream output, map
+// keys, comparisons against literals) read exactly as they did when the
+// fields were std::string.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+namespace tpdf::graph {
+
+/// A string_view into a Graph-owned interned pool.  Implicitly converts
+/// to both std::string_view (cheap, preferred) and std::string (copies;
+/// kept so legacy call sites that pass names to `const std::string&`
+/// APIs compile unchanged).
+class Name {
+ public:
+  constexpr Name() = default;
+  explicit constexpr Name(std::string_view v) : v_(v) {}
+
+  constexpr operator std::string_view() const { return v_; }
+  operator std::string() const { return std::string(v_); }
+
+  constexpr std::string_view view() const { return v_; }
+  std::string str() const { return std::string(v_); }
+
+  constexpr const char* data() const { return v_.data(); }
+  constexpr std::size_t size() const { return v_.size(); }
+  constexpr bool empty() const { return v_.empty(); }
+
+  friend constexpr bool operator==(Name a, Name b) { return a.v_ == b.v_; }
+  friend constexpr auto operator<=>(Name a, Name b) {
+    return a.v_.compare(b.v_) <=> 0;
+  }
+  // Mixed comparisons against literals / std::string / string_view.
+  friend constexpr bool operator==(Name a, std::string_view b) {
+    return a.v_ == b;
+  }
+  friend constexpr auto operator<=>(Name a, std::string_view b) {
+    return a.v_.compare(b) <=> 0;
+  }
+
+ private:
+  std::string_view v_;
+};
+
+inline std::string operator+(const Name& a, const Name& b) {
+  std::string out;
+  out.reserve(a.size() + b.size());
+  out.append(a.view());
+  out.append(b.view());
+  return out;
+}
+
+inline std::string operator+(std::string a, const Name& b) {
+  a.append(b.view());
+  return a;
+}
+
+inline std::string operator+(const Name& a, const std::string& b) {
+  std::string out;
+  out.reserve(a.size() + b.size());
+  out.append(a.view());
+  out.append(b);
+  return out;
+}
+
+inline std::string operator+(const char* a, const Name& b) {
+  std::string out(a);
+  out.append(b.view());
+  return out;
+}
+
+inline std::string operator+(const Name& a, const char* b) {
+  std::string out(a.view());
+  out.append(b);
+  return out;
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Name& n) {
+  return os << n.view();
+}
+
+}  // namespace tpdf::graph
+
+template <>
+struct std::hash<tpdf::graph::Name> {
+  std::size_t operator()(const tpdf::graph::Name& n) const noexcept {
+    return std::hash<std::string_view>{}(n.view());
+  }
+};

@@ -10,10 +10,12 @@ namespace tpdf::graph {
 
 using symbolic::Expr;
 
-RateSeq::RateSeq(std::vector<Expr> entries) : entries_(std::move(entries)) {
-  if (entries_.empty()) {
+RateSeq::RateSeq(std::vector<Expr> entries) {
+  if (entries.empty()) {
     throw support::ModelError("rate sequence must be non-empty");
   }
+  entries_.reserve(entries.size());
+  for (Expr& e : entries) entries_.push_back(std::move(e));
 }
 
 Expr RateSeq::periodSum() const {

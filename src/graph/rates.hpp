@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "support/inlinevec.hpp"
 #include "symbolic/expr.hpp"
 
 namespace tpdf::graph {
@@ -17,6 +18,11 @@ namespace tpdf::graph {
 /// A non-empty cyclic sequence of token rates.
 class RateSeq {
  public:
+  /// Inline entry storage: SDF ports (length 1, the overwhelmingly
+  /// common case) carry their single entry in place, so a Port costs no
+  /// rate-sequence heap allocation.
+  using EntryVec = support::InlineVec<symbolic::Expr, 1>;
+
   RateSeq() : entries_{symbolic::Expr(1)} {}
   explicit RateSeq(std::vector<symbolic::Expr> entries);
 
@@ -26,7 +32,7 @@ class RateSeq {
   }
   static RateSeq of(const symbolic::Expr& e) { return RateSeq({e}); }
 
-  const std::vector<symbolic::Expr>& entries() const { return entries_; }
+  const EntryVec& entries() const { return entries_; }
   std::size_t length() const { return entries_.size(); }
 
   /// Rate of the n-th firing (0-based), i.e. entries[n mod length].
@@ -63,7 +69,7 @@ class RateSeq {
   static RateSeq parse(const std::string& text);
 
  private:
-  std::vector<symbolic::Expr> entries_;
+  EntryVec entries_;
 };
 
 }  // namespace tpdf::graph

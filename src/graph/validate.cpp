@@ -17,7 +17,7 @@ namespace {
 void Graph::validate() const {
   if (actors_.empty()) fail("graph has no actors");
 
-  std::set<std::string> knownParams = params_;
+  std::set<std::string> knownParams(params_.begin(), params_.end());
 
   for (const Actor& a : actors_) {
     int controlInputs = 0;

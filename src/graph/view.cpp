@@ -1,90 +1,8 @@
 #include "graph/view.hpp"
 
-#include "support/checked.hpp"
 #include "support/error.hpp"
 
 namespace tpdf::graph {
-
-GraphView::GraphView(const Graph& g) : g_(&g) {
-  const std::size_t nActors = g.actorCount();
-  const std::size_t nPorts = g.portCount();
-  const std::size_t nChannels = g.channelCount();
-
-  // Per-actor phase counts (the LCM Graph::phases computes per query).
-  tau_.resize(nActors);
-  for (const Actor& a : g.actors()) {
-    std::int64_t tau = 1;
-    for (PortId pid : a.ports) {
-      tau = support::lcm64(
-          tau, static_cast<std::int64_t>(g.port(pid).rates.length()));
-    }
-    tau_[a.id.index()] = tau;
-  }
-
-  // CSR adjacency: count per actor, prefix-sum, then fill with cursors.
-  // Walking each actor's port list in order reproduces exactly the
-  // channel order of Graph::outChannels / Graph::inChannels.
-  outOffset_.assign(nActors + 1, 0);
-  inOffset_.assign(nActors + 1, 0);
-  for (const Actor& a : g.actors()) {
-    for (PortId pid : a.ports) {
-      const Port& pt = g.port(pid);
-      if (!pt.channel.valid()) continue;
-      ++(isInput(pt.kind) ? inOffset_ : outOffset_)[a.id.index() + 1];
-    }
-  }
-  for (std::size_t i = 0; i < nActors; ++i) {
-    outOffset_[i + 1] += outOffset_[i];
-    inOffset_[i + 1] += inOffset_[i];
-  }
-  outAdj_.resize(outOffset_[nActors]);
-  inAdj_.resize(inOffset_[nActors]);
-  std::vector<std::uint32_t> outCursor(outOffset_.begin(),
-                                       outOffset_.end() - 1);
-  std::vector<std::uint32_t> inCursor(inOffset_.begin(), inOffset_.end() - 1);
-  for (const Actor& a : g.actors()) {
-    for (PortId pid : a.ports) {
-      const Port& pt = g.port(pid);
-      if (!pt.channel.valid()) continue;
-      if (isInput(pt.kind)) {
-        inAdj_[inCursor[a.id.index()]++] = pt.channel;
-      } else {
-        outAdj_[outCursor[a.id.index()]++] = pt.channel;
-      }
-    }
-  }
-
-  // Channel endpoint actors.
-  srcActor_.resize(nChannels);
-  dstActor_.resize(nChannels);
-  for (const Channel& c : g.channels()) {
-    srcActor_[c.id.index()] = g.port(c.src).actor;
-    dstActor_[c.id.index()] = g.port(c.dst).actor;
-  }
-
-  // Cyclically-extended rate tables, plus the flat offsets
-  // EvaluatedRates tables share.  No symbolic arithmetic happens here:
-  // a view build is purely structural.
-  effective_.reserve(nPorts);
-  rateOffset_.resize(nPorts);
-  std::size_t offset = 0;
-  for (const Port& pt : g.ports()) {
-    const std::int64_t tau = tau_[pt.actor.index()];
-    if (static_cast<std::int64_t>(pt.rates.length()) == tau) {
-      effective_.push_back(&pt.rates);
-    } else {
-      std::vector<symbolic::Expr> entries;
-      entries.reserve(static_cast<std::size_t>(tau));
-      for (std::int64_t i = 0; i < tau; ++i) {
-        entries.push_back(pt.rates.at(i));
-      }
-      effective_.push_back(&extended_.emplace_back(std::move(entries)));
-    }
-    rateOffset_[pt.id.index()] = static_cast<std::uint32_t>(offset);
-    offset += static_cast<std::size_t>(tau);
-  }
-  rateTableSize_ = offset;
-}
 
 EvaluatedRates::EvaluatedRates(const GraphView& view,
                                const symbolic::Environment& env)

@@ -1,10 +1,10 @@
 // Immutable, cache-friendly companion of a Graph.
 //
-// Every analysis layer above graph:: used to re-derive the same
-// structural facts on each call: outChannels()/inChannels() allocate a
-// fresh vector per invocation, phases() recomputes an LCM per query, and
-// effectiveRates() copies a RateSeq per port access.  A GraphView is
-// built once per Graph revision and precomputes all of them:
+// A GraphView used to rebuild its own CSR mirror of the graph; the CSR
+// layout now lives inside Graph itself (built once per revision at
+// freeze() time, arena-backed — see Graph::Frozen), and a view is a thin
+// alias over that Graph-owned storage.  Constructing a view forces a
+// freeze; afterwards every accessor is a bounds-free span/array read:
 //
 //   * CSR-style per-actor in/out channel adjacency (flat offset + index
 //     arrays, returned as spans — no per-call allocation);
@@ -14,9 +14,11 @@
 //     them);
 //   * channel -> source/destination actor maps (flat arrays).
 //
-// A GraphView never mutates and never outlives its Graph; analyses that
-// take a view answer exactly as the equivalent Graph walk would (the
-// graph_view_test equivalence suite locks this in element-wise).
+// A GraphView never mutates and never outlives its Graph; it also must
+// not outlive the *revision* it froze (mutating the graph invalidates
+// the aliased storage on the next freeze).  Analyses that take a view
+// answer exactly as the equivalent Graph walk would (the graph_view_test
+// equivalence suite locks this in element-wise).
 //
 // EvaluatedRates complements the symbolic tables with per-environment
 // integer rates (one flat table sharing the view's port offsets), which
@@ -25,7 +27,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <span>
 #include <vector>
 
@@ -38,79 +39,79 @@ namespace tpdf::graph {
 
 class GraphView {
  public:
-  /// Builds the view; O(|ports| + |channels| + total phase count).
-  /// The Graph must outlive the view and stay unmodified while the view
-  /// is in use.
-  explicit GraphView(const Graph& g);
+  /// Freezes the graph's derived storage if stale (O(|ports| +
+  /// |channels| + total phase count) the first time, O(1) after) and
+  /// aliases it.  The Graph must outlive the view and stay unmodified
+  /// while the view is in use.
+  explicit GraphView(const Graph& g) : g_(&g), f_(&g.freeze()) {}
 
-  // The view aliases rate sequences owned by the Graph (and by its own
-  // extension storage), so it is pinned in place: rebuild instead of
-  // copying.
+  // The view aliases storage owned by the Graph; rebuilding is cheap, so
+  // keep the pinned-alias semantics explicit.
   GraphView(const GraphView&) = delete;
   GraphView& operator=(const GraphView&) = delete;
 
   const Graph& graph() const { return *g_; }
 
-  std::size_t actorCount() const { return tau_.size(); }
-  std::size_t channelCount() const { return srcActor_.size(); }
-  std::size_t portCount() const { return rateOffset_.size(); }
+  /// Re-aliases the graph's current frozen storage after a mutation
+  /// (re-freezing if stale).  Pointers previously obtained *through* the
+  /// view (spans, effectiveRates references) are invalidated; the view
+  /// object itself — and anything holding a pointer to it, like an
+  /// EvaluatedRates — stays valid.
+  void refresh() { f_ = &g_->freeze(); }
+
+  std::size_t actorCount() const { return f_->tau.size(); }
+  std::size_t channelCount() const { return f_->srcActor.size(); }
+  std::size_t portCount() const { return f_->rateOffset.size(); }
 
   /// Channels whose source port belongs to `a`, in port order (the same
   /// order Graph::outChannels returns).
   std::span<const ChannelId> outChannels(ActorId a) const {
-    return {outAdj_.data() + outOffset_[a.index()],
-            outOffset_[a.index() + 1] - outOffset_[a.index()]};
+    return f_->outAdj.subspan(
+        f_->outOffset[a.index()],
+        f_->outOffset[a.index() + 1] - f_->outOffset[a.index()]);
   }
   /// Channels whose destination port belongs to `a`, in port order.
   std::span<const ChannelId> inChannels(ActorId a) const {
-    return {inAdj_.data() + inOffset_[a.index()],
-            inOffset_[a.index() + 1] - inOffset_[a.index()]};
+    return f_->inAdj.subspan(
+        f_->inOffset[a.index()],
+        f_->inOffset[a.index() + 1] - f_->inOffset[a.index()]);
   }
 
   /// Number of phases tau of the actor (cached Graph::phases).
-  std::int64_t phases(ActorId a) const { return tau_[a.index()]; }
+  std::int64_t phases(ActorId a) const { return f_->tau[a.index()]; }
 
-  ActorId sourceActor(ChannelId c) const { return srcActor_[c.index()]; }
-  ActorId destActor(ChannelId c) const { return dstActor_[c.index()]; }
+  ActorId sourceActor(ChannelId c) const { return f_->srcActor[c.index()]; }
+  ActorId destActor(ChannelId c) const { return f_->dstActor[c.index()]; }
 
   /// The port's rate sequence cyclically extended to the actor's phase
   /// count — the precomputed Graph::effectiveRates, by reference.  When
   /// the port's own sequence already has tau entries (the common case)
   /// this aliases it directly; only genuinely shorter sequences are
-  /// materialized at construction.
+  /// materialized at freeze time.
   const RateSeq& effectiveRates(PortId p) const {
-    return *effective_[p.index()];
+    return *f_->effective[p.index()];
   }
 
   /// Sum of the port's effective rates over one full period.  Computed
   /// on demand: its only consumer is the repetition-vector solver,
   /// which AnalysisContext memoizes one level up, so storing the sums
-  /// would charge every structural-only view construction (schedule
-  /// validation, ADF, areas) for symbolic arithmetic they never read.
+  /// would charge every structural-only freeze (schedule validation,
+  /// ADF, areas) for symbolic arithmetic they never read.
   symbolic::Expr periodSum(PortId p) const {
-    return effective_[p.index()]->periodSum();
+    return f_->effective[p.index()]->periodSum();
   }
 
   /// Offset of port `p` in an EvaluatedRates table; the port's slice has
   /// length phases(port's actor).
-  std::uint32_t rateOffset(PortId p) const { return rateOffset_[p.index()]; }
+  std::uint32_t rateOffset(PortId p) const {
+    return f_->rateOffset[p.index()];
+  }
   /// Total length of an EvaluatedRates table.
-  std::size_t rateTableSize() const { return rateTableSize_; }
+  std::size_t rateTableSize() const { return f_->rateTableSize; }
 
  private:
   const Graph* g_;
-  std::vector<std::uint32_t> outOffset_;  // actorCount + 1
-  std::vector<std::uint32_t> inOffset_;   // actorCount + 1
-  std::vector<ChannelId> outAdj_;
-  std::vector<ChannelId> inAdj_;
-  std::vector<std::int64_t> tau_;         // per actor
-  std::vector<ActorId> srcActor_;         // per channel
-  std::vector<ActorId> dstActor_;         // per channel
-  std::vector<const RateSeq*> effective_; // per port, length tau(actor)
-  std::deque<RateSeq> extended_;          // stable storage for the
-                                          // materialized extensions
-  std::vector<std::uint32_t> rateOffset_; // per port
-  std::size_t rateTableSize_ = 0;
+  const Graph::Frozen* f_;
 };
 
 /// All port rates of one graph evaluated to integers under one

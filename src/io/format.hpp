@@ -39,6 +39,15 @@ namespace tpdf::io {
 /// on syntax errors and support::ModelError when the parsed graph fails
 /// validation.
 graph::Graph readGraph(const std::string& text);
+
+/// Streaming parse: tokenizes incrementally from `in` through a bounded
+/// buffer window (the whole document is never materialized), with the
+/// same grammar and the same ParseError line/column positions as the
+/// string overload.  `bufferBytes` sets the refill chunk size; the
+/// default suits files, tests shrink it to stress window refills.
+graph::Graph readGraph(std::istream& in, std::size_t bufferBytes = 65536);
+
+/// Opens and streams `path` through readGraph(std::istream&).
 graph::Graph readGraphFile(const std::string& path);
 
 /// Renders `g` in the .tpdf format.

@@ -1,8 +1,17 @@
 // Recursive-descent reader for the .tpdf format (see format.hpp).
+//
+// The lexer tokenizes through a Source: either a whole in-memory buffer
+// (readGraph(string)) or a bounded sliding window over an std::istream
+// (readGraph(istream) / readGraphFile) that never materializes the
+// document.  The grammar needs at most ~9 characters of lookahead (the
+// "priority" clause boundary inside a bare rate expression), so the
+// window can be tiny; both modes run the identical lexer code and report
+// identical line/column diagnostics.
+#include <algorithm>
 #include <cctype>
 #include <fstream>
+#include <istream>
 #include <limits>
-#include <sstream>
 #include <utility>
 
 #include "io/format.hpp"
@@ -16,35 +25,94 @@ using graph::RateSeq;
 
 namespace {
 
+/// Character supply with bounded lookahead.  Buffer mode serves a
+/// string_view in place; stream mode keeps a compacted window of unread
+/// characters and refills it from the stream on demand.
+class Source {
+ public:
+  explicit Source(std::string_view text)
+      : data_(text.data()), size_(text.size()) {}
+
+  Source(std::istream& in, std::size_t chunkBytes)
+      : in_(&in), chunk_(std::max<std::size_t>(chunkBytes, 16)) {}
+
+  /// Makes at least `k` unread characters addressable (or hits EOF);
+  /// true when at(0..k-1) are valid.
+  bool ensure(std::size_t k) {
+    if (cur_ + k <= size_) return true;
+    if (in_ == nullptr || eof_) return false;
+    refill(k);
+    return cur_ + k <= size_;
+  }
+
+  /// The i-th unread character; requires ensure(i + 1).
+  char at(std::size_t i) const { return data_[cur_ + i]; }
+
+  void consume() { ++cur_; }
+
+ private:
+  void refill(std::size_t need) {
+    // Compact: drop everything already consumed (at most lookahead-many
+    // characters remain, so this is a handful of bytes per refill).
+    buf_.erase(0, cur_);
+    cur_ = 0;
+    while (buf_.size() < need && !eof_) {
+      const std::size_t old = buf_.size();
+      const std::size_t want = std::max(chunk_, need - old);
+      buf_.resize(old + want);
+      in_->read(buf_.data() + old, static_cast<std::streamsize>(want));
+      const std::size_t got = static_cast<std::size_t>(in_->gcount());
+      buf_.resize(old + got);
+      if (in_->bad()) {
+        throw support::Error("I/O error while reading .tpdf input");
+      }
+      if (got < want) eof_ = true;
+    }
+    data_ = buf_.data();
+    size_ = buf_.size();
+  }
+
+  const char* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t cur_ = 0;
+
+  std::istream* in_ = nullptr;
+  std::size_t chunk_ = 0;
+  bool eof_ = false;
+  std::string buf_;
+};
+
 struct Lexer {
-  const std::string& text;
-  std::size_t pos = 0;
+  Source& src;
   int line = 1;
   int column = 1;
 
-  explicit Lexer(const std::string& t) : text(t) {}
+  explicit Lexer(Source& s) : src(s) {}
 
   [[noreturn]] void fail(const std::string& message) const {
     throw support::ParseError(message, line, column);
   }
 
+  bool eof() { return !src.ensure(1); }
+  char cur() { return src.at(0); }
+
   void advance() {
-    if (text[pos] == '\n') {
+    if (src.at(0) == '\n') {
       ++line;
       column = 1;
     } else {
       ++column;
     }
-    ++pos;
+    src.consume();
   }
 
   void skipSpaceAndComments() {
-    while (pos < text.size()) {
-      const char c = text[pos];
+    while (!eof()) {
+      const char c = cur();
       if (std::isspace(static_cast<unsigned char>(c))) {
         advance();
       } else if (c == '#') {
-        while (pos < text.size() && text[pos] != '\n') advance();
+        while (!eof() && cur() != '\n') advance();
       } else {
         break;
       }
@@ -53,12 +121,12 @@ struct Lexer {
 
   bool atEnd() {
     skipSpaceAndComments();
-    return pos >= text.size();
+    return eof();
   }
 
   char peek() {
     skipSpaceAndComments();
-    return pos < text.size() ? text[pos] : '\0';
+    return eof() ? '\0' : cur();
   }
 
   bool tryConsume(char c) {
@@ -75,40 +143,37 @@ struct Lexer {
 
   std::string identifier() {
     skipSpaceAndComments();
-    if (pos >= text.size() ||
-        (!std::isalpha(static_cast<unsigned char>(text[pos])) &&
-         text[pos] != '_')) {
+    if (eof() || (!std::isalpha(static_cast<unsigned char>(cur())) &&
+                  cur() != '_')) {
       fail("expected identifier");
     }
     std::string out;
-    while (pos < text.size() &&
-           (std::isalnum(static_cast<unsigned char>(text[pos])) ||
-            text[pos] == '_')) {
-      out += text[pos];
+    while (!eof() && (std::isalnum(static_cast<unsigned char>(cur())) ||
+                      cur() == '_')) {
+      out += cur();
       advance();
     }
     return out;
   }
 
+  /// Matches `kw` followed by a non-identifier boundary, consuming it on
+  /// success.  Pure lookahead: nothing is consumed on a miss, so no
+  /// position rollback is needed (the property that lets the streaming
+  /// window stay tiny).
   bool tryKeyword(const std::string& kw) {
     skipSpaceAndComments();
-    const std::size_t savedPos = pos;
-    const int savedLine = line;
-    const int savedColumn = column;
-    std::size_t i = 0;
-    while (i < kw.size() && pos < text.size() && text[pos] == kw[i]) {
-      advance();
-      ++i;
+    src.ensure(kw.size() + 1);  // best effort; EOF may cut it short
+    for (std::size_t i = 0; i < kw.size(); ++i) {
+      if (!src.ensure(i + 1) || src.at(i) != kw[i]) return false;
     }
-    const bool boundary =
-        pos >= text.size() ||
-        (!std::isalnum(static_cast<unsigned char>(text[pos])) &&
-         text[pos] != '_');
-    if (i == kw.size() && boundary) return true;
-    pos = savedPos;
-    line = savedLine;
-    column = savedColumn;
-    return false;
+    if (src.ensure(kw.size() + 1)) {
+      const char next = src.at(kw.size());
+      if (std::isalnum(static_cast<unsigned char>(next)) || next == '_') {
+        return false;
+      }
+    }
+    for (std::size_t i = 0; i < kw.size(); ++i) advance();
+    return true;
   }
 
   void expectKeyword(const std::string& kw) {
@@ -118,19 +183,17 @@ struct Lexer {
   std::int64_t integer() {
     skipSpaceAndComments();
     bool negative = false;
-    if (pos < text.size() && text[pos] == '-') {
+    if (!eof() && cur() == '-') {
       negative = true;
       advance();
     }
-    if (pos >= text.size() ||
-        !std::isdigit(static_cast<unsigned char>(text[pos]))) {
+    if (eof() || !std::isdigit(static_cast<unsigned char>(cur()))) {
       fail("expected integer");
     }
     std::int64_t value = 0;
     constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
-    while (pos < text.size() &&
-           std::isdigit(static_cast<unsigned char>(text[pos]))) {
-      const std::int64_t digit = text[pos] - '0';
+    while (!eof() && std::isdigit(static_cast<unsigned char>(cur()))) {
+      const std::int64_t digit = cur() - '0';
       if (value > (kMax - digit) / 10) fail("integer literal overflows");
       value = value * 10 + digit;
       advance();
@@ -141,11 +204,10 @@ struct Lexer {
   double real() {
     skipSpaceAndComments();
     std::string buf;
-    while (pos < text.size() &&
-           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
-            text[pos] == '.' || text[pos] == '-' || text[pos] == 'e' ||
-            text[pos] == 'E' || text[pos] == '+')) {
-      buf += text[pos];
+    while (!eof() && (std::isdigit(static_cast<unsigned char>(cur())) ||
+                      cur() == '.' || cur() == '-' || cur() == 'e' ||
+                      cur() == 'E' || cur() == '+')) {
+      buf += cur();
       advance();
     }
     if (buf.empty()) fail("expected number");
@@ -169,8 +231,8 @@ struct Lexer {
       constexpr int kMaxBracketDepth = 16;
       int depth = 0;
       do {
-        if (pos >= text.size()) fail("unterminated rate list");
-        const char c = text[pos];
+        if (eof()) fail("unterminated rate list");
+        const char c = cur();
         if (c == '[' && ++depth > kMaxBracketDepth) {
           fail("rate list nested too deeply (limit " +
                std::to_string(kMaxBracketDepth) + ")");
@@ -181,13 +243,21 @@ struct Lexer {
       } while (depth > 0);
       return out;
     }
-    while (pos < text.size() && text[pos] != ';' && text[pos] != '\n') {
+    static constexpr std::string_view kPriority = "priority";
+    while (!eof() && cur() != ';' && cur() != '\n') {
       // A bare expression ends where a trailing "priority" clause starts.
-      if (std::isspace(static_cast<unsigned char>(text[pos])) &&
-          text.compare(pos + 1, 8, "priority") == 0) {
-        break;
+      if (std::isspace(static_cast<unsigned char>(cur())) &&
+          src.ensure(kPriority.size() + 1)) {
+        bool isPriority = true;
+        for (std::size_t i = 0; i < kPriority.size(); ++i) {
+          if (src.at(i + 1) != kPriority[i]) {
+            isPriority = false;
+            break;
+          }
+        }
+        if (isPriority) break;
       }
-      out += text[pos];
+      out += cur();
       advance();
     }
     if (out.empty()) fail("expected rate specification");
@@ -238,17 +308,14 @@ void parseActorBody(Lexer& lex, Graph& g, graph::ActorId actor) {
       std::vector<double> times;
       while (lex.peek() != ';') times.push_back(lex.real());
       lex.expect(';');
-      g.setExecTime(actor, std::move(times));
+      g.setExecTime(actor, times);
     } else {
       lex.fail("expected port declaration, 'exec' or '}'");
     }
   }
 }
 
-}  // namespace
-
-Graph readGraph(const std::string& text) {
-  Lexer lex(text);
+Graph parseDocument(Lexer& lex) {
   lex.expectKeyword("graph");
   Graph g(lex.identifier());
   lex.expect('{');
@@ -294,14 +361,26 @@ Graph readGraph(const std::string& text) {
   return g;
 }
 
+}  // namespace
+
+Graph readGraph(const std::string& text) {
+  Source src(std::string_view{text});
+  Lexer lex(src);
+  return parseDocument(lex);
+}
+
+Graph readGraph(std::istream& in, std::size_t bufferBytes) {
+  Source src(in, bufferBytes);
+  Lexer lex(src);
+  return parseDocument(lex);
+}
+
 Graph readGraphFile(const std::string& path) {
-  std::ifstream in(path);
+  std::ifstream in(path, std::ios::binary);
   if (!in) {
     throw support::Error("cannot open '" + path + "' for reading");
   }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return readGraph(buffer.str());
+  return readGraph(in);
 }
 
 }  // namespace tpdf::io

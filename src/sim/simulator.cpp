@@ -85,7 +85,7 @@ std::string SimResult::renderTrace(const graph::Graph& g) const {
   for (const TraceEvent& e : trace) {
     char line[128];
     std::snprintf(line, sizeof(line), "[%.6g-%.6g] %s#%lld (mode %d)\n",
-                  e.start, e.finish, g.actor(e.actor).name.c_str(),
+                  e.start, e.finish, g.actor(e.actor).name.str().c_str(),
                   static_cast<long long>(e.k), e.mode);
     out += line;
   }

@@ -1,0 +1,203 @@
+// A small-buffer vector for arbitrary (non-trivial) element types.
+//
+// SmallVec (smallvec.hpp) covers trivially copyable payloads with pure
+// memcpy growth; InlineVec is its sibling for real C++ objects — the
+// symbolic kernel keeps Expr term lists and RateSeq entries in these.
+// Almost every rate expression in a real graph is a single constant or a
+// single monomial, so one inline slot removes the per-expression heap
+// allocation that a std::vector representation pays on every construction
+// and copy in the graph-build and repetition-solve loops.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <initializer_list>
+#include <new>
+#include <utility>
+
+namespace tpdf::support {
+
+/// Contiguous dynamic array with `N` elements of inline storage and full
+/// object lifetime management (construct/destroy, move-aware growth).
+template <typename T, std::size_t N>
+class InlineVec {
+  static_assert(N > 0, "inline capacity must be positive");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  InlineVec() {}
+
+  InlineVec(std::initializer_list<T> init) {
+    reserve(init.size());
+    for (const T& v : init) ::new (data_ + size_++) T(v);
+  }
+
+  InlineVec(const InlineVec& o) {
+    reserve(o.size_);
+    for (std::size_t i = 0; i < o.size_; ++i) {
+      ::new (data_ + i) T(o.data_[i]);
+    }
+    size_ = o.size_;
+  }
+
+  InlineVec(InlineVec&& o) noexcept {
+    if (o.onHeap()) {
+      data_ = o.data_;
+      cap_ = o.cap_;
+      size_ = o.size_;
+      o.data_ = o.inlineData();
+      o.cap_ = N;
+      o.size_ = 0;
+    } else {
+      for (std::size_t i = 0; i < o.size_; ++i) {
+        ::new (data_ + i) T(std::move(o.data_[i]));
+      }
+      size_ = o.size_;
+      o.destroyAll();
+    }
+  }
+
+  InlineVec& operator=(const InlineVec& o) {
+    if (this != &o) assignCopy(o.data_, o.size_);
+    return *this;
+  }
+
+  InlineVec& operator=(InlineVec&& o) noexcept {
+    if (this == &o) return *this;
+    destroyAll();
+    if (o.onHeap()) {
+      if (onHeap()) ::operator delete(data_);
+      data_ = o.data_;
+      cap_ = o.cap_;
+      size_ = o.size_;
+      o.data_ = o.inlineData();
+      o.cap_ = N;
+      o.size_ = 0;
+    } else {
+      for (std::size_t i = 0; i < o.size_; ++i) {
+        ::new (data_ + i) T(std::move(o.data_[i]));
+      }
+      size_ = o.size_;
+      o.destroyAll();
+    }
+    return *this;
+  }
+
+  ~InlineVec() {
+    destroyAll();
+    if (onHeap()) ::operator delete(data_);
+  }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return cap_; }
+
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  T& front() { return data_[0]; }
+  const T& front() const { return data_[0]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  void clear() { destroyAll(); }
+
+  void reserve(std::size_t n) {
+    if (n > cap_) grow(n);
+  }
+
+  void push_back(const T& v) {
+    if (size_ == cap_) {
+      // `v` may alias an element (v = vec[i]); growth frees the old
+      // buffer, so copy it aside first in that case.
+      if (&v >= data_ && &v < data_ + size_) {
+        T aside(v);
+        grow(cap_ * 2);
+        ::new (data_ + size_) T(std::move(aside));
+        ++size_;
+        return;
+      }
+      grow(cap_ * 2);
+    }
+    ::new (data_ + size_) T(v);
+    ++size_;
+  }
+
+  // Unlike push_back(const T&), the rvalue overload does not support
+  // aliasing an element of this vector across a growth.
+  void push_back(T&& v) {
+    if (size_ == cap_) grow(cap_ * 2);
+    ::new (data_ + size_) T(std::move(v));
+    ++size_;
+  }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == cap_) grow(cap_ * 2);
+    T* slot = ::new (data_ + size_) T(std::forward<Args>(args)...);
+    ++size_;
+    return *slot;
+  }
+
+  void pop_back() { data_[--size_].~T(); }
+
+  /// Shrinks or value-initializes up to `n` elements.
+  void resize(std::size_t n) {
+    if (n < size_) {
+      while (size_ > n) pop_back();
+      return;
+    }
+    reserve(n);
+    while (size_ < n) ::new (data_ + size_++) T();
+  }
+
+  bool operator==(const InlineVec& o) const {
+    return size_ == o.size_ && std::equal(begin(), end(), o.begin());
+  }
+  bool operator!=(const InlineVec& o) const { return !(*this == o); }
+
+ private:
+  T* inlineData() { return reinterpret_cast<T*>(inline_); }
+  bool onHeap() const {
+    return data_ != reinterpret_cast<const T*>(inline_);
+  }
+
+  void destroyAll() {
+    while (size_ > 0) data_[--size_].~T();
+  }
+
+  void assignCopy(const T* src, std::size_t n) {
+    destroyAll();
+    reserve(n);
+    for (std::size_t i = 0; i < n; ++i) ::new (data_ + i) T(src[i]);
+    size_ = n;
+  }
+
+  void grow(std::size_t n) {
+    const std::size_t cap = std::max<std::size_t>(n, 2 * N);
+    T* p = static_cast<T*>(::operator new(cap * sizeof(T)));
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (p + i) T(std::move(data_[i]));
+      data_[i].~T();
+    }
+    if (onHeap()) ::operator delete(data_);
+    data_ = p;
+    cap_ = cap;
+  }
+
+  alignas(T) unsigned char inline_[N * sizeof(T)];
+  T* data_ = inlineData();
+  std::size_t size_ = 0;
+  std::size_t cap_ = N;
+};
+
+}  // namespace tpdf::support

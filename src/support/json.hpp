@@ -16,6 +16,8 @@
 #include <cmath>
 #include <cstdint>
 #include <string>
+#include <string_view>
+#include <type_traits>
 #include <utility>
 #include <variant>
 #include <vector>
@@ -77,6 +79,15 @@ class Value {
   Value(double d) : data_(d) {}                      // NOLINT
   Value(std::string s) : data_(std::move(s)) {}      // NOLINT
   Value(const char* s) : data_(std::string(s)) {}    // NOLINT
+  // Anything string_view-convertible (std::string_view itself,
+  // graph::Name) — same SFINAE shape std::string uses, so plain strings
+  // and literals keep hitting the exact-match overloads above.
+  template <typename T>
+    requires(std::is_convertible_v<const T&, std::string_view> &&
+             !std::is_convertible_v<const T&, const char*> &&
+             !std::is_same_v<std::decay_t<T>, std::string>)
+  Value(const T& s)                                  // NOLINT
+      : data_(std::string(std::string_view(s))) {}
 
   static Value object() {
     Value v;

@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <cstdlib>
 #include <cstring>
+#include <initializer_list>
 #include <new>
 #include <type_traits>
 
@@ -29,6 +30,18 @@ class SmallVec {
   // User-provided (not defaulted) so const-qualified default-initialized
   // instances remain legal; the inline bytes need no initialization.
   SmallVec() {}
+
+  SmallVec(std::initializer_list<T> init) {
+    reserve(init.size());
+    for (const T& v : init) data_[size_++] = v;
+  }
+
+  SmallVec& operator=(std::initializer_list<T> init) {
+    clear();
+    reserve(init.size());
+    for (const T& v : init) data_[size_++] = v;
+    return *this;
+  }
 
   SmallVec(const SmallVec& o) { assign(o.data_, o.size_); }
 

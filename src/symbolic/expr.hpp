@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "support/inlinevec.hpp"
 #include "support/rational.hpp"
 #include "symbolic/monomial.hpp"
 
@@ -27,6 +28,11 @@ namespace tpdf::symbolic {
 /// no duplicate power products, no zero terms.
 class Expr {
  public:
+  /// Inline term storage: almost every rate expression in a real graph
+  /// is one constant or one monomial, so the single inline slot makes
+  /// Expr construction/copy allocation-free in the common case.
+  using TermVec = support::InlineVec<Monomial, 1>;
+
   /// Zero.
   Expr() = default;
   Expr(std::int64_t value);  // NOLINT(google-explicit-constructor)
@@ -37,7 +43,7 @@ class Expr {
     return Expr(Monomial::param(name));
   }
 
-  const std::vector<Monomial>& terms() const { return terms_; }
+  const TermVec& terms() const { return terms_; }
 
   bool isZero() const { return terms_.empty(); }
   bool isConstant() const {
@@ -100,7 +106,7 @@ class Expr {
   /// requires terms_ sorted.
   void combineAdjacent();
 
-  std::vector<Monomial> terms_;
+  TermVec terms_;
 };
 
 /// gcd of two expressions through their contents.  For two monomials this

@@ -64,9 +64,12 @@ void expectViewMatchesGraph(const Graph& g, const Environment& env) {
   ASSERT_EQ(view.portCount(), g.portCount()) << g.name();
 
   for (const Actor& a : g.actors()) {
-    // CSR adjacency vs the allocating legacy queries, element-wise.
-    const std::vector<ChannelId> out = g.outChannels(a.id);
-    const std::vector<ChannelId> in = g.inChannels(a.id);
+    // CSR adjacency: the view serves the same Graph-owned block the
+    // direct queries do, element-wise.
+    const auto gOut = g.outChannels(a.id);
+    const std::vector<ChannelId> out(gOut.begin(), gOut.end());
+    const auto gIn = g.inChannels(a.id);
+    const std::vector<ChannelId> in(gIn.begin(), gIn.end());
     const auto outSpan = view.outChannels(a.id);
     const auto inSpan = view.inChannels(a.id);
     ASSERT_EQ(std::vector<ChannelId>(outSpan.begin(), outSpan.end()), out)

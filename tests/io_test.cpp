@@ -112,7 +112,8 @@ TEST(IoRead, ExecTimes) {
       channel e from A.o to B.i;
     }
   )");
-  EXPECT_EQ(g.actor(*g.findActor("A")).execTime,
+  const auto& et = g.actor(*g.findActor("A")).execTime;
+  EXPECT_EQ(std::vector<double>(et.begin(), et.end()),
             (std::vector<double>{2.5, 4.0}));
 }
 

@@ -1,0 +1,227 @@
+// Arena / StringInterner / InlineVec: the storage primitives behind the
+// million-actor graph layout.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/arena.hpp"
+#include "support/inlinevec.hpp"
+#include "support/smallvec.hpp"
+
+namespace tpdf::support {
+namespace {
+
+TEST(Arena, AllocationsAreAlignedAndDisjoint) {
+  Arena arena;
+  std::vector<std::pair<std::uintptr_t, std::size_t>> blocks;
+  for (std::size_t align : {1u, 2u, 4u, 8u, 16u, 64u}) {
+    for (std::size_t size : {1u, 3u, 7u, 100u}) {
+      void* p = arena.allocate(size, align);
+      ASSERT_NE(p, nullptr);
+      const auto addr = reinterpret_cast<std::uintptr_t>(p);
+      EXPECT_EQ(addr % align, 0u) << "align " << align;
+      blocks.emplace_back(addr, size);
+    }
+  }
+  // No two live blocks overlap.
+  std::sort(blocks.begin(), blocks.end());
+  for (std::size_t i = 1; i < blocks.size(); ++i) {
+    EXPECT_LE(blocks[i - 1].first + blocks[i - 1].second, blocks[i].first);
+  }
+}
+
+TEST(Arena, GrowsAcrossChunksWithoutMovingOldData) {
+  Arena arena(64);  // tiny first chunk forces many growths
+  std::vector<int*> ptrs;
+  for (int i = 0; i < 1000; ++i) {
+    int* p = arena.allocateArray<int>(7);
+    p[0] = i;
+    ptrs.push_back(p);
+  }
+  EXPECT_GT(arena.chunkCount(), 1u);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(*ptrs[static_cast<std::size_t>(i)], i);  // nothing moved
+  }
+  EXPECT_GE(arena.bytesReserved(), arena.bytesUsed());
+}
+
+TEST(Arena, OversizeAllocationGetsItsOwnChunk) {
+  Arena arena(32);
+  // Larger than any chunk the doubling schedule would produce next.
+  char* big = arena.allocateArray<char>(1 << 16);
+  ASSERT_NE(big, nullptr);
+  big[0] = 'x';
+  big[(1 << 16) - 1] = 'y';
+  EXPECT_GE(arena.bytesReserved(), std::size_t{1} << 16);
+}
+
+TEST(Arena, CopyStringIsStableAcrossGrowth) {
+  Arena arena(32);
+  const std::string_view first = arena.copyString("hello-world");
+  // Force lots of growth; the early view must stay intact.
+  for (int i = 0; i < 10000; ++i) {
+    arena.copyString("padding-padding-padding");
+  }
+  EXPECT_EQ(first, "hello-world");
+}
+
+TEST(Arena, ClearRecyclesSpace) {
+  Arena arena(64);
+  for (int i = 0; i < 1000; ++i) arena.allocateArray<std::int64_t>(16);
+  const std::size_t reservedBefore = arena.bytesReserved();
+  arena.clear();
+  EXPECT_EQ(arena.bytesUsed(), 0u);
+  EXPECT_LE(arena.bytesReserved(), reservedBefore);
+  EXPECT_LE(arena.chunkCount(), 1u);
+  // The retained chunk serves the rebuild without fresh reservations
+  // until it fills up again.
+  int* p = arena.allocateArray<int>(8);
+  ASSERT_NE(p, nullptr);
+  p[0] = 42;
+  EXPECT_EQ(p[0], 42);
+}
+
+TEST(Arena, MoveKeepsHandedOutPointersValid) {
+  Arena a(64);
+  const std::string_view s = a.copyString("stable");
+  Arena b = std::move(a);
+  EXPECT_EQ(s, "stable");
+  EXPECT_GT(b.bytesUsed(), 0u);
+}
+
+TEST(StringInterner, DeduplicatesEqualStrings) {
+  StringInterner pool;
+  const std::string_view a = pool.intern("actor_name");
+  const std::string_view b = pool.intern(std::string("actor_name"));
+  EXPECT_EQ(a.data(), b.data());  // literally the same bytes
+  EXPECT_EQ(pool.size(), 1u);
+  const std::string_view c = pool.intern("other");
+  EXPECT_NE(a.data(), c.data());
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_TRUE(pool.contains("actor_name"));
+  EXPECT_FALSE(pool.contains("missing"));
+}
+
+TEST(StringInterner, ViewsStayValidAcrossHeavyGrowth) {
+  StringInterner pool;
+  std::vector<std::string_view> views;
+  for (int i = 0; i < 20000; ++i) {
+    views.push_back(pool.intern("name_" + std::to_string(i)));
+  }
+  for (int i = 0; i < 20000; ++i) {
+    EXPECT_EQ(views[static_cast<std::size_t>(i)],
+              "name_" + std::to_string(i));
+  }
+  EXPECT_EQ(pool.size(), 20000u);
+}
+
+TEST(StringInterner, EmptyStringInternsToEmptyView) {
+  StringInterner pool;
+  const std::string_view e = pool.intern("");
+  EXPECT_TRUE(e.empty());
+  EXPECT_TRUE(pool.contains(""));
+}
+
+// A deliberately non-trivial element type: counts live instances so the
+// vector's lifetime management is observable.
+struct Probe {
+  static int live;
+  int value = 0;
+  Probe() { ++live; }
+  explicit Probe(int v) : value(v) { ++live; }
+  Probe(const Probe& o) : value(o.value) { ++live; }
+  Probe(Probe&& o) noexcept : value(o.value) { ++live; }
+  Probe& operator=(const Probe&) = default;
+  Probe& operator=(Probe&&) = default;
+  ~Probe() { --live; }
+  bool operator==(const Probe& o) const { return value == o.value; }
+};
+int Probe::live = 0;
+
+TEST(InlineVec, GrowthPreservesElementsAndLifetimes) {
+  {
+    InlineVec<Probe, 2> v;
+    for (int i = 0; i < 100; ++i) v.push_back(Probe(i));
+    ASSERT_EQ(v.size(), 100u);
+    for (int i = 0; i < 100; ++i) {
+      EXPECT_EQ(v[static_cast<std::size_t>(i)].value, i);
+    }
+    EXPECT_EQ(Probe::live, 100);
+  }
+  EXPECT_EQ(Probe::live, 0);  // everything destroyed exactly once
+}
+
+TEST(InlineVec, CopyAndMoveSemantics) {
+  InlineVec<Probe, 2> a;
+  for (int i = 0; i < 10; ++i) a.push_back(Probe(i));
+  InlineVec<Probe, 2> b = a;  // copy
+  EXPECT_EQ(a, b);
+  InlineVec<Probe, 2> c = std::move(a);  // steals the heap buffer
+  EXPECT_EQ(c, b);
+  EXPECT_EQ(a.size(), 0u);  // NOLINT(bugprone-use-after-move)
+
+  // Inline-state move (no heap buffer to steal).
+  InlineVec<Probe, 4> d;
+  d.push_back(Probe(7));
+  InlineVec<Probe, 4> e = std::move(d);
+  ASSERT_EQ(e.size(), 1u);
+  EXPECT_EQ(e[0].value, 7);
+
+  b = c;             // copy assign over non-empty
+  EXPECT_EQ(b, c);
+  b = std::move(c);  // move assign over non-empty
+  EXPECT_EQ(b.size(), 10u);
+}
+
+TEST(InlineVec, PushBackAliasingAnElementSurvivesGrowth) {
+  InlineVec<Probe, 1> v;
+  v.push_back(Probe(41));
+  // v is exactly full: pushing v[0] grows and frees the old buffer
+  // while the argument still points into it.
+  for (int i = 0; i < 20; ++i) v.push_back(v[0]);
+  for (const Probe& p : v) EXPECT_EQ(p.value, 41);
+}
+
+TEST(InlineVec, ResizeShrinksAndValueInitializes) {
+  InlineVec<Probe, 2> v;
+  for (int i = 0; i < 8; ++i) v.push_back(Probe(i));
+  v.resize(3);
+  EXPECT_EQ(Probe::live, 3);
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[2].value, 2);
+  v.resize(5);
+  EXPECT_EQ(v[4].value, 0);  // value-initialized
+  v.clear();
+  EXPECT_EQ(Probe::live, 0);
+}
+
+TEST(InlineVec, WorksWithSortAndInplaceMerge) {
+  // The exact shape Expr::mergeAccumulate relies on.
+  InlineVec<Probe, 1> v;
+  for (int x : {5, 9, 1}) v.push_back(Probe(x));
+  std::sort(v.begin(), v.end(),
+            [](const Probe& a, const Probe& b) { return a.value < b.value; });
+  const std::size_t mid = v.size();
+  for (int x : {0, 7}) v.push_back(Probe(x));
+  std::inplace_merge(
+      v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid), v.end(),
+      [](const Probe& a, const Probe& b) { return a.value < b.value; });
+  const std::vector<int> got = {v[0].value, v[1].value, v[2].value,
+                                v[3].value, v[4].value};
+  EXPECT_EQ(got, (std::vector<int>{0, 1, 5, 7, 9}));
+}
+
+TEST(SmallVec, InitializerListConstructionAndAssignment) {
+  SmallVec<double, 2> v{1.0};
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], 1.0);
+  v = {2.5, 4.0, 8.0};
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[2], 8.0);
+}
+
+}  // namespace
+}  // namespace tpdf::support

@@ -4,8 +4,13 @@
 Usage: merge_bench_json.py OUTPUT INPUT.json [INPUT.json ...]
 
 The output keeps the context block of the first input (host, CPU, build
-type) and concatenates every input's "benchmarks" array; each entry gains
-a "source" field naming the benchmark binary it came from, so one file
+type) and concatenates every input's "benchmarks" array verbatim —
+including Google Benchmark's asymptotic-complexity aggregates (the
+"_BigO" / "_RMS" rows carrying cpu_coefficient, real_coefficient, big_o
+and rms), which are what makes the complexity trend trackable across
+commits.  Each entry gains a "source" field naming the benchmark binary
+it came from, and the document gains a "complexity" section summarizing
+every fitted BigO family in one place, so one file
 (BENCH_analysis.json) carries the whole perf trajectory point.
 Only the Python standard library is used.
 """
@@ -15,6 +20,24 @@ import os
 import sys
 
 
+def complexity_summary(benchmarks):
+    """One row per complexity-fitted benchmark family: the fitted big-O
+    class, its coefficients, and the RMS of the fit."""
+    families = {}
+    for bench in benchmarks:
+        if bench.get("run_type") != "aggregate":
+            continue
+        family = bench.get("run_name", bench.get("name", ""))
+        row = families.setdefault(family, {"family": family})
+        if bench.get("aggregate_name") == "BigO":
+            row["big_o"] = bench.get("big_o")
+            row["cpu_coefficient"] = bench.get("cpu_coefficient")
+            row["real_coefficient"] = bench.get("real_coefficient")
+        elif bench.get("aggregate_name") == "RMS":
+            row["rms"] = bench.get("rms")
+    return [families[k] for k in sorted(families)]
+
+
 def main(argv):
     if len(argv) < 3:
         sys.stderr.write(__doc__)
@@ -22,6 +45,7 @@ def main(argv):
     out_path, inputs = argv[1], argv[2:]
 
     merged = {"context": None, "benchmarks": []}
+    aggregates_seen = 0
     for path in inputs:
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
@@ -31,16 +55,35 @@ def main(argv):
         source = os.path.basename(context.get("executable", path))
         source = os.path.splitext(source)[0]
         for bench in doc.get("benchmarks", []):
-            entry = dict(bench)
+            entry = dict(bench)  # verbatim copy: aggregates keep all fields
             entry["source"] = source
             merged["benchmarks"].append(entry)
+            if bench.get("run_type") == "aggregate":
+                aggregates_seen += 1
+
+    summary = complexity_summary(merged["benchmarks"])
+    if summary:
+        merged["complexity"] = summary
+    if aggregates_seen and not summary:
+        sys.stderr.write(
+            "error: %d aggregate rows present but none carried BigO/RMS "
+            "fields -- complexity data would be lost\n" % aggregates_seen
+        )
+        return 1
 
     with open(out_path, "w", encoding="utf-8") as f:
         json.dump(merged, f, indent=2)
         f.write("\n")
     sys.stderr.write(
-        "merged %d benchmarks from %d files into %s\n"
-        % (len(merged["benchmarks"]), len(inputs), out_path)
+        "merged %d benchmarks (%d aggregates, %d complexity families) "
+        "from %d files into %s\n"
+        % (
+            len(merged["benchmarks"]),
+            aggregates_seen,
+            len(summary),
+            len(inputs),
+            out_path,
+        )
     )
     return 0
 

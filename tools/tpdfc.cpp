@@ -456,7 +456,7 @@ int runSchedule(const Cli& cli, api::Session& session, const std::string& id) {
         std::printf("buffers:  %lld tokens total\n",
                     static_cast<long long>(response.buffers.total()));
         for (const graph::Channel& c : g->channels()) {
-          std::printf("  %-12s %lld\n", c.name.c_str(),
+          std::printf("  %-12s %lld\n", c.name.str().c_str(),
                       static_cast<long long>(response.buffers.of(c.id)));
         }
       }
