@@ -1,0 +1,145 @@
+// tpdfd load benchmark: concurrent clients against an in-process
+// daemon over a unix-domain socket.
+//
+// BM_ServeSharedAnalyze is the headline number: N client threads all
+// analyzing the SAME graph text, so every request after the first is a
+// cache hit on the shared memoized AnalysisContext.  Iteration time is
+// the full client-observed round trip (framing + socket + dispatch +
+// analysis); the `server_analysis_us` counter isolates the server-side
+// analysis cost from transport (the envelope's serve.analysisUs), and
+// `hit_rate` reports the cache hit fraction.  BM_ServeColdAnalyze
+// busts the cache on every request (unique trailing comment) to price
+// the parse+analyze miss path.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unistd.h>
+
+#include "serve/cache.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+#include "support/json.hpp"
+
+namespace {
+
+using namespace tpdf;
+
+// Figure 1's CSDF running example, as wire-inline source text.
+constexpr const char* kGraphText =
+    "graph fig1_csdf {\n"
+    "  kernel a1 { out o rates [1,0,1]; in i rates [2,0,0]; }\n"
+    "  kernel a2 { in i rates [1,1]; out o rates [0,2]; }\n"
+    "  kernel a3 { in i rates [1,1]; out o rates [1,1]; }\n"
+    "  channel e1 from a1.o to a2.i;\n"
+    "  channel e2 from a2.o to a3.i init 2;\n"
+    "  channel e3 from a3.o to a1.i;\n"
+    "}\n";
+
+/// One daemon shared by every benchmark in this binary.
+class BenchDaemon {
+ public:
+  BenchDaemon() {
+    serve::ServerConfig config;
+    config.unixPath =
+        "/tmp/tpdf_serve_bench_" + std::to_string(::getpid()) + ".sock";
+    server_ = std::make_unique<serve::Server>(config);
+    server_->start();
+    thread_ = std::thread([this] { server_->run(); });
+    address_ = "unix:" + config.unixPath;
+  }
+
+  ~BenchDaemon() {
+    server_->requestStop();
+    thread_.join();
+  }
+
+  const std::string& address() const { return address_; }
+  const serve::Server& server() const { return *server_; }
+
+ private:
+  std::unique_ptr<serve::Server> server_;
+  std::thread thread_;
+  std::string address_;
+};
+
+BenchDaemon* g_daemon = nullptr;
+
+std::string analyzeRequest(const std::string& graphText) {
+  auto request = support::json::Value::object();
+  request.set("command", "analyze");
+  request.set("graph", graphText);
+  return request.dump();
+}
+
+double serveAnalysisUs(const std::string& reply) {
+  const support::json::Value doc = support::json::parse(reply);
+  const support::json::Value* serve = doc.find("serve");
+  if (serve == nullptr) return 0.0;
+  const support::json::Value* us = serve->find("analysisUs");
+  if (us == nullptr) return 0.0;
+  return us->isDouble() ? us->asDouble() : static_cast<double>(us->asInt());
+}
+
+void BM_ServeSharedAnalyze(benchmark::State& state) {
+  serve::Client client = serve::Client::connect(g_daemon->address());
+  const std::string line = analyzeRequest(kGraphText);
+  double analysisUs = 0.0;
+  std::int64_t iterations = 0;
+  for (auto _ : state) {
+    const std::string reply = client.request(line);
+    benchmark::DoNotOptimize(reply.data());
+    analysisUs += serveAnalysisUs(reply);
+    ++iterations;
+  }
+  state.counters["server_analysis_us"] = benchmark::Counter(
+      iterations > 0 ? analysisUs / static_cast<double>(iterations) : 0.0,
+      benchmark::Counter::kAvgThreads);
+  const serve::CacheStats stats = g_daemon->server().cache().stats();
+  const double total = static_cast<double>(stats.hits + stats.misses);
+  state.counters["hit_rate"] = benchmark::Counter(
+      total > 0 ? static_cast<double>(stats.hits) / total : 0.0,
+      benchmark::Counter::kAvgThreads);
+}
+BENCHMARK(BM_ServeSharedAnalyze)->Threads(1)->UseRealTime();
+BENCHMARK(BM_ServeSharedAnalyze)->Threads(4)->UseRealTime();
+BENCHMARK(BM_ServeSharedAnalyze)->Threads(8)->UseRealTime();
+
+void BM_ServeColdAnalyze(benchmark::State& state) {
+  serve::Client client = serve::Client::connect(g_daemon->address());
+  double analysisUs = 0.0;
+  std::int64_t iterations = 0;
+  std::int64_t salt = state.thread_index() * 1000000;
+  for (auto _ : state) {
+    // A unique trailing comment changes the content hash but not the
+    // graph: every request is a guaranteed miss (parse + analyze).
+    const std::string text =
+        std::string(kGraphText) + "# cold " + std::to_string(salt++) + "\n";
+    const std::string reply = client.request(analyzeRequest(text));
+    benchmark::DoNotOptimize(reply.data());
+    analysisUs += serveAnalysisUs(reply);
+    ++iterations;
+  }
+  state.counters["server_analysis_us"] = benchmark::Counter(
+      iterations > 0 ? analysisUs / static_cast<double>(iterations) : 0.0,
+      benchmark::Counter::kAvgThreads);
+}
+BENCHMARK(BM_ServeColdAnalyze)->Threads(1)->UseRealTime();
+BENCHMARK(BM_ServeColdAnalyze)->Threads(4)->UseRealTime();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchDaemon daemon;
+  g_daemon = &daemon;
+  std::printf("=== tpdfd load: concurrent clients, shared graph cache ===\n");
+  std::printf("daemon at %s; round trip includes framing + socket + "
+              "dispatch; server_analysis_us isolates analysis\n\n",
+              daemon.address().c_str());
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  g_daemon = nullptr;
+  return 0;
+}

@@ -1,5 +1,10 @@
 #include "api/diagnostics.hpp"
 
+#include <exception>
+
+#include "support/budget.hpp"
+#include "support/error.hpp"
+
 namespace tpdf::api {
 
 std::string toString(Severity s) {
@@ -30,6 +35,16 @@ std::string toString(Status s) {
       return "resource-limit";
   }
   return "?";
+}
+
+std::optional<Status> statusFromString(const std::string& s) {
+  if (s == "ok") return Status::Ok;
+  if (s == "analysis-negative") return Status::AnalysisNegative;
+  if (s == "invalid-request") return Status::InvalidRequest;
+  if (s == "input-error") return Status::InputError;
+  if (s == "internal-error") return Status::InternalError;
+  if (s == "resource-limit") return Status::ResourceLimit;
+  return std::nullopt;
 }
 
 int exitCode(Status s) {
@@ -103,6 +118,34 @@ support::json::Value Response::diagnosticsJson() const {
   auto arr = support::json::Value::array();
   for (const Diagnostic& d : diagnostics) arr.push(d.toJson());
   return arr;
+}
+
+void guardedRun(Response& response, const std::string& file,
+                const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const support::BudgetExceeded& e) {
+    // Before the support::Error catch (BudgetExceeded derives from it):
+    // a deadline/work/cancellation trip is the stable resource-limit
+    // outcome (exit 4), not a generic runtime error.
+    response.fail(Status::ResourceLimit, "resource-limit", e.what(), file);
+  } catch (const support::ParseError& e) {
+    response.fail(Status::InputError, "parse-error", e.what(), file, e.line(),
+                  e.column());
+  } catch (const support::ModelError& e) {
+    response.fail(Status::InputError, "model-error", e.what(), file);
+  } catch (const support::OverflowError& e) {
+    response.fail(Status::InputError, "overflow", e.what(), file);
+  } catch (const support::DivisionByZeroError& e) {
+    response.fail(Status::InputError, "division-by-zero", e.what(), file);
+  } catch (const support::Error& e) {
+    response.fail(Status::InputError, "runtime-error", e.what(), file);
+  } catch (const std::exception& e) {
+    response.fail(Status::InternalError, "internal-error", e.what(), file);
+  } catch (...) {
+    response.fail(Status::InternalError, "internal-error",
+                  "unknown non-standard exception", file);
+  }
 }
 
 }  // namespace tpdf::api

@@ -13,6 +13,8 @@
 // docs/api.md); clients should branch on `code`, never on message text.
 #pragma once
 
+#include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -51,6 +53,11 @@ enum class Status {
 /// "ok", "analysis-negative", "invalid-request", "input-error",
 /// "internal-error", "resource-limit".
 std::string toString(Status s);
+
+/// The inverse of toString(Status): nullopt for an unknown string.  The
+/// tpdfc client mode uses this to map a daemon envelope's status back
+/// onto the documented exit-code contract.
+std::optional<Status> statusFromString(const std::string& s);
 
 /// The documented tpdfc exit-code contract: Ok = 0, AnalysisNegative = 1,
 /// InvalidRequest = 2, InputError = 3 (InternalError also maps to 3: from
@@ -104,5 +111,14 @@ struct Response {
   /// ["<Diagnostic::toJson>", ...] in append order.
   support::json::Value diagnosticsJson() const;
 };
+
+/// Runs `fn` under the façade's no-throw guarantee: every exception type
+/// the toolkit can raise is mapped to a Status + structured Diagnostic
+/// on `response` (ParseError keeps its line/column; `file` names the
+/// input the failure refers to, when known).  Session methods and the
+/// tpdfd request executor share this one mapping so a given failure
+/// produces the same diagnostic through either surface.
+void guardedRun(Response& response, const std::string& file,
+                const std::function<void()>& fn);
 
 }  // namespace tpdf::api

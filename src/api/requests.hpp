@@ -35,6 +35,10 @@
 #include "support/json.hpp"
 #include "symbolic/env.hpp"
 
+namespace tpdf::support {
+class Budget;
+}
+
 namespace tpdf::api {
 
 /// Resource limits shared by every analysis-running request (0 means
@@ -48,8 +52,16 @@ struct ResourceLimits {
   /// Cap on analysis work units (one unit ~ one scheduled/simulated
   /// firing or one schedule-construction step).
   std::int64_t maxWork = 0;
+  /// Run-wide cancellation source: when set, the request's budget chains
+  /// to this parent (support::Budget::chainCancel), so one cancel()
+  /// on the parent stops every request carrying it — the tpdfd daemon
+  /// aborts all in-flight work this way on a hard shutdown.  Must
+  /// outlive the request.
+  const support::Budget* cancelParent = nullptr;
 
-  bool limited() const { return timeoutMs > 0 || maxWork > 0; }
+  bool limited() const {
+    return timeoutMs > 0 || maxWork > 0 || cancelParent != nullptr;
+  }
 };
 
 // ---- load ---------------------------------------------------------------

@@ -16,36 +16,12 @@ namespace tpdf::api {
 
 namespace {
 
-/// Runs `fn` with the façade's no-throw guarantee: every exception type
-/// the toolkit can raise is mapped to a Status + structured Diagnostic
-/// on `response` (ParseError keeps its line/column; `file` names the
-/// input the failure refers to, when known).
+/// The façade's no-throw guarantee, shared with the serving layer as
+/// api::guardedRun (diagnostics.cpp) so both surfaces map a given
+/// failure to the identical diagnostic.
 template <typename Fn>
 void guarded(Response& response, const std::string& file, Fn&& fn) {
-  try {
-    fn();
-  } catch (const support::BudgetExceeded& e) {
-    // Before the support::Error catch (BudgetExceeded derives from it):
-    // a deadline/work/cancellation trip is the stable resource-limit
-    // outcome (exit 4), not a generic runtime error.
-    response.fail(Status::ResourceLimit, "resource-limit", e.what(), file);
-  } catch (const support::ParseError& e) {
-    response.fail(Status::InputError, "parse-error", e.what(), file, e.line(),
-                  e.column());
-  } catch (const support::ModelError& e) {
-    response.fail(Status::InputError, "model-error", e.what(), file);
-  } catch (const support::OverflowError& e) {
-    response.fail(Status::InputError, "overflow", e.what(), file);
-  } catch (const support::DivisionByZeroError& e) {
-    response.fail(Status::InputError, "division-by-zero", e.what(), file);
-  } catch (const support::Error& e) {
-    response.fail(Status::InputError, "runtime-error", e.what(), file);
-  } catch (const std::exception& e) {
-    response.fail(Status::InternalError, "internal-error", e.what(), file);
-  } catch (...) {
-    response.fail(Status::InternalError, "internal-error",
-                  "unknown non-standard exception", file);
-  }
+  guardedRun(response, file, std::function<void()>(std::forward<Fn>(fn)));
 }
 
 /// Binds every still-unbound parameter of `g` to 2 (the conventional
@@ -81,6 +57,7 @@ support::Budget* armBudget(support::Budget& budget,
     budget.setMaxWork(static_cast<std::uint64_t>(limits.maxWork));
   }
   if (envFault.fireAt != 0) budget.arm(envFault);
+  if (limits.cancelParent != nullptr) budget.chainCancel(limits.cancelParent);
   return &budget;
 }
 
@@ -176,12 +153,12 @@ std::vector<std::string> Session::graphIds() const {
 
 const graph::Graph* Session::graph(const std::string& id) const {
   const auto it = entries_.find(id);
-  return it == entries_.end() ? nullptr : &it->second.model.graph();
+  return it == entries_.end() ? nullptr : &it->second.model->graph();
 }
 
 const core::TpdfGraph* Session::model(const std::string& id) const {
   const auto it = entries_.find(id);
-  return it == entries_.end() ? nullptr : &it->second.model;
+  return it == entries_.end() ? nullptr : it->second.model.get();
 }
 
 const core::AnalysisContext* Session::context(const std::string& id) const {
@@ -191,6 +168,14 @@ const core::AnalysisContext* Session::context(const std::string& id) const {
 
 bool Session::erase(const std::string& id) {
   return entries_.erase(id) != 0;
+}
+
+bool Session::adopt(const std::string& id,
+                    std::shared_ptr<core::TpdfGraph> model,
+                    std::shared_ptr<core::AnalysisContext> ctx) {
+  if (model == nullptr || entries_.count(id) != 0) return false;
+  entries_.emplace(id, Entry{std::move(model), std::move(ctx)});
+  return true;
 }
 
 Session::Entry* Session::resolve(const std::string& id, Response& response) {
@@ -205,7 +190,7 @@ Session::Entry* Session::resolve(const std::string& id, Response& response) {
 
 core::AnalysisContext& Session::contextOf(Entry& entry) {
   if (entry.ctx == nullptr) {
-    entry.ctx = std::make_unique<core::AnalysisContext>(entry.model.graph());
+    entry.ctx = std::make_shared<core::AnalysisContext>(entry.model->graph());
   }
   return *entry.ctx;
 }
@@ -234,9 +219,10 @@ LoadResponse Session::load(const LoadRequest& request) {
       return;
     }
     const auto [it, inserted] = entries_.emplace(
-        id, Entry{core::TpdfGraph(std::move(g)), nullptr});
+        id,
+        Entry{std::make_shared<core::TpdfGraph>(std::move(g)), nullptr});
     (void)inserted;
-    const graph::Graph& stored = it->second.model.graph();
+    const graph::Graph& stored = it->second.model->graph();
     response.id = id;
     response.graphName = stored.name();
     response.actorCount = stored.actorCount();
@@ -253,7 +239,7 @@ AnalyzeResponse Session::analyze(const AnalyzeRequest& request) {
   response.graphId = request.graphId;
   Entry* entry = resolve(request.graphId, response);
   if (entry == nullptr) return response;
-  response.graphName = entry->model.graph().name();
+  response.graphName = entry->model->graph().name();
   guarded(response, "", [&] {
     support::Budget budgetStore;
     support::Budget* budget = armBudget(budgetStore, request.limits);
@@ -289,7 +275,7 @@ ScheduleResponse Session::schedule(const ScheduleRequest& request) {
   response.graphId = request.graphId;
   Entry* entry = resolve(request.graphId, response);
   if (entry == nullptr) return response;
-  const graph::Graph& g = entry->model.graph();
+  const graph::Graph& g = entry->model->graph();
   response.graphName = g.name();
   guarded(response, "", [&] {
     support::Budget budgetStore;
@@ -325,7 +311,7 @@ BufferResponse Session::buffers(const BufferRequest& request) {
   response.graphId = request.graphId;
   Entry* entry = resolve(request.graphId, response);
   if (entry == nullptr) return response;
-  const graph::Graph& g = entry->model.graph();
+  const graph::Graph& g = entry->model->graph();
   response.graphName = g.name();
   guarded(response, "", [&] {
     support::Budget budgetStore;
@@ -356,7 +342,7 @@ MapResponse Session::map(const MapRequest& request) {
   }
   Entry* entry = resolve(request.graphId, response);
   if (entry == nullptr) return response;
-  const graph::Graph& g = entry->model.graph();
+  const graph::Graph& g = entry->model->graph();
   response.graphName = g.name();
   guarded(response, "", [&] {
     support::Budget budgetStore;
@@ -394,13 +380,13 @@ SimulateResponse Session::simulate(const SimulateRequest& request) {
   response.graphId = request.graphId;
   Entry* entry = resolve(request.graphId, response);
   if (entry == nullptr) return response;
-  const graph::Graph& g = entry->model.graph();
+  const graph::Graph& g = entry->model->graph();
   response.graphName = g.name();
   guarded(response, "", [&] {
     support::Budget budgetStore;
     support::Budget* budget = armBudget(budgetStore, request.limits);
     response.bindings = concretize(g, request.bindings, response);
-    sim::Simulator simulator(entry->model, response.bindings,
+    sim::Simulator simulator(*entry->model, response.bindings,
                              &contextOf(*entry));
     sim::SimOptions options = request.options;
     if (budget != nullptr) options.budget = budget;
@@ -422,7 +408,7 @@ SweepResponse Session::sweep(const SweepRequest& request) {
   response.jobs = request.jobs;
   Entry* entry = resolve(request.graphId, response);
   if (entry == nullptr) return response;
-  const graph::Graph& g = entry->model.graph();
+  const graph::Graph& g = entry->model->graph();
   response.graphName = g.name();
 
   if (request.axes.empty()) {

@@ -104,10 +104,21 @@ class Session {
   /// Drops a graph (and its context).  Returns false when unknown.
   bool erase(const std::string& id);
 
+  /// Stores an externally-owned graph — and, optionally, its already-
+  /// memoized context — under `id` without parsing anything.  This is
+  /// how the tpdfd graph cache shares one model + AnalysisContext
+  /// across client sessions: each client adopts the cache entry under
+  /// its own id, and the shared_ptrs keep the state alive even after a
+  /// cache eviction.  Rejects a duplicate id or a null model (false).
+  /// Concurrency rule unchanged: callers of ANY request against an
+  /// adopted graph must serialize on the shared context externally.
+  bool adopt(const std::string& id, std::shared_ptr<core::TpdfGraph> model,
+             std::shared_ptr<core::AnalysisContext> ctx = nullptr);
+
  private:
   struct Entry {
-    core::TpdfGraph model;
-    std::unique_ptr<core::AnalysisContext> ctx;
+    std::shared_ptr<core::TpdfGraph> model;
+    std::shared_ptr<core::AnalysisContext> ctx;
   };
 
   /// Looks up `id`, recording an unknown-graph failure on `response`.
@@ -115,8 +126,9 @@ class Session {
   /// The entry's context, built on first use over the stored graph.
   core::AnalysisContext& contextOf(Entry& entry);
 
-  // std::map: node stability keeps Graph/context addresses valid across
-  // later load() calls (responses and views point into them).
+  // Model and context live behind shared_ptrs (heap-stable, shareable
+  // with the tpdfd graph cache via adopt()); std::map keeps graphIds()
+  // in id order.
   std::map<std::string, Entry> entries_;
 };
 

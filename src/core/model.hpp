@@ -64,6 +64,9 @@ class TpdfGraph {
   explicit TpdfGraph(graph::Graph g);
 
   const graph::Graph& graph() const { return graph_; }
+  /// Mutable access for incremental edits; the usual revision rules
+  /// apply (mutators bump Graph::revision(), consumers re-derive).
+  graph::Graph& graph() { return graph_; }
   const std::string& name() const { return graph_.name(); }
 
   // ---- Kernel metadata ----------------------------------------------

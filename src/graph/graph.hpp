@@ -243,6 +243,11 @@ class Graph {
   /// Bytes held by the interned-name pool (diagnostics/bench).
   std::size_t namePoolBytes() const { return interner_.bytesUsed(); }
 
+  /// Bytes held by the frozen CSR arena (0 until freeze() first runs).
+  /// Together with namePoolBytes() this approximates the entry's
+  /// resident size for cache accounting (tpdfd's byte-bounded LRU).
+  std::size_t frozenBytes() const { return frozenArena_.bytesUsed(); }
+
   /// Structural validation (Definition 2's well-formedness): throws
   /// support::ModelError describing the first violation found.
   void validate() const;

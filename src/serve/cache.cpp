@@ -1,0 +1,117 @@
+#include "serve/cache.hpp"
+
+#include <utility>
+
+#include "io/format.hpp"
+
+namespace tpdf::serve {
+
+std::uint64_t contentHash(std::string_view text) {
+  // FNV-1a, 64-bit.
+  std::uint64_t h = 14695981039346656037ull;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string cacheId(std::uint64_t hash) {
+  static const char* hex = "0123456789abcdef";
+  std::string id = "#0000000000000000";
+  for (int i = 16; i >= 1; --i) {
+    id[static_cast<std::size_t>(i)] = hex[hash & 0xf];
+    hash >>= 4;
+  }
+  return id;
+}
+
+support::json::Value CacheStats::toJson() const {
+  auto doc = support::json::Value::object();
+  doc.set("hits", static_cast<std::int64_t>(hits));
+  doc.set("misses", static_cast<std::int64_t>(misses));
+  doc.set("evictions", static_cast<std::int64_t>(evictions));
+  doc.set("invalidations", static_cast<std::int64_t>(invalidations));
+  doc.set("entries", static_cast<std::int64_t>(entries));
+  doc.set("bytes", static_cast<std::int64_t>(bytes));
+  return doc;
+}
+
+GraphCache::GraphCache(std::size_t maxEntries, std::size_t maxBytes)
+    : maxEntries_(maxEntries), maxBytes_(maxBytes) {}
+
+GraphCache::Acquired GraphCache::acquire(const std::string& text) {
+  const std::uint64_t hash = contentHash(text);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(hash);
+    if (it != index_.end()) {
+      std::shared_ptr<Entry> entry = *it->second;
+      if (entry->model->graph().revision() == entry->revision) {
+        ++counters_.hits;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return {std::move(entry), true};
+      }
+      // The stored graph was mutated since its context was memoized:
+      // the cached analysis state is stale.  Drop it and re-admit.
+      ++counters_.invalidations;
+      bytes_ -= entry->bytes;
+      lru_.erase(it->second);
+      index_.erase(it);
+    }
+  }
+
+  // Miss: parse and build the analysis context OUTSIDE the cache lock,
+  // so concurrent misses on different graphs proceed in parallel.  Bad
+  // input throws here (ParseError/ModelError) and the cache stays
+  // untouched.
+  auto fresh = std::make_shared<Entry>();
+  fresh->hash = hash;
+  fresh->id = cacheId(hash);
+  fresh->model = std::make_shared<core::TpdfGraph>(io::readGraph(text));
+  fresh->ctx =
+      std::make_shared<core::AnalysisContext>(fresh->model->graph());
+  const graph::Graph& g = fresh->model->graph();
+  fresh->revision = g.revision();
+  fresh->bytes =
+      text.size() + g.namePoolBytes() + g.frozenBytes() + sizeof(Entry);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(hash);
+  if (it != index_.end()) {
+    // Same-hash race: another client admitted this graph while we
+    // parsed.  Converge on the shared entry (ours is dropped); still a
+    // miss for accounting — this thread did pay the parse.
+    ++counters_.misses;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return {*it->second, false};
+  }
+  ++counters_.misses;
+  bytes_ += fresh->bytes;
+  lru_.push_front(fresh);
+  index_.emplace(hash, lru_.begin());
+  evictLocked();
+  return {std::move(fresh), false};
+}
+
+void GraphCache::evictLocked() {
+  while (lru_.size() > 1 &&
+         ((maxEntries_ != 0 && lru_.size() > maxEntries_) ||
+          (maxBytes_ != 0 && bytes_ > maxBytes_))) {
+    const std::shared_ptr<Entry>& victim = lru_.back();
+    ++counters_.evictions;
+    bytes_ -= victim->bytes;
+    index_.erase(victim->hash);
+    lru_.pop_back();
+  }
+}
+
+CacheStats GraphCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CacheStats snapshot = counters_;
+  snapshot.entries = lru_.size();
+  snapshot.bytes = bytes_;
+  return snapshot;
+}
+
+}  // namespace tpdf::serve

@@ -1,0 +1,168 @@
+#include "serve/client.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+#include <netdb.h>
+
+#include <cstring>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace tpdf::serve {
+
+namespace {
+
+int connectUnix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw support::Error("connect: unix socket path too long: " + path);
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw support::Error("connect: cannot create socket: " +
+                         std::string(std::strerror(errno)));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw support::Error("connect: '" + path + "': " + why);
+  }
+  return fd;
+}
+
+int connectTcp(const std::string& host, const std::string& port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* results = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), port.c_str(), &hints, &results);
+  if (rc != 0 || results == nullptr) {
+    throw support::Error("connect: cannot resolve " + host + ":" + port +
+                         ": " + ::gai_strerror(rc));
+  }
+  int fd = -1;
+  std::string why = "no addresses";
+  for (addrinfo* ai = results; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    why = std::strerror(errno);
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(results);
+  if (fd < 0) {
+    throw support::Error("connect: " + host + ":" + port + ": " + why);
+  }
+  return fd;
+}
+
+}  // namespace
+
+Client Client::connect(const std::string& address,
+                       std::int64_t recvTimeoutMs) {
+  int fd = -1;
+  if (address.rfind("unix:", 0) == 0) {
+    fd = connectUnix(address.substr(5));
+  } else if (address.rfind("tcp:", 0) == 0) {
+    const std::string rest = address.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos) {
+      throw support::Error("connect: tcp address needs host:port, got '" +
+                           address + "'");
+    }
+    fd = connectTcp(rest.substr(0, colon), rest.substr(colon + 1));
+  } else if (address.find('/') != std::string::npos) {
+    fd = connectUnix(address);
+  } else {
+    const std::size_t colon = address.rfind(':');
+    if (colon == std::string::npos) {
+      throw support::Error(
+          "connect: expected unix:/path, tcp:host:port, a socket path, or "
+          "host:port, got '" + address + "'");
+    }
+    fd = connectTcp(address.substr(0, colon), address.substr(colon + 1));
+  }
+  if (recvTimeoutMs > 0) {
+    timeval tv{};
+    tv.tv_sec = recvTimeoutMs / 1000;
+    tv.tv_usec = static_cast<suseconds_t>((recvTimeoutMs % 1000) * 1000);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  return Client(fd);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    buffer_ = std::move(other.buffer_);
+  }
+  return *this;
+}
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+void Client::send(const std::string& line) {
+  if (fd_ < 0) throw support::Error("send: not connected");
+  std::string framed = line;
+  framed += '\n';
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    const ssize_t n =
+        ::write(fd_, framed.data() + off, framed.size() - off);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      throw support::Error("send: connection lost: " +
+                           std::string(n < 0 ? std::strerror(errno)
+                                             : "closed"));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+std::string Client::receive() {
+  if (fd_ < 0) throw support::Error("receive: not connected");
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    char chunk[65536];
+    const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n == 0) {
+      throw support::Error("receive: server closed the connection");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw support::Error("receive: " + std::string(std::strerror(errno)));
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+std::string Client::request(const std::string& line) {
+  send(line);
+  return receive();
+}
+
+}  // namespace tpdf::serve

@@ -1,0 +1,52 @@
+// Blocking client for the tpdfd wire protocol.
+//
+// One Client is one connection: send a request line, read the one
+// envelope line the daemon answers with.  Used by `tpdfc --connect`,
+// the loadtest driver, and the end-to-end test suite.  IO failures
+// (refused connection, EOF mid-response, timeout) throw support::Error;
+// protocol-level failures arrive as ordinary envelopes.
+//
+// Addresses: "unix:/path/to.sock", "tcp:host:port", or shorthand — a
+// string containing '/' is a unix socket path, "host:port" is TCP.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tpdf::serve {
+
+class Client {
+ public:
+  /// Connects (throws support::Error on failure).  `recvTimeoutMs`
+  /// bounds each response wait; 0 = block forever.
+  static Client connect(const std::string& address,
+                        std::int64_t recvTimeoutMs = 0);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// Sends `line` (terminator appended) and returns the response line.
+  /// Throws support::Error on EOF — including the clean disconnect the
+  /// daemon performs after an oversized-line reject, in which case the
+  /// reject envelope (already read) comes first.
+  std::string request(const std::string& line);
+
+  /// Sends without waiting (pipelining / shutdown tests).
+  void send(const std::string& line);
+  /// Reads the next response line (whether or not send() was used).
+  std::string receive();
+
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::string buffer_;  // bytes read past the last returned line
+};
+
+}  // namespace tpdf::serve

@@ -1,0 +1,603 @@
+#include "serve/protocol.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+#include "api/version.hpp"
+#include "core/sweep.hpp"
+#include "support/budget.hpp"
+#include "support/error.hpp"
+
+namespace tpdf::serve {
+
+// ---- LineFramer ---------------------------------------------------------
+
+bool LineFramer::feed(std::string_view bytes, std::vector<std::string>& out) {
+  if (overflowed_) return false;
+  std::size_t start = 0;
+  while (start < bytes.size()) {
+    const std::size_t nl = bytes.find('\n', start);
+    if (nl == std::string_view::npos) {
+      buffer_.append(bytes.substr(start));
+      break;
+    }
+    buffer_.append(bytes.substr(start, nl - start));
+    if (maxLineBytes_ != 0 && buffer_.size() > maxLineBytes_) {
+      overflowed_ = true;
+      buffer_.clear();
+      return false;
+    }
+    if (!buffer_.empty() && buffer_.back() == '\r') buffer_.pop_back();
+    if (!buffer_.empty()) out.push_back(std::move(buffer_));
+    buffer_.clear();
+    start = nl + 1;
+  }
+  if (maxLineBytes_ != 0 && buffer_.size() > maxLineBytes_) {
+    overflowed_ = true;
+    buffer_.clear();
+    return false;
+  }
+  return true;
+}
+
+// ---- envelope helpers ---------------------------------------------------
+
+namespace {
+
+using support::json::Value;
+
+/// {"tool": "tpdfd", "version", "command"} + the response document's
+/// members verbatim — the same envelope shape tpdfc --json emits.
+Value envelope(const std::string& command, Value doc) {
+  auto env = Value::object();
+  env.set("tool", "tpdfd");
+  env.set("version", api::version().semver);
+  env.set("command", command);
+  for (auto& [key, value] : doc.members()) env.set(key, std::move(value));
+  return env;
+}
+
+ClientSession::Result finish(const std::string& command, Value doc,
+                             api::Status status) {
+  ClientSession::Result result;
+  result.line = envelope(command, std::move(doc)).dump();
+  result.status = status;
+  result.command = command;
+  return result;
+}
+
+/// An envelope carrying only status + diagnostics (no payload ran).
+ClientSession::Result reject(const std::string& command,
+                             const api::Response& response) {
+  auto doc = Value::object();
+  doc.set("status", toString(response.status));
+  doc.set("diagnostics", response.diagnosticsJson());
+  return finish(command, std::move(doc), response.status);
+}
+
+/// The per-request "serve" block: was the graph served from the shared
+/// cache, and how long did the server-side execution take (transport
+/// excluded)?
+Value serveBlock(bool cached, double analysisUs) {
+  auto doc = Value::object();
+  doc.set("cached", cached);
+  doc.set("analysisUs", analysisUs);
+  return doc;
+}
+
+/// Reads `limits` ({"timeout-ms": N, "max-work": N}) and applies the
+/// connection policy: the server default deadline fills in when the
+/// request names none, and the run-wide cancel parent always chains.
+api::ResourceLimits parseLimits(const Value& doc, const RequestPolicy& policy,
+                                api::Response& bad) {
+  api::ResourceLimits out;
+  out.timeoutMs = policy.defaultTimeoutMs;
+  out.cancelParent = policy.cancelParent;
+  const Value* limits = doc.find("limits");
+  if (limits == nullptr) return out;
+  if (!limits->isObject()) {
+    bad.fail(api::Status::InvalidRequest, "invalid-request",
+             "\"limits\" must be an object");
+    return out;
+  }
+  if (const Value* t = limits->find("timeout-ms")) {
+    if (!t->isInt() || t->asInt() < 0) {
+      bad.fail(api::Status::InvalidRequest, "invalid-request",
+               "\"limits.timeout-ms\" must be a non-negative integer");
+    } else if (t->asInt() > 0) {
+      out.timeoutMs = t->asInt();
+    }
+  }
+  if (const Value* w = limits->find("max-work")) {
+    if (!w->isInt() || w->asInt() < 0) {
+      bad.fail(api::Status::InvalidRequest, "invalid-request",
+               "\"limits.max-work\" must be a non-negative integer");
+    } else {
+      out.maxWork = w->asInt();
+    }
+  }
+  return out;
+}
+
+/// {"p": 2, ...} -> Environment.  Values must be positive integers (the
+/// Environment's own rule, surfaced as invalid-request here).
+symbolic::Environment parseBindings(const Value& doc, const char* key,
+                                    api::Response& bad) {
+  symbolic::Environment env;
+  const Value* bindings = doc.find(key);
+  if (bindings == nullptr) return env;
+  if (!bindings->isObject()) {
+    bad.fail(api::Status::InvalidRequest, "invalid-request",
+             std::string("\"") + key + "\" must be an object");
+    return env;
+  }
+  for (const auto& [name, value] : bindings->members()) {
+    if (!value.isInt()) {
+      bad.fail(api::Status::InvalidRequest, "invalid-request",
+               "binding \"" + name + "\" must be an integer");
+      return env;
+    }
+    try {
+      env.bind(name, value.asInt());
+    } catch (const support::Error& e) {
+      bad.fail(api::Status::InvalidRequest, "invalid-request", e.what());
+      return env;
+    }
+  }
+  return env;
+}
+
+/// Optional string field with a type check.
+std::string stringField(const Value& doc, const char* key,
+                        api::Response& bad) {
+  const Value* v = doc.find(key);
+  if (v == nullptr) return "";
+  if (!v->isString()) {
+    bad.fail(api::Status::InvalidRequest, "invalid-request",
+             std::string("\"") + key + "\" must be a string");
+    return "";
+  }
+  return v->asString();
+}
+
+/// Optional non-negative integer field with a type check.
+std::int64_t intField(const Value& doc, const char* key,
+                      std::int64_t fallback, api::Response& bad) {
+  const Value* v = doc.find(key);
+  if (v == nullptr) return fallback;
+  if (!v->isInt() || v->asInt() < 0) {
+    bad.fail(api::Status::InvalidRequest, "invalid-request",
+             std::string("\"") + key + "\" must be a non-negative integer");
+    return fallback;
+  }
+  return v->asInt();
+}
+
+csdf::SchedulePolicy parsePolicy(const Value& doc,
+                                 csdf::SchedulePolicy fallback,
+                                 api::Response& bad) {
+  const Value* v = doc.find("policy");
+  if (v == nullptr) return fallback;
+  if (v->isString() && v->asString() == "eager") {
+    return csdf::SchedulePolicy::Eager;
+  }
+  if (v->isString() && v->asString() == "min-occupancy") {
+    return csdf::SchedulePolicy::MinOccupancy;
+  }
+  bad.fail(api::Status::InvalidRequest, "invalid-request",
+           "\"policy\" must be \"eager\" or \"min-occupancy\"");
+  return fallback;
+}
+
+/// {"p": "1:8", "q": "1,2,4"} -> sweep axes (SweepAxis::parse grammar).
+std::vector<core::SweepAxis> parseAxes(const Value& doc,
+                                       api::Response& bad) {
+  std::vector<core::SweepAxis> axes;
+  const Value* v = doc.find("axes");
+  if (v == nullptr) return axes;
+  if (!v->isObject()) {
+    bad.fail(api::Status::InvalidRequest, "invalid-request",
+             "\"axes\" must be an object of param -> \"lo:hi[:step]\" or "
+             "\"v1,v2,...\" specs");
+    return axes;
+  }
+  for (const auto& [param, spec] : v->members()) {
+    if (!spec.isString()) {
+      bad.fail(api::Status::InvalidRequest, "invalid-request",
+               "axis \"" + param + "\" must be a string spec");
+      return axes;
+    }
+    try {
+      axes.push_back(core::SweepAxis::parse(param, spec.asString()));
+    } catch (const support::Error& e) {
+      bad.fail(api::Status::InvalidRequest, "invalid-request",
+               "axis \"" + param + "\": " + e.what());
+      return axes;
+    }
+  }
+  return axes;
+}
+
+std::vector<std::string> stringListField(const Value& doc, const char* key,
+                                         api::Response& bad) {
+  std::vector<std::string> out;
+  const Value* v = doc.find(key);
+  if (v == nullptr) return out;
+  if (!v->isArray()) {
+    bad.fail(api::Status::InvalidRequest, "invalid-request",
+             std::string("\"") + key + "\" must be an array of strings");
+    return out;
+  }
+  for (const Value& item : v->items()) {
+    if (!item.isString()) {
+      bad.fail(api::Status::InvalidRequest, "invalid-request",
+               std::string("\"") + key + "\" must be an array of strings");
+      return out;
+    }
+    out.push_back(item.asString());
+  }
+  return out;
+}
+
+/// Reads a server-side file into a string (for "path" graph refs);
+/// failures surface as input-error diagnostics.
+bool readFileText(const std::string& path, std::string& out,
+                  api::Response& bad) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    bad.fail(api::Status::InputError, "io-error",
+             "cannot open '" + path + "'", path);
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+/// Microseconds elapsed since `start`.
+double elapsedUs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+// ---- canned rejects -----------------------------------------------------
+
+ClientSession::Result ClientSession::oversizedLineReject(
+    std::size_t maxLineBytes) {
+  api::Response response;
+  response.fail(api::Status::InvalidRequest, "oversized-line",
+                "request line exceeds the " + std::to_string(maxLineBytes) +
+                    "-byte limit; connection closed");
+  return reject("", response);
+}
+
+ClientSession::Result ClientSession::overloadedReject(std::size_t maxQueue) {
+  api::Response response;
+  response.fail(api::Status::ResourceLimit, "server-overloaded",
+                "request queue is full (" + std::to_string(maxQueue) +
+                    " in flight); the request was not executed — retry "
+                    "after a backoff");
+  return reject("", response);
+}
+
+// ---- target resolution --------------------------------------------------
+
+ClientSession::Target ClientSession::resolveTarget(const Value& doc,
+                                                   api::Response& bad) {
+  Target target;
+  const std::string text = stringField(doc, "graph", bad);
+  const std::string path = stringField(doc, "path", bad);
+  const std::string id = stringField(doc, "id", bad);
+  if (!bad.ok()) return target;
+  const int refs = (text.empty() ? 0 : 1) + (path.empty() ? 0 : 1) +
+                   (id.empty() ? 0 : 1);
+  if (refs == 0) {
+    bad.fail(api::Status::InvalidRequest, "invalid-request",
+             "request needs a graph reference: inline \"graph\" text, a "
+             "server-side \"path\", or a loaded \"id\"");
+    return target;
+  }
+  if (refs > 1) {
+    bad.fail(api::Status::InvalidRequest, "invalid-request",
+             "\"graph\", \"path\" and \"id\" are mutually exclusive");
+    return target;
+  }
+
+  if (!id.empty()) {
+    // Previously loaded/adopted; unknown ids fall through to the
+    // session's own unknown-graph diagnostic.
+    target.id = id;
+    const auto it = adopted_.find(id);
+    if (it != adopted_.end()) {
+      target.entry = it->second;
+      target.cached = true;
+    } else if (!session_.has(id)) {
+      bad.fail(api::Status::InvalidRequest, "unknown-graph",
+               "no graph '" + id + "' loaded on this connection");
+    }
+    return target;
+  }
+
+  std::string source = text;
+  if (!path.empty() && !readFileText(path, source, bad)) return target;
+
+  // Admission through the shared cache (may throw on bad input; the
+  // caller runs us under guardedRun).
+  GraphCache::Acquired acquired = cache_.acquire(source);
+  target.entry = std::move(acquired.entry);
+  target.cached = acquired.hit;
+  target.id = target.entry->id;
+  if (!session_.has(target.id)) {
+    session_.adopt(target.id, target.entry->model, target.entry->ctx);
+    adopted_.emplace(target.id, target.entry);
+  }
+  return target;
+}
+
+// ---- request execution --------------------------------------------------
+
+ClientSession::Result ClientSession::handle(const std::string& requestLine) {
+  std::string command;
+  api::Response bad;
+
+  Value doc;
+  try {
+    doc = support::json::parse(requestLine);
+  } catch (const support::ParseError& e) {
+    bad.fail(api::Status::InvalidRequest, "invalid-request", e.message(), "",
+             e.line(), e.column());
+    return reject(command, bad);
+  }
+  if (!doc.isObject()) {
+    bad.fail(api::Status::InvalidRequest, "invalid-request",
+             "request must be a JSON object");
+    return reject(command, bad);
+  }
+  const Value* cmd = doc.find("command");
+  if (cmd == nullptr || !cmd->isString()) {
+    bad.fail(api::Status::InvalidRequest, "invalid-request",
+             "request needs a string \"command\"");
+    return reject(command, bad);
+  }
+  command = cmd->asString();
+
+  // ---- commands without a graph target ----
+  if (command == "ping") {
+    auto payload = Value::object();
+    payload.set("status", "ok");
+    payload.set("diagnostics", Value::array());
+    return finish(command, std::move(payload), api::Status::Ok);
+  }
+  if (command == "stats") {
+    auto payload = Value::object();
+    payload.set("status", "ok");
+    payload.set("diagnostics", Value::array());
+    payload.set("cache", cache_.stats().toJson());
+    auto graphs = Value::array();
+    for (const std::string& id : session_.graphIds()) graphs.push(id);
+    payload.set("graphs", std::move(graphs));
+    return finish(command, std::move(payload), api::Status::Ok);
+  }
+  if (command == "erase") {
+    const std::string id = stringField(doc, "id", bad);
+    if (bad.ok() && id.empty()) {
+      bad.fail(api::Status::InvalidRequest, "invalid-request",
+               "erase needs an \"id\"");
+    }
+    if (bad.ok() && !session_.erase(id)) {
+      bad.fail(api::Status::InvalidRequest, "unknown-graph",
+               "no graph '" + id + "' loaded on this connection");
+    }
+    adopted_.erase(id);
+    return reject(command, bad);  // status ok + empty diagnostics on success
+  }
+  if (command == "batch" || command == "verify") {
+    // Corpus commands: server-side paths, no cache involvement (each
+    // file is read and analyzed once; session state untouched).
+    api::Response probe;
+    const api::ResourceLimits limits = parseLimits(doc, policy_, probe);
+    const symbolic::Environment bindings =
+        parseBindings(doc, "bindings", probe);
+    const std::string directory = stringField(doc, "directory", probe);
+    const std::vector<std::string> files = stringListField(doc, "files", probe);
+    const std::int64_t jobs = intField(doc, "jobs", 0, probe);
+    if (!probe.ok()) return reject(command, probe);
+    const auto start = std::chrono::steady_clock::now();
+    if (command == "batch") {
+      api::BatchRequest request;
+      request.directory = directory;
+      request.files = files;
+      request.bindings = bindings;
+      request.jobs = static_cast<std::size_t>(jobs);
+      request.limits = limits;
+      api::BatchResponse response = session_.batch(request);
+      Value payload = response.toJson();
+      payload.set("serve", serveBlock(false, elapsedUs(start)));
+      return finish(command, std::move(payload), response.status);
+    }
+    api::VerifyRequest request;
+    request.directory = directory;
+    request.files = files;
+    request.bindings = bindings;
+    request.limits = limits;
+    api::VerifyResponse response = session_.verify(request);
+    Value payload = response.toJson();
+    payload.set("serve", serveBlock(false, elapsedUs(start)));
+    return finish(command, std::move(payload), response.status);
+  }
+
+  const bool isLoad = command == "load";
+  const bool isGraphCommand =
+      isLoad || command == "analyze" || command == "schedule" ||
+      command == "buffers" || command == "map" || command == "simulate" ||
+      command == "sweep";
+  if (!isGraphCommand) {
+    bad.fail(api::Status::InvalidRequest, "invalid-request",
+             "unknown command '" + command + "'");
+    return reject(command, bad);
+  }
+
+  // ---- graph commands: resolve the target through the shared cache ----
+  Target target;
+  if (isLoad) {
+    // load: admit text/path into the cache, then adopt under the
+    // client-chosen id (or the cache id).  The "id" field names the NEW
+    // session key here, not an existing graph, so resolve by hand.
+    const std::string text = stringField(doc, "graph", bad);
+    const std::string path = stringField(doc, "path", bad);
+    if (bad.ok() && text.empty() == path.empty()) {
+      bad.fail(api::Status::InvalidRequest, "invalid-request",
+               "load takes inline \"graph\" text or a \"path\", not both");
+    }
+    if (!bad.ok()) return reject(command, bad);
+    std::string source = text;
+    if (!path.empty() && !readFileText(path, source, bad)) {
+      return reject(command, bad);
+    }
+    api::LoadResponse response;
+    api::guardedRun(response, path, [&] {
+      GraphCache::Acquired acquired = cache_.acquire(source);
+      const std::string id = stringField(doc, "id", response);
+      const std::string key = id.empty() ? acquired.entry->id : id;
+      if (!session_.has(key)) {
+        session_.adopt(key, acquired.entry->model, acquired.entry->ctx);
+        adopted_.emplace(key, acquired.entry);
+      } else if (adopted_.count(key) == 0 ||
+                 adopted_[key] != acquired.entry) {
+        response.fail(api::Status::InvalidRequest, "duplicate-graph",
+                      "graph '" + key +
+                          "' is already loaded (erase it first)");
+        return;
+      }
+      const graph::Graph& g = acquired.entry->model->graph();
+      response.id = key;
+      response.graphName = g.name();
+      response.actorCount = g.actorCount();
+      response.channelCount = g.channelCount();
+      response.params.assign(g.params().begin(), g.params().end());
+    });
+    Value payload = response.toJson();
+    return finish(command, std::move(payload), response.status);
+  }
+
+  api::Response resolveProbe;
+  api::guardedRun(resolveProbe, "",
+                  [&] { target = resolveTarget(doc, resolveProbe); });
+  if (!resolveProbe.ok()) return reject(command, resolveProbe);
+
+  const api::ResourceLimits limits = parseLimits(doc, policy_, bad);
+  const symbolic::Environment bindings = parseBindings(doc, "bindings", bad);
+  if (!bad.ok()) return reject(command, bad);
+
+  // Serialize on the shared cache entry: the memoized AnalysisContext
+  // is single-threaded state.  Requests against different graphs run in
+  // parallel on the worker pool.
+  std::unique_lock<std::mutex> entryLock;
+  if (target.entry != nullptr) {
+    entryLock = std::unique_lock<std::mutex>(target.entry->mutex);
+  }
+  const auto start = std::chrono::steady_clock::now();
+
+  if (command == "analyze") {
+    api::AnalyzeRequest request;
+    request.graphId = target.id;
+    request.bindings = bindings;
+    request.limits = limits;
+    api::AnalyzeResponse response = session_.analyze(request);
+    const double us = elapsedUs(start);
+    Value payload = response.toJson(session_.graph(target.id));
+    payload.set("serve", serveBlock(target.cached, us));
+    return finish(command, std::move(payload), response.status);
+  }
+  if (command == "schedule") {
+    api::ScheduleRequest request;
+    request.graphId = target.id;
+    request.bindings = bindings;
+    request.limits = limits;
+    request.policy = parsePolicy(doc, csdf::SchedulePolicy::Eager, bad);
+    if (const Value* b = doc.find("buffers")) {
+      if (!b->isBool()) {
+        bad.fail(api::Status::InvalidRequest, "invalid-request",
+                 "\"buffers\" must be a boolean");
+      } else {
+        request.computeBuffers = b->asBool();
+      }
+    }
+    if (!bad.ok()) return reject(command, bad);
+    api::ScheduleResponse response = session_.schedule(request);
+    const double us = elapsedUs(start);
+    Value payload = response.toJson(session_.graph(target.id));
+    payload.set("serve", serveBlock(target.cached, us));
+    return finish(command, std::move(payload), response.status);
+  }
+  if (command == "buffers") {
+    api::BufferRequest request;
+    request.graphId = target.id;
+    request.bindings = bindings;
+    request.limits = limits;
+    request.policy =
+        parsePolicy(doc, csdf::SchedulePolicy::MinOccupancy, bad);
+    if (!bad.ok()) return reject(command, bad);
+    api::BufferResponse response = session_.buffers(request);
+    const double us = elapsedUs(start);
+    Value payload = response.toJson(session_.graph(target.id));
+    payload.set("serve", serveBlock(target.cached, us));
+    return finish(command, std::move(payload), response.status);
+  }
+  if (command == "map") {
+    api::MapRequest request;
+    request.graphId = target.id;
+    request.bindings = bindings;
+    request.limits = limits;
+    request.pes =
+        static_cast<std::size_t>(intField(doc, "pes", 4, bad));
+    if (!bad.ok()) return reject(command, bad);
+    api::MapResponse response = session_.map(request);
+    const double us = elapsedUs(start);
+    Value payload = response.toJson();
+    payload.set("serve", serveBlock(target.cached, us));
+    return finish(command, std::move(payload), response.status);
+  }
+  if (command == "simulate") {
+    api::SimulateRequest request;
+    request.graphId = target.id;
+    request.bindings = bindings;
+    request.limits = limits;
+    request.options.iterations = intField(doc, "iterations", 1, bad);
+    request.options.maxFirings =
+        intField(doc, "max-firings", request.options.maxFirings, bad);
+    if (!bad.ok()) return reject(command, bad);
+    api::SimulateResponse response = session_.simulate(request);
+    const double us = elapsedUs(start);
+    Value payload = response.toJson(session_.graph(target.id));
+    payload.set("serve", serveBlock(target.cached, us));
+    return finish(command, std::move(payload), response.status);
+  }
+  // sweep
+  api::SweepRequest request;
+  request.graphId = target.id;
+  request.fixed = bindings;
+  request.limits = limits;
+  request.axes = parseAxes(doc, bad);
+  request.maxPoints = static_cast<std::size_t>(
+      intField(doc, "max-points",
+               static_cast<std::int64_t>(request.maxPoints), bad));
+  request.jobs =
+      static_cast<std::size_t>(intField(doc, "jobs", 0, bad));
+  request.pes = static_cast<std::size_t>(intField(doc, "pes", 4, bad));
+  if (!bad.ok()) return reject(command, bad);
+  api::SweepResponse response = session_.sweep(request);
+  const double us = elapsedUs(start);
+  Value payload = response.toJson();
+  payload.set("serve", serveBlock(target.cached, us));
+  return finish(command, std::move(payload), response.status);
+}
+
+}  // namespace tpdf::serve

@@ -1,20 +1,29 @@
-// A hand-rolled JSON document builder (writer only, no parser).
+// A hand-rolled JSON document model: builder/writer plus a strict
+// RFC 8259 parser (`parse()` below).
 //
 // Every report type of the toolkit renders a machine-readable document
 // through this Value type (the `toJson(...)` siblings of the
 // `toString(...)` renderers), and `tpdfc --json` emits one such document
-// per command.  Design constraints, in order:
+// per command.  The parser is the other direction: the `tpdfd` daemon
+// frames newline-delimited request documents off a socket and needs
+// line/column-positioned rejections for malformed ones, and the test
+// suites use the same implementation as their round-trip oracle.
+// Design constraints, in order:
 //   * deterministic output — objects keep insertion order, so the same
 //     report always serializes to the same bytes (golden tests diff it);
 //   * no dependencies — the container image pins the toolchain, so this
-//     is ~200 lines of std:: instead of a vendored library;
-//   * strict RFC 8259 output — escaped strings, shortest round-trip
-//     doubles via std::to_chars, non-finite doubles degrade to null.
+//     is a few hundred lines of std:: instead of a vendored library;
+//   * strict RFC 8259 — escaped strings, shortest round-trip doubles via
+//     std::to_chars, non-finite doubles degrade to null on output; the
+//     parser accepts exactly the RFC grammar (no comments, no trailing
+//     commas, no bare control characters) and throws ParseError with a
+//     1-based line/column on the first violation.
 #pragma once
 
 #include <charconv>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <string>
 #include <string_view>
 #include <type_traits>
@@ -270,5 +279,268 @@ class Value {
                Object>
       data_;
 };
+
+namespace detail {
+
+/// Recursive-descent RFC 8259 parser over a complete document.  Hoisted
+/// from the test suites' strict oracle (tests/strict_json.hpp) so the
+/// serving layer and the tests share one implementation; every rejection
+/// is a support::ParseError carrying the 1-based line/column of the
+/// offending byte.  Nesting is depth-limited so an adversarial request
+/// cannot overflow the stack.
+class Parser {
+ public:
+  static constexpr int kMaxDepth = 64;
+
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse() {
+    skipWs();
+    Value v = parseValue(0);
+    skipWs();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) {
+    throw ParseError("json: " + why, line_, column_);
+  }
+
+  bool atEnd() const { return pos_ >= text_.size(); }
+
+  char peek() {
+    if (atEnd()) fail("unexpected end of document");
+    return text_[pos_];
+  }
+
+  char get() {
+    const char c = peek();
+    ++pos_;
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void expect(char c, const char* where) {
+    if (atEnd() || peek() != c) {
+      fail(std::string("expected '") + c + "' in " + where);
+    }
+    get();
+  }
+
+  void skipWs() {
+    while (!atEnd()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') return;
+      get();
+    }
+  }
+
+  void literal(std::string_view word) {
+    for (const char expected : word) {
+      if (atEnd() || peek() != expected) fail("invalid literal");
+      get();
+    }
+  }
+
+  Value parseValue(int depth) {
+    if (depth > kMaxDepth) fail("document nested too deeply");
+    switch (peek()) {
+      case '{': return parseObject(depth);
+      case '[': return parseArray(depth);
+      case '"': return Value(parseString());
+      case 't': literal("true"); return Value(true);
+      case 'f': literal("false"); return Value(false);
+      case 'n': literal("null"); return Value(nullptr);
+      default: return parseNumber();
+    }
+  }
+
+  Value parseObject(int depth) {
+    expect('{', "object");
+    auto obj = Value::object();
+    skipWs();
+    if (peek() == '}') {
+      get();
+      return obj;
+    }
+    while (true) {
+      skipWs();
+      if (peek() != '"') fail("object member name must be a string");
+      std::string key = parseString();
+      skipWs();
+      expect(':', "object member");
+      skipWs();
+      obj.set(std::move(key), parseValue(depth + 1));
+      skipWs();
+      const char c = get();
+      if (c == '}') return obj;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  Value parseArray(int depth) {
+    expect('[', "array");
+    auto arr = Value::array();
+    skipWs();
+    if (peek() == ']') {
+      get();
+      return arr;
+    }
+    while (true) {
+      skipWs();
+      arr.push(parseValue(depth + 1));
+      skipWs();
+      const char c = get();
+      if (c == ']') return arr;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  /// One \uXXXX escape (the four hex digits; the prefix was consumed).
+  unsigned parseHex4() {
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = get();
+      code <<= 4;
+      if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a') + 10;
+      else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A') + 10;
+      else fail("invalid \\u escape (four hex digits required)");
+    }
+    return code;
+  }
+
+  /// Appends `code` (a Unicode scalar value) to `out` as UTF-8.
+  static void appendUtf8(std::string& out, unsigned code) {
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code >> 18));
+      out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
+  std::string parseString() {
+    expect('"', "string");
+    std::string out;
+    while (true) {
+      const char c = get();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string (use \\u escapes)");
+      }
+      if (c != '\\') {
+        out += c;  // bytes >= 0x80 pass through (input is UTF-8)
+        continue;
+      }
+      const char esc = get();
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code = parseHex4();
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // High surrogate: a low surrogate escape must follow.
+            if (atEnd() || get() != '\\' || atEnd() || get() != 'u') {
+              fail("unpaired surrogate in \\u escape");
+            }
+            const unsigned low = parseHex4();
+            if (low < 0xDC00 || low > 0xDFFF) {
+              fail("invalid low surrogate in \\u escape");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            fail("unpaired surrogate in \\u escape");
+          }
+          appendUtf8(out, code);
+          break;
+        }
+        default:
+          fail("invalid escape sequence in string");
+      }
+    }
+  }
+
+  Value parseNumber() {
+    const std::size_t start = pos_;
+    bool isDouble = false;
+    if (peek() == '-') get();
+    // Integer part: "0" alone or a nonzero-led digit run (RFC 8259
+    // forbids leading zeros).
+    if (atEnd() || !isDigit(peek())) fail("invalid number");
+    if (get() != '0') {
+      while (!atEnd() && isDigit(peek())) get();
+    } else if (!atEnd() && isDigit(peek())) {
+      fail("invalid number (leading zero)");
+    }
+    if (!atEnd() && peek() == '.') {
+      isDouble = true;
+      get();
+      if (atEnd() || !isDigit(peek())) fail("invalid number (bare decimal point)");
+      while (!atEnd() && isDigit(peek())) get();
+    }
+    if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+      isDouble = true;
+      get();
+      if (!atEnd() && (peek() == '+' || peek() == '-')) get();
+      if (atEnd() || !isDigit(peek())) fail("invalid number (empty exponent)");
+      while (!atEnd() && isDigit(peek())) get();
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (!isDouble) {
+      std::int64_t value = 0;
+      const auto res =
+          std::from_chars(token.data(), token.data() + token.size(), value);
+      if (res.ec == std::errc() && res.ptr == token.data() + token.size()) {
+        return Value(value);
+      }
+      // Out of int64 range: keep the value, as a double.
+    }
+    // std::from_chars(double) is still patchy across standard libraries;
+    // strtod on a NUL-terminated copy is fully portable and the token is
+    // short.
+    const std::string copy(token);
+    return Value(std::strtod(copy.c_str(), nullptr));
+  }
+
+  static bool isDigit(char c) { return c >= '0' && c <= '9'; }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace detail
+
+/// Parses one complete, strict RFC 8259 document.  Throws
+/// support::ParseError with the 1-based line/column of the first
+/// violation (malformed syntax, bare control characters, trailing
+/// garbage, nesting beyond detail::Parser::kMaxDepth).  Numbers without
+/// fraction/exponent parse as int64 (falling back to double outside the
+/// int64 range); \uXXXX escapes decode to UTF-8, surrogate pairs
+/// included.
+inline Value parse(std::string_view text) { return detail::Parser(text).parse(); }
 
 }  // namespace tpdf::support::json

@@ -1,0 +1,304 @@
+// Wire protocol: framing and request handling of the tpdfd daemon.
+//
+// The fuzz half of this suite hammers LineFramer and
+// ClientSession::handle with truncated, interleaved, oversized and
+// malformed inputs: the contract is that nothing crashes or hangs —
+// every byte sequence either frames into lines or latches overflow,
+// and every framed line yields exactly one envelope (malformed JSON a
+// positioned `invalid-request` one).
+#include "serve/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "serve/cache.hpp"
+#include "support/json.hpp"
+
+namespace tpdf::serve {
+namespace {
+
+std::string graphText(const std::string& tag) {
+  return "graph g_" + tag +
+         " {\n"
+         "  kernel a { out o rates [1]; }\n"
+         "  kernel b { in i rates [1]; }\n"
+         "  channel c from a.o to b.i init 1;\n"
+         "}\n";
+}
+
+support::json::Value parseEnvelope(const ClientSession::Result& result) {
+  support::json::Value doc = support::json::parse(result.line);
+  EXPECT_TRUE(doc.isObject());
+  const support::json::Value* tool = doc.find("tool");
+  EXPECT_NE(tool, nullptr);
+  if (tool != nullptr) {
+    EXPECT_EQ(tool->asString(), "tpdfd");
+  }
+  EXPECT_NE(doc.find("status"), nullptr);
+  EXPECT_NE(doc.find("diagnostics"), nullptr);
+  return doc;
+}
+
+std::string firstCode(const support::json::Value& envelope) {
+  const support::json::Value* diagnostics = envelope.find("diagnostics");
+  if (diagnostics == nullptr || diagnostics->size() == 0) return "";
+  const support::json::Value* code = diagnostics->items()[0].find("code");
+  return code != nullptr ? code->asString() : "";
+}
+
+// ---- framing ------------------------------------------------------
+
+TEST(LineFramer, ReassemblesInterleavedPartialWrites) {
+  LineFramer framer(0);
+  std::vector<std::string> lines;
+  EXPECT_TRUE(framer.feed("{\"command\"", lines));
+  EXPECT_TRUE(lines.empty());
+  EXPECT_GT(framer.buffered(), 0u);
+  EXPECT_TRUE(framer.feed(":\"ping\"}\n{\"x\":", lines));
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "{\"command\":\"ping\"}");
+  EXPECT_TRUE(framer.feed("1}\n", lines));
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[1], "{\"x\":1}");
+}
+
+TEST(LineFramer, StripsCarriageReturnAndSkipsBlankLines) {
+  LineFramer framer(0);
+  std::vector<std::string> lines;
+  EXPECT_TRUE(framer.feed("a\r\n\n\r\nb\n", lines));
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "a");
+  EXPECT_EQ(lines[1], "b");
+}
+
+TEST(LineFramer, OversizedLineLatchesAndStopsBuffering) {
+  LineFramer framer(8);
+  std::vector<std::string> lines;
+  EXPECT_TRUE(framer.feed("short\n", lines));
+  EXPECT_FALSE(framer.feed("0123456789", lines));  // exceeds 8, no '\n' yet
+  EXPECT_TRUE(framer.overflowed());
+  // Latched: nothing accumulates, later newlines do not unlatch.
+  EXPECT_FALSE(framer.feed("more\nlines\n", lines));
+  EXPECT_TRUE(framer.overflowed());
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_LE(framer.buffered(), 8u);
+}
+
+TEST(LineFramer, FuzzArbitraryChunkingNeverLosesBytes) {
+  // The same byte stream, fed in every chunking the PRNG produces, must
+  // always frame into the same lines.
+  const std::string stream =
+      "{\"command\":\"ping\"}\n\r\n{\"command\":\"stats\"}\r\nxyz\n";
+  std::vector<std::string> expected;
+  {
+    LineFramer whole(0);
+    EXPECT_TRUE(whole.feed(stream, expected));
+  }
+  std::mt19937 rng(0xC0FFEE);
+  for (int round = 0; round < 200; ++round) {
+    LineFramer framer(0);
+    std::vector<std::string> lines;
+    std::size_t offset = 0;
+    while (offset < stream.size()) {
+      std::uniform_int_distribution<std::size_t> pick(
+          1, stream.size() - offset);
+      const std::size_t n = pick(rng);
+      EXPECT_TRUE(
+          framer.feed(std::string_view(stream).substr(offset, n), lines));
+      offset += n;
+    }
+    EXPECT_EQ(lines, expected);
+  }
+}
+
+// ---- request handling ---------------------------------------------
+
+class ServeProtocolTest : public ::testing::Test {
+ protected:
+  GraphCache cache_{8, 0};
+  ClientSession session_{cache_, RequestPolicy{}};
+
+  ClientSession::Result handle(const std::string& line) {
+    return session_.handle(line);
+  }
+};
+
+TEST_F(ServeProtocolTest, PingAnswersOk) {
+  const ClientSession::Result result = handle("{\"command\":\"ping\"}");
+  EXPECT_EQ(result.status, api::Status::Ok);
+  EXPECT_EQ(result.command, "ping");
+  parseEnvelope(result);
+}
+
+TEST_F(ServeProtocolTest, MalformedJsonIsPositionedInvalidRequest) {
+  const ClientSession::Result result = handle("{\"command\": oops}");
+  EXPECT_EQ(result.status, api::Status::InvalidRequest);
+  const support::json::Value envelope = parseEnvelope(result);
+  EXPECT_EQ(firstCode(envelope), "invalid-request");
+  // The parse position points into the request line itself.
+  const support::json::Value* diagnostics = envelope.find("diagnostics");
+  const support::json::Value* line = diagnostics->items()[0].find("line");
+  const support::json::Value* column = diagnostics->items()[0].find("column");
+  ASSERT_NE(line, nullptr);
+  ASSERT_NE(column, nullptr);
+  EXPECT_EQ(line->asInt(), 1);
+  EXPECT_GT(column->asInt(), 1);
+}
+
+TEST_F(ServeProtocolTest, NonObjectAndMissingCommandAreRejected) {
+  EXPECT_EQ(handle("[1,2,3]").status, api::Status::InvalidRequest);
+  EXPECT_EQ(handle("\"ping\"").status, api::Status::InvalidRequest);
+  EXPECT_EQ(handle("{}").status, api::Status::InvalidRequest);
+  EXPECT_EQ(handle("{\"command\":7}").status, api::Status::InvalidRequest);
+  EXPECT_EQ(handle("{\"command\":\"no-such\"}").status,
+            api::Status::InvalidRequest);
+}
+
+TEST_F(ServeProtocolTest, AnalyzeInlineGraphCarriesServeBlock) {
+  auto request = support::json::Value::object();
+  request.set("command", "analyze");
+  request.set("graph", graphText("inline"));
+  const ClientSession::Result result = handle(request.dump());
+  EXPECT_EQ(result.status, api::Status::Ok);
+  const support::json::Value envelope = parseEnvelope(result);
+  const support::json::Value* serve = envelope.find("serve");
+  ASSERT_NE(serve, nullptr);
+  ASSERT_NE(serve->find("cached"), nullptr);
+  EXPECT_FALSE(serve->find("cached")->asBool());
+  ASSERT_NE(serve->find("analysisUs"), nullptr);
+
+  // Same text again: served from the shared cache.
+  const ClientSession::Result again = handle(request.dump());
+  EXPECT_TRUE(
+      parseEnvelope(again).find("serve")->find("cached")->asBool());
+}
+
+TEST_F(ServeProtocolTest, GraphReferencesAreMutuallyExclusive) {
+  auto request = support::json::Value::object();
+  request.set("command", "analyze");
+  request.set("graph", graphText("x"));
+  request.set("id", "g_x");
+  const ClientSession::Result result = handle(request.dump());
+  EXPECT_EQ(result.status, api::Status::InvalidRequest);
+}
+
+TEST_F(ServeProtocolTest, UnknownIdIsInvalidRequest) {
+  const ClientSession::Result result =
+      handle("{\"command\":\"analyze\",\"id\":\"nope\"}");
+  EXPECT_EQ(result.status, api::Status::InvalidRequest);
+  EXPECT_EQ(firstCode(parseEnvelope(result)), "unknown-graph");
+}
+
+TEST_F(ServeProtocolTest, LoadThenAnalyzeByIdThenErase) {
+  auto load = support::json::Value::object();
+  load.set("command", "load");
+  load.set("graph", graphText("loaded"));
+  load.set("id", "mine");
+  EXPECT_EQ(handle(load.dump()).status, api::Status::Ok);
+
+  EXPECT_EQ(handle("{\"command\":\"analyze\",\"id\":\"mine\"}").status,
+            api::Status::Ok);
+  EXPECT_EQ(handle("{\"command\":\"erase\",\"id\":\"mine\"}").status,
+            api::Status::Ok);
+  EXPECT_EQ(handle("{\"command\":\"analyze\",\"id\":\"mine\"}").status,
+            api::Status::InvalidRequest);
+}
+
+TEST_F(ServeProtocolTest, SessionNamespacesAreIsolated) {
+  auto load = support::json::Value::object();
+  load.set("command", "load");
+  load.set("graph", graphText("private"));
+  load.set("id", "mine");
+  EXPECT_EQ(handle(load.dump()).status, api::Status::Ok);
+
+  // A different client cannot see the first client's ids.
+  ClientSession other(cache_, RequestPolicy{});
+  EXPECT_EQ(other.handle("{\"command\":\"analyze\",\"id\":\"mine\"}").status,
+            api::Status::InvalidRequest);
+}
+
+TEST_F(ServeProtocolTest, BadParseInInlineGraphIsPositionedParseError) {
+  auto request = support::json::Value::object();
+  request.set("command", "analyze");
+  request.set("graph", "graph oops {\n  kernel a {\n");
+  const ClientSession::Result result = handle(request.dump());
+  EXPECT_EQ(result.status, api::Status::InputError);
+  EXPECT_EQ(firstCode(parseEnvelope(result)), "parse-error");
+}
+
+TEST_F(ServeProtocolTest, NonPositiveBindingIsInvalidRequest) {
+  auto request = support::json::Value::object();
+  request.set("command", "analyze");
+  request.set("graph", graphText("bind"));
+  auto bindings = support::json::Value::object();
+  bindings.set("p", static_cast<std::int64_t>(-3));
+  request.set("bindings", std::move(bindings));
+  EXPECT_EQ(handle(request.dump()).status, api::Status::InvalidRequest);
+}
+
+TEST_F(ServeProtocolTest, WorkBudgetSurfacesAsResourceLimit) {
+  auto request = support::json::Value::object();
+  request.set("command", "analyze");
+  request.set("graph", graphText("budget"));
+  auto limits = support::json::Value::object();
+  limits.set("max-work", static_cast<std::int64_t>(1));
+  request.set("limits", std::move(limits));
+  const ClientSession::Result result = handle(request.dump());
+  EXPECT_EQ(result.status, api::Status::ResourceLimit);
+  EXPECT_EQ(firstCode(parseEnvelope(result)), "resource-limit");
+}
+
+TEST_F(ServeProtocolTest, RejectEnvelopesAreWellFormed) {
+  const ClientSession::Result oversized =
+      ClientSession::oversizedLineReject(1024);
+  EXPECT_EQ(oversized.status, api::Status::InvalidRequest);
+  EXPECT_EQ(firstCode(parseEnvelope(oversized)), "oversized-line");
+
+  const ClientSession::Result overloaded =
+      ClientSession::overloadedReject(64);
+  EXPECT_EQ(overloaded.status, api::Status::ResourceLimit);
+  EXPECT_EQ(firstCode(parseEnvelope(overloaded)), "server-overloaded");
+}
+
+TEST_F(ServeProtocolTest, FuzzTruncationsNeverCrashAndAlwaysEnvelope) {
+  // Every prefix of a valid request is malformed JSON (or an incomplete
+  // object): each one must produce a parseable envelope, not a crash.
+  auto request = support::json::Value::object();
+  request.set("command", "analyze");
+  request.set("graph", graphText("fuzz"));
+  const std::string line = request.dump();
+  for (std::size_t cut = 0; cut < line.size(); cut += 7) {
+    const ClientSession::Result result = handle(line.substr(0, cut + 1));
+    const support::json::Value envelope = parseEnvelope(result);
+    EXPECT_NE(envelope.find("status"), nullptr);
+  }
+}
+
+TEST_F(ServeProtocolTest, FuzzMutatedBytesNeverCrash) {
+  auto request = support::json::Value::object();
+  request.set("command", "analyze");
+  request.set("graph", graphText("mutate"));
+  const std::string line = request.dump();
+  std::mt19937 rng(0xFEED);
+  std::uniform_int_distribution<std::size_t> pos(0, line.size() - 1);
+  std::uniform_int_distribution<int> byte(0, 255);
+  for (int round = 0; round < 300; ++round) {
+    std::string mutated = line;
+    const int flips = 1 + round % 4;
+    for (int f = 0; f < flips; ++f) {
+      char c = static_cast<char>(byte(rng));
+      if (c == '\n') c = ' ';  // stay a single frame
+      mutated[pos(rng)] = c;
+    }
+    const ClientSession::Result result = handle(mutated);
+    // Whatever happened, it is a parseable one-line envelope.
+    EXPECT_EQ(result.line.find('\n'), std::string::npos);
+    parseEnvelope(result);
+  }
+}
+
+}  // namespace
+}  // namespace tpdf::serve

@@ -38,6 +38,17 @@
 //                                          (examples/graphs/scenarios/)
 //   tpdfc version                          semver + git describe
 //
+// Client mode: --connect <addr> forwards the subcommand to a running
+// tpdfd daemon (unix:/path, tcp:host:port, or a bare socket path)
+// instead of running in-process — graph files are sent as inline text,
+// so identical inputs from any number of clients share the daemon's
+// cached analysis state.  The daemon's envelope prints on stdout and
+// its status maps onto the same exit codes.  `tpdfc ping|stats
+// --connect <addr>` probe a daemon; `tpdfc loadtest graph.tpdf
+// --connect <addr> [--clients N] [--requests M] [--cold-every K]`
+// drives a load test and reports latency percentiles, throughput and
+// the server-side cache hit rate.
+//
 // Parameters are given as name=value pairs; unbound parameters default
 // to 2 for concrete steps (reported as a note diagnostic).
 //
@@ -56,12 +67,18 @@
 //      internal fault
 //   4  resource limit (deadline, work budget, or cancellation) — the
 //      analysis was cut off, not judged
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -72,6 +89,7 @@
 #include "core/differential.hpp"
 #include "core/sweep.hpp"
 #include "io/format.hpp"
+#include "serve/client.hpp"
 #include "support/error.hpp"
 #include "support/json.hpp"
 
@@ -93,6 +111,13 @@ constexpr const char* kUsage =
     "[name=value ...] [pes=N]\n"
     "             [--jobs N] [--cap N] [--analysis-only] [--json]\n"
     "       tpdfc version | --version\n"
+    "       tpdfc <analyze|schedule|map|sim|sweep|batch|verify|load> ... "
+    "--connect <addr>\n"
+    "             forward the request to a tpdfd daemon "
+    "(unix:/path | tcp:host:port)\n"
+    "       tpdfc ping|stats --connect <addr>        probe a daemon\n"
+    "       tpdfc loadtest <file.tpdf> --connect <addr> [--clients N]\n"
+    "             [--requests M] [--cold-every K] [--json]\n"
     "global: [--timeout-ms N] [--max-work N] resource limits (per\n"
     "        point/entry/file for sweep/batch/verify)\n"
     "exit codes: 0 ok/bounded, 1 analysis negative, 2 usage, "
@@ -128,6 +153,15 @@ struct Cli {
   std::vector<std::pair<std::string, std::int64_t>> bindings;
   /// Swept parameter axes (sweep command: name=lo:hi[:step] / name=v1,v2).
   std::vector<core::SweepAxis> axes;
+  /// Client mode: forward the command to this tpdfd address instead of
+  /// running in-process (empty = local).
+  std::string connect;
+  /// loadtest knobs.
+  std::size_t clients = 4;
+  std::size_t requests = 50;
+  /// Every K-th request per client is made cache-cold by appending a
+  /// unique comment to the graph text (0 = all requests hot).
+  std::size_t coldEvery = 0;
 };
 
 /// Prints the final document: the envelope identifies the tool and the
@@ -543,8 +577,338 @@ int runEcho(const Cli& cli, api::Session& session, const std::string& id) {
   return 0;
 }
 
+// ---- client mode (--connect): forward requests to a tpdfd daemon ----
+
+/// Reads the whole file; failures become an input-error diagnostic.
+bool slurpFile(const std::string& path, std::string& out,
+               api::Response& bad) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    bad.fail(api::Status::InputError, "io-error",
+             "cannot open '" + path + "'", path);
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+/// Prints a daemon envelope and maps its status onto the exit-code
+/// contract (an unparseable response is an internal error: exit 3).
+int emitEnvelope(const std::string& line) {
+  try {
+    const support::json::Value doc = support::json::parse(line);
+    std::printf("%s", doc.pretty().c_str());
+    const support::json::Value* status = doc.find("status");
+    if (status != nullptr && status->isString()) {
+      if (const auto s = api::statusFromString(status->asString())) {
+        return api::exitCode(*s);
+      }
+    }
+    return api::exitCode(api::Status::InternalError);
+  } catch (const support::Error&) {
+    std::printf("%s\n", line.c_str());
+    return api::exitCode(api::Status::InternalError);
+  }
+}
+
+int transportError(const Cli& cli, const std::string& what) {
+  api::Response response;
+  response.fail(api::Status::InputError, "connect-error", what, cli.connect);
+  if (cli.json) {
+    auto doc = support::json::Value::object();
+    doc.set("status", toString(response.status));
+    doc.set("diagnostics", response.diagnosticsJson());
+    emitJson(cli, doc);
+  }
+  std::fprintf(stderr, "tpdfc: %s\n", what.c_str());
+  return api::exitCode(response.status);
+}
+
+/// Builds the wire request for the current command; false with a usage
+/// message when the command cannot be forwarded.
+bool buildWireRequest(const Cli& cli, support::json::Value& request,
+                      api::Response& bad, std::string& usage) {
+  const std::string command = cli.command == "sim" ? "simulate" : cli.command;
+  request = support::json::Value::object();
+  request.set("command", command);
+
+  if (command == "ping" || command == "stats") return true;
+
+  if (command == "batch" || command == "verify") {
+    // Corpus paths are server-side: the daemon scans its own filesystem.
+    if (command == "verify" && !std::filesystem::is_directory(cli.input)) {
+      auto files = support::json::Value::array();
+      files.push(cli.input);
+      request.set("files", std::move(files));
+    } else {
+      request.set("directory", cli.input);
+    }
+  } else if (command == "analyze" || command == "schedule" ||
+             command == "map" || command == "simulate" ||
+             command == "sweep" || command == "load") {
+    // Graph files travel as inline text so identical sources share the
+    // daemon's cached analysis state regardless of client-side paths.
+    std::string text;
+    if (!slurpFile(cli.input, text, bad)) return true;  // bad carries it
+    request.set("graph", std::move(text));
+  } else {
+    usage = "command '" + cli.command + "' is not supported over --connect";
+    return false;
+  }
+
+  if (!cli.bindings.empty()) {
+    auto bindings = support::json::Value::object();
+    for (const auto& [name, value] : cli.bindings) {
+      bindings.set(name, value);
+    }
+    request.set("bindings", std::move(bindings));
+  }
+  if (cli.timeoutMs > 0 || cli.maxWork > 0) {
+    auto limits = support::json::Value::object();
+    if (cli.timeoutMs > 0) limits.set("timeout-ms", cli.timeoutMs);
+    if (cli.maxWork > 0) limits.set("max-work", cli.maxWork);
+    request.set("limits", std::move(limits));
+  }
+  if (command == "map") request.set("pes", static_cast<std::int64_t>(cli.pes));
+  if (command == "simulate") request.set("iterations", cli.iterations);
+  if (command == "sweep") {
+    auto axes = support::json::Value::object();
+    for (const core::SweepAxis& axis : cli.axes) {
+      std::string values;
+      for (std::size_t i = 0; i < axis.values.size(); ++i) {
+        if (i != 0) values += ",";
+        values += std::to_string(axis.values[i]);
+      }
+      axes.set(axis.param, values);
+    }
+    request.set("axes", std::move(axes));
+    request.set("max-points", static_cast<std::int64_t>(cli.cap));
+    if (cli.jobs > 0) request.set("jobs", static_cast<std::int64_t>(cli.jobs));
+    request.set("pes", static_cast<std::int64_t>(cli.pes));
+  }
+  if ((command == "batch") && cli.jobs > 0) {
+    request.set("jobs", static_cast<std::int64_t>(cli.jobs));
+  }
+  return true;
+}
+
+int runLoadtest(const Cli& cli) {
+  std::string text;
+  {
+    api::Response bad;
+    if (!slurpFile(cli.input, text, bad)) {
+      if (cli.json) {
+        auto doc = support::json::Value::object();
+        doc.set("status", toString(bad.status));
+        doc.set("diagnostics", bad.diagnosticsJson());
+        emitJson(cli, doc);
+      }
+      std::fprintf(stderr, "tpdfc: %s\n", bad.firstError().c_str());
+      return api::exitCode(bad.status);
+    }
+  }
+
+  struct Sample {
+    double latencyUs = 0;
+    double analysisUs = 0;
+    bool cached = false;
+    bool ok = false;
+  };
+  std::vector<std::vector<Sample>> perClient(cli.clients);
+  std::mutex errorMutex;
+  std::string firstError;
+
+  const auto wallStart = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(cli.clients);
+  for (std::size_t c = 0; c < cli.clients; ++c) {
+    threads.emplace_back([&, c] {
+      try {
+        serve::Client client = serve::Client::connect(cli.connect);
+        perClient[c].reserve(cli.requests);
+        for (std::size_t i = 0; i < cli.requests; ++i) {
+          std::string body = text;
+          if (cli.coldEvery != 0 && i % cli.coldEvery == 0) {
+            // A unique trailing comment changes the content hash but
+            // not the graph: a guaranteed cache-cold request.
+            body += "\n# cold " + std::to_string(c) + "-" +
+                    std::to_string(i) + "\n";
+          }
+          auto request = support::json::Value::object();
+          request.set("command", "analyze");
+          request.set("graph", std::move(body));
+          if (cli.timeoutMs > 0 || cli.maxWork > 0) {
+            auto limits = support::json::Value::object();
+            if (cli.timeoutMs > 0) limits.set("timeout-ms", cli.timeoutMs);
+            if (cli.maxWork > 0) limits.set("max-work", cli.maxWork);
+            request.set("limits", std::move(limits));
+          }
+          const auto start = std::chrono::steady_clock::now();
+          const std::string reply = client.request(request.dump());
+          Sample sample;
+          sample.latencyUs = std::chrono::duration<double, std::micro>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count();
+          const support::json::Value doc = support::json::parse(reply);
+          const support::json::Value* status = doc.find("status");
+          sample.ok = status != nullptr && status->isString() &&
+                      status->asString() == "ok";
+          if (const support::json::Value* serveInfo = doc.find("serve")) {
+            if (const auto* cached = serveInfo->find("cached")) {
+              sample.cached = cached->isBool() && cached->asBool();
+            }
+            if (const auto* us = serveInfo->find("analysisUs")) {
+              sample.analysisUs =
+                  us->isDouble() ? us->asDouble()
+                                 : static_cast<double>(us->asInt());
+            }
+          }
+          perClient[c].push_back(sample);
+        }
+      } catch (const std::exception& e) {
+        std::lock_guard<std::mutex> lock(errorMutex);
+        if (firstError.empty()) firstError = e.what();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsedMs = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - wallStart)
+                               .count();
+
+  if (!firstError.empty()) return transportError(cli, firstError);
+
+  std::vector<Sample> samples;
+  for (const auto& list : perClient) {
+    samples.insert(samples.end(), list.begin(), list.end());
+  }
+  if (samples.empty()) return transportError(cli, "no samples collected");
+
+  std::vector<double> latencies;
+  latencies.reserve(samples.size());
+  std::size_t okCount = 0;
+  std::size_t cachedCount = 0;
+  double analysisSum = 0;
+  double analysisHotSum = 0;
+  std::size_t analysisHotCount = 0;
+  for (const Sample& s : samples) {
+    latencies.push_back(s.latencyUs);
+    okCount += s.ok ? 1 : 0;
+    cachedCount += s.cached ? 1 : 0;
+    analysisSum += s.analysisUs;
+    if (s.cached) {
+      analysisHotSum += s.analysisUs;
+      ++analysisHotCount;
+    }
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const auto percentile = [&](double p) {
+    const std::size_t index = std::min(
+        latencies.size() - 1,
+        static_cast<std::size_t>(p * static_cast<double>(latencies.size())));
+    return latencies[index];
+  };
+  const double throughput =
+      elapsedMs > 0 ? static_cast<double>(samples.size()) * 1000.0 / elapsedMs
+                    : 0.0;
+  const double hitRate =
+      static_cast<double>(cachedCount) / static_cast<double>(samples.size());
+  const double hotAnalysisUs =
+      analysisHotCount > 0
+          ? analysisHotSum / static_cast<double>(analysisHotCount)
+          : 0.0;
+
+  // One follow-up probe for the server-wide cache counters.
+  support::json::Value cacheStats = support::json::Value::object();
+  try {
+    serve::Client probe = serve::Client::connect(cli.connect);
+    auto statsRequest = support::json::Value::object();
+    statsRequest.set("command", "stats");
+    const support::json::Value doc =
+        support::json::parse(probe.request(statsRequest.dump()));
+    if (const auto* cache = doc.find("cache")) cacheStats = *cache;
+  } catch (const std::exception&) {
+    // Stats are best-effort; the load numbers above already stand.
+  }
+
+  api::Response response;
+  if (okCount != samples.size()) {
+    response.fail(api::Status::AnalysisNegative, "loadtest-failures",
+                  std::to_string(samples.size() - okCount) + " of " +
+                      std::to_string(samples.size()) +
+                      " requests did not return ok");
+  }
+
+  auto doc = support::json::Value::object();
+  doc.set("status", toString(response.status));
+  doc.set("diagnostics", response.diagnosticsJson());
+  doc.set("clients", static_cast<std::int64_t>(cli.clients));
+  doc.set("requestsPerClient", static_cast<std::int64_t>(cli.requests));
+  doc.set("requests", static_cast<std::int64_t>(samples.size()));
+  doc.set("elapsedMs", elapsedMs);
+  doc.set("throughputRps", throughput);
+  auto latency = support::json::Value::object();
+  latency.set("p50Us", percentile(0.50));
+  latency.set("p90Us", percentile(0.90));
+  latency.set("p99Us", percentile(0.99));
+  latency.set("maxUs", latencies.back());
+  doc.set("latency", std::move(latency));
+  doc.set("cacheHitRate", hitRate);
+  doc.set("serverAnalysisUsMean",
+          analysisSum / static_cast<double>(samples.size()));
+  doc.set("serverAnalysisUsHot", hotAnalysisUs);
+  doc.set("cache", std::move(cacheStats));
+
+  if (!cli.json) {
+    std::printf("loadtest: %zu clients x %zu requests against %s\n",
+                cli.clients, cli.requests, cli.connect.c_str());
+    std::printf("  throughput:  %.0f req/s (%.1f ms wall)\n", throughput,
+                elapsedMs);
+    std::printf("  latency us:  p50=%.0f p90=%.0f p99=%.0f max=%.0f\n",
+                percentile(0.50), percentile(0.90), percentile(0.99),
+                latencies.back());
+    std::printf("  cache hits:  %.1f%% of requests\n", hitRate * 100.0);
+    std::printf("  server cost: %.1f us/request hot (%.1f us mean)\n",
+                hotAnalysisUs,
+                analysisSum / static_cast<double>(samples.size()));
+  }
+  return finish(cli, response, doc);
+}
+
+int runConnect(const Cli& cli) {
+  if (cli.command == "loadtest") return runLoadtest(cli);
+  support::json::Value request;
+  api::Response bad;
+  std::string usage;
+  if (!buildWireRequest(cli, request, bad, usage)) {
+    return usageError(cli, usage);
+  }
+  if (!bad.ok()) {
+    if (cli.json) {
+      auto doc = support::json::Value::object();
+      doc.set("status", toString(bad.status));
+      doc.set("diagnostics", bad.diagnosticsJson());
+      emitJson(cli, doc);
+    }
+    std::fprintf(stderr, "tpdfc: %s\n", bad.firstError().c_str());
+    return api::exitCode(bad.status);
+  }
+  try {
+    serve::Client client = serve::Client::connect(cli.connect);
+    return emitEnvelope(client.request(request.dump()));
+  } catch (const support::Error& e) {
+    return transportError(cli, e.what());
+  }
+}
+
 int run(const Cli& cli) {
   if (cli.command == "version") return runVersion(cli);
+  if (!cli.connect.empty() || cli.command == "loadtest" ||
+      cli.command == "ping" || cli.command == "stats") {
+    return runConnect(cli);
+  }
   if (cli.command == "batch") return runBatch(cli);
   if (cli.command == "verify") return runVerify(cli);
   if (cli.command == "scenarios") return runScenarios(cli);
@@ -595,6 +959,31 @@ bool parseArgs(int argc, char** argv, Cli& cli, std::string& error) {
       cli.negativeSelftest = true;
     } else if (arg == "--fault-sweep") {
       cli.faultSweep = true;
+    } else if (arg == "--connect") {
+      if (i + 1 >= argc) {
+        error = "--connect needs a daemon address (unix:/path or "
+                "tcp:host:port)";
+        return false;
+      }
+      cli.connect = argv[++i];
+    } else if (arg == "--clients" || arg == "--requests" ||
+               arg == "--cold-every") {
+      if (i + 1 >= argc) {
+        error = arg + " needs a value";
+        return false;
+      }
+      std::int64_t value = 0;
+      if (!parseInt(argv[++i], value) || value <= 0) {
+        error = arg + " must be a positive integer";
+        return false;
+      }
+      if (arg == "--clients") {
+        cli.clients = static_cast<std::size_t>(value);
+      } else if (arg == "--requests") {
+        cli.requests = static_cast<std::size_t>(value);
+      } else {
+        cli.coldEvery = static_cast<std::size_t>(value);
+      }
     } else if (arg == "--jobs" || arg == "--iterations" || arg == "--cap" ||
                arg == "--timeout-ms" || arg == "--max-work" ||
                arg == "--fault-cap") {
@@ -689,6 +1078,18 @@ bool parseArgs(int argc, char** argv, Cli& cli, std::string& error) {
   }
   if (cli.command == "version") {
     return true;
+  }
+  if (cli.command == "ping" || cli.command == "stats") {
+    // Daemon probes: no input file, but a daemon to talk to.
+    if (cli.connect.empty()) {
+      error = cli.command + " needs --connect <addr>";
+      return false;
+    }
+    return true;
+  }
+  if (cli.command == "loadtest" && cli.connect.empty()) {
+    error = "loadtest needs --connect <addr>";
+    return false;
   }
   if (!haveInput) {
     if (cli.command == "batch" || cli.command == "verify") {

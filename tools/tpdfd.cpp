@@ -1,0 +1,176 @@
+// tpdfd — the TPDF analysis daemon.
+//
+// Serves the tpdf::api façade over a Unix-domain or TCP socket using
+// the newline-delimited JSON protocol of src/serve/ (docs/tpdfd.md).
+// Concurrent clients share one graph cache: identical .tpdf sources are
+// parsed and analyzed once, and every later request — from any client —
+// reuses the memoized analysis state.
+//
+//   tpdfd --unix /run/tpdfd.sock                serve on a unix socket
+//   tpdfd --listen 127.0.0.1:7411               serve on TCP
+//   tpdfd --unix S --workers 8 --max-queue 64   worker pool + backpressure
+//         --request-timeout-ms 5000             default per-request deadline
+//         --idle-timeout-ms 60000               drop silent connections
+//         --cache-entries 64 --cache-bytes M    graph cache bounds
+//         --max-line-bytes N --max-clients N
+//         --drain-timeout-ms 5000               graceful-drain hard bound
+//
+// Shutdown: SIGTERM/SIGINT drains in-flight requests (complete
+// envelopes are always written) and exits 0.  A second signal cancels
+// in-flight work through the run-wide budget — requests unwind as
+// `resource-limit` envelopes, then the daemon still exits cleanly.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cerrno>
+#include <string>
+
+#include "serve/server.hpp"
+#include "support/error.hpp"
+
+using namespace tpdf;
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: tpdfd (--unix <path> | --listen <host:port>)\n"
+    "             [--workers N] [--max-queue N] [--max-clients N]\n"
+    "             [--max-line-bytes N] [--idle-timeout-ms N]\n"
+    "             [--request-timeout-ms N] [--drain-timeout-ms N]\n"
+    "             [--cache-entries N] [--cache-bytes N]\n"
+    "serves the tpdfc command set over newline-delimited JSON "
+    "(docs/tpdfd.md);\n"
+    "SIGTERM/SIGINT drains in-flight requests and exits 0\n";
+
+serve::Server* g_server = nullptr;
+
+extern "C" void onSignal(int) {
+  // Async-signal-safe: requestStop is an atomic bump + one write(2).
+  if (g_server != nullptr) g_server->requestStop();
+}
+
+bool parseInt(const char* text, std::int64_t& out) {
+  char* end = nullptr;
+  errno = 0;
+  out = std::strtoll(text, &end, 10);
+  return errno != ERANGE && end != nullptr && *end == '\0' && end != text;
+}
+
+int usage(const std::string& message) {
+  std::fprintf(stderr, "tpdfd: %s\n%s", message.c_str(), kUsage);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  serve::ServerConfig config;
+  bool haveEndpoint = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](std::int64_t& out) {
+      if (i + 1 >= argc) return false;
+      return parseInt(argv[++i], out) && out >= 0;
+    };
+    std::int64_t value = 0;
+    if (arg == "--unix") {
+      if (i + 1 >= argc) return usage("--unix needs a socket path");
+      config.unixPath = argv[++i];
+      haveEndpoint = true;
+    } else if (arg == "--listen") {
+      if (i + 1 >= argc) return usage("--listen needs host:port");
+      const std::string addr = argv[++i];
+      const std::size_t colon = addr.rfind(':');
+      std::int64_t port = 0;
+      if (colon == std::string::npos ||
+          !parseInt(addr.c_str() + colon + 1, port) || port < 0 ||
+          port > 65535) {
+        return usage("--listen needs host:port, got '" + addr + "'");
+      }
+      config.host = addr.substr(0, colon);
+      config.port = static_cast<int>(port);
+      haveEndpoint = true;
+    } else if (arg == "--workers") {
+      if (!next(value)) return usage("--workers must be a non-negative int");
+      config.workers = static_cast<std::size_t>(value);
+    } else if (arg == "--max-queue") {
+      if (!next(value) || value == 0) {
+        return usage("--max-queue must be a positive int");
+      }
+      config.maxQueue = static_cast<std::size_t>(value);
+    } else if (arg == "--max-clients") {
+      if (!next(value) || value == 0) {
+        return usage("--max-clients must be a positive int");
+      }
+      config.maxClients = static_cast<std::size_t>(value);
+    } else if (arg == "--max-line-bytes") {
+      if (!next(value)) return usage("--max-line-bytes must be an int");
+      config.maxLineBytes = static_cast<std::size_t>(value);
+    } else if (arg == "--idle-timeout-ms") {
+      if (!next(value)) return usage("--idle-timeout-ms must be an int");
+      config.idleTimeoutMs = value;
+    } else if (arg == "--request-timeout-ms") {
+      if (!next(value)) return usage("--request-timeout-ms must be an int");
+      config.requestTimeoutMs = value;
+    } else if (arg == "--drain-timeout-ms") {
+      if (!next(value) || value == 0) {
+        return usage("--drain-timeout-ms must be a positive int");
+      }
+      config.drainTimeoutMs = value;
+    } else if (arg == "--cache-entries") {
+      if (!next(value)) return usage("--cache-entries must be an int");
+      config.cacheEntries = static_cast<std::size_t>(value);
+    } else if (arg == "--cache-bytes") {
+      if (!next(value)) return usage("--cache-bytes must be an int");
+      config.cacheBytes = static_cast<std::size_t>(value);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("%s", kUsage);
+      return 0;
+    } else {
+      return usage("unknown flag '" + arg + "'");
+    }
+  }
+  if (!haveEndpoint) {
+    return usage("an endpoint is required: --unix <path> or --listen "
+                 "<host:port>");
+  }
+
+  try {
+    serve::Server server(config);
+    server.start();
+    g_server = &server;
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    std::signal(SIGPIPE, SIG_IGN);  // dead clients surface as write errors
+    if (!config.unixPath.empty()) {
+      std::fprintf(stderr, "tpdfd: listening on unix:%s\n",
+                   config.unixPath.c_str());
+    } else {
+      std::fprintf(stderr, "tpdfd: listening on tcp:%s:%d\n",
+                   config.host.c_str(), server.boundPort());
+    }
+    server.run();
+    g_server = nullptr;
+    const serve::ServerStats& stats = server.stats();
+    const serve::CacheStats cache = server.cache().stats();
+    std::fprintf(stderr,
+                 "tpdfd: drained; %llu connections, %llu requests "
+                 "(%llu overload, %llu oversized, %llu idle drops), "
+                 "cache %llu hits / %llu misses / %llu evictions\n",
+                 static_cast<unsigned long long>(stats.accepted),
+                 static_cast<unsigned long long>(stats.requests),
+                 static_cast<unsigned long long>(stats.rejectedOverload),
+                 static_cast<unsigned long long>(stats.rejectedOversized),
+                 static_cast<unsigned long long>(stats.idleDisconnects),
+                 static_cast<unsigned long long>(cache.hits),
+                 static_cast<unsigned long long>(cache.misses),
+                 static_cast<unsigned long long>(cache.evictions));
+    return 0;
+  } catch (const support::Error& e) {
+    std::fprintf(stderr, "tpdfd: %s\n", e.what());
+    return 3;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tpdfd: internal error: %s\n", e.what());
+    return 3;
+  }
+}
