@@ -29,6 +29,7 @@
 #include "core/sweep.hpp"
 #include "csdf/buffer.hpp"
 #include "csdf/liveness.hpp"
+#include "platform/spec.hpp"
 #include "sched/canonical.hpp"
 #include "sched/list.hpp"
 #include "sim/simulator.hpp"
@@ -164,8 +165,44 @@ struct MapRequest {
   symbolic::Environment bindings;
   /// Worker PEs of the target platform.
   std::size_t pes = 4;
+  /// Platform spec text (platform/spec.hpp grammar), e.g.
+  /// "mesh:4x4,bw=8,lat=2".  Empty = the legacy ideal crossbar over
+  /// `pes`; a spec with an explicit size overrides `pes`.  A malformed
+  /// spec (or negative bandwidth/latency) is an invalid-platform
+  /// diagnostic positioned into this string.
+  std::string platform;
   sched::ListSchedulerOptions options;
   ResourceLimits limits;
+};
+
+/// Platform/contention block of a MapResponse, present when the request
+/// named a non-ideal platform.
+struct MapContention {
+  platform::PlatformSpec spec;
+  /// Fabric (worker) PE count actually used.
+  std::size_t pes = 0;
+  struct LinkUse {
+    std::string link;
+    std::int64_t transfers = 0;
+    /// Static uncontended occupancy per canonical iteration.
+    double busy = 0.0;
+    /// busy / makespan.
+    double utilization = 0.0;
+  };
+  /// Indexed by link id.
+  std::vector<LinkUse> links;
+  std::string maxContendedLink;
+  /// The idealized canonical-period bound: the list-schedule makespan.
+  double idealPeriod = 0.0;
+  /// Contention-adjusted steady-state period measured by the routed
+  /// simulation, and its uncontended (fabric-free) twin; 0.0 when the
+  /// measurement was skipped (clock graphs, firing budget).
+  double simulatedPeriod = 0.0;
+  double uncontendedPeriod = 0.0;
+  /// simulatedPeriod / uncontendedPeriod (1.0 when unmeasured).
+  double slowdown = 1.0;
+
+  support::json::Value toJson() const;
 };
 
 struct MapResponse : Response {
@@ -176,6 +213,11 @@ struct MapResponse : Response {
   /// session-owned graph, so it must not outlive the session entry.
   std::optional<sched::CanonicalPeriod> period;
   sched::ListSchedule schedule;
+  /// Engaged when the request named a non-ideal platform; adds the
+  /// "platform" and "contention" members to toJson().  Default (and
+  /// explicitly ideal) platforms keep the report byte-identical to the
+  /// pre-platform format.
+  std::optional<MapContention> contention;
 
   support::json::Value toJson() const;
 };
@@ -186,6 +228,10 @@ struct SimulateRequest {
   std::string graphId;
   /// Unbound parameters are defaulted to 2 with a Note diagnostic.
   symbolic::Environment bindings;
+  /// Platform spec text (see MapRequest::platform).  A non-ideal spec
+  /// routes inter-PE transfers through the fabric (actors placed
+  /// round-robin over its PEs) and adds per-link stats to the report.
+  std::string platform;
   sim::SimOptions options;
   ResourceLimits limits;
 };
@@ -219,6 +265,14 @@ struct SweepRequest {
   std::size_t jobs = 0;
   /// Platform width for the per-point period metric.
   std::size_t pes = 4;
+  /// Base platform spec for every point (see MapRequest::platform);
+  /// empty = the legacy ideal crossbar over `pes`.
+  std::string platform;
+  /// Platform axes: each bandwidth (and each topology spec) becomes one
+  /// platform variant, multiplying the parameter grid — the
+  /// period-vs-link-bandwidth frontier.
+  std::vector<double> linkBandwidths;
+  std::vector<std::string> topologies;
   /// Per-point metrics; analysis verdicts are always produced.
   bool computeBuffers = true;
   bool computePeriod = true;

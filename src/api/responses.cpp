@@ -89,6 +89,28 @@ support::json::Value BufferResponse::toJson(const graph::Graph* g) const {
   return doc;
 }
 
+support::json::Value MapContention::toJson() const {
+  auto doc = support::json::Value::object();
+  auto linkArray = support::json::Value::array();
+  for (const LinkUse& l : links) {
+    auto entry = support::json::Value::object();
+    entry.set("link", l.link);
+    entry.set("transfers", l.transfers);
+    entry.set("busy", l.busy);
+    entry.set("utilization", l.utilization);
+    linkArray.push(std::move(entry));
+  }
+  doc.set("linkUtilization", std::move(linkArray));
+  doc.set("maxContendedLink", maxContendedLink);
+  doc.set("idealPeriod", idealPeriod);
+  if (simulatedPeriod > 0.0) {
+    doc.set("simulatedPeriod", simulatedPeriod);
+    doc.set("uncontendedPeriod", uncontendedPeriod);
+  }
+  doc.set("contentionSlowdown", slowdown);
+  return doc;
+}
+
 support::json::Value MapResponse::toJson() const {
   auto doc = base(*this);
   doc.set("graphId", graphId);
@@ -96,6 +118,13 @@ support::json::Value MapResponse::toJson() const {
   doc.set("bindings", bindingsJson(bindings));
   doc.set("period", period->toJson());
   doc.set("mapping", schedule.toJson(*period));
+  // The platform/contention block exists only for non-ideal platforms,
+  // so default (and explicitly ideal) requests stay byte-identical to
+  // the pre-platform report (tests/platform_golden_test.cpp).
+  if (contention.has_value()) {
+    doc.set("platform", contention->spec.toJson(contention->pes));
+    doc.set("contention", contention->toJson());
+  }
   return doc;
 }
 

@@ -332,6 +332,112 @@ BufferResponse Session::buffers(const BufferRequest& request) {
 
 // ---- map ----------------------------------------------------------------
 
+namespace {
+
+/// Builds a MapResponse's platform/contention block: per-link
+/// utilization plus contended-vs-uncontended steady-state periods
+/// measured by warmup/window simulation (the same protocol as
+/// core::crossCheck's throughput invariant) with actors spread
+/// round-robin over the fabric.  When the simulation cannot run
+/// (firing budget, clock actors) the block falls back to the static
+/// unit-token link load of the schedule.
+MapContention contentionReport(const core::TpdfGraph& model,
+                               const symbolic::Environment& env,
+                               const sched::CanonicalPeriod& cp,
+                               const sched::ListSchedule& schedule,
+                               const sched::Platform& plat,
+                               const tpdf::platform::PlatformSpec& spec,
+                               const core::AnalysisContext& ctx,
+                               support::Budget* budget) {
+  MapContention out;
+  out.spec = spec;
+  out.pes = plat.peCount;
+  const tpdf::platform::Topology& topo = *plat.topology;
+
+  const std::vector<sched::LinkLoad> load =
+      sched::linkLoad(cp, schedule, plat);
+  double maxBusy = -1.0;
+  for (std::size_t l = 0; l < load.size(); ++l) {
+    MapContention::LinkUse use;
+    use.link = topo.link(static_cast<std::uint32_t>(l)).name;
+    use.transfers = load[l].transfers;
+    use.busy = load[l].busy;
+    use.utilization =
+        schedule.makespan > 0.0 ? load[l].busy / schedule.makespan : 0.0;
+    if (load[l].busy > maxBusy) {
+      maxBusy = load[l].busy;
+      out.maxContendedLink = use.link;
+    }
+    out.links.push_back(std::move(use));
+  }
+  out.idealPeriod = schedule.makespan;
+
+  // Steady-state periods: simulated time between completing `warmup`
+  // and `warmup + window` iterations, divided by the window.  Skipped
+  // (block stays static-only) when the firing budget would be blown or
+  // the graph cannot simulate unattended (clock actors).
+  const graph::Graph& g = model.graph();
+  const std::int64_t warmup =
+      2 * static_cast<std::int64_t>(g.actorCount()) + 4;
+  constexpr std::int64_t kWindow = 8;
+  const auto perIteration = static_cast<std::int64_t>(cp.size());
+  const sim::SimOptions defaults;
+  if (perIteration <= 0 ||
+      warmup + kWindow > defaults.maxFirings / perIteration) {
+    return out;
+  }
+  // Placement: round-robin over the fabric, the same distribution the
+  // simulate operation uses.  (The schedule's own placement co-locates
+  // chain-shaped periods on one PE precisely because communication is
+  // expensive, which would measure an empty fabric; the report instead
+  // answers "what does this interconnect cost when the pipeline is
+  // actually spread across it".)
+  std::vector<std::size_t> actorPe(g.actorCount(), 0);
+  for (std::size_t i = 0; i < actorPe.size(); ++i) {
+    actorPe[i] = i % plat.peCount;
+  }
+  const auto measure = [&](bool contended, std::int64_t iterations) {
+    sim::Simulator simulator(model, env, &ctx);
+    sim::SimOptions o;
+    o.budget = budget;
+    o.iterations = iterations;
+    if (contended) {
+      o.fabric = &topo;
+      o.actorPe = actorPe;
+    }
+    return simulator.run(o);
+  };
+  const sim::SimResult c1 = measure(true, warmup);
+  if (!c1.ok) return out;
+  const sim::SimResult c2 = measure(true, warmup + kWindow);
+  const sim::SimResult u1 = measure(false, warmup);
+  const sim::SimResult u2 = measure(false, warmup + kWindow);
+  if (!c2.ok || !u1.ok || !u2.ok) return out;
+  out.simulatedPeriod = (c2.endTime - c1.endTime) / kWindow;
+  out.uncontendedPeriod = (u2.endTime - u1.endTime) / kWindow;
+  if (out.uncontendedPeriod > 0.0) {
+    out.slowdown = out.simulatedPeriod / out.uncontendedPeriod;
+  }
+  // With a measured run in hand, report the links as the simulation
+  // actually used them (real token volumes, steady-state occupancy)
+  // instead of the static unit-token estimate.
+  if (c2.links.size() == out.links.size() && c2.endTime > 0.0) {
+    double measuredMax = -1.0;
+    for (std::size_t l = 0; l < out.links.size(); ++l) {
+      out.links[l].transfers = c2.links[l].transfers;
+      out.links[l].busy = c2.links[l].busyTime;
+      out.links[l].utilization = c2.links[l].busyTime / c2.endTime;
+      if (c2.links[l].busyTime > measuredMax) {
+        measuredMax = c2.links[l].busyTime;
+        out.maxContendedLink = out.links[l].link;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 MapResponse Session::map(const MapRequest& request) {
   MapResponse response;
   response.graphId = request.graphId;
@@ -339,6 +445,17 @@ MapResponse Session::map(const MapRequest& request) {
     response.fail(Status::InvalidRequest, "invalid-request",
                   "platform must have at least one PE");
     return response;
+  }
+  platform::SpecParse parsedPlatform;
+  if (!request.platform.empty()) {
+    parsedPlatform = platform::parsePlatformSpec(request.platform);
+    if (!parsedPlatform.ok) {
+      response.fail(Status::InvalidRequest, "invalid-platform",
+                    parsedPlatform.error + " in platform spec '" +
+                        request.platform + "'",
+                    "platform", 1, static_cast<int>(parsedPlatform.column));
+      return response;
+    }
   }
   Entry* entry = resolve(request.graphId, response);
   if (entry == nullptr) return response;
@@ -366,9 +483,28 @@ MapResponse Session::map(const MapRequest& request) {
       return;
     }
     response.period.emplace(ctx, response.bindings, budget);
-    response.schedule = sched::listSchedule(
-        *response.period, sched::Platform{.peCount = request.pes},
-        request.options, budget);
+    sched::Platform plat{.peCount = request.pes};
+    std::optional<platform::Topology> fabric;
+    if (!request.platform.empty()) {
+      // parsedPlatform was validated above; an ideal spec (crossbar,
+      // infinite bandwidth, zero latency) deliberately takes the legacy
+      // topology-free path so the report stays byte-identical.
+      fabric.emplace(parsedPlatform.spec.build(request.pes));
+      plat.peCount = fabric->peCount();
+      if (fabric->ideal()) {
+        fabric.reset();
+      } else {
+        plat.linkLatency = parsedPlatform.spec.latency;
+        plat.topology = &*fabric;
+      }
+    }
+    response.schedule = sched::listSchedule(*response.period, plat,
+                                            request.options, budget);
+    if (plat.topology != nullptr) {
+      response.contention = contentionReport(
+          *entry->model, response.bindings, *response.period,
+          response.schedule, plat, parsedPlatform.spec, ctx, budget);
+    }
   });
   return response;
 }
@@ -378,6 +514,17 @@ MapResponse Session::map(const MapRequest& request) {
 SimulateResponse Session::simulate(const SimulateRequest& request) {
   SimulateResponse response;
   response.graphId = request.graphId;
+  platform::SpecParse parsedPlatform;
+  if (!request.platform.empty()) {
+    parsedPlatform = platform::parsePlatformSpec(request.platform);
+    if (!parsedPlatform.ok) {
+      response.fail(Status::InvalidRequest, "invalid-platform",
+                    parsedPlatform.error + " in platform spec '" +
+                        request.platform + "'",
+                    "platform", 1, static_cast<int>(parsedPlatform.column));
+      return response;
+    }
+  }
   Entry* entry = resolve(request.graphId, response);
   if (entry == nullptr) return response;
   const graph::Graph& g = entry->model->graph();
@@ -390,6 +537,19 @@ SimulateResponse Session::simulate(const SimulateRequest& request) {
                              &contextOf(*entry));
     sim::SimOptions options = request.options;
     if (budget != nullptr) options.budget = budget;
+    // A non-ideal platform routes inter-PE traffic through the fabric;
+    // actors are placed round-robin over its PEs (spec size defaults to
+    // 4 when omitted).  Ideal specs keep the fabric-free path so the
+    // report stays byte-identical.
+    std::optional<platform::Topology> fabric;
+    if (!request.platform.empty() && !parsedPlatform.spec.ideal()) {
+      fabric.emplace(parsedPlatform.spec.build(4));
+      options.fabric = &*fabric;
+      options.actorPe.resize(g.actorCount());
+      for (std::size_t i = 0; i < g.actorCount(); ++i) {
+        options.actorPe[i] = i % fabric->peCount();
+      }
+    }
     response.result = simulator.run(options);
     response.simulated = true;
     if (!response.result.ok) {
@@ -424,6 +584,9 @@ SweepResponse Session::sweep(const SweepRequest& request) {
   spec.maxPoints = request.maxPoints;
   spec.jobs = request.jobs;
   spec.pes = request.pes;
+  spec.platform = request.platform;
+  spec.linkBandwidths = request.linkBandwidths;
+  spec.topologies = request.topologies;
   spec.computeBuffers = request.computeBuffers;
   spec.computePeriod = request.computePeriod;
   spec.keepReports = request.keepReports;

@@ -247,6 +247,21 @@ struct CheckContext {
     opts.budget = options.budget;
     return sim.run(opts);
   }
+
+  /// Like simulate(), but routing inter-PE transfers over `fabric` with
+  /// the given placement (contention cross-check).
+  sim::SimResult simulateOn(const TpdfGraph& m, std::int64_t iterations,
+                            const platform::Topology& fabric,
+                            const std::vector<std::size_t>& actorPe) {
+    sim::Simulator sim(m, env);
+    sim::SimOptions opts;
+    opts.iterations = iterations;
+    opts.maxFirings = options.maxFirings;
+    opts.budget = options.budget;
+    opts.fabric = &fabric;
+    opts.actorPe = actorPe;
+    return sim.run(opts);
+  }
 };
 
 void checkBoundedness(CheckContext& cc, const AnalysisReport& analysis) {
@@ -456,6 +471,83 @@ void checkThroughput(CheckContext& cc, const AnalysisReport& analysis) {
   }
 }
 
+/// Fourth invariant (the platform refactor's cross-check): executing the
+/// same graph with inter-PE transfers serialized over a bandwidth-1 bus
+/// can only slow the steady state down.  The contended period must stay
+/// at or above both the idealized bound (bottleneck workload — physics
+/// the fabric cannot beat) and the uncontended period of the *same*
+/// placement (contention never speeds anything up).
+void checkContention(CheckContext& cc, const AnalysisReport& analysis) {
+  const Graph& g = cc.model.graph();
+  if (!analysis.bounded()) {
+    cc.skip("contention", "graph is not bounded");
+    return;
+  }
+  const std::int64_t warmup =
+      2 * static_cast<std::int64_t>(g.actorCount()) + 4;
+  constexpr std::int64_t kWindow = 8;
+  if (!cc.withinBudget(warmup + kWindow)) {
+    cc.skip("contention", "repetition vector exceeds the firing budget");
+    return;
+  }
+  const std::size_t pes =
+      std::min<std::size_t>(4, std::max<std::size_t>(2, g.actorCount()));
+  const platform::Topology fabric = platform::Topology::bus(pes, 1.0, 1.0);
+  std::vector<std::size_t> actorPe(g.actorCount(), 0);
+  for (const graph::Actor& a : g.actors()) {
+    actorPe[a.id.index()] = a.id.index() % pes;
+  }
+  const sim::SimResult c1 = cc.simulateOn(cc.model, warmup, fabric, actorPe);
+  const sim::SimResult c2 =
+      cc.simulateOn(cc.model, warmup + kWindow, fabric, actorPe);
+  const sim::SimResult u1 = cc.simulate(cc.model, warmup);
+  const sim::SimResult u2 = cc.simulate(cc.model, warmup + kWindow);
+  cc.verdict.checksRun.push_back("contention");
+  if (!c1.ok || !c1.returnedToInitialState || !c2.ok ||
+      !c2.returnedToInitialState || !u1.ok || !u1.returnedToInitialState ||
+      !u2.ok || !u2.returnedToInitialState) {
+    cc.discrepancy("contention",
+                   "contended/uncontended simulations of a bounded graph "
+                   "did not complete cleanly",
+                   g);
+    return;
+  }
+  const double contended =
+      (c2.endTime - c1.endTime) / static_cast<double>(kWindow);
+  const double uncontended =
+      (u2.endTime - u1.endTime) / static_cast<double>(kWindow);
+
+  double workloadBound = 0.0;
+  for (const graph::Actor& a : g.actors()) {
+    const double w = actorWorkload(a, cc.q[a.id.index()], warmup,
+                                   warmup + kWindow) /
+                     static_cast<double>(kWindow);
+    workloadBound = std::max(workloadBound, w);
+  }
+
+  const double tol = cc.options.throughputTolerance;
+  const double eps = 1e-9;
+  if (contended < workloadBound * (1.0 - tol) - eps) {
+    cc.discrepancy(
+        "contention",
+        "contended steady-state period " + std::to_string(contended) +
+            " undercuts the idealized canonical-period bound " +
+            std::to_string(workloadBound) + " (bus pes=" +
+            std::to_string(pes) + ", bw=1, lat=1)",
+        g);
+    return;
+  }
+  if (contended < uncontended * (1.0 - tol) - eps) {
+    cc.discrepancy(
+        "contention",
+        "contended steady-state period " + std::to_string(contended) +
+            " is shorter than the uncontended period " +
+            std::to_string(uncontended) +
+            " of the same placement (contention sped the graph up)",
+        g);
+  }
+}
+
 }  // namespace
 
 void crossCheck(const TpdfGraph& model, const symbolic::Environment& env,
@@ -495,10 +587,12 @@ void crossCheck(const TpdfGraph& model, const symbolic::Environment& env,
       cc.skip("boundedness", "graph uses relaxed TPDF/clock semantics");
       cc.skip("buffers", "graph uses relaxed TPDF/clock semantics");
       cc.skip("throughput", "graph uses relaxed TPDF/clock semantics");
+      cc.skip("contention", "graph uses relaxed TPDF/clock semantics");
     } else {
       if (options.checkBoundedness) checkBoundedness(cc, analysis);
       if (options.checkBuffers) checkBuffers(cc, analysis);
       if (options.checkThroughput) checkThroughput(cc, analysis);
+      if (options.checkContention) checkContention(cc, analysis);
     }
   } catch (const support::BudgetExceeded& e) {
     // Must precede the support::Error catch (BudgetExceeded derives from

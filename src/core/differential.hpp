@@ -44,6 +44,10 @@ struct DiffOptions {
   bool checkBoundedness = true;
   bool checkBuffers = true;
   bool checkThroughput = true;
+  /// Contention invariant: the steady-state period on a contended
+  /// platform (bandwidth-1 bus) must be at least the idealized bound
+  /// and at least the uncontended period of the same placement.
+  bool checkContention = true;
   /// Relative tolerance for the throughput sandwich.
   double throughputTolerance = 1e-6;
   /// Negative self-test: shrink every computed buffer capacity by one
@@ -66,7 +70,8 @@ struct DiffRecord {
   std::string graph;
   std::string file;    // source path when known, else empty
   std::string check;   // "boundedness" | "buffers" | "buffers-minus-one"
-                       // | "throughput" | "resource-limit" | "internal"
+                       // | "throughput" | "contention" | "resource-limit"
+                       // | "internal"
   std::string detail;  // what was expected vs. what the simulator did
   /// .tpdf text of the graph the simulator actually executed (for the
   /// buffer checks this is the back-pressure-transformed graph).

@@ -9,10 +9,13 @@
 #include "core/liveness.hpp"
 #include "core/safety.hpp"
 #include "csdf/buffer.hpp"
+#include "platform/spec.hpp"
+#include "platform/topology.hpp"
 #include "sched/canonical.hpp"
 #include "sched/list.hpp"
 #include "sched/platform.hpp"
 #include "support/error.hpp"
+#include "support/strings.hpp"
 #include "support/threadpool.hpp"
 
 namespace tpdf::core {
@@ -125,12 +128,18 @@ support::json::Value SweepAxis::toJson() const {
 
 // ---- SweepSpec ------------------------------------------------------------
 
+std::size_t SweepSpec::platformVariants() const {
+  const std::size_t topos = topologies.empty() ? 1 : topologies.size();
+  const std::size_t bws = linkBandwidths.empty() ? 1 : linkBandwidths.size();
+  return topos * bws;
+}
+
 std::size_t SweepSpec::gridSize() const {
   // Saturate at int64 max, not size_t max: the count is serialized as a
   // JSON integer (int64), and a size_t-max sentinel would render as -1.
   constexpr std::size_t kMax =
       static_cast<std::size_t>(std::numeric_limits<std::int64_t>::max());
-  std::size_t total = 1;
+  std::size_t total = platformVariants();
   for (const SweepAxis& axis : axes) {
     const std::size_t n = axis.values.size();
     if (n == 0) return 0;
@@ -175,6 +184,9 @@ support::json::Value SweepPoint::toJson() const {
     doc.set("period", period);
     doc.set("throughput", throughput);
   }
+  // Only platform-aware sweeps carry the variant label; legacy sweeps
+  // serialize byte-identically to the pre-platform format.
+  if (!platform.empty()) doc.set("platform", platform);
   if (buffersComputed && periodComputed) doc.set("pareto", pareto);
   return doc;
 }
@@ -322,6 +334,24 @@ std::string validateSweepSpec(const graph::Graph& g, const SweepSpec& spec) {
       }
     }
   }
+  if (!spec.platform.empty()) {
+    const platform::SpecParse parsed = platform::parsePlatformSpec(spec.platform);
+    if (!parsed.ok) {
+      return "invalid platform spec '" + spec.platform + "': " + parsed.error;
+    }
+  }
+  for (const std::string& topo : spec.topologies) {
+    const platform::SpecParse parsed = platform::parsePlatformSpec(topo);
+    if (!parsed.ok) {
+      return "invalid topology axis spec '" + topo + "': " + parsed.error;
+    }
+  }
+  for (const double bw : spec.linkBandwidths) {
+    if (!(bw > 0.0)) {
+      return "link bandwidth axis values must be positive, got " +
+             support::formatDouble(bw);
+    }
+  }
   return "";
 }
 
@@ -338,6 +368,80 @@ SweepResult sweep(const AnalysisContext& ctx, const SweepSpec& spec) {
   result.truncated = result.gridSize > spec.maxPoints;
   const std::size_t pointCount =
       std::min(result.gridSize, spec.maxPoints);
+
+  // Platform variants: the (topology × bandwidth) cartesian product of
+  // the platform axes applied to the base spec, built once up front and
+  // shared read-only by the workers.  Variants vary slowest in the grid
+  // enumeration: point i runs on variant i / paramGrid.
+  struct PlatformVariant {
+    std::string label;        // canonical spec ("" for legacy sweeps)
+    std::size_t pes = 0;      // 0 = use spec.pes (no platform spec)
+    double latency = 0.0;     // off-fabric latency when topology is set
+    std::optional<platform::Topology> topology;  // nullopt = ideal
+  };
+  const bool platformAware = !spec.platform.empty() ||
+                             !spec.topologies.empty() ||
+                             !spec.linkBandwidths.empty();
+  std::vector<PlatformVariant> variants;
+  {
+    std::vector<platform::PlatformSpec> bases;
+    if (spec.topologies.empty()) {
+      platform::PlatformSpec base;  // ideal crossbar over spec.pes
+      if (!spec.platform.empty()) {
+        base = platform::parsePlatformSpec(spec.platform).spec;
+      }
+      bases.push_back(base);
+    } else {
+      // A topology axis entry is a complete spec of its own; the base's
+      // bandwidth/latency do not leak into it (validateSweepSpec already
+      // vouched that every entry parses).
+      for (const std::string& t : spec.topologies) {
+        bases.push_back(platform::parsePlatformSpec(t).spec);
+      }
+    }
+    for (const platform::PlatformSpec& base : bases) {
+      std::vector<platform::PlatformSpec> finals;
+      if (spec.linkBandwidths.empty()) {
+        finals.push_back(base);
+      } else {
+        for (const double bw : spec.linkBandwidths) {
+          platform::PlatformSpec v = base;
+          v.bandwidth = bw;
+          finals.push_back(v);
+        }
+      }
+      for (const platform::PlatformSpec& v : finals) {
+        PlatformVariant variant;
+        if (platformAware) {
+          variant.label = v.canonical(spec.pes);
+          platform::Topology topo = v.build(spec.pes);
+          variant.pes = topo.peCount();
+          if (!topo.ideal()) {
+            variant.latency = v.latency;
+            variant.topology.emplace(std::move(topo));
+          }
+        }
+        variants.push_back(std::move(variant));
+      }
+    }
+  }
+  // Parameter-only grid size, for the variant/coordinate index split.
+  // Saturating like gridSize(); a saturated paramGrid pins every
+  // analyzed point (pointCount <= maxPoints) to variant 0, which is the
+  // only variant such a grid can reach anyway.
+  std::size_t paramGrid = 1;
+  {
+    constexpr std::size_t kMax =
+        static_cast<std::size_t>(std::numeric_limits<std::int64_t>::max());
+    for (const SweepAxis& axis : spec.axes) {
+      const std::size_t n = axis.values.size();
+      if (n == 0 || paramGrid > kMax / n) {
+        paramGrid = n == 0 ? 1 : kMax;
+        break;
+      }
+      paramGrid *= n;
+    }
+  }
 
   for (const std::string& param : g.params()) {
     bool covered = spec.fixed.has(param);
@@ -357,8 +461,11 @@ SweepResult sweep(const AnalysisContext& ctx, const SweepSpec& spec) {
   for (std::size_t i = 0; i < pointCount; ++i) {
     pool.submit([&, i] {
       SweepPoint& point = result.points[i];
-      // Decode the row-major grid index: the first axis varies slowest.
-      std::size_t rest = i;
+      // Decode the row-major grid index: platform variants vary slowest,
+      // then the first axis.
+      const PlatformVariant& variant =
+          variants[std::min(i / paramGrid, variants.size() - 1)];
+      std::size_t rest = i % paramGrid;
       std::vector<std::int64_t> coords(spec.axes.size(), 0);
       for (std::size_t a = spec.axes.size(); a-- > 0;) {
         const std::size_t n = spec.axes[a].values.size();
@@ -378,6 +485,7 @@ SweepResult sweep(const AnalysisContext& ctx, const SweepSpec& spec) {
           env.bind(spec.axes[a].param, coords[a]);
         }
         point.bindings = env;
+        point.platform = variant.label;
 
         // The per-binding memoization, worker-local: evaluate every rate
         // expression exactly once and reuse the table across liveness,
@@ -422,8 +530,14 @@ SweepResult sweep(const AnalysisContext& ctx, const SweepSpec& spec) {
         if (point.bounded && spec.computePeriod) {
           const sched::CanonicalPeriod period(ctx.view(), rv, rates,
                                               completed, budget);
-          const sched::ListSchedule schedule = sched::listSchedule(
-              period, sched::Platform{.peCount = spec.pes}, {}, budget);
+          sched::Platform plat{.peCount = spec.pes};
+          if (variant.pes != 0) plat.peCount = variant.pes;
+          if (variant.topology.has_value()) {
+            plat.linkLatency = variant.latency;
+            plat.topology = &*variant.topology;
+          }
+          const sched::ListSchedule schedule =
+              sched::listSchedule(period, plat, {}, budget);
           point.periodComputed = true;
           point.period = schedule.makespan;
           point.throughput =

@@ -97,6 +97,22 @@ struct SweepSpec {
   bool computePeriod = true;
   std::size_t pes = 4;
 
+  /// Base platform spec text (platform/spec.hpp grammar) for every
+  /// point; empty = the legacy ideal crossbar over `pes`.
+  std::string platform;
+  /// Platform axes.  Each bandwidth (and each topology spec) becomes
+  /// one platform variant; the grid is the cartesian product of the
+  /// parameter grid and the variants, variants varying slowest.  A
+  /// topology axis entry is a complete spec of its own (the base's
+  /// bw/lat do not leak into it); a bandwidth axis entry overrides the
+  /// bandwidth of whichever spec is in effect.  This is what makes
+  /// period-vs-link-bandwidth frontiers one sweep instead of N.
+  std::vector<double> linkBandwidths;
+  std::vector<std::string> topologies;
+
+  /// Number of platform variants (1 when no platform axes are set).
+  std::size_t platformVariants() const;
+
   /// Keep the full AnalysisReport on every point (the equivalence tests
   /// need it).  Off by default: a 64k-point sweep retaining 64k sample
   /// schedules would dwarf the metrics the sweep exists to produce.
@@ -160,6 +176,10 @@ struct SweepPoint {
   double period = 0.0;
   /// Iterations per time unit (0 when the period is 0).
   double throughput = 0.0;
+
+  /// Canonical spec of the platform variant this point ran on; empty
+  /// when the sweep had no platform axes or base spec.
+  std::string platform;
 
   /// On the buffer-total vs. period Pareto frontier (no other point has
   /// both metrics <= with one strictly <).

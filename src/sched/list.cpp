@@ -4,6 +4,7 @@
 #include <limits>
 #include <sstream>
 
+#include "platform/topology.hpp"
 #include "support/error.hpp"
 #include "support/strings.hpp"
 
@@ -59,6 +60,13 @@ ListSchedule listSchedule(const CanonicalPeriod& cp, const Platform& platform,
   if (platform.peCount == 0) {
     throw support::Error("platform must have at least one PE");
   }
+  if (platform.topology != nullptr &&
+      platform.topology->peCount() != platform.peCount) {
+    throw support::Error("platform topology covers " +
+                         std::to_string(platform.topology->peCount()) +
+                         " PEs but peCount is " +
+                         std::to_string(platform.peCount));
+  }
   const graph::Graph& g = cp.graph();
   const std::size_t n = cp.size();
 
@@ -106,13 +114,25 @@ ListSchedule listSchedule(const CanonicalPeriod& cp, const Platform& platform,
     if (unscheduledPreds[i] == 0) ready.push_back(i);
   }
 
+  // Cross-PE communication cost: the uncontended traversal of the
+  // topology route when both PEs are on the fabric, the legacy uniform
+  // linkLatency otherwise (no topology, or the off-fabric control PE).
+  const tpdf::platform::Topology* fabric = platform.topology;
+  auto commCost = [&](std::size_t from, std::size_t to) {
+    if (fabric != nullptr && from < fabric->peCount() &&
+        to < fabric->peCount()) {
+      return fabric->routeCost(from, to, 1);
+    }
+    return platform.linkLatency;
+  };
+
   // Earliest start of node i on PE pe given the already-placed preds.
   auto earliestStartOn = [&](std::size_t i, std::size_t pe) {
     double t = peAvailable[pe];
     for (std::size_t p : cp.predecessors(i)) {
       double arrival = placed[p].finish;
       if (placed[p].pe != pe && !isControlEdge(p)) {
-        arrival += platform.linkLatency;
+        arrival += commCost(placed[p].pe, pe);
       }
       t = std::max(t, arrival);
     }
@@ -183,6 +203,39 @@ ListSchedule listSchedule(const CanonicalPeriod& cp, const Platform& platform,
               return a.node < b.node;
             });
   return out;
+}
+
+std::vector<LinkLoad> linkLoad(const CanonicalPeriod& cp,
+                               const ListSchedule& schedule,
+                               const Platform& platform) {
+  const tpdf::platform::Topology* fabric = platform.topology;
+  if (fabric == nullptr) return {};
+  const graph::Graph& g = cp.graph();
+  std::vector<char> actorIsControl(g.actorCount(), 0);
+  for (const graph::Actor& a : g.actors()) {
+    actorIsControl[a.id.index()] =
+        a.kind == graph::ActorKind::Control ? 1 : 0;
+  }
+  std::vector<std::size_t> peOf(cp.size(), 0);
+  for (const ScheduledOccurrence& e : schedule.entries) peOf[e.node] = e.pe;
+
+  std::vector<LinkLoad> load(fabric->links().size());
+  for (std::size_t i = 0; i < cp.size(); ++i) {
+    for (std::size_t p : cp.predecessors(i)) {
+      if (actorIsControl[cp.node(p).actor.index()] != 0) continue;
+      const std::size_t from = peOf[p];
+      const std::size_t to = peOf[i];
+      if (from == to || from >= fabric->peCount() || to >= fabric->peCount()) {
+        continue;
+      }
+      for (std::uint32_t lid : fabric->route(from, to)) {
+        load[lid].transfers += 1;
+        load[lid].busy +=
+            tpdf::platform::Topology::serviceTime(fabric->link(lid), 1);
+      }
+    }
+  }
+  return load;
 }
 
 }  // namespace tpdf::sched

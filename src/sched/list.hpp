@@ -58,4 +58,18 @@ ListSchedule listSchedule(const CanonicalPeriod& cp, const Platform& platform,
                           const ListSchedulerOptions& options = {},
                           support::Budget* budget = nullptr);
 
+/// Static per-link load of one canonical iteration under the platform's
+/// topology: every cross-PE data dependency contributes one unit-token
+/// transfer along its precomputed route.  Indexed by link id; empty when
+/// the platform has no topology.  Dependencies touching the off-fabric
+/// control PE are not routed (control traffic is quasi-instantaneous).
+struct LinkLoad {
+  std::int64_t transfers = 0;
+  /// Total uncontended occupancy (sum of per-transfer service times).
+  double busy = 0.0;
+};
+std::vector<LinkLoad> linkLoad(const CanonicalPeriod& cp,
+                               const ListSchedule& schedule,
+                               const Platform& platform);
+
 }  // namespace tpdf::sched

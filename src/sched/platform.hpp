@@ -1,29 +1,45 @@
 // Platform model for the many-core scheduling heuristic.
 //
 // Stands in for the Kalray MPPA-256 clustered architecture the paper
-// targets: a number of identical processing elements with a uniform
-// message latency between distinct PEs (intra-PE communication is free).
-// The dedicated control PE mirrors Figure 5, where C1 is "mapped onto a
-// separate processing element".
+// targets: a number of identical processing elements plus, optionally,
+// an interconnect topology (platform/topology.hpp) describing how they
+// talk to each other.  Without a topology the legacy model applies: a
+// uniform message latency between distinct PEs (intra-PE communication
+// is free).  The dedicated control PE mirrors Figure 5, where C1 is
+// "mapped onto a separate processing element".
 //
 // Consumed by sched::listSchedule (list.hpp); `tpdfc map graph.tpdf
-// pes=N` builds one with N worker PEs and the defaults below.
+// pes=N` builds one with N worker PEs and the defaults below, and
+// `--platform mesh:4x4,bw=8,lat=2` attaches a routed topology.
 #pragma once
 
 #include <cstddef>
 
+namespace tpdf::platform {
+class Topology;
+}  // namespace tpdf::platform
+
 namespace tpdf::sched {
 
 struct Platform {
-  /// Worker processing elements available to kernels.
+  /// Worker processing elements available to kernels.  When `topology`
+  /// is set this must equal its PE count (listSchedule enforces it).
   std::size_t peCount = 4;
   /// Added to a dependency's ready time when producer and consumer are
-  /// mapped on different PEs.
+  /// mapped on different PEs and no routed cost applies: always, when
+  /// `topology` is null; for transfers involving the off-fabric
+  /// dedicated control PE otherwise.
   double linkLatency = 0.0;
   /// Reserve one extra PE exclusively for control actors (the paper
   /// schedules control actors so that "the system acts as if [control
-  /// token passing] was instantaneous").
+  /// token passing] was instantaneous").  The control PE sits off the
+  /// fabric: `topology` covers the worker PEs only.
   bool dedicatedControlPe = true;
+  /// Interconnect with per-link bandwidth/latency and precomputed
+  /// routes; cross-PE dependencies then cost the uncontended traversal
+  /// of their route instead of the uniform linkLatency.  Not owned;
+  /// null = legacy uniform-latency model.
+  const tpdf::platform::Topology* topology = nullptr;
 };
 
 }  // namespace tpdf::sched

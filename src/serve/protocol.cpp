@@ -242,6 +242,31 @@ std::vector<std::string> stringListField(const Value& doc, const char* key,
   return out;
 }
 
+/// Optional array of positive numbers (e.g. "link-bandwidths").
+std::vector<double> numberListField(const Value& doc, const char* key,
+                                    api::Response& bad) {
+  std::vector<double> out;
+  const Value* v = doc.find(key);
+  if (v == nullptr) return out;
+  if (!v->isArray()) {
+    bad.fail(api::Status::InvalidRequest, "invalid-request",
+             std::string("\"") + key + "\" must be an array of numbers");
+    return out;
+  }
+  for (const Value& item : v->items()) {
+    if (item.isInt()) {
+      out.push_back(static_cast<double>(item.asInt()));
+    } else if (item.isDouble()) {
+      out.push_back(item.asDouble());
+    } else {
+      bad.fail(api::Status::InvalidRequest, "invalid-request",
+               std::string("\"") + key + "\" must be an array of numbers");
+      return out;
+    }
+  }
+  return out;
+}
+
 /// Reads a server-side file into a string (for "path" graph refs);
 /// failures surface as input-error diagnostics.
 bool readFileText(const std::string& path, std::string& out,
@@ -558,6 +583,7 @@ ClientSession::Result ClientSession::handle(const std::string& requestLine) {
     request.limits = limits;
     request.pes =
         static_cast<std::size_t>(intField(doc, "pes", 4, bad));
+    request.platform = stringField(doc, "platform", bad);
     if (!bad.ok()) return reject(command, bad);
     api::MapResponse response = session_.map(request);
     const double us = elapsedUs(start);
@@ -573,6 +599,7 @@ ClientSession::Result ClientSession::handle(const std::string& requestLine) {
     request.options.iterations = intField(doc, "iterations", 1, bad);
     request.options.maxFirings =
         intField(doc, "max-firings", request.options.maxFirings, bad);
+    request.platform = stringField(doc, "platform", bad);
     if (!bad.ok()) return reject(command, bad);
     api::SimulateResponse response = session_.simulate(request);
     const double us = elapsedUs(start);
@@ -592,6 +619,9 @@ ClientSession::Result ClientSession::handle(const std::string& requestLine) {
   request.jobs =
       static_cast<std::size_t>(intField(doc, "jobs", 0, bad));
   request.pes = static_cast<std::size_t>(intField(doc, "pes", 4, bad));
+  request.platform = stringField(doc, "platform", bad);
+  request.linkBandwidths = numberListField(doc, "link-bandwidths", bad);
+  request.topologies = stringListField(doc, "topologies", bad);
   if (!bad.ok()) return reject(command, bad);
   api::SweepResponse response = session_.sweep(request);
   const double us = elapsedUs(start);

@@ -119,6 +119,18 @@ support::json::Value SimResult::toJson(const graph::Graph& g) const {
     channelArray.push(std::move(entry));
   }
   doc.set("channels", std::move(channelArray));
+  if (!links.empty()) {
+    auto linkArray = support::json::Value::array();
+    for (const LinkStats& l : links) {
+      auto entry = support::json::Value::object();
+      entry.set("link", l.link);
+      entry.set("transfers", l.transfers);
+      entry.set("busyTime", l.busyTime);
+      entry.set("utilization", endTime > 0.0 ? l.busyTime / endTime : 0.0);
+      linkArray.push(std::move(entry));
+    }
+    doc.set("links", std::move(linkArray));
+  }
   if (!trace.empty()) {
     auto traceArray = support::json::Value::array();
     for (const TraceEvent& e : trace) {
@@ -216,6 +228,31 @@ SimResult Simulator::run(const SimOptions& options) {
         "model contains clock actors: a finite stopTime is required";
     return result;
   }
+
+  // ---- Interconnect state (fabric-routed runs only). --------------------
+  const tpdf::platform::Topology* fabric = options.fabric;
+  if (fabric != nullptr && options.actorPe.size() != g.actorCount()) {
+    result.diagnostic = "fabric placement covers " +
+                        std::to_string(options.actorPe.size()) +
+                        " actors but the graph has " +
+                        std::to_string(g.actorCount());
+    return result;
+  }
+  // Earliest instant each link is free again; reservations serialize.
+  std::vector<double> linkFree;
+  if (fabric != nullptr) {
+    linkFree.assign(fabric->links().size(), 0.0);
+    result.links.resize(fabric->links().size());
+    for (const tpdf::platform::Link& l : fabric->links()) {
+      result.links[l.id].link = l.name;
+    }
+  }
+  // In-flight transfers keyed by (arrival, sequence): tokens that left
+  // their producer but have not reached the consumer's queue yet.
+  std::uint64_t transferSeq = 0;
+  std::map<std::pair<double, std::uint64_t>,
+           std::pair<std::size_t, std::vector<Token>>>
+      transfers;
 
   RunState state;
   state.queue.resize(g.channelCount());
@@ -442,9 +479,41 @@ SimResult Simulator::run(const SimOptions& options) {
   auto deliver = [&](const graph::Actor& a) {
     ActorState& st = actors[a.id.index()];
     for (auto& [c, tokens] : st.pending.outputs) {
+      const std::size_t dst =
+          view.destActor(ChannelId(static_cast<std::uint32_t>(c))).index();
+      if (fabric != nullptr && !tokens.empty() &&
+          a.kind != ActorKind::Control) {
+        const std::size_t srcPe = options.actorPe[a.id.index()];
+        const std::size_t dstPe = options.actorPe[dst];
+        if (srcPe != dstPe && srcPe < fabric->peCount() &&
+            dstPe < fabric->peCount()) {
+          // Store-and-forward reservation walk over the precomputed
+          // route: each link is held for its service time, and a link
+          // still busy with an earlier transfer delays this one — the
+          // contention model.
+          double t = now;
+          const auto count = static_cast<std::int64_t>(tokens.size());
+          for (std::uint32_t lid : fabric->route(srcPe, dstPe)) {
+            const double service = tpdf::platform::Topology::serviceTime(
+                fabric->link(lid), count);
+            t = std::max(t, linkFree[lid]) + service;
+            linkFree[lid] = t;
+            result.links[lid].transfers += 1;
+            result.links[lid].busyTime += service;
+          }
+          if (t > now) {
+            // Tokens arrive later; the consumer wakes on arrival.
+            transfers.emplace(std::make_pair(t, transferSeq++),
+                              std::make_pair(c, std::move(tokens)));
+            continue;
+          }
+          // Zero-delay route (ideal fabric): fall through to the inline
+          // delivery below so the firing order matches a platform-free
+          // run exactly.
+        }
+      }
       for (Token& t : tokens) state.push(c, std::move(t));
-      wake.insert(
-          view.destActor(ChannelId(static_cast<std::uint32_t>(c))).index());
+      wake.insert(dst);
     }
     st.pending = PendingFiring{};
     wake.insert(a.id.index());  // the actor itself is free to start again
@@ -500,12 +569,27 @@ SimResult Simulator::run(const SimOptions& options) {
       if (tryStart(a)) events.push({actors[ai].pending.finish, ai});
     }
 
-    // Advance to the next event: earliest completion or clock tick.
-    if (events.empty()) break;  // quiescent
-    const double next = events.top().first;
+    // Advance to the next event: earliest completion, clock tick, or
+    // transfer arrival.
+    if (events.empty() && transfers.empty()) break;  // quiescent
+    double next = std::numeric_limits<double>::infinity();
+    if (!events.empty()) next = events.top().first;
+    if (!transfers.empty()) {
+      next = std::min(next, transfers.begin()->first.first);
+    }
     if (next > options.stopTime) break;
 
     now = next;
+    // Due transfer arrivals deliver first: like completions they can
+    // only enable starts, and (arrival, sequence) order keeps the run
+    // deterministic.
+    while (!transfers.empty() && transfers.begin()->first.first <= now) {
+      auto node = transfers.extract(transfers.begin());
+      const std::size_t c = node.mapped().first;
+      for (Token& t : node.mapped().second) state.push(c, std::move(t));
+      wake.insert(
+          view.destActor(ChannelId(static_cast<std::uint32_t>(c))).index());
+    }
     due.clear();
     while (!events.empty() && events.top().first <= now) {
       due.push_back(events.top().second);

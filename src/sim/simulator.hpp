@@ -30,6 +30,7 @@
 
 #include "core/context.hpp"
 #include "core/model.hpp"
+#include "platform/topology.hpp"
 #include "sim/token.hpp"
 #include "support/budget.hpp"
 #include "support/json.hpp"
@@ -96,6 +97,20 @@ struct SimOptions {
   /// trips.  Unlike maxFirings (which ends the run gracefully), a budget
   /// is a hard resource limit imposed by the caller.
   support::Budget* budget = nullptr;
+  /// Optional interconnect (not owned; must outlive run()).  When set,
+  /// a completed firing whose tokens cross PEs does not deliver them
+  /// instantly: the transfer reserves each link of its precomputed
+  /// route in turn (store-and-forward; a busy link delays it), so link
+  /// contention emerges from serialization.  Transfers whose total
+  /// delay is zero deliver inline, preserving the platform-free firing
+  /// order — an ideal fabric reproduces trace-identical runs.
+  /// Control-actor outputs are never routed (control tokens are
+  /// quasi-instantaneous), nor are transfers touching a PE outside the
+  /// fabric (e.g. a dedicated control PE).
+  const platform::Topology* fabric = nullptr;
+  /// Actor placement, indexed by actor id; required (size == actor
+  /// count) when `fabric` is set.
+  std::vector<std::size_t> actorPe;
 };
 
 /// One firing in the recorded execution trace.
@@ -114,6 +129,15 @@ struct ChannelStats {
   std::int64_t discarded = 0;
 };
 
+/// Traffic one interconnect link carried during a run (only populated
+/// when SimOptions::fabric was set).
+struct LinkStats {
+  std::string link;
+  std::int64_t transfers = 0;
+  /// Total time the link was occupied by reservations.
+  double busyTime = 0.0;
+};
+
 struct SimResult {
   bool ok = false;
   std::string diagnostic;
@@ -121,6 +145,8 @@ struct SimResult {
   std::int64_t totalFirings = 0;
   std::vector<std::int64_t> firings;     // per actor
   std::vector<ChannelStats> channels;    // per channel
+  /// Per-link traffic, indexed by link id; empty without a fabric.
+  std::vector<LinkStats> links;
   /// True when, after the requested iterations, every channel holds
   /// exactly its initial tokens again (the dynamic Theorem 2 check).
   bool returnedToInitialState = false;

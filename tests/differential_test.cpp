@@ -153,7 +153,7 @@ TEST(Differential, HugeRepetitionVectorSkipsSimulationChecks) {
   const GraphVerdict& v = report.verdicts.front();
   EXPECT_TRUE(v.bounded);  // static analysis still runs
   EXPECT_TRUE(v.checksRun.empty());
-  EXPECT_EQ(v.skipped.size(), 3u);
+  EXPECT_EQ(v.skipped.size(), 4u);
 }
 
 TEST(Differential, ReportJsonCarriesCountsAndRecords) {

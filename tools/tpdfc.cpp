@@ -100,6 +100,8 @@ namespace {
 constexpr const char* kUsage =
     "usage: tpdfc <analyze|schedule|map|sim|dot|echo> <file.tpdf> "
     "[name=value ...] [pes=N] [--json]\n"
+    "       tpdfc map|sim ... [--platform kind[:size][,bw=X][,lat=Y]]\n"
+    "             (kind: crossbar|bus|ring|mesh; e.g. mesh:4x4,bw=8,lat=2)\n"
     "       tpdfc sim <file.tpdf> [name=value ...] [--iterations N] "
     "[--trace] [--json]\n"
     "       tpdfc batch <dir> [--jobs N] [name=value ...] [--json]\n"
@@ -110,6 +112,8 @@ constexpr const char* kUsage =
     "       tpdfc sweep <file.tpdf> name=lo:hi[:step] [name=v1,v2,...] "
     "[name=value ...] [pes=N]\n"
     "             [--jobs N] [--cap N] [--analysis-only] [--json]\n"
+    "             [--platform <spec>] [--link-bw v1,v2,...] "
+    "[--topologies spec1;spec2]\n"
     "       tpdfc version | --version\n"
     "       tpdfc <analyze|schedule|map|sim|sweep|batch|verify|load> ... "
     "--connect <addr>\n"
@@ -153,6 +157,13 @@ struct Cli {
   std::vector<std::pair<std::string, std::int64_t>> bindings;
   /// Swept parameter axes (sweep command: name=lo:hi[:step] / name=v1,v2).
   std::vector<core::SweepAxis> axes;
+  /// Platform spec (--platform, e.g. "mesh:4x4,bw=8,lat=2"); empty =
+  /// the legacy ideal crossbar over `pes`.
+  std::string platform;
+  /// Sweep platform axes: --link-bw v1,v2,... and --topologies
+  /// spec1;spec2;... (';'-separated because specs contain commas).
+  std::vector<double> linkBandwidths;
+  std::vector<std::string> topologies;
   /// Client mode: forward the command to this tpdfd address instead of
   /// running in-process (empty = local).
   std::string connect;
@@ -407,6 +418,9 @@ int runSweep(const Cli& cli, api::Session& session, const std::string& id) {
   request.axes = cli.axes;
   request.jobs = cli.jobs;
   request.pes = cli.pes;
+  request.platform = cli.platform;
+  request.linkBandwidths = cli.linkBandwidths;
+  request.topologies = cli.topologies;
   request.maxPoints = cli.cap;
   if (cli.analysisOnly) {
     request.computeBuffers = false;
@@ -506,6 +520,7 @@ int runMap(const Cli& cli, api::Session& session, const std::string& id) {
   api::MapRequest request;
   request.graphId = id;
   request.pes = cli.pes;
+  request.platform = cli.platform;
   request.limits = limitsOf(cli);
   {
     api::Response usage;
@@ -526,6 +541,7 @@ int runSim(const Cli& cli, api::Session& session, const std::string& id) {
   api::SimulateRequest request;
   request.graphId = id;
   request.limits = limitsOf(cli);
+  request.platform = cli.platform;
   request.options.iterations = cli.iterations;
   request.options.recordTrace = cli.trace;
   {
@@ -673,6 +689,10 @@ bool buildWireRequest(const Cli& cli, support::json::Value& request,
   }
   if (command == "map") request.set("pes", static_cast<std::int64_t>(cli.pes));
   if (command == "simulate") request.set("iterations", cli.iterations);
+  if ((command == "map" || command == "simulate" || command == "sweep") &&
+      !cli.platform.empty()) {
+    request.set("platform", cli.platform);
+  }
   if (command == "sweep") {
     auto axes = support::json::Value::object();
     for (const core::SweepAxis& axis : cli.axes) {
@@ -687,6 +707,16 @@ bool buildWireRequest(const Cli& cli, support::json::Value& request,
     request.set("max-points", static_cast<std::int64_t>(cli.cap));
     if (cli.jobs > 0) request.set("jobs", static_cast<std::int64_t>(cli.jobs));
     request.set("pes", static_cast<std::int64_t>(cli.pes));
+    if (!cli.linkBandwidths.empty()) {
+      auto bws = support::json::Value::array();
+      for (const double bw : cli.linkBandwidths) bws.push(bw);
+      request.set("link-bandwidths", std::move(bws));
+    }
+    if (!cli.topologies.empty()) {
+      auto topos = support::json::Value::array();
+      for (const std::string& t : cli.topologies) topos.push(t);
+      request.set("topologies", std::move(topos));
+    }
   }
   if ((command == "batch") && cli.jobs > 0) {
     request.set("jobs", static_cast<std::int64_t>(cli.jobs));
@@ -966,6 +996,50 @@ bool parseArgs(int argc, char** argv, Cli& cli, std::string& error) {
         return false;
       }
       cli.connect = argv[++i];
+    } else if (arg == "--platform") {
+      if (i + 1 >= argc) {
+        error = "--platform needs a spec "
+                "(kind[:size][,bw=X][,lat=Y], e.g. mesh:4x4,bw=8,lat=2)";
+        return false;
+      }
+      cli.platform = argv[++i];
+    } else if (arg == "--link-bw") {
+      if (i + 1 >= argc) {
+        error = "--link-bw needs a comma-separated list of bandwidths";
+        return false;
+      }
+      const std::string list = argv[++i];
+      for (std::size_t pos = 0; pos <= list.size();) {
+        std::size_t comma = list.find(',', pos);
+        if (comma == std::string::npos) comma = list.size();
+        const std::string item = list.substr(pos, comma - pos);
+        char* end = nullptr;
+        const double bw = std::strtod(item.c_str(), &end);
+        if (item.empty() || end == nullptr || *end != '\0' || !(bw > 0.0)) {
+          error = "--link-bw values must be positive numbers, got '" +
+                  item + "'";
+          return false;
+        }
+        cli.linkBandwidths.push_back(bw);
+        pos = comma + 1;
+      }
+    } else if (arg == "--topologies") {
+      if (i + 1 >= argc) {
+        error = "--topologies needs a ';'-separated list of platform specs";
+        return false;
+      }
+      const std::string list = argv[++i];
+      for (std::size_t pos = 0; pos <= list.size();) {
+        std::size_t semi = list.find(';', pos);
+        if (semi == std::string::npos) semi = list.size();
+        const std::string item = list.substr(pos, semi - pos);
+        if (item.empty()) {
+          error = "--topologies has an empty spec entry";
+          return false;
+        }
+        cli.topologies.push_back(item);
+        pos = semi + 1;
+      }
     } else if (arg == "--clients" || arg == "--requests" ||
                arg == "--cold-every") {
       if (i + 1 >= argc) {
